@@ -1,0 +1,69 @@
+//! Benchmarks regenerating Tables 3 and 4: the RPC and LRPC breakdowns,
+//! plus a packet-size sweep showing the wire-share crossover.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osarch_core::experiments;
+use osarch_core::ipc::{lrpc_breakdown, rpc_component, src_rpc_breakdown, Network, RpcConfig};
+use osarch_core::{Arch, Table};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The packet-size sweep behind Table 3's small/large contrast: wire share
+/// as the result packet grows.
+fn wire_share_sweep() -> Table {
+    let mut table = Table::new("Wire share vs result-packet size (CVAX, SRC-style RPC)");
+    table.headers(["Reply bytes", "Total us", "Wire %", "Checksum %"]);
+    for bytes in [74u32, 256, 512, 1024, 1500, 4096] {
+        let config = RpcConfig {
+            network: Network::ethernet(),
+            request_bytes: 74,
+            reply_bytes: bytes,
+        };
+        let b = src_rpc_breakdown(Arch::Cvax, config);
+        table.row([
+            bytes.to_string(),
+            format!("{:.0}", b.total_us()),
+            format!("{:.0}%", b.share(rpc_component::WIRE) * 100.0),
+            format!("{:.0}%", b.share(rpc_component::CHECKSUM) * 100.0),
+        ]);
+    }
+    table
+}
+
+fn ipc_benches(c: &mut Criterion) {
+    println!("{}", experiments::table3());
+    println!("{}", experiments::table4());
+    println!("{}", wire_share_sweep());
+
+    let mut group = c.benchmark_group("table3_rpc");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        group.bench_with_input(BenchmarkId::new("null_call", arch), &arch, |b, &arch| {
+            b.iter(|| black_box(src_rpc_breakdown(arch, RpcConfig::null_call())))
+        });
+        group.bench_with_input(BenchmarkId::new("large_result", arch), &arch, |b, &arch| {
+            b.iter(|| black_box(src_rpc_breakdown(arch, RpcConfig::large_result())))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("table4_lrpc");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| black_box(lrpc_breakdown(arch)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = ipc_benches
+}
+criterion_main!(benches);

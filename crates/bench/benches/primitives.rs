@@ -1,0 +1,59 @@
+//! Benchmarks regenerating Tables 1, 2 and 5: the primitive OS operations
+//! on every architecture.
+//!
+//! The printed tables (emitted once, before timing) are the reproduction
+//! artifacts; the Criterion numbers measure the simulator itself.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use osarch_core::experiments;
+use osarch_core::kernel::{HandlerSet, Machine, Primitive};
+use osarch_core::{measure, Arch};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn primitive_benches(c: &mut Criterion) {
+    // Emit the reproduced tables once so `cargo bench` output contains them.
+    println!("{}", experiments::table1());
+    println!("{}", experiments::table2());
+    println!("{}", experiments::table5());
+
+    let mut group = c.benchmark_group("table1_measure");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in Arch::timed() {
+        group.bench_function(arch.to_string(), |b| {
+            b.iter(|| black_box(measure(black_box(arch))))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("handler_execution");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        for primitive in Primitive::all() {
+            let name = format!("{arch}/{primitive}");
+            group.bench_function(name, |b| {
+                b.iter_batched_ref(
+                    || {
+                        let machine = Machine::new(arch);
+                        let handlers = HandlerSet::generate(machine.spec(), machine.layout());
+                        (machine, handlers)
+                    },
+                    |(machine, handlers)| black_box(machine.measure(handlers.program(primitive))),
+                    BatchSize::SmallInput,
+                )
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = primitive_benches
+}
+criterion_main!(benches);

@@ -1,0 +1,54 @@
+//! Benchmarks regenerating Table 7 and the Section 5 projections: the
+//! monolithic-versus-decomposed structure simulation.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osarch_core::experiments;
+use osarch_core::mach::{simulate, syscall_switch_overhead_s, OsStructure};
+use osarch_core::{standard_workloads, Arch, Table};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The Section 5 cross-architecture projection series.
+fn projection_series() -> Table {
+    let mut table =
+        Table::new("Projected syscall+switch overhead for andrew-remote on Mach 3.0 (s)");
+    table.headers(["Arch", "Overhead s"]);
+    for arch in Arch::timed() {
+        table.row([
+            arch.to_string(),
+            format!("{:.1}", syscall_switch_overhead_s(arch, "andrew-remote")),
+        ]);
+    }
+    table.note("paper quotes 9.4 s for the SPARC");
+    table
+}
+
+fn structure_benches(c: &mut Criterion) {
+    println!("{}", experiments::table7());
+    println!("{}", projection_series());
+    println!("{}", experiments::intext_results());
+
+    let workloads = standard_workloads();
+    let mut group = c.benchmark_group("table7_simulate");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for workload in &workloads {
+        group.bench_with_input(
+            BenchmarkId::new("microkernel", workload.name),
+            workload,
+            |b, w| b.iter(|| black_box(simulate(w, OsStructure::Microkernel, Arch::R3000))),
+        );
+    }
+    group.bench_function("full_table7", |b| {
+        b.iter(|| black_box(osarch_core::table7(Arch::R3000)))
+    });
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = structure_benches
+}
+criterion_main!(benches);

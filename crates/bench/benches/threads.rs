@@ -1,0 +1,102 @@
+//! Benchmarks regenerating Table 6 and the Section 4 in-text results:
+//! thread-state sizes, the Synapse call/switch budget, and parthenon's
+//! lock-strategy sweep.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osarch_core::experiments;
+use osarch_core::threads::{
+    parthenon_run, synapse_report, LockStrategy, ThreadCosts, UserThreads, SYNAPSE_RATIO_RANGE,
+};
+use osarch_core::{Arch, Table};
+use std::hint::black_box;
+use std::time::Duration;
+
+/// The Synapse series: per-architecture switch-vs-call time at the measured
+/// call/switch ratios.
+fn synapse_series() -> Table {
+    let mut table = Table::new("Synapse budget: procedure-call vs context-switch time");
+    table.headers([
+        "Arch",
+        "calls:switch",
+        "call us",
+        "switch us",
+        "switch-bound?",
+    ]);
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        for ratio in [SYNAPSE_RATIO_RANGE.0, SYNAPSE_RATIO_RANGE.1] {
+            let report = synapse_report(arch, ratio);
+            table.row([
+                arch.to_string(),
+                format!("{ratio}:1"),
+                format!("{:.2}", report.call_time_us),
+                format!("{:.2}", report.switch_time_us),
+                if report.switches_dominate() {
+                    "yes"
+                } else {
+                    "no"
+                }
+                .to_string(),
+            ]);
+        }
+    }
+    table
+}
+
+/// Parthenon under every available lock strategy per architecture.
+fn parthenon_sweep() -> Table {
+    let mut table = Table::new("parthenon (10 threads): lock-strategy sweep");
+    table.headers(["Arch", "Strategy", "Total s", "Sync share"]);
+    for arch in [Arch::R3000, Arch::Sparc, Arch::M88000] {
+        for strategy in LockStrategy::available(arch) {
+            let run = parthenon_run(arch, 10, strategy);
+            table.row([
+                arch.to_string(),
+                strategy.to_string(),
+                format!("{:.1}", run.total_s()),
+                format!("{:.0}%", run.sync_share() * 100.0),
+            ]);
+        }
+    }
+    table
+}
+
+fn thread_benches(c: &mut Criterion) {
+    println!("{}", experiments::table6());
+    println!("{}", synapse_series());
+    println!("{}", parthenon_sweep());
+
+    let mut group = c.benchmark_group("table6_thread_costs");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in Arch::all() {
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| black_box(ThreadCosts::measure(arch)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("uthread_schedule");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in [Arch::R3000, Arch::Sparc] {
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| {
+                let mut pool = UserThreads::new(arch, 25.0);
+                for _ in 0..32 {
+                    pool.spawn(8);
+                }
+                black_box(pool.run())
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = thread_benches
+}
+criterion_main!(benches);

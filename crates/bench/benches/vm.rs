@@ -1,0 +1,95 @@
+//! Benchmarks for the Section 3 virtual-memory experiments: copy-on-write,
+//! user-level fault reflection, DSM coherence, the pager, and the
+//! architectural what-ifs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use osarch_core::ablations;
+use osarch_core::experiments;
+use osarch_core::ipc::{DsmSystem, Network};
+use osarch_core::kernel::{user_fault_reflection_us, CowManager, USER2_ASID, USER_ASID};
+use osarch_core::mem::{Asid, Pager, ReplacementPolicy};
+use osarch_core::{Arch, VirtAddr};
+use std::hint::black_box;
+use std::time::Duration;
+
+fn vm_benches(c: &mut Criterion) {
+    println!("{}", experiments::vm_overloading());
+    println!("{}", experiments::tlb_effectiveness());
+    println!("{}", ablations::ablation_table());
+
+    let mut group = c.benchmark_group("cow_fault_service");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| {
+                let mut cow = CowManager::new(arch);
+                let page = VirtAddr(0x0060_0000);
+                cow.share(USER_ASID, page, USER2_ASID, page);
+                black_box(cow.write(USER_ASID, page).expect("serviced"))
+            })
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("fault_reflection");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for arch in Arch::timed() {
+        group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
+            b.iter(|| black_box(user_fault_reflection_us(arch)))
+        });
+    }
+    group.finish();
+
+    let mut group = c.benchmark_group("dsm_protocol");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    group.bench_function("ping_pong_64", |b| {
+        b.iter(|| {
+            let mut dsm = DsmSystem::new(Arch::R3000, 4, Network::ethernet());
+            let mut total = 0.0;
+            for i in 0..64u32 {
+                total += dsm.write((i % 2) as usize, i % 4);
+            }
+            black_box(total)
+        })
+    });
+    group.finish();
+
+    let mut group = c.benchmark_group("pager_policies");
+    group.sample_size(10);
+    group.measurement_time(Duration::from_millis(1200));
+    group.warm_up_time(Duration::from_millis(400));
+    for policy in [
+        ReplacementPolicy::Fifo,
+        ReplacementPolicy::Clock,
+        ReplacementPolicy::Lru,
+    ] {
+        group.bench_with_input(
+            BenchmarkId::from_parameter(format!("{policy}")),
+            &policy,
+            |b, &policy| {
+                b.iter(|| {
+                    let mut pager = Pager::new(16, policy);
+                    for i in 0..20_000u32 {
+                        let vpn = if i % 3 == 0 { (i / 16) % 64 } else { i % 8 };
+                        pager.reference(Asid(1), VirtAddr(vpn << 12), false);
+                    }
+                    black_box(pager.stats())
+                })
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().without_plots();
+    targets = vm_benches
+}
+criterion_main!(benches);

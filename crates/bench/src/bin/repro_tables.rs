@@ -1,0 +1,38 @@
+//! Print the reproduction of every table in the paper.
+//!
+//! Usage: `repro_tables [table1..table7|intext|ablations]`
+//! With no argument, prints everything.
+
+use osarch_core::{ablations, experiments};
+
+fn main() {
+    let arg = std::env::args().nth(1);
+    let reports = match arg.as_deref() {
+        None | Some("all") => {
+            let mut reports = experiments::all_reports();
+            reports.push(ablations::ablation_table());
+            reports
+        }
+        Some("table1") => vec![experiments::table1()],
+        Some("table2") => vec![experiments::table2()],
+        Some("table3") => vec![experiments::table3()],
+        Some("table4") => vec![experiments::table4()],
+        Some("table5") => vec![experiments::table5()],
+        Some("table6") => vec![experiments::table6()],
+        Some("table7") => vec![experiments::table7()],
+        Some("intext") => vec![experiments::intext_results()],
+        Some("ablations") => vec![ablations::ablation_table()],
+        Some("vm") => vec![experiments::vm_overloading()],
+        Some("tlb") => vec![experiments::tlb_effectiveness()],
+        Some("threads") => vec![experiments::thread_models()],
+        Some("future") => vec![experiments::future_machines()],
+        Some("depth") => vec![experiments::decomposition_depth()],
+        Some(other) => {
+            eprintln!("unknown report {other:?}; expected table1..table7, intext, ablations, vm, tlb, threads, future, depth, or all");
+            std::process::exit(2);
+        }
+    };
+    for report in reports {
+        println!("{report}");
+    }
+}

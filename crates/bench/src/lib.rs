@@ -1,0 +1,12 @@
+//! Benchmark harness for the ASPLOS 1991 reproduction.
+//!
+//! * `cargo run -p osarch-bench --bin repro_tables` prints every table of
+//!   the paper (1–7 plus the in-text results) with paper-vs-measured
+//!   columns;
+//! * `cargo bench` runs the Criterion benchmarks, one group per table,
+//!   exercising the simulation paths that regenerate it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use osarch_core::experiments;

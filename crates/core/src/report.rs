@@ -1,0 +1,222 @@
+//! Plain-text table rendering for the reproduction reports.
+
+use std::fmt;
+
+/// A renderable table: title, column headers, string rows, footnotes.
+///
+/// # Example
+///
+/// ```
+/// use osarch_core::Table;
+///
+/// let mut table = Table::new("Demo");
+/// table.headers(["op", "us"]);
+/// table.row(["syscall", "4.2"]);
+/// table.note("times are steady-state");
+/// let text = table.render();
+/// assert!(text.contains("syscall"));
+/// assert!(text.contains("steady-state"));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Table {
+    title: String,
+    headers: Vec<String>,
+    rows: Vec<Vec<String>>,
+    notes: Vec<String>,
+}
+
+impl Table {
+    /// An empty table with a title.
+    #[must_use]
+    pub fn new(title: impl Into<String>) -> Table {
+        Table {
+            title: title.into(),
+            ..Table::default()
+        }
+    }
+
+    /// Set the column headers.
+    pub fn headers<I, S>(&mut self, headers: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.headers = headers.into_iter().map(Into::into).collect();
+        self
+    }
+
+    /// Append a row. Rows shorter than the header list are padded; longer
+    /// rows extend the table.
+    pub fn row<I, S>(&mut self, cells: I) -> &mut Table
+    where
+        I: IntoIterator<Item = S>,
+        S: Into<String>,
+    {
+        self.rows.push(cells.into_iter().map(Into::into).collect());
+        self
+    }
+
+    /// Append a footnote.
+    pub fn note(&mut self, note: impl Into<String>) -> &mut Table {
+        self.notes.push(note.into());
+        self
+    }
+
+    /// The table's title.
+    #[must_use]
+    pub fn title(&self) -> &str {
+        &self.title
+    }
+
+    /// Number of data rows.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// True when the table holds no data rows.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Render to aligned plain text.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let columns = self
+            .rows
+            .iter()
+            .map(Vec::len)
+            .chain(std::iter::once(self.headers.len()))
+            .max()
+            .unwrap_or(0);
+        let mut widths = vec![0usize; columns];
+        let measure = |widths: &mut Vec<usize>, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                widths[i] = widths[i].max(cell.chars().count());
+            }
+        };
+        measure(&mut widths, &self.headers);
+        for row in &self.rows {
+            measure(&mut widths, row);
+        }
+
+        let mut out = String::new();
+        out.push_str(&self.title);
+        out.push('\n');
+        out.push_str(&"=".repeat(self.title.chars().count().max(4)));
+        out.push('\n');
+        let emit = |out: &mut String, cells: &[String]| {
+            for (i, width) in widths.iter().enumerate() {
+                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                if i == 0 {
+                    out.push_str(&format!("{cell:<width$}"));
+                } else {
+                    out.push_str(&format!("  {cell:>width$}"));
+                }
+            }
+            while out.ends_with(' ') {
+                out.pop();
+            }
+            out.push('\n');
+        };
+        if !self.headers.is_empty() {
+            emit(&mut out, &self.headers);
+            let total: usize = widths.iter().sum::<usize>() + 2 * (columns.saturating_sub(1));
+            out.push_str(&"-".repeat(total));
+            out.push('\n');
+        }
+        for row in &self.rows {
+            emit(&mut out, row);
+        }
+        for note in &self.notes {
+            out.push_str("  * ");
+            out.push_str(note);
+            out.push('\n');
+        }
+        out
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.render())
+    }
+}
+
+/// Format a float with `places` decimal places.
+#[must_use]
+pub fn fmt_f(value: f64, places: usize) -> String {
+    format!("{value:.places$}")
+}
+
+/// Format a fraction (0–1) as a percentage.
+#[must_use]
+pub fn fmt_pct(fraction: f64) -> String {
+    format!("{:.0}%", fraction * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Table {
+        let mut table = Table::new("T");
+        table.headers(["a", "bb", "ccc"]);
+        table.row(["x", "1", "2"]);
+        table.row(["longer", "10", "20"]);
+        table.note("footnote");
+        table
+    }
+
+    #[test]
+    fn renders_all_cells_and_notes() {
+        let text = sample().render();
+        for needle in ["T", "a", "bb", "ccc", "x", "longer", "10", "footnote"] {
+            assert!(text.contains(needle), "missing {needle}");
+        }
+    }
+
+    #[test]
+    fn columns_align() {
+        let text = sample().render();
+        let lines: Vec<&str> = text.lines().collect();
+        // header and data lines must end at consistent widths for the last
+        // column (right aligned).
+        let header_end = lines[2].len();
+        let row_end = lines[4].len();
+        assert_eq!(header_end, row_end);
+    }
+
+    #[test]
+    fn ragged_rows_are_tolerated() {
+        let mut table = Table::new("ragged");
+        table.headers(["a", "b"]);
+        table.row(["only one"]);
+        table.row(["one", "two", "three"]);
+        let text = table.render();
+        assert!(text.contains("three"));
+        assert_eq!(table.len(), 2);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn empty_table_renders_title_only() {
+        let table = Table::new("empty");
+        let text = table.render();
+        assert!(text.starts_with("empty\n"));
+        assert!(table.is_empty());
+    }
+
+    #[test]
+    fn formatters() {
+        assert_eq!(fmt_f(1.2345, 2), "1.23");
+        assert_eq!(fmt_pct(0.173), "17%");
+    }
+
+    #[test]
+    fn display_matches_render() {
+        let table = sample();
+        assert_eq!(table.to_string(), table.render());
+    }
+}

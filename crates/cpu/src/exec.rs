@@ -1,0 +1,566 @@
+//! The cycle-accurate micro-op executor.
+
+use crate::arch::ArchSpec;
+use crate::microop::{MicroOp, Phase, Program};
+use osarch_mem::{AccessKind, Fault, MemorySystem, Mode, VirtAddr};
+use std::fmt;
+
+/// Instruction and cycle totals for one phase.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PhaseStats {
+    /// Dynamic instructions executed.
+    pub instructions: u64,
+    /// Cycles consumed.
+    pub cycles: u64,
+}
+
+/// Execution statistics for one program run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ExecStats {
+    per_phase: [PhaseStats; 5],
+    /// Total dynamic instructions.
+    pub instructions: u64,
+    /// Total cycles.
+    pub cycles: u64,
+    /// Write-buffer stall cycles (included in `cycles`).
+    pub wb_stall_cycles: u64,
+    /// TLB misses taken during the run.
+    pub tlb_misses: u64,
+    /// Cache misses taken during the run.
+    pub cache_misses: u64,
+}
+
+impl ExecStats {
+    /// Stats for one phase.
+    #[must_use]
+    pub fn phase(&self, phase: Phase) -> PhaseStats {
+        self.per_phase[phase.index()]
+    }
+
+    /// Elapsed microseconds on a machine clocked at `clock_mhz`.
+    #[must_use]
+    pub fn micros(&self, clock_mhz: f64) -> f64 {
+        self.cycles as f64 / clock_mhz
+    }
+
+    /// Merge another run's statistics into this one.
+    pub fn merge(&mut self, other: &ExecStats) {
+        for (mine, theirs) in self.per_phase.iter_mut().zip(other.per_phase.iter()) {
+            mine.instructions += theirs.instructions;
+            mine.cycles += theirs.cycles;
+        }
+        self.instructions += other.instructions;
+        self.cycles += other.cycles;
+        self.wb_stall_cycles += other.wb_stall_cycles;
+        self.tlb_misses += other.tlb_misses;
+        self.cache_misses += other.cache_misses;
+    }
+
+    fn charge(&mut self, phase: Phase, instructions: u64, cycles: u64) {
+        let slot = &mut self.per_phase[phase.index()];
+        slot.instructions += instructions;
+        slot.cycles += cycles;
+        self.instructions += instructions;
+        self.cycles += cycles;
+    }
+}
+
+impl fmt::Display for ExecStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} instructions, {} cycles",
+            self.instructions, self.cycles
+        )
+    }
+}
+
+/// Outcome of executing a program: statistics, plus the fault that stopped it
+/// early, if any.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ExecOutcome {
+    /// Statistics accumulated up to completion or the fault.
+    pub stats: ExecStats,
+    /// The fault that interrupted execution, if any.
+    pub fault: Option<Fault>,
+}
+
+impl ExecOutcome {
+    /// True when the program ran to completion.
+    #[must_use]
+    pub fn completed(&self) -> bool {
+        self.fault.is_none()
+    }
+}
+
+/// A simulated processor executing [`Program`]s against a [`MemorySystem`].
+///
+/// # Example
+///
+/// ```
+/// use osarch_cpu::{Arch, Cpu, Program, Phase, MicroOp};
+/// use osarch_mem::{MemorySystem, Mode};
+///
+/// let spec = Arch::R3000.spec();
+/// let mut mem = MemorySystem::new(spec.mem.clone());
+/// let mut cpu = Cpu::new(spec);
+/// let mut b = Program::builder("three alu ops");
+/// b.alu(3);
+/// let outcome = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+/// assert_eq!(outcome.stats.instructions, 3);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Cpu {
+    spec: ArchSpec,
+}
+
+impl Cpu {
+    /// A processor implementing `spec`.
+    #[must_use]
+    pub fn new(spec: ArchSpec) -> Cpu {
+        Cpu { spec }
+    }
+
+    /// The specification this processor implements.
+    #[must_use]
+    pub fn spec(&self) -> &ArchSpec {
+        &self.spec
+    }
+
+    /// Execute `program` in `mode`, stopping at the first fault.
+    pub fn run(&mut self, program: &Program, mem: &mut MemorySystem, mode: Mode) -> ExecOutcome {
+        let mut stats = ExecStats::default();
+        for &(phase, op) in program.ops() {
+            if let Err(fault) = self.step(op, phase, mem, mode, &mut stats) {
+                return ExecOutcome {
+                    stats,
+                    fault: Some(fault),
+                };
+            }
+        }
+        ExecOutcome { stats, fault: None }
+    }
+
+    fn mem_access(
+        &self,
+        addr: VirtAddr,
+        kind: AccessKind,
+        mode: Mode,
+        mem: &mut MemorySystem,
+        stats: &mut ExecStats,
+    ) -> Result<u64, Fault> {
+        let access = mem.access(addr, kind, mode)?;
+        if access.tlb_miss {
+            stats.tlb_misses += 1;
+        }
+        if access.cache_hit == Some(false) {
+            stats.cache_misses += 1;
+        }
+        stats.wb_stall_cycles += u64::from(access.wb_stall);
+        Ok(u64::from(access.cycles))
+    }
+
+    fn step(
+        &mut self,
+        op: MicroOp,
+        phase: Phase,
+        mem: &mut MemorySystem,
+        mode: Mode,
+        stats: &mut ExecStats,
+    ) -> Result<(), Fault> {
+        let spec = &self.spec;
+        match op {
+            MicroOp::Alu => {
+                stats.charge(phase, 1, u64::from(spec.alu_cycles));
+                mem.advance(u64::from(spec.alu_cycles));
+            }
+            MicroOp::DelayNop => {
+                stats.charge(phase, 1, 1);
+                mem.advance(1);
+            }
+            MicroOp::Load(addr) => {
+                let extra = self.mem_access(addr, AccessKind::Read, mode, mem, stats)?;
+                stats.charge(phase, 1, u64::from(spec.load_cycles) + extra);
+            }
+            MicroOp::Store(addr) => {
+                let extra = self.mem_access(addr, AccessKind::Write, mode, mem, stats)?;
+                stats.charge(phase, 1, u64::from(spec.store_cycles) + extra);
+            }
+            MicroOp::Branch => {
+                stats.charge(phase, 1, u64::from(spec.branch_cycles));
+                mem.advance(u64::from(spec.branch_cycles));
+            }
+            MicroOp::Call | MicroOp::Ret => match spec.microcoded_call {
+                Some(micro) => {
+                    let cycles = u64::from(micro.cycles)
+                        + u64::from(micro.mem_refs * spec.mem.timing.read_cycles);
+                    stats.charge(phase, 1, cycles);
+                    mem.advance(cycles);
+                }
+                None => {
+                    stats.charge(phase, 1, u64::from(spec.branch_cycles));
+                    mem.advance(u64::from(spec.branch_cycles));
+                }
+            },
+            MicroOp::ReadControl => {
+                stats.charge(phase, 1, u64::from(spec.control_read_cycles));
+                mem.advance(u64::from(spec.control_read_cycles));
+            }
+            MicroOp::WriteControl => {
+                stats.charge(phase, 1, u64::from(spec.control_write_cycles));
+                mem.advance(u64::from(spec.control_write_cycles));
+            }
+            MicroOp::TrapEnter | MicroOp::TrapReturn => match spec.microcoded_trap {
+                Some(micro) => {
+                    let cycles = u64::from(micro.cycles)
+                        + u64::from(micro.mem_refs * spec.mem.timing.read_cycles);
+                    stats.charge(phase, 1, cycles);
+                    mem.advance(cycles);
+                }
+                None => {
+                    stats.charge(phase, 1, u64::from(spec.trap_entry_cycles));
+                    mem.advance(u64::from(spec.trap_entry_cycles));
+                }
+            },
+            MicroOp::SaveWindow(base) => {
+                let Some(windows) = spec.windows else {
+                    // Architectures without windows treat this as a no-op.
+                    return Ok(());
+                };
+                let mut cycles = u64::from(windows.spill_overhead_cycles);
+                let mut instructions = u64::from(windows.spill_overhead_instrs);
+                mem.advance(cycles);
+                for i in 0..windows.words_per_window {
+                    let extra =
+                        self.mem_access(base.offset(4 * i), AccessKind::Write, mode, mem, stats)?;
+                    cycles += u64::from(spec.store_cycles) + extra;
+                    instructions += 1;
+                }
+                stats.charge(phase, instructions, cycles);
+            }
+            MicroOp::RestoreWindow(base) => {
+                let Some(windows) = spec.windows else {
+                    return Ok(());
+                };
+                let mut cycles = u64::from(windows.spill_overhead_cycles);
+                let mut instructions = u64::from(windows.spill_overhead_instrs);
+                mem.advance(cycles);
+                for i in 0..windows.words_per_window {
+                    let extra =
+                        self.mem_access(base.offset(4 * i), AccessKind::Read, mode, mem, stats)?;
+                    cycles += u64::from(spec.load_cycles) + extra;
+                    instructions += 1;
+                }
+                stats.charge(phase, instructions, cycles);
+            }
+            MicroOp::Microcoded { cycles, mem_refs } => {
+                let total = u64::from(cycles) + u64::from(mem_refs * spec.mem.timing.read_cycles);
+                stats.charge(phase, 1, total);
+                mem.advance(total);
+            }
+            MicroOp::AtomicTas(addr) => {
+                debug_assert!(
+                    spec.has_atomic_tas,
+                    "generator must not emit TAS on {}",
+                    spec.arch
+                );
+                let extra = self.mem_access(addr, AccessKind::Write, mode, mem, stats)?;
+                stats.charge(phase, 1, u64::from(spec.tas_cycles) + extra);
+            }
+            MicroOp::TlbWriteEntry => {
+                stats.charge(phase, 1, u64::from(spec.tlb_write_cycles));
+                mem.advance(u64::from(spec.tlb_write_cycles));
+            }
+            MicroOp::TlbFlushPage(addr) => {
+                let asid = mem.current_asid();
+                mem.flush_tlb_page(addr, asid);
+                stats.charge(phase, 1, u64::from(spec.tlb_write_cycles));
+                mem.advance(u64::from(spec.tlb_write_cycles));
+            }
+            MicroOp::TlbFlushAll => {
+                let cycles = mem.flush_tlb().max(1);
+                stats.charge(phase, 1, u64::from(cycles));
+            }
+            MicroOp::CacheFlushPage(addr) => {
+                // A virtual cache must be searched in its entirety; the sweep
+                // is an explicit instruction loop (536 of the i860's 559
+                // PTE-change instructions).
+                let (lines, cycles) = mem.flush_cache_page(addr);
+                let instructions = u64::from(lines) * u64::from(spec.flush_instrs_per_line);
+                if lines == 0 {
+                    // Physically addressed cache: nothing to do.
+                    return Ok(());
+                }
+                stats.charge(phase, instructions, u64::from(cycles).max(instructions));
+            }
+            MicroOp::CacheFlushAll => {
+                let lines = mem.cache().map(|c| c.config().lines()).unwrap_or(0);
+                if lines == 0 {
+                    return Ok(());
+                }
+                let cycles = mem.cache_mut().map(|c| c.flush_all()).unwrap_or(0);
+                let instructions = u64::from(lines) * u64::from(spec.flush_instrs_per_line);
+                stats.charge(phase, instructions, u64::from(cycles).max(instructions));
+                mem.advance(u64::from(cycles));
+            }
+            MicroOp::SwitchAddressSpace(a, b) => {
+                let target = if mem.current_asid() == a { b } else { a };
+                let switch = mem.switch_to(target);
+                let cycles = u64::from(spec.control_write_cycles)
+                    + u64::from(spec.asid_switch_cycles)
+                    + u64::from(switch.cycles());
+                stats.charge(phase, 1, cycles);
+            }
+            MicroOp::DrainWriteBuffer => {
+                let cycles = mem.write_buffer_drain_time();
+                stats.charge(phase, 0, u64::from(cycles));
+                mem.advance(u64::from(cycles));
+            }
+            MicroOp::DrainFpu => {
+                stats.charge(phase, 0, u64::from(spec.fpu_drain_cycles));
+                mem.advance(u64::from(spec.fpu_drain_cycles));
+            }
+            MicroOp::Stall(cycles) => {
+                stats.charge(phase, 0, u64::from(cycles));
+                mem.advance(u64::from(cycles));
+            }
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::arch::Arch;
+    use osarch_mem::{Protection, KERNEL_ASID};
+
+    fn machine(arch: Arch) -> (Cpu, MemorySystem) {
+        let spec = arch.spec();
+        let mem = MemorySystem::new(spec.mem.clone());
+        (Cpu::new(spec), mem)
+    }
+
+    fn mapped_machine(arch: Arch) -> (Cpu, MemorySystem) {
+        let (cpu, mut mem) = machine(arch);
+        for page in 0..16 {
+            mem.map_page(
+                KERNEL_ASID,
+                VirtAddr(0x1_0000 + page * 4096),
+                Protection::RW,
+            );
+        }
+        (cpu, mem)
+    }
+
+    #[test]
+    fn alu_ops_cost_spec_cycles() {
+        let (mut cpu, mut mem) = machine(Arch::R3000);
+        let mut b = Program::builder("alu");
+        b.alu(10);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert!(out.completed());
+        assert_eq!(out.stats.instructions, 10);
+        assert_eq!(out.stats.cycles, 10);
+    }
+
+    #[test]
+    fn cvax_alu_is_slower_per_instruction() {
+        let (mut cpu, mut mem) = machine(Arch::Cvax);
+        let mut b = Program::builder("alu");
+        b.alu(10);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert_eq!(
+            out.stats.cycles, 30,
+            "CVAX simple ops average 3 microcycles"
+        );
+    }
+
+    #[test]
+    fn store_bursts_stall_the_r2000_write_buffer() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::R2000);
+        mem.warm_cache(VirtAddr(0x1_0000), 4096);
+        let mut b = Program::builder("burst");
+        b.store_run(VirtAddr(0x1_0000), 24);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert!(
+            out.stats.wb_stall_cycles > 0,
+            "24 consecutive stores must stall a 4-deep buffer"
+        );
+    }
+
+    #[test]
+    fn r3000_page_mode_buffer_absorbs_the_same_burst() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::R3000);
+        mem.warm_cache(VirtAddr(0x1_0000), 4096);
+        let mut b = Program::builder("burst");
+        b.store_run(VirtAddr(0x1_0000), 24);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert_eq!(
+            out.stats.wb_stall_cycles, 0,
+            "same-page stores retire every cycle"
+        );
+    }
+
+    #[test]
+    fn faults_stop_execution_with_partial_stats() {
+        let (mut cpu, mut mem) = machine(Arch::R3000);
+        let mut b = Program::builder("faulting");
+        b.alu(5);
+        b.load(VirtAddr(0x7000_0000)); // unmapped
+        b.alu(100);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert!(!out.completed());
+        assert_eq!(
+            out.stats.instructions, 5,
+            "ops after the fault must not run"
+        );
+    }
+
+    #[test]
+    fn save_window_moves_a_full_window_through_memory() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::Sparc);
+        let mut b = Program::builder("spill");
+        b.op(MicroOp::SaveWindow(VirtAddr(0x1_0000)));
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        let config = Arch::Sparc.spec().windows.unwrap();
+        assert_eq!(
+            out.stats.instructions,
+            u64::from(config.words_per_window + config.spill_overhead_instrs)
+        );
+        assert!(out.stats.cycles > u64::from(config.words_per_window));
+    }
+
+    #[test]
+    fn save_window_is_noop_without_windows() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::R3000);
+        let mut b = Program::builder("spill");
+        b.op(MicroOp::SaveWindow(VirtAddr(0x1_0000)));
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert_eq!(out.stats.instructions, 0);
+    }
+
+    #[test]
+    fn microcoded_trap_costs_microcycles() {
+        let (mut cpu, mut mem) = machine(Arch::Cvax);
+        let mut b = Program::builder("chmk");
+        b.phase(Phase::EntryExit)
+            .op(MicroOp::TrapEnter)
+            .op(MicroOp::TrapReturn);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert_eq!(out.stats.instructions, 2);
+        // 2 x (20 cycles + 1 mem ref x 5 cycles) = 50 — the CVAX's 4.5 us
+        // kernel entry/exit at 11.1 MHz.
+        assert_eq!(out.stats.cycles, 50);
+        assert_eq!(out.stats.phase(Phase::EntryExit).cycles, 50);
+    }
+
+    #[test]
+    fn risc_trap_entry_is_cheap() {
+        let (mut cpu, mut mem) = machine(Arch::R3000);
+        let mut b = Program::builder("trap");
+        b.op(MicroOp::TrapEnter);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert_eq!(
+            out.stats.cycles,
+            u64::from(Arch::R3000.spec().trap_entry_cycles)
+        );
+    }
+
+    #[test]
+    fn i860_cache_page_flush_expands_to_hundreds_of_instructions() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::I860);
+        let mut b = Program::builder("flush");
+        b.op(MicroOp::CacheFlushPage(VirtAddr(0x1_0000)));
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        // 8 KB / 32 B = 256 lines, 2 instructions each = 512.
+        assert_eq!(out.stats.instructions, 512);
+    }
+
+    #[test]
+    fn physical_cache_page_flush_is_free() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::R3000);
+        let mut b = Program::builder("flush");
+        b.op(MicroOp::CacheFlushPage(VirtAddr(0x1_0000)));
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert_eq!(out.stats.instructions, 0);
+        assert_eq!(out.stats.cycles, 0);
+    }
+
+    #[test]
+    fn drain_write_buffer_waits_out_pending_stores() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::R2000);
+        mem.warm_cache(VirtAddr(0x1_0000), 4096);
+        let mut b = Program::builder("drain");
+        b.store_run(VirtAddr(0x1_0000), 8);
+        b.op(MicroOp::DrainWriteBuffer);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        assert!(out.stats.cycles > 8 * 2, "drain must add waiting time");
+    }
+
+    #[test]
+    fn phase_totals_sum_to_overall() {
+        let (mut cpu, mut mem) = mapped_machine(Arch::Sparc);
+        let mut b = Program::builder("phases");
+        b.phase(Phase::EntryExit).op(MicroOp::TrapEnter);
+        b.phase(Phase::CallPrep)
+            .alu(4)
+            .store_run(VirtAddr(0x1_0000), 4);
+        b.phase(Phase::CallReturn)
+            .op(MicroOp::Call)
+            .op(MicroOp::Ret);
+        b.phase(Phase::EntryExit).op(MicroOp::TrapReturn);
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        let sum: u64 = Phase::all()
+            .iter()
+            .map(|p| out.stats.phase(*p).cycles)
+            .sum();
+        assert_eq!(sum, out.stats.cycles);
+        let sum_instr: u64 = Phase::all()
+            .iter()
+            .map(|p| out.stats.phase(*p).instructions)
+            .sum();
+        assert_eq!(sum_instr, out.stats.instructions);
+    }
+
+    #[test]
+    fn merge_accumulates() {
+        let (mut cpu, mut mem) = machine(Arch::R3000);
+        let mut b = Program::builder("alu");
+        b.alu(5);
+        let program = b.build();
+        let a = cpu.run(&program, &mut mem, Mode::Kernel).stats;
+        let mut total = a;
+        total.merge(&cpu.run(&program, &mut mem, Mode::Kernel).stats);
+        assert_eq!(total.instructions, 10);
+        assert_eq!(total.cycles, a.cycles * 2);
+    }
+
+    #[test]
+    fn switch_address_space_ping_pongs() {
+        use osarch_mem::Asid;
+        let (mut cpu, mut mem) = machine(Arch::Cvax); // untagged TLB
+        mem.create_space(Asid(1));
+        mem.create_space(Asid(2));
+        mem.switch_to(Asid(1));
+        let mut b = Program::builder("switch");
+        b.op(MicroOp::SwitchAddressSpace(Asid(1), Asid(2)));
+        let program = b.build();
+        cpu.run(&program, &mut mem, Mode::Kernel);
+        assert_eq!(mem.current_asid(), Asid(2));
+        cpu.run(&program, &mut mem, Mode::Kernel);
+        assert_eq!(mem.current_asid(), Asid(1), "second run must switch back");
+    }
+
+    #[test]
+    fn determinism_same_program_same_cycles() {
+        let run = || {
+            let (mut cpu, mut mem) = mapped_machine(Arch::R2000);
+            let mut b = Program::builder("det");
+            b.store_run(VirtAddr(0x1_0000), 30)
+                .load_run(VirtAddr(0x1_0000), 30);
+            cpu.run(&b.build(), &mut mem, Mode::Kernel).stats
+        };
+        assert_eq!(run(), run());
+    }
+}

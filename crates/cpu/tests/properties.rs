@@ -1,0 +1,192 @@
+//! Property-based tests for the CPU substrate.
+
+use osarch_cpu::{Arch, Cpu, MicroOp, Phase, Program, WindowEngine, WindowEvent};
+use osarch_mem::{MemorySystem, Mode, Protection, VirtAddr, KERNEL_ASID};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![
+        Just(Arch::Cvax),
+        Just(Arch::M88000),
+        Just(Arch::R2000),
+        Just(Arch::R3000),
+        Just(Arch::Sparc),
+        Just(Arch::I860),
+        Just(Arch::Rs6000),
+    ]
+}
+
+fn mapped_machine(arch: Arch) -> (Cpu, MemorySystem) {
+    let spec = arch.spec();
+    let mut mem = MemorySystem::new(spec.mem.clone());
+    for page in 0..8u32 {
+        mem.map_page(
+            KERNEL_ASID,
+            VirtAddr(0x8000_0000 + page * 4096),
+            Protection::RWX,
+        );
+        mem.map_page(
+            KERNEL_ASID,
+            VirtAddr(0x0001_0000 + page * 4096),
+            Protection::RWX,
+        );
+    }
+    (Cpu::new(spec), mem)
+}
+
+/// Kernel-data addresses valid on every layout we construct above.
+fn arb_addr() -> impl Strategy<Value = VirtAddr> {
+    (0u32..8 * 1024).prop_map(|w| VirtAddr(0x8000_0000 + w * 4))
+}
+
+fn arb_op() -> impl Strategy<Value = MicroOp> {
+    prop_oneof![
+        Just(MicroOp::Alu),
+        Just(MicroOp::DelayNop),
+        Just(MicroOp::Branch),
+        Just(MicroOp::Call),
+        Just(MicroOp::Ret),
+        Just(MicroOp::ReadControl),
+        Just(MicroOp::WriteControl),
+        Just(MicroOp::TrapEnter),
+        Just(MicroOp::TrapReturn),
+        Just(MicroOp::TlbWriteEntry),
+        Just(MicroOp::TlbFlushAll),
+        Just(MicroOp::DrainWriteBuffer),
+        Just(MicroOp::DrainFpu),
+        arb_addr().prop_map(MicroOp::Load),
+        arb_addr().prop_map(MicroOp::Store),
+        arb_addr().prop_map(MicroOp::SaveWindow),
+        arb_addr().prop_map(MicroOp::RestoreWindow),
+        arb_addr().prop_map(MicroOp::TlbFlushPage),
+        (1u32..60, 0u32..4).prop_map(|(c, r)| MicroOp::Microcoded {
+            cycles: c,
+            mem_refs: r
+        }),
+        (0u32..40).prop_map(MicroOp::Stall),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The executor never panics, never faults on mapped kernel data, and
+    /// keeps phase accounting consistent on every architecture.
+    #[test]
+    fn executor_accounting_is_consistent(arch in arb_arch(), ops in proptest::collection::vec(arb_op(), 0..150)) {
+        let (mut cpu, mut mem) = mapped_machine(arch);
+        let mut b = Program::builder("prop");
+        for op in &ops {
+            b.op(*op);
+        }
+        let out = cpu.run(&b.build(), &mut mem, Mode::Kernel);
+        prop_assert!(out.completed(), "{arch}: {:?}", out.fault);
+        let phase_cycles: u64 = Phase::all().iter().map(|p| out.stats.phase(*p).cycles).sum();
+        let phase_instrs: u64 = Phase::all().iter().map(|p| out.stats.phase(*p).instructions).sum();
+        prop_assert_eq!(phase_cycles, out.stats.cycles);
+        prop_assert_eq!(phase_instrs, out.stats.instructions);
+        prop_assert!(out.stats.wb_stall_cycles <= out.stats.cycles);
+    }
+
+    /// Appending ops never reduces cycles or instructions (monotonicity of
+    /// execution cost in program length).
+    #[test]
+    fn cost_is_monotone_in_program_length(arch in arb_arch(), ops in proptest::collection::vec(arb_op(), 1..80), cut in 0usize..80) {
+        let cut = cut.min(ops.len());
+        let run = |slice: &[MicroOp]| {
+            let (mut cpu, mut mem) = mapped_machine(arch);
+            let mut b = Program::builder("prefix");
+            for op in slice {
+                b.op(*op);
+            }
+            cpu.run(&b.build(), &mut mem, Mode::Kernel).stats
+        };
+        let prefix = run(&ops[..cut]);
+        let full = run(&ops);
+        prop_assert!(full.cycles >= prefix.cycles);
+        prop_assert!(full.instructions >= prefix.instructions);
+    }
+
+    /// Program listings are total and contain one line per op plus headers.
+    #[test]
+    fn listings_are_total(ops in proptest::collection::vec(arb_op(), 0..60)) {
+        let mut b = Program::builder("listing");
+        for op in &ops {
+            b.op(*op);
+        }
+        let program = b.build();
+        let listing = program.listing();
+        prop_assert!(listing.lines().count() >= ops.len());
+        prop_assert!(listing.starts_with("; listing"));
+    }
+
+    /// The window engine: occupancy is bounded and calls/returns balance.
+    #[test]
+    fn window_engine_invariants(events in proptest::collection::vec(any::<bool>(), 1..400)) {
+        let config = Arch::Sparc.spec().windows.expect("sparc has windows");
+        let mut engine = WindowEngine::new(config);
+        let mut depth = 0i64;
+        for &is_call in &events {
+            if is_call {
+                engine.call();
+                depth += 1;
+            } else {
+                engine.ret();
+                depth -= 1;
+            }
+            prop_assert!(engine.occupied() > 0);
+            prop_assert!(engine.occupied() < config.windows);
+        }
+        let _ = depth;
+        // Spills only happen when the chain outgrew the file; fills only
+        // when returning past spilled frames.
+        prop_assert!(engine.spills() <= events.iter().filter(|&&c| c).count() as u64);
+        prop_assert!(engine.fills() <= events.iter().filter(|&&c| !c).count() as u64);
+    }
+
+    /// A flush-for-switch always leaves exactly one live window.
+    #[test]
+    fn window_flush_resets(calls in 0u32..20) {
+        let config = Arch::Sparc.spec().windows.expect("windows");
+        let mut engine = WindowEngine::new(config);
+        for _ in 0..calls {
+            engine.call();
+        }
+        let flushed = engine.flush_for_switch();
+        prop_assert!(flushed >= 1);
+        prop_assert_eq!(engine.occupied(), 1);
+    }
+
+    /// Executing in user mode never touches kernel-only segments without a
+    /// fault, for any op mix over kernel addresses.
+    #[test]
+    fn user_mode_is_contained(arch in arb_arch(), word in 0u32..1024) {
+        let (mut cpu, mut mem) = mapped_machine(arch);
+        let mut b = Program::builder("user-probe");
+        b.op(MicroOp::Load(VirtAddr(0x8000_0000 + word * 4)));
+        let out = cpu.run(&b.build(), &mut mem, Mode::User);
+        prop_assert!(!out.completed(), "{arch}: kernel segment reachable from user mode");
+    }
+
+    /// Cycle costs are reproducible: two fresh machines agree exactly.
+    #[test]
+    fn exact_replay(arch in arb_arch(), ops in proptest::collection::vec(arb_op(), 1..60)) {
+        let run = || {
+            let (mut cpu, mut mem) = mapped_machine(arch);
+            let mut b = Program::builder("replay");
+            for op in &ops {
+                b.op(*op);
+            }
+            cpu.run(&b.build(), &mut mem, Mode::Kernel).stats
+        };
+        prop_assert_eq!(run(), run());
+    }
+}
+
+#[test]
+fn window_event_fit_is_the_common_case() {
+    let config = Arch::Sparc.spec().windows.unwrap();
+    let mut engine = WindowEngine::new(config);
+    assert_eq!(engine.call(), WindowEvent::Fit);
+    assert_eq!(engine.ret(), WindowEvent::Fit);
+}

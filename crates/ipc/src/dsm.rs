@@ -1,0 +1,436 @@
+//! Ivy-style distributed shared virtual memory (Li & Hudak 1989), as
+//! discussed in Section 3.
+//!
+//! "In systems such as Ivy, a network-wide shared virtual memory is used to
+//! give the programmer on a workstation network the illusion of a
+//! shared-memory multiprocessor. Pages can be replicated on different
+//! workstations as long as the copies are mapped read-only. When one node
+//! attempts a write, it faults. Software then executes an invalidation-based
+//! coherence protocol…"
+//!
+//! Every protocol action is priced from the simulated machine's primitives:
+//! the faulting node pays a trap, every mapping change pays a PTE change,
+//! and every message pays wire time — which is exactly why the paper argues
+//! DSM performance hangs on fast fault handling.
+
+use crate::net::Network;
+use osarch_cpu::Arch;
+use osarch_kernel::PrimitiveCosts;
+use std::collections::{BTreeSet, HashMap};
+use std::fmt;
+
+/// Coherence state of a page on one node.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PageState {
+    /// No valid mapping.
+    Invalid,
+    /// Mapped read-only; other nodes may hold copies.
+    ReadShared,
+    /// Mapped read-write; this node is the unique owner.
+    Writable,
+}
+
+/// Identifier of a node in the DSM cluster.
+pub type NodeId = usize;
+
+#[derive(Debug, Clone)]
+struct Directory {
+    owner: NodeId,
+    /// Nodes holding read-only copies (excluding a writable owner).
+    copyset: BTreeSet<NodeId>,
+    writable: bool,
+}
+
+/// Counters for the coherence protocol.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct DsmStats {
+    /// Read faults serviced.
+    pub read_faults: u64,
+    /// Write faults serviced.
+    pub write_faults: u64,
+    /// Invalidation messages sent.
+    pub invalidations: u64,
+    /// Whole-page transfers over the network.
+    pub page_transfers: u64,
+    /// Local (no-fault) accesses.
+    pub hits: u64,
+    /// Total protocol time, microseconds.
+    pub protocol_us: f64,
+}
+
+/// An invalidation-based shared-virtual-memory system over `n` identical
+/// workstations.
+///
+/// # Example
+///
+/// ```
+/// use osarch_cpu::Arch;
+/// use osarch_ipc::{DsmSystem, Network};
+///
+/// let mut dsm = DsmSystem::new(Arch::R3000, 4, Network::ethernet());
+/// dsm.write(0, 7); // node 0 becomes owner of page 7
+/// dsm.read(1, 7);  // node 1 gets a read-only replica
+/// let w = dsm.write(2, 7); // node 2 must invalidate both copies
+/// assert!(w > 0.0);
+/// assert!(dsm.stats().invalidations >= 2);
+/// ```
+#[derive(Debug)]
+pub struct DsmSystem {
+    arch: Arch,
+    nodes: usize,
+    network: Network,
+    costs: PrimitiveCosts,
+    pages: HashMap<u32, Directory>,
+    states: Vec<HashMap<u32, PageState>>,
+    page_bytes: u32,
+    stats: DsmStats,
+}
+
+impl DsmSystem {
+    /// A cluster of `nodes` machines of type `arch` joined by `network`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `nodes` is zero.
+    #[must_use]
+    pub fn new(arch: Arch, nodes: usize, network: Network) -> DsmSystem {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        DsmSystem {
+            arch,
+            nodes,
+            network,
+            costs: PrimitiveCosts::measure(arch),
+            pages: HashMap::new(),
+            states: vec![HashMap::new(); nodes],
+            page_bytes: 4096,
+            stats: DsmStats::default(),
+        }
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn nodes(&self) -> usize {
+        self.nodes
+    }
+
+    /// The protocol counters.
+    #[must_use]
+    pub fn stats(&self) -> DsmStats {
+        self.stats
+    }
+
+    /// Current state of `page` on `node`.
+    #[must_use]
+    pub fn state(&self, node: NodeId, page: u32) -> PageState {
+        *self.states[node].get(&page).unwrap_or(&PageState::Invalid)
+    }
+
+    fn small_message_us(&self) -> f64 {
+        // Request/ack: a minimal packet plus send/receive kernel work on
+        // both ends (one syscall each side, one interrupt each side).
+        self.network.packet_time_us(32) + self.costs.syscall_us + self.costs.trap_us
+    }
+
+    fn page_transfer_us(&mut self) -> f64 {
+        self.stats.page_transfers += 1;
+        self.network.packet_time_us(self.page_bytes) + self.costs.trap_us + self.costs.syscall_us
+    }
+
+    fn set_state(&mut self, node: NodeId, page: u32, state: PageState) {
+        if state == PageState::Invalid {
+            self.states[node].remove(&page);
+        } else {
+            self.states[node].insert(page, state);
+        }
+    }
+
+    /// Read `page` from `node`. Returns the microseconds the access cost
+    /// (0 for a local hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn read(&mut self, node: NodeId, page: u32) -> f64 {
+        assert!(node < self.nodes, "node {node} out of range");
+        match self.state(node, page) {
+            PageState::ReadShared | PageState::Writable => {
+                self.stats.hits += 1;
+                0.0
+            }
+            PageState::Invalid => {
+                self.stats.read_faults += 1;
+                // Fault, request the page from the owner, map read-only.
+                let mut us = self.costs.trap_us + self.small_message_us();
+                match self.pages.get(&page).cloned() {
+                    Some(mut dir) => {
+                        // Owner demotes to read-only if it was writable.
+                        if dir.writable {
+                            us += self.costs.pte_change_us;
+                            self.set_state(dir.owner, page, PageState::ReadShared);
+                            dir.writable = false;
+                            dir.copyset.insert(dir.owner);
+                        }
+                        us += self.page_transfer_us();
+                        dir.copyset.insert(node);
+                        self.pages.insert(page, dir);
+                    }
+                    None => {
+                        // First touch anywhere: this node becomes owner.
+                        let mut copyset = BTreeSet::new();
+                        copyset.insert(node);
+                        self.pages.insert(
+                            page,
+                            Directory {
+                                owner: node,
+                                copyset,
+                                writable: false,
+                            },
+                        );
+                    }
+                }
+                us += self.costs.pte_change_us; // install the read mapping
+                self.set_state(node, page, PageState::ReadShared);
+                self.stats.protocol_us += us;
+                us
+            }
+        }
+    }
+
+    /// Write `page` from `node`, invalidating remote copies as required.
+    /// Returns the microseconds the access cost (0 for an owning write hit).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `node` is out of range.
+    pub fn write(&mut self, node: NodeId, page: u32) -> f64 {
+        assert!(node < self.nodes, "node {node} out of range");
+        if self.state(node, page) == PageState::Writable {
+            self.stats.hits += 1;
+            return 0.0;
+        }
+        self.stats.write_faults += 1;
+        let mut us = self.costs.trap_us;
+        let had_copy = self.state(node, page) == PageState::ReadShared;
+        if let Some(dir) = self.pages.get(&page).cloned() {
+            // Fetch the data unless we already hold a copy.
+            us += self.small_message_us();
+            if !had_copy {
+                us += self.page_transfer_us();
+            }
+            // Invalidate every other copy (and the old owner).
+            let mut victims: BTreeSet<NodeId> = dir.copyset.clone();
+            victims.insert(dir.owner);
+            victims.remove(&node);
+            for victim in victims {
+                self.stats.invalidations += 1;
+                // Invalidation message + remote PTE change + ack.
+                us += self.small_message_us() + self.costs.pte_change_us;
+                self.set_state(victim, page, PageState::Invalid);
+            }
+        }
+        // Map read-write locally and record ownership.
+        us += self.costs.pte_change_us;
+        let mut copyset = BTreeSet::new();
+        copyset.insert(node);
+        self.pages.insert(
+            page,
+            Directory {
+                owner: node,
+                copyset,
+                writable: true,
+            },
+        );
+        self.set_state(node, page, PageState::Writable);
+        self.stats.protocol_us += us;
+        us
+    }
+
+    /// Check the single-writer / multiple-reader invariant over all pages.
+    #[must_use]
+    pub fn coherent(&self) -> bool {
+        let all_pages: BTreeSet<u32> = self.states.iter().flat_map(|m| m.keys().copied()).collect();
+        for page in all_pages {
+            let writers = (0..self.nodes)
+                .filter(|&n| self.state(n, page) == PageState::Writable)
+                .count();
+            let readers = (0..self.nodes)
+                .filter(|&n| self.state(n, page) == PageState::ReadShared)
+                .count();
+            if writers > 1 || (writers == 1 && readers > 0) {
+                return false;
+            }
+        }
+        true
+    }
+}
+
+impl fmt::Display for DsmSystem {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}-node {} DSM: {} read faults, {} write faults, {} invalidations, {:.0} us protocol",
+            self.nodes,
+            self.arch,
+            self.stats.read_faults,
+            self.stats.write_faults,
+            self.stats.invalidations,
+            self.stats.protocol_us
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cluster(arch: Arch) -> DsmSystem {
+        DsmSystem::new(arch, 4, Network::ethernet())
+    }
+
+    #[test]
+    fn first_touch_is_cheap_ownership() {
+        let mut dsm = cluster(Arch::R3000);
+        let us = dsm.write(0, 1);
+        assert!(us > 0.0, "first write still faults locally");
+        assert_eq!(dsm.write(0, 1), 0.0, "owning writes are free");
+        assert_eq!(
+            dsm.stats().page_transfers,
+            0,
+            "no data moved for first touch"
+        );
+    }
+
+    #[test]
+    fn read_replication_then_write_invalidates() {
+        let mut dsm = cluster(Arch::R3000);
+        dsm.write(0, 5);
+        dsm.read(1, 5);
+        dsm.read(2, 5);
+        assert_eq!(dsm.state(1, 5), PageState::ReadShared);
+        assert!(dsm.coherent());
+        dsm.write(3, 5);
+        assert_eq!(dsm.state(0, 5), PageState::Invalid);
+        assert_eq!(dsm.state(1, 5), PageState::Invalid);
+        assert_eq!(dsm.state(2, 5), PageState::Invalid);
+        assert_eq!(dsm.state(3, 5), PageState::Writable);
+        assert_eq!(dsm.stats().invalidations, 3);
+        assert!(dsm.coherent());
+    }
+
+    #[test]
+    fn reads_after_invalidation_refault() {
+        let mut dsm = cluster(Arch::R3000);
+        dsm.write(0, 9);
+        dsm.read(1, 9);
+        dsm.write(0, 9); // invalidates node 1
+        let us = dsm.read(1, 9);
+        assert!(us > 0.0, "node 1 must refault");
+        assert!(dsm.coherent());
+    }
+
+    #[test]
+    fn write_cost_grows_with_copyset() {
+        // Compare writers that both already hold a read copy, so neither
+        // pays a page transfer — only the invalidation fan-out differs.
+        let solo = {
+            let mut dsm = cluster(Arch::R3000);
+            dsm.write(0, 2);
+            dsm.read(1, 2);
+            dsm.write(1, 2) // one victim: node 0
+        };
+        let crowded = {
+            let mut dsm = cluster(Arch::R3000);
+            dsm.write(0, 2);
+            dsm.read(1, 2);
+            dsm.read(2, 2);
+            dsm.read(3, 2);
+            dsm.write(1, 2) // three victims: nodes 0, 2, 3
+        };
+        assert!(
+            crowded > solo * 1.8,
+            "copyset fan-out: {crowded:.0} vs {solo:.0}"
+        );
+    }
+
+    #[test]
+    fn ping_pong_writes_are_the_pathology() {
+        let mut dsm = cluster(Arch::R3000);
+        let mut total = 0.0;
+        for i in 0..10 {
+            total += dsm.write(i % 2, 7);
+        }
+        assert!(total > 1000.0, "ping-pong must be expensive: {total:.0} us");
+        assert!(dsm.coherent());
+    }
+
+    #[test]
+    fn slow_trap_machines_pay_more_protocol_overhead() {
+        // Same access pattern; the CVAX's slower primitives show up even
+        // though the network is identical.
+        let run = |arch| {
+            let mut dsm = cluster(arch);
+            let mut total = 0.0;
+            for i in 0..12u32 {
+                total += dsm.write((i % 3) as usize, i % 4);
+                total += dsm.read(((i + 1) % 3) as usize, i % 4);
+            }
+            total
+        };
+        assert!(run(Arch::Cvax) > run(Arch::R3000));
+    }
+
+    #[test]
+    fn faster_networks_help_but_primitives_remain() {
+        let run = |network: Network| {
+            let mut dsm = DsmSystem::new(Arch::R3000, 4, network);
+            let mut total = 0.0;
+            for i in 0..10 {
+                total += dsm.write(i % 2, 3);
+            }
+            total
+        };
+        let slow = run(Network::ethernet());
+        let fast = run(Network::future(100.0));
+        assert!(
+            fast < slow / 10.0,
+            "a 100x network must help a wire-bound pattern"
+        );
+        // Even with a 100x network the software protocol keeps a floor of
+        // traps and PTE changes: far more than the wire share would predict.
+        assert!(
+            fast > slow / 100.0 * 2.0,
+            "fast {fast:.0} vs slow {slow:.0}"
+        );
+    }
+
+    #[test]
+    fn coherence_holds_under_a_mixed_deterministic_pattern() {
+        let mut dsm = DsmSystem::new(Arch::Sparc, 6, Network::ethernet());
+        for step in 0..500u32 {
+            let node = (step * 7 % 6) as usize;
+            let page = step * 3 % 11;
+            if step % 3 == 0 {
+                dsm.write(node, page);
+            } else {
+                dsm.read(node, page);
+            }
+            assert!(dsm.coherent(), "incoherent at step {step}");
+        }
+        assert!(dsm.stats().read_faults > 0);
+        assert!(dsm.stats().write_faults > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn out_of_range_node_panics() {
+        let mut dsm = cluster(Arch::R3000);
+        dsm.read(99, 0);
+    }
+
+    #[test]
+    fn display_summarises() {
+        let mut dsm = cluster(Arch::R3000);
+        dsm.write(0, 0);
+        assert!(dsm.to_string().contains("write faults"));
+    }
+}

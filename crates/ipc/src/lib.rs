@@ -1,0 +1,44 @@
+//! Interprocess-communication models for the ASPLOS 1991 study.
+//!
+//! Reproduces Section 2 of the paper:
+//!
+//! * [`src_rpc_breakdown`] — the component budget of a round-trip
+//!   cross-machine RPC in the style of SRC RPC (Table 3), with stubs,
+//!   copies, and per-word uncached-load checksums executed on the simulated
+//!   machine;
+//! * [`lrpc_breakdown`] — the hardware-floor analysis of local
+//!   cross-address-space calls (Table 4), including the untagged-TLB purge
+//!   cost that eats ~25% of a CVAX LRPC;
+//! * [`rpc_scaling`] / [`cpu_scaling_forecast`] — the in-text scaling
+//!   arguments (Ousterhout's Sprite observation; Schroeder & Burrows'
+//!   optimistic CPU-scaling extrapolation).
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_cpu::Arch;
+//! use osarch_ipc::{src_rpc_breakdown, RpcConfig, rpc_component};
+//!
+//! let rpc = src_rpc_breakdown(Arch::Cvax, RpcConfig::null_call());
+//! let wire_share = rpc.share(rpc_component::WIRE);
+//! assert!(wire_share < 0.25, "most of a small RPC is not wire time");
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod dsm;
+mod lrpc;
+mod net;
+mod rpc;
+mod scaling;
+
+pub use dsm::{DsmStats, DsmSystem, NodeId, PageState};
+pub use lrpc::{
+    component as lrpc_component, lrpc_breakdown, message_rpc_us, LrpcBreakdown, LrpcComponent,
+};
+pub use net::Network;
+pub use rpc::{
+    component as rpc_component, src_rpc_breakdown, RpcBreakdown, RpcComponent, RpcConfig,
+};
+pub use scaling::{cpu_scaling_forecast, rpc_scaling, CpuScalingForecast, RpcScaling};

@@ -1,0 +1,321 @@
+//! Lightweight remote procedure call (Bershad et al. 1990), reproducing
+//! Table 4.
+//!
+//! LRPC strips local cross-address-space calls to the hardware floor:
+//! shared, statically mapped argument buffers and direct execution of the
+//! client's thread in the server's address space. What remains — and what
+//! Table 4 shows — is the cost of communicating through the kernel: two
+//! kernel entries, two address-space switches, and (on an untagged TLB like
+//! the CVAX's) the TLB refill misses those switches cause, an estimated 25%
+//! of the total.
+
+use osarch_cpu::{Arch, MicroOp, Program};
+use osarch_kernel::{Machine, USER2_ASID, USER_ASID};
+use osarch_mem::{PageTableSpec, TlbRefill};
+use std::fmt;
+
+/// One row of the Table 4 breakdown.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LrpcComponent {
+    /// Row label.
+    pub name: &'static str,
+    /// Microseconds in the measured LRPC.
+    pub micros: f64,
+    /// Whether the component is part of the hardware-imposed minimum (as
+    /// opposed to avoidable software overhead).
+    pub hardware_minimum: bool,
+}
+
+/// Component labels for the LRPC breakdown.
+pub mod component {
+    /// Kernel entry and exit, twice (call and return).
+    pub const KERNEL: &str = "Kernel transfer";
+    /// The address-space change itself.
+    pub const SWITCH: &str = "Address-space switch";
+    /// TLB refill misses caused by the switches.
+    pub const TLB: &str = "TLB misses";
+    /// Argument copy through the shared A-stack.
+    pub const COPY: &str = "Argument copy";
+    /// Binding validation, linkage, dispatch bookkeeping.
+    pub const OVERHEAD: &str = "Software overhead";
+}
+
+/// The measured breakdown of a null LRPC on one architecture.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LrpcBreakdown {
+    /// The measured architecture.
+    pub arch: Arch,
+    /// Components in display order.
+    pub components: Vec<LrpcComponent>,
+}
+
+impl LrpcBreakdown {
+    /// Total round-trip microseconds.
+    #[must_use]
+    pub fn total_us(&self) -> f64 {
+        self.components.iter().map(|c| c.micros).sum()
+    }
+
+    /// The hardware-imposed minimum (components software cannot remove).
+    #[must_use]
+    pub fn hardware_minimum_us(&self) -> f64 {
+        self.components
+            .iter()
+            .filter(|c| c.hardware_minimum)
+            .map(|c| c.micros)
+            .sum()
+    }
+
+    /// Share (0–1) of a named component.
+    #[must_use]
+    pub fn share(&self, name: &str) -> f64 {
+        let total = self.total_us();
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.micros / total)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for LrpcBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} null LRPC: {:.1} us total, {:.1} us hardware minimum",
+            self.arch,
+            self.total_us(),
+            self.hardware_minimum_us()
+        )?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  {:24} {:7.2} us  {:4.0}%{}",
+                c.name,
+                c.micros,
+                self.share(c.name) * 100.0,
+                if c.hardware_minimum {
+                    "  (hardware)"
+                } else {
+                    ""
+                }
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Estimated refill cycles for one TLB miss on this machine.
+fn refill_cycles(machine: &Machine) -> f64 {
+    let mem = &machine.spec().mem;
+    match mem.tlb_refill {
+        TlbRefill::Hardware => {
+            let walk_refs = match mem.page_table {
+                PageTableSpec::Linear { extra_indirection } => {
+                    if extra_indirection {
+                        2.0
+                    } else {
+                        1.0
+                    }
+                }
+                PageTableSpec::ThreeLevel => 3.0,
+                PageTableSpec::Software => 2.0,
+            };
+            walk_refs * f64::from(mem.timing.read_cycles)
+        }
+        TlbRefill::Software { user_cycles, .. } => f64::from(user_cycles),
+    }
+}
+
+/// Measure the Table 4 breakdown of a null LRPC on `arch`.
+#[must_use]
+pub fn lrpc_breakdown(arch: Arch) -> LrpcBreakdown {
+    let mut machine = Machine::new(arch);
+    let layout = *machine.layout();
+    let clock = machine.spec().clock_mhz;
+
+    // Kernel transfer: two minimal kernel entry/exits.
+    let mut b = Program::builder("lrpc-kernel-transfer");
+    for _ in 0..2 {
+        b.op(MicroOp::TrapEnter);
+        b.alu(4);
+        b.op(MicroOp::TrapReturn);
+    }
+    let kernel_prog = b.build();
+
+    // Address-space switches, plus the working-set touches that take the
+    // refill misses an untagged TLB forces. Touch eight distinct kernel
+    // pages after each switch (server code/stack/linkage on the way out,
+    // client pages on the way back).
+    let pages = [
+        layout.save_area,
+        layout.kstack,
+        layout.pcb[0],
+        layout.pcb[1],
+        layout.uarea,
+        layout.syscall_arg,
+        layout.pte_area,
+        layout.pte_area.offset(4096),
+    ];
+    let mut b = Program::builder("lrpc-switch");
+    for _ in 0..2 {
+        b.op(MicroOp::SwitchAddressSpace(USER_ASID, USER2_ASID));
+        for page in pages {
+            b.load(page);
+        }
+    }
+    let switch_prog = b.build();
+
+    // Argument copy through the shared, statically mapped A-stack: one copy
+    // on call, one on return (the two copies LRPC cannot avoid).
+    let astack = layout.syscall_arg;
+    let mut b = Program::builder("lrpc-copy");
+    for half in 0..2u32 {
+        for i in 0..4 {
+            b.load(astack.offset(4 * i + 512 * half));
+            b.store(astack.offset(256 + 4 * i + 512 * half));
+        }
+    }
+    let copy_prog = b.build();
+
+    // Binding validation, linkage record, dispatch bookkeeping.
+    let mut b = Program::builder("lrpc-overhead");
+    b.alu(34);
+    b.load_run(layout.pte_area.offset(8192), 6);
+    b.store_run(layout.pte_area.offset(8192 + 64), 4);
+    b.alu(16);
+    let overhead_prog = b.build();
+
+    let kernel_stats = machine.measure(&kernel_prog);
+    let switch_stats = machine.measure(&switch_prog);
+    let copy_stats = machine.measure(&copy_prog);
+    let overhead_stats = machine.measure(&overhead_prog);
+
+    let tlb_cycles = switch_stats.tlb_misses as f64 * refill_cycles(&machine);
+    let switch_direct_cycles = (switch_stats.cycles as f64 - tlb_cycles).max(0.0);
+    let us = |cycles: f64| cycles / clock;
+
+    LrpcBreakdown {
+        arch,
+        components: vec![
+            LrpcComponent {
+                name: component::KERNEL,
+                micros: kernel_stats.micros(clock),
+                hardware_minimum: true,
+            },
+            LrpcComponent {
+                name: component::SWITCH,
+                micros: us(switch_direct_cycles),
+                hardware_minimum: true,
+            },
+            LrpcComponent {
+                name: component::TLB,
+                micros: us(tlb_cycles),
+                hardware_minimum: true,
+            },
+            LrpcComponent {
+                name: component::COPY,
+                micros: copy_stats.micros(clock),
+                hardware_minimum: true,
+            },
+            LrpcComponent {
+                name: component::OVERHEAD,
+                micros: overhead_stats.micros(clock),
+                hardware_minimum: false,
+            },
+        ],
+    }
+}
+
+/// Time for a conventional message-based local RPC on `arch`: the path LRPC
+/// replaces (4 kernel boundary crossings, 2 full context switches, 4 message
+/// copies, queue management).
+#[must_use]
+pub fn message_rpc_us(arch: Arch) -> f64 {
+    let costs = osarch_kernel::measure(arch);
+    let times = costs.times_us();
+    let mut machine = Machine::new(arch);
+    let layout = *machine.layout();
+    let clock = machine.spec().clock_mhz;
+    // 4 copies of a small (32-byte) message plus queue bookkeeping.
+    let mut b = Program::builder("message-path");
+    for pass in 0..4u32 {
+        for i in 0..8 {
+            b.load(layout.pte_area.offset(4 * i + 1024 * pass));
+            b.store(layout.pte_area.offset(512 + 4 * i + 1024 * pass));
+        }
+        b.alu(40);
+    }
+    let copies = machine.measure(&b.build()).micros(clock);
+    times.null_syscall * 4.0 + times.context_switch * 2.0 + copies
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kernel_transfer_dominates_the_hardware_minimum() {
+        // "With LRPC, the real factor limiting performance is the hardware
+        // cost of communicating through the kernel."
+        let b = lrpc_breakdown(Arch::Cvax);
+        let hw = b.hardware_minimum_us();
+        assert!(
+            hw / b.total_us() > 0.6,
+            "hardware share {:.2}",
+            hw / b.total_us()
+        );
+    }
+
+    #[test]
+    fn cvax_loses_about_a_quarter_to_tlb_misses() {
+        // "an estimated 25% of the time is lost to TLB misses on the CVAX,
+        // because the entire TLB must be purged twice."
+        let b = lrpc_breakdown(Arch::Cvax);
+        let share = b.share(component::TLB);
+        assert!((0.15..=0.35).contains(&share), "TLB share {share:.2}");
+    }
+
+    #[test]
+    fn tagged_tlbs_avoid_the_purge() {
+        for arch in [Arch::R3000, Arch::Sparc] {
+            let b = lrpc_breakdown(arch);
+            assert_eq!(
+                b.share(component::TLB),
+                0.0,
+                "{arch} should take no switch misses"
+            );
+        }
+    }
+
+    #[test]
+    fn lrpc_beats_message_rpc_by_about_three_times() {
+        // "For the simplest local calls, LRPC achieves a 3-fold performance
+        // improvement over previous methods."
+        let lrpc = lrpc_breakdown(Arch::Cvax).total_us();
+        let message = message_rpc_us(Arch::Cvax);
+        let ratio = message / lrpc;
+        assert!((2.0..=4.5).contains(&ratio), "improvement {ratio:.2}x");
+    }
+
+    #[test]
+    fn newer_architectures_do_not_fix_the_kernel_bottleneck() {
+        // "this kernel bottleneck is even worse on newer architectures" —
+        // LRPC speedup from CVAX to SPARC lags the application speedup.
+        let cvax = lrpc_breakdown(Arch::Cvax).total_us();
+        let sparc = lrpc_breakdown(Arch::Sparc).total_us();
+        let speedup = cvax / sparc;
+        assert!(
+            speedup < Arch::Sparc.spec().application_speedup,
+            "LRPC speedup {speedup:.2} should lag the 4.3x application speedup"
+        );
+    }
+
+    #[test]
+    fn breakdown_is_deterministic_and_renders() {
+        let a = lrpc_breakdown(Arch::R2000);
+        let b = lrpc_breakdown(Arch::R2000);
+        assert_eq!(a, b);
+        assert!(a.to_string().contains("Kernel transfer"));
+    }
+}

@@ -1,0 +1,83 @@
+//! Network timing model.
+
+/// A network link, characterised by bandwidth and fixed per-packet latency.
+///
+/// The study's machines sat on 10 Mbit/s Ethernet; Section 2.1 anticipates
+/// "10- to 100-fold improvements" in bandwidth, which
+/// [`Network::future`] lets experiments explore.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Network {
+    /// Link bandwidth in megabits per second.
+    pub bandwidth_mbps: f64,
+    /// Fixed per-packet latency (controller + propagation), microseconds.
+    pub fixed_latency_us: f64,
+    /// Framing overhead per packet in bytes (preamble, header, CRC, gap).
+    pub framing_bytes: u32,
+}
+
+impl Network {
+    /// Classic 10 Mbit/s Ethernet with LANCE-era controller latency.
+    #[must_use]
+    pub fn ethernet() -> Network {
+        Network {
+            bandwidth_mbps: 10.0,
+            fixed_latency_us: 25.0,
+            framing_bytes: 38,
+        }
+    }
+
+    /// A hypothetical faster network: Ethernet scaled by `factor` in
+    /// bandwidth with controller latency halved.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `factor` is not positive.
+    #[must_use]
+    pub fn future(factor: f64) -> Network {
+        assert!(factor > 0.0, "bandwidth factor must be positive");
+        Network {
+            bandwidth_mbps: 10.0 * factor,
+            fixed_latency_us: 12.5,
+            framing_bytes: 38,
+        }
+    }
+
+    /// One-way wire time for a packet carrying `payload_bytes`, in µs.
+    #[must_use]
+    pub fn packet_time_us(&self, payload_bytes: u32) -> f64 {
+        let bits = f64::from((payload_bytes + self.framing_bytes) * 8);
+        self.fixed_latency_us + bits / self.bandwidth_mbps
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ethernet_small_packet_time_is_tens_of_microseconds() {
+        let net = Network::ethernet();
+        let t = net.packet_time_us(74);
+        // 112 bytes on the wire at 10 Mbit/s is ~90 us plus controller latency.
+        assert!((80.0..150.0).contains(&t), "one-way {t}");
+    }
+
+    #[test]
+    fn packet_time_scales_with_size() {
+        let net = Network::ethernet();
+        assert!(net.packet_time_us(1500) > net.packet_time_us(74) * 5.0);
+    }
+
+    #[test]
+    fn future_network_is_faster() {
+        let now = Network::ethernet();
+        let soon = Network::future(10.0);
+        assert!(soon.packet_time_us(1500) < now.packet_time_us(1500) / 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_factor_panics() {
+        let _ = Network::future(0.0);
+    }
+}

@@ -1,0 +1,366 @@
+//! Cross-machine remote procedure call in the style of SRC RPC
+//! (Schroeder & Burrows 1990), reproducing Table 3.
+//!
+//! A round-trip null RPC decomposes into stubs, checksums, kernel transfer,
+//! interrupt processing, thread management/dispatch, byte copying, and wire
+//! time. Compute components are *executed* on the simulated machine — the
+//! checksum loop really does pair each add with a load from an uncached I/O
+//! buffer (Section 2.1: "each checksum addition is paired with a load, which
+//! on some RISCs will likely fetch from a non-cached I/O buffer").
+
+use crate::net::Network;
+use osarch_cpu::{Arch, MicroOp, Program};
+use osarch_kernel::{measure, Machine};
+use osarch_mem::{AddressLayout, Protection, Pte, VirtAddr, KERNEL_ASID};
+use std::fmt;
+
+/// One component of the RPC time budget.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcComponent {
+    /// Component label (Table 3 row).
+    pub name: &'static str,
+    /// Round-trip microseconds spent in this component.
+    pub micros: f64,
+}
+
+/// The component breakdown of a round-trip RPC.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RpcBreakdown {
+    /// The machine both ends run on.
+    pub arch: Arch,
+    /// Request payload bytes.
+    pub request_bytes: u32,
+    /// Reply payload bytes.
+    pub reply_bytes: u32,
+    /// Components, in display order. Wire time is the last entry.
+    pub components: Vec<RpcComponent>,
+}
+
+impl RpcBreakdown {
+    /// Total round-trip time in microseconds.
+    #[must_use]
+    pub fn total_us(&self) -> f64 {
+        self.components.iter().map(|c| c.micros).sum()
+    }
+
+    /// The share (0–1) of a named component, or 0 when absent.
+    #[must_use]
+    pub fn share(&self, name: &str) -> f64 {
+        let total = self.total_us();
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.micros / total)
+            .unwrap_or(0.0)
+    }
+
+    /// Microseconds of a named component, or 0 when absent.
+    #[must_use]
+    pub fn micros(&self, name: &str) -> f64 {
+        self.components
+            .iter()
+            .find(|c| c.name == name)
+            .map(|c| c.micros)
+            .unwrap_or(0.0)
+    }
+}
+
+impl fmt::Display for RpcBreakdown {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "{} RPC, {}B request / {}B reply: {:.0} us total",
+            self.arch,
+            self.request_bytes,
+            self.reply_bytes,
+            self.total_us()
+        )?;
+        for c in &self.components {
+            writeln!(
+                f,
+                "  {:24} {:8.1} us  {:4.0}%",
+                c.name,
+                c.micros,
+                self.share(c.name) * 100.0
+            )?;
+        }
+        Ok(())
+    }
+}
+
+/// Component labels, in Table 3 order.
+pub mod component {
+    /// Client and server stub marshalling.
+    pub const STUBS: &str = "Stubs (marshal)";
+    /// Byte copying between buffers.
+    pub const COPY: &str = "Data copying";
+    /// Checksum computation over packets.
+    pub const CHECKSUM: &str = "Checksum";
+    /// System calls and kernel transfer.
+    pub const KERNEL: &str = "Kernel transfer";
+    /// Interrupt processing for packet arrival.
+    pub const INTERRUPT: &str = "Interrupt processing";
+    /// Thread management: wakeup, dispatch, context switches.
+    pub const THREAD: &str = "Thread management";
+    /// Time on the wire.
+    pub const WIRE: &str = "Wire";
+}
+
+/// Configuration of the RPC model.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcConfig {
+    /// The network between the two machines.
+    pub network: Network,
+    /// Request payload bytes (74 for the paper's small packet).
+    pub request_bytes: u32,
+    /// Reply payload bytes.
+    pub reply_bytes: u32,
+}
+
+impl RpcConfig {
+    /// The paper's small-packet null RPC: 74-byte request and small reply.
+    #[must_use]
+    pub fn null_call() -> RpcConfig {
+        RpcConfig {
+            network: Network::ethernet(),
+            request_bytes: 74,
+            reply_bytes: 74,
+        }
+    }
+
+    /// The paper's large-result case: 1500-byte reply.
+    #[must_use]
+    pub fn large_result() -> RpcConfig {
+        RpcConfig {
+            network: Network::ethernet(),
+            request_bytes: 74,
+            reply_bytes: 1500,
+        }
+    }
+}
+
+/// The address of an uncached I/O buffer on this machine, mapping one if the
+/// architecture needs it (machines without an unmapped-uncached segment get
+/// an uncacheable kernel mapping).
+fn io_buffer(machine: &mut Machine) -> VirtAddr {
+    match machine.spec().mem.layout {
+        AddressLayout::Mips => VirtAddr(0xa000_4000), // kseg1: uncached by definition
+        _ => {
+            let addr = VirtAddr(0x8020_0000);
+            let mut pte = Pte::new(0x9000, Protection::RW);
+            pte.cacheable = false;
+            for page in 0..2 {
+                let mut entry = pte;
+                entry.pfn += page;
+                machine
+                    .mem_mut()
+                    .map_pte(KERNEL_ASID, addr.offset(page * 4096), entry);
+            }
+            addr
+        }
+    }
+}
+
+/// Per-word checksum loop over `bytes` of uncached packet buffer.
+fn checksum_program(buffer: VirtAddr, bytes: u32) -> Program {
+    let words = bytes.div_ceil(4);
+    let mut b = Program::builder("checksum");
+    b.alu(6); // loop setup
+    for i in 0..words {
+        b.load(buffer.offset(4 * (i % 1024)));
+        b.op(MicroOp::Alu); // the paired add
+    }
+    b.alu(4);
+    b.build()
+}
+
+/// A stub: fixed marshalling work plus a per-word copy of the arguments.
+fn stub_program(scratch: VirtAddr, bytes: u32, fixed_instrs: u32) -> Program {
+    let words = bytes.div_ceil(4);
+    let mut b = Program::builder("stub");
+    b.alu(fixed_instrs);
+    for i in 0..words {
+        b.load(scratch.offset(4 * (i % 512)));
+        b.store(scratch.offset(2048 + 4 * (i % 512)));
+    }
+    b.build()
+}
+
+/// A buffer-to-buffer copy of `bytes`.
+fn copy_program(scratch: VirtAddr, bytes: u32) -> Program {
+    let words = bytes.div_ceil(4);
+    let mut b = Program::builder("copy");
+    b.alu(4);
+    for i in 0..words {
+        b.load(scratch.offset(4 * (i % 512)));
+        b.store(scratch.offset(4096 + 4 * (i % 512)));
+    }
+    b.build()
+}
+
+/// Fixed per-RPC thread-management work beyond the context switches
+/// (wakeups, run-queue manipulation, timer setup).
+fn dispatch_program(scratch: VirtAddr) -> Program {
+    let mut b = Program::builder("dispatch");
+    b.alu(260);
+    b.load_run(scratch, 16);
+    b.store_run(scratch.offset(64), 16);
+    b.alu(120);
+    b.build()
+}
+
+/// Compute the Table 3 breakdown of a round-trip SRC-style RPC on `arch`.
+///
+/// Structure of one round trip (both hosts identical):
+/// * client stub marshals, client traps to the kernel to send (1 syscall);
+/// * the packet is copied to the wire buffer and checksummed;
+/// * wire time; the server host takes an interrupt, checksums, copies,
+///   wakes the server thread (context switch + dispatch);
+/// * server stub unmarshals, calls the procedure, marshals the reply
+///   (1 syscall to send);
+/// * the reply retraces the path back.
+#[must_use]
+pub fn src_rpc_breakdown(arch: Arch, config: RpcConfig) -> RpcBreakdown {
+    let mut machine = Machine::new(arch);
+    let io = io_buffer(&mut machine);
+    let scratch = machine.layout().pte_area;
+    let costs = measure(arch);
+    let times = costs.times_us();
+    let clock = machine.spec().clock_mhz;
+    let mut us = |program: &Program| machine.measure(program).micros(clock);
+
+    let req = config.request_bytes;
+    let rep = config.reply_bytes;
+
+    // Stubs: client marshal + unmarshal, server unmarshal + marshal. Bulk
+    // data travels by reference to the wire buffer; the stubs proper only
+    // walk the header/argument words (at most a small packet's worth).
+    let header = |bytes: u32| bytes.min(74);
+    let stubs = us(&stub_program(scratch, header(req), 420)) * 2.0
+        + us(&stub_program(scratch, header(rep), 420)) * 2.0;
+    // One copy into the wire buffer per packet (the controller DMAs the
+    // other side).
+    let copy = us(&copy_program(scratch, req)) + us(&copy_program(scratch, rep));
+    // One software checksum pass per packet (folded into the send-side copy
+    // on the transmitting host).
+    let checksum = us(&checksum_program(io, req)) + us(&checksum_program(io, rep));
+    // Kernel transfer: 4 kernel boundary crossings (client send, server
+    // receive return, server send, client receive return).
+    let kernel = times.null_syscall * 4.0;
+    // Interrupts: one packet arrival interrupt per host.
+    let interrupt = times.trap * 2.0;
+    // Thread management: wake + dispatch the server thread, then the client.
+    let thread = times.context_switch * 2.0 + us(&dispatch_program(scratch)) * 2.0;
+    // Wire.
+    let wire = config.network.packet_time_us(req) + config.network.packet_time_us(rep);
+
+    RpcBreakdown {
+        arch,
+        request_bytes: req,
+        reply_bytes: rep,
+        components: vec![
+            RpcComponent {
+                name: component::STUBS,
+                micros: stubs,
+            },
+            RpcComponent {
+                name: component::COPY,
+                micros: copy,
+            },
+            RpcComponent {
+                name: component::CHECKSUM,
+                micros: checksum,
+            },
+            RpcComponent {
+                name: component::KERNEL,
+                micros: kernel,
+            },
+            RpcComponent {
+                name: component::INTERRUPT,
+                micros: interrupt,
+            },
+            RpcComponent {
+                name: component::THREAD,
+                micros: thread,
+            },
+            RpcComponent {
+                name: component::WIRE,
+                micros: wire,
+            },
+        ],
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn small_packet_wire_share_is_near_17_percent() {
+        let b = src_rpc_breakdown(Arch::Cvax, RpcConfig::null_call());
+        let wire = b.share(component::WIRE);
+        assert!((0.12..=0.24).contains(&wire), "wire share {wire:.2}");
+    }
+
+    #[test]
+    fn large_result_wire_share_approaches_half() {
+        let b = src_rpc_breakdown(Arch::Cvax, RpcConfig::large_result());
+        let wire = b.share(component::WIRE);
+        assert!((0.35..=0.6).contains(&wire), "wire share {wire:.2}");
+    }
+
+    #[test]
+    fn checksum_share_roughly_doubles_with_large_results() {
+        let small = src_rpc_breakdown(Arch::Cvax, RpcConfig::null_call());
+        let large = src_rpc_breakdown(Arch::Cvax, RpcConfig::large_result());
+        let ratio = large.share(component::CHECKSUM) / small.share(component::CHECKSUM);
+        assert!(
+            ratio >= 1.8,
+            "checksum share ratio {ratio:.2} must at least double"
+        );
+    }
+
+    #[test]
+    fn total_is_component_sum() {
+        let b = src_rpc_breakdown(Arch::R3000, RpcConfig::null_call());
+        let sum: f64 = b.components.iter().map(|c| c.micros).sum();
+        assert!((b.total_us() - sum).abs() < 1e-9);
+    }
+
+    #[test]
+    fn missing_component_shares_are_zero() {
+        let b = src_rpc_breakdown(Arch::R3000, RpcConfig::null_call());
+        assert_eq!(b.share("No such row"), 0.0);
+        assert_eq!(b.micros("No such row"), 0.0);
+    }
+
+    #[test]
+    fn breakdown_renders() {
+        let b = src_rpc_breakdown(Arch::Sparc, RpcConfig::null_call());
+        let text = b.to_string();
+        assert!(text.contains("Wire"));
+        assert!(text.contains("Checksum"));
+    }
+
+    #[test]
+    fn faster_network_shifts_cost_to_the_processor() {
+        // Section 2.1: as networks speed up 10-100x, the lower bound on RPC
+        // becomes the OS primitives.
+        let slow = src_rpc_breakdown(
+            Arch::R3000,
+            RpcConfig {
+                network: Network::ethernet(),
+                ..RpcConfig::null_call()
+            },
+        );
+        let fast = src_rpc_breakdown(
+            Arch::R3000,
+            RpcConfig {
+                network: Network::future(100.0),
+                ..RpcConfig::null_call()
+            },
+        );
+        assert!(fast.share(component::WIRE) < slow.share(component::WIRE) / 3.0);
+        assert!(fast.total_us() < slow.total_us());
+    }
+}

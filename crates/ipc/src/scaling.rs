@@ -1,0 +1,147 @@
+//! RPC scaling analyses from Section 2.1.
+//!
+//! Two in-text results:
+//!
+//! * Ousterhout's Sprite observation — null RPC time only halved when
+//!   moving to a processor five times faster at integer code;
+//! * Schroeder & Burrows' extrapolation — "tripling CPU speed would reduce
+//!   SRC RPC latency … by about 50%, on the expectation that the 83% of the
+//!   time not spent on the wire will decrease by a factor of 3" — which the
+//!   paper argues is optimistic because system calls, traps, interrupts and
+//!   memory-bound work do not scale with integer performance.
+
+use crate::rpc::{component, src_rpc_breakdown, RpcConfig};
+use osarch_cpu::Arch;
+
+/// Comparison of application speedup vs delivered RPC speedup between two
+/// machines.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RpcScaling {
+    /// Baseline machine.
+    pub from: Arch,
+    /// Faster machine.
+    pub to: Arch,
+    /// Integer application speedup (SPECmark ratio).
+    pub application_speedup: f64,
+    /// Actually delivered round-trip RPC speedup.
+    pub rpc_speedup: f64,
+}
+
+/// Measure how much of `to`'s integer speedup over `from` survives in
+/// round-trip null-RPC latency.
+#[must_use]
+pub fn rpc_scaling(from: Arch, to: Arch) -> RpcScaling {
+    let base = src_rpc_breakdown(from, RpcConfig::null_call()).total_us();
+    let fast = src_rpc_breakdown(to, RpcConfig::null_call()).total_us();
+    RpcScaling {
+        from,
+        to,
+        application_speedup: to.spec().application_speedup / from.spec().application_speedup,
+        rpc_speedup: base / fast,
+    }
+}
+
+/// The naïve and delivered effect of faster CPUs on SRC RPC.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CpuScalingForecast {
+    /// Latency reduction if every non-wire microsecond scaled by the CPU
+    /// factor (the Schroeder & Burrows expectation), 0–1.
+    pub naive_reduction: f64,
+    /// Latency reduction actually delivered when the primitives scale the
+    /// way Table 1 says they do, 0–1.
+    pub delivered_reduction: f64,
+}
+
+/// Forecast the effect of a CPU `factor` times faster at integer code on
+/// `arch`'s RPC latency: the naïve all-components-scale model versus a model
+/// in which kernel transfer, interrupts and thread management scale only by
+/// the primitive ratio observed between the CVAX and the R3000 (the
+/// best-case primitive scaling in Table 1).
+#[must_use]
+pub fn cpu_scaling_forecast(arch: Arch, factor: f64) -> CpuScalingForecast {
+    assert!(factor >= 1.0, "factor must be at least 1");
+    let breakdown = src_rpc_breakdown(arch, RpcConfig::null_call());
+    let total = breakdown.total_us();
+    let wire = breakdown.micros(component::WIRE);
+    let non_wire = total - wire;
+
+    let naive_total = wire + non_wire / factor;
+
+    // Primitive-bound components scale like the primitives, not the integer
+    // stream. Table 1: the best RISC achieved roughly half its integer
+    // speedup on primitives; memory-bound checksums/copies barely scale.
+    let primitive_scale = 1.0 + (factor - 1.0) * 0.45;
+    let memory_scale = 1.0 + (factor - 1.0) * 0.25;
+    let compute_scale = factor;
+    let scaled: f64 = breakdown
+        .components
+        .iter()
+        .map(|c| {
+            let scale = match c.name {
+                component::WIRE => 1.0,
+                component::KERNEL | component::INTERRUPT | component::THREAD => primitive_scale,
+                component::CHECKSUM | component::COPY => memory_scale,
+                _ => compute_scale,
+            };
+            c.micros / scale
+        })
+        .sum();
+
+    CpuScalingForecast {
+        naive_reduction: 1.0 - naive_total / total,
+        delivered_reduction: 1.0 - scaled / total,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rpc_speedup_lags_application_speedup() {
+        // The Sprite observation, generalised: on every RISC the delivered
+        // RPC speedup is well below the integer speedup.
+        for to in [Arch::M88000, Arch::R2000, Arch::R3000, Arch::Sparc] {
+            let s = rpc_scaling(Arch::Cvax, to);
+            assert!(
+                s.rpc_speedup < s.application_speedup * 0.8,
+                "{}: rpc {:.2} vs app {:.2}",
+                to,
+                s.rpc_speedup,
+                s.application_speedup
+            );
+        }
+    }
+
+    #[test]
+    fn sprite_like_ratio_for_sparc() {
+        // Sun-3/75 -> SPARCstation-1: integer x5, RPC only x2. Our CVAX ->
+        // SPARC: integer x4.3; RPC should deliver roughly half that or less.
+        let s = rpc_scaling(Arch::Cvax, Arch::Sparc);
+        assert!(s.rpc_speedup < 2.8, "rpc speedup {:.2}", s.rpc_speedup);
+        assert!(s.rpc_speedup > 1.0, "still faster in absolute terms");
+    }
+
+    #[test]
+    fn naive_forecast_overstates_the_delivered_reduction() {
+        let f = cpu_scaling_forecast(Arch::Cvax, 3.0);
+        // Schroeder & Burrows expected ~50%.
+        assert!(
+            (0.4..=0.6).contains(&f.naive_reduction),
+            "naive {:.2}",
+            f.naive_reduction
+        );
+        assert!(
+            f.delivered_reduction < f.naive_reduction - 0.05,
+            "delivered {:.2} should fall clearly short of naive {:.2}",
+            f.delivered_reduction,
+            f.naive_reduction
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 1")]
+    fn sub_unity_factor_panics() {
+        let _ = cpu_scaling_forecast(Arch::Cvax, 0.5);
+    }
+}

@@ -1,0 +1,370 @@
+//! The functional interpreter, with micro-op trace recording.
+
+use crate::asm::{AluOp, Cond, Instr, IsaProgram};
+use osarch_cpu::{MicroOp, Phase, Program};
+use osarch_mem::VirtAddr;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// A runtime error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RunError {
+    /// The step budget ran out before `halt`.
+    StepLimit {
+        /// The budget that was exhausted.
+        limit: u64,
+    },
+    /// A load or store used a non-word-aligned address.
+    Misaligned {
+        /// The offending byte address.
+        addr: u32,
+        /// Instruction index.
+        at: usize,
+    },
+    /// A jump left the program.
+    BadTarget {
+        /// The bogus instruction index.
+        target: usize,
+    },
+}
+
+impl fmt::Display for RunError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RunError::StepLimit { limit } => {
+                write!(f, "step limit of {limit} exhausted before halt")
+            }
+            RunError::Misaligned { addr, at } => {
+                write!(f, "misaligned access to {addr:#x} at instruction {at}")
+            }
+            RunError::BadTarget { target } => write!(f, "jump to bogus index {target}"),
+        }
+    }
+}
+
+impl Error for RunError {}
+
+/// The result of a functional run: counts plus the recorded micro-op trace.
+#[derive(Debug, Clone)]
+pub struct FunctionalRun {
+    /// Dynamic instructions executed (including the final `halt`).
+    pub instructions: u64,
+    /// Loads performed.
+    pub loads: u64,
+    /// Stores performed.
+    pub stores: u64,
+    /// Taken branches and jumps.
+    pub branches: u64,
+    trace: Vec<MicroOp>,
+}
+
+impl FunctionalRun {
+    /// Convert the recorded trace into a timing-model [`Program`]. The
+    /// trace's loads and stores carry the *actual* addresses the functional
+    /// run touched, so cache and write-buffer behaviour on the timing model
+    /// reflects the real access pattern.
+    #[must_use]
+    pub fn to_program(&self, name: impl Into<String>) -> Program {
+        let mut b = Program::builder(name);
+        b.phase(Phase::Body);
+        for op in &self.trace {
+            b.op(*op);
+        }
+        b.build()
+    }
+
+    /// Length of the recorded trace in micro-ops.
+    #[must_use]
+    pub fn trace_len(&self) -> usize {
+        self.trace.len()
+    }
+}
+
+/// The functional machine: 32 registers and a sparse word-addressed memory.
+///
+/// See the crate-level example.
+#[derive(Debug, Clone, Default)]
+pub struct Interpreter {
+    regs: [u32; 32],
+    memory: HashMap<u32, u32>,
+}
+
+impl Interpreter {
+    /// A machine with zeroed registers and empty memory.
+    #[must_use]
+    pub fn new() -> Interpreter {
+        Interpreter::default()
+    }
+
+    /// Read a register (`r0` is always zero).
+    #[must_use]
+    pub fn reg(&self, n: u8) -> u32 {
+        if n == 0 {
+            0
+        } else {
+            self.regs[n as usize]
+        }
+    }
+
+    /// Write a register (writes to `r0` are ignored).
+    pub fn set_reg(&mut self, n: u8, value: u32) {
+        if n != 0 {
+            self.regs[n as usize] = value;
+        }
+    }
+
+    /// Read a memory word (unwritten memory reads as zero).
+    #[must_use]
+    pub fn word(&self, addr: u32) -> u32 {
+        *self.memory.get(&(addr / 4)).unwrap_or(&0)
+    }
+
+    /// Write a memory word.
+    pub fn set_word(&mut self, addr: u32, value: u32) {
+        self.memory.insert(addr / 4, value);
+    }
+
+    /// Pre-load a slice of words starting at `base`.
+    pub fn load_words(&mut self, base: u32, words: &[u32]) {
+        for (i, &word) in words.iter().enumerate() {
+            self.set_word(base + 4 * i as u32, word);
+        }
+    }
+
+    /// Run `program` until `halt`, for at most `step_limit` instructions,
+    /// recording the micro-op trace.
+    ///
+    /// # Errors
+    ///
+    /// [`RunError::StepLimit`] when the budget runs out (the usual symptom
+    /// of an unintended infinite loop), [`RunError::Misaligned`] for
+    /// non-word-aligned memory accesses, [`RunError::BadTarget`] for jumps
+    /// out of the program.
+    pub fn run(
+        &mut self,
+        program: &IsaProgram,
+        step_limit: u64,
+    ) -> Result<FunctionalRun, RunError> {
+        let mut pc = 0usize;
+        let mut run = FunctionalRun {
+            instructions: 0,
+            loads: 0,
+            stores: 0,
+            branches: 0,
+            trace: Vec::new(),
+        };
+        loop {
+            if run.instructions >= step_limit {
+                return Err(RunError::StepLimit { limit: step_limit });
+            }
+            let Some(&instr) = program.instrs.get(pc) else {
+                return Err(RunError::BadTarget { target: pc });
+            };
+            run.instructions += 1;
+            let mut next = pc + 1;
+            match instr {
+                Instr::Alu { op, rd, rs, rt } => {
+                    let (a, b) = (self.reg(rs.0), self.reg(rt.0));
+                    let value = match op {
+                        AluOp::Add => a.wrapping_add(b),
+                        AluOp::Sub => a.wrapping_sub(b),
+                        AluOp::And => a & b,
+                        AluOp::Or => a | b,
+                        AluOp::Xor => a ^ b,
+                        AluOp::Slt => u32::from((a as i32) < (b as i32)),
+                        AluOp::Sll => a.wrapping_shl(b & 31),
+                        AluOp::Srl => a.wrapping_shr(b & 31),
+                    };
+                    self.set_reg(rd.0, value);
+                    run.trace.push(MicroOp::Alu);
+                }
+                Instr::Addi { rd, rs, imm } => {
+                    self.set_reg(rd.0, self.reg(rs.0).wrapping_add(imm as u32));
+                    run.trace.push(MicroOp::Alu);
+                }
+                Instr::Lw { rd, rs, offset } => {
+                    let addr = self.reg(rs.0).wrapping_add(offset as u32);
+                    if !addr.is_multiple_of(4) {
+                        return Err(RunError::Misaligned { addr, at: pc });
+                    }
+                    self.set_reg(rd.0, self.word(addr));
+                    run.loads += 1;
+                    run.trace.push(MicroOp::Load(VirtAddr(addr)));
+                }
+                Instr::Sw { rt, rs, offset } => {
+                    let addr = self.reg(rs.0).wrapping_add(offset as u32);
+                    if !addr.is_multiple_of(4) {
+                        return Err(RunError::Misaligned { addr, at: pc });
+                    }
+                    self.set_word(addr, self.reg(rt.0));
+                    run.stores += 1;
+                    run.trace.push(MicroOp::Store(VirtAddr(addr)));
+                }
+                Instr::Branch {
+                    cond,
+                    rs,
+                    rt,
+                    target,
+                } => {
+                    let (a, b) = (self.reg(rs.0), self.reg(rt.0));
+                    let taken = match cond {
+                        Cond::Eq => a == b,
+                        Cond::Ne => a != b,
+                        Cond::Lt => (a as i32) < (b as i32),
+                    };
+                    run.trace.push(MicroOp::Branch);
+                    if taken {
+                        run.branches += 1;
+                        next = target;
+                    }
+                }
+                Instr::Jump { target } => {
+                    run.branches += 1;
+                    run.trace.push(MicroOp::Branch);
+                    next = target;
+                }
+                Instr::Jal { target } => {
+                    self.set_reg(31, next as u32);
+                    run.branches += 1;
+                    run.trace.push(MicroOp::Call);
+                    next = target;
+                }
+                Instr::Jr { rs } => {
+                    run.branches += 1;
+                    run.trace.push(MicroOp::Ret);
+                    next = self.reg(rs.0) as usize;
+                }
+                Instr::Nop => run.trace.push(MicroOp::DelayNop),
+                Instr::Halt => return Ok(run),
+            }
+            pc = next;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::asm::assemble;
+
+    fn run(source: &str) -> (Interpreter, FunctionalRun) {
+        let program = assemble(source).expect("assembles");
+        let mut cpu = Interpreter::new();
+        let out = cpu.run(&program, 1_000_000).expect("runs");
+        (cpu, out)
+    }
+
+    #[test]
+    fn arithmetic_and_flow() {
+        let (cpu, _) = run("li r1, 6
+                            li r2, 7
+                            add r3, r1, r2
+                            sub r4, r1, r2
+                            slt r5, r4, r0
+                            halt");
+        assert_eq!(cpu.reg(3), 13);
+        assert_eq!(cpu.reg(4) as i32, -1);
+        assert_eq!(cpu.reg(5), 1);
+    }
+
+    #[test]
+    fn loads_and_stores_round_trip() {
+        let program = assemble(
+            "li r1, 0x100
+                                li r2, 42
+                                sw r2, (r1)
+                                lw r3, (r1)
+                                sw r3, 8(r1)
+                                halt",
+        )
+        .unwrap();
+        let mut cpu = Interpreter::new();
+        let out = cpu.run(&program, 100).unwrap();
+        assert_eq!(cpu.reg(3), 42);
+        assert_eq!(cpu.word(0x108), 42);
+        assert_eq!(out.loads, 1);
+        assert_eq!(out.stores, 2);
+    }
+
+    #[test]
+    fn subroutine_call_and_return() {
+        let (cpu, out) = run("        li r1, 5
+                                      jal double
+                                      halt
+                              double: add r1, r1, r1
+                                      jr r31");
+        assert_eq!(cpu.reg(1), 10);
+        assert!(out.branches >= 2);
+    }
+
+    #[test]
+    fn memcpy_copies_and_counts() {
+        let program = assemble(
+            "        li  r1, 0x1000   ; src
+                     li  r2, 0x2000   ; dst
+                     li  r3, 8        ; words
+             loop:   lw  r4, (r1)
+                     sw  r4, (r2)
+                     addi r1, r1, 4
+                     addi r2, r2, 4
+                     addi r3, r3, -1
+                     bne r3, r0, loop
+                     halt",
+        )
+        .unwrap();
+        let mut cpu = Interpreter::new();
+        cpu.load_words(0x1000, &[1, 2, 3, 4, 5, 6, 7, 8]);
+        let out = cpu.run(&program, 10_000).unwrap();
+        for i in 0..8 {
+            assert_eq!(cpu.word(0x2000 + 4 * i), i + 1);
+        }
+        assert_eq!(out.loads, 8);
+        assert_eq!(out.stores, 8);
+    }
+
+    #[test]
+    fn infinite_loop_hits_the_step_limit() {
+        let program = assemble("spin: j spin").unwrap();
+        let mut cpu = Interpreter::new();
+        let result = cpu.run(&program, 100);
+        assert!(matches!(result, Err(RunError::StepLimit { limit: 100 })));
+    }
+
+    #[test]
+    fn misaligned_access_is_an_error() {
+        let program = assemble("li r1, 3\n lw r2, (r1)\n halt").unwrap();
+        let mut cpu = Interpreter::new();
+        assert!(matches!(
+            cpu.run(&program, 10),
+            Err(RunError::Misaligned { addr: 3, .. })
+        ));
+    }
+
+    #[test]
+    fn r0_is_hardwired_to_zero() {
+        let (cpu, _) = run("li r0, 99\n add r1, r0, r0\n halt");
+        assert_eq!(cpu.reg(0), 0);
+        assert_eq!(cpu.reg(1), 0);
+    }
+
+    #[test]
+    fn trace_converts_to_a_timing_program() {
+        let (_, out) = run("li r1, 0x100\n sw r1, (r1)\n lw r2, (r1)\n halt");
+        let program = out.to_program("traced");
+        // li + sw + lw (halt records nothing).
+        assert_eq!(program.len(), 3);
+        let ops: Vec<_> = program.ops().iter().map(|(_, op)| *op).collect();
+        assert_eq!(ops[1], MicroOp::Store(VirtAddr(0x100)));
+        assert_eq!(ops[2], MicroOp::Load(VirtAddr(0x100)));
+    }
+
+    #[test]
+    fn error_messages_render() {
+        assert!(RunError::StepLimit { limit: 7 }.to_string().contains('7'));
+        assert!(RunError::Misaligned { addr: 5, at: 2 }
+            .to_string()
+            .contains("0x5"));
+        assert!(RunError::BadTarget { target: 9 }.to_string().contains('9'));
+    }
+}

@@ -1,0 +1,38 @@
+//! A small functional RISC instruction set for the ASPLOS 1991 study.
+//!
+//! The timing crates measure *micro-op programs*; this crate closes the loop
+//! to real code. It provides a MIPS-flavoured assembly language, a two-pass
+//! [`assemble`]r, and a functional [`Interpreter`] that computes actual
+//! values — and records, instruction by instruction, the micro-op trace of
+//! what it executed. That trace converts to an [`osarch_cpu::Program`] via
+//! [`FunctionalRun::to_program`], so the same loop that *computes* an
+//! Internet checksum can be *timed* on any of the seven machines.
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_isa::{assemble, Interpreter};
+//!
+//! let program = assemble(
+//!     "        li   r1, 10      ; n
+//!              li   r2, 0       ; sum
+//!      loop:   add  r2, r2, r1
+//!              addi r1, r1, -1
+//!              bne  r1, r0, loop
+//!              halt",
+//! )?;
+//! let mut cpu = Interpreter::new();
+//! let run = cpu.run(&program, 10_000)?;
+//! assert_eq!(cpu.reg(2), 55); // 10 + 9 + ... + 1
+//! assert!(run.instructions > 30);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod asm;
+mod interp;
+
+pub use asm::{assemble, AluOp, AsmError, Cond, Instr, IsaProgram, Reg};
+pub use interp::{FunctionalRun, Interpreter, RunError};

@@ -1,0 +1,115 @@
+//! Property-based tests for the assembler and interpreter.
+
+use osarch_isa::{assemble, Interpreter};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Straight-line ALU programs always assemble, always halt, and the
+    /// trace length equals the instruction count minus the halt.
+    #[test]
+    fn straight_line_programs_are_total(ops in proptest::collection::vec((0u8..8, 1u8..8, 0u8..8, 0u8..8), 0..60)) {
+        let mnemonics = ["add", "sub", "and", "or", "xor", "slt", "sll", "srl"];
+        let mut source = String::new();
+        for (op, rd, rs, rt) in &ops {
+            source.push_str(&format!("{} r{rd}, r{rs}, r{rt}\n", mnemonics[*op as usize]));
+        }
+        source.push_str("halt\n");
+        let program = assemble(&source).expect("straight-line code assembles");
+        let mut cpu = Interpreter::new();
+        let run = cpu.run(&program, 1_000).expect("halts");
+        prop_assert_eq!(run.instructions, ops.len() as u64 + 1);
+        prop_assert_eq!(run.trace_len(), ops.len());
+    }
+
+    /// The interpreter computes sums correctly for arbitrary word buffers
+    /// (the checksum loop is the paper's canonical memory-bound kernel).
+    #[test]
+    fn checksum_loop_matches_rust(words in proptest::collection::vec(any::<u32>(), 1..64)) {
+        let source = format!(
+            "        li   r1, 0x1000
+                     li   r3, {}
+                     li   r2, 0
+             loop:   lw   r4, (r1)
+                     add  r2, r2, r4
+                     addi r1, r1, 4
+                     addi r3, r3, -1
+                     bne  r3, r0, loop
+                     halt",
+            words.len()
+        );
+        let program = assemble(&source).expect("assembles");
+        let mut cpu = Interpreter::new();
+        cpu.load_words(0x1000, &words);
+        let run = cpu.run(&program, 1_000_000).expect("halts");
+        let expected = words.iter().fold(0u32, |a, &w| a.wrapping_add(w));
+        prop_assert_eq!(cpu.reg(2), expected);
+        prop_assert_eq!(run.loads, words.len() as u64);
+    }
+
+    /// memcpy round-trips arbitrary data.
+    #[test]
+    fn memcpy_roundtrips(words in proptest::collection::vec(any::<u32>(), 1..48)) {
+        let source = format!(
+            "        li   r1, 0x1000
+                     li   r2, 0x8000
+                     li   r3, {}
+             loop:   lw   r4, (r1)
+                     sw   r4, (r2)
+                     addi r1, r1, 4
+                     addi r2, r2, 4
+                     addi r3, r3, -1
+                     bne  r3, r0, loop
+                     halt",
+            words.len()
+        );
+        let program = assemble(&source).expect("assembles");
+        let mut cpu = Interpreter::new();
+        cpu.load_words(0x1000, &words);
+        cpu.run(&program, 1_000_000).expect("halts");
+        for (i, &word) in words.iter().enumerate() {
+            prop_assert_eq!(cpu.word(0x8000 + 4 * i as u32), word);
+        }
+    }
+
+    /// Execution state is a pure function of (program, initial memory).
+    #[test]
+    fn runs_are_reproducible(seed in any::<u32>(), n in 1u32..32) {
+        let source = format!(
+            "        li   r1, {seed}
+                     li   r3, {n}
+             loop:   xor  r1, r1, r3
+                     sll  r2, r1, r3
+                     add  r1, r1, r2
+                     addi r3, r3, -1
+                     bne  r3, r0, loop
+                     halt"
+        );
+        let program = assemble(&source).expect("assembles");
+        let run = |p| {
+            let mut cpu = Interpreter::new();
+            cpu.run(p, 1_000_000).expect("halts");
+            (cpu.reg(1), cpu.reg(2))
+        };
+        prop_assert_eq!(run(&program), run(&program));
+    }
+
+    /// The step limit always bounds execution, even for adversarial jumps.
+    #[test]
+    fn step_limit_is_a_hard_bound(limit in 1u64..500) {
+        let program = assemble("a: j b\n b: j a").expect("assembles");
+        let mut cpu = Interpreter::new();
+        let err = cpu.run(&program, limit).expect_err("never halts");
+        prop_assert_eq!(format!("{err}").contains("step limit"), true);
+    }
+
+    /// Garbage source never panics the assembler — it errors with a line.
+    #[test]
+    fn assembler_is_total_over_garbage(source in "[a-z0-9 ,():#;\\-\n]{0,200}") {
+        match assemble(&source) {
+            Ok(program) => prop_assert!(program.len() <= source.lines().count()),
+            Err(e) => prop_assert!(e.line >= 1),
+        }
+    }
+}

@@ -1,0 +1,70 @@
+//! Calibration aid: print measured primitive times against the paper's
+//! Table 1 values. Used during cost-model tuning; the reproduction tables
+//! proper live in the bench crate.
+
+use osarch_cpu::{Arch, Phase};
+use osarch_kernel::{measure, Primitive};
+
+const PAPER: [(Arch, [f64; 4]); 5] = [
+    (Arch::Cvax, [15.8, 23.1, 8.8, 28.3]),
+    (Arch::M88000, [11.8, 14.4, 3.9, 22.8]),
+    (Arch::R2000, [9.0, 15.4, 3.1, 14.8]),
+    (Arch::R3000, [4.1, 5.2, 2.0, 7.4]),
+    (Arch::Sparc, [15.2, 17.1, 2.7, 53.9]),
+];
+
+// Table 5 (µs): entry/exit, call prep, call/return for CVAX, R2000, SPARC.
+const PAPER_T5: [(Arch, [f64; 3]); 3] = [
+    (Arch::Cvax, [4.5, 3.1, 8.2]),
+    (Arch::R2000, [0.6, 6.3, 2.1]),
+    (Arch::Sparc, [0.6, 13.1, 1.4]),
+];
+
+fn main() {
+    println!(
+        "{:8} {:26} {:>8} {:>8} {:>7}",
+        "arch", "primitive", "paper", "sim", "ratio"
+    );
+    for (arch, rows) in PAPER {
+        let m = measure(arch);
+        let times = m.times_us();
+        for (primitive, paper) in Primitive::all().into_iter().zip(rows) {
+            let sim = times.time(primitive);
+            println!(
+                "{:8} {:26} {:>8.1} {:>8.2} {:>7.2}",
+                arch.to_string(),
+                primitive.label(),
+                paper,
+                sim,
+                sim / paper
+            );
+        }
+        let s = &m.syscall;
+        println!(
+            "         [syscall: {} instr, {} cyc, wb {} cyc, tlbm {}, cm {}]",
+            s.instructions, s.cycles, s.wb_stall_cycles, s.tlb_misses, s.cache_misses
+        );
+        let c = &m.context_switch;
+        println!(
+            "         [ctxsw:   {} instr, {} cyc, wb {} cyc, tlbm {}, cm {}]",
+            c.instructions, c.cycles, c.wb_stall_cycles, c.tlb_misses, c.cache_misses
+        );
+    }
+    println!("\nTable 5 (null syscall phases, µs):");
+    for (arch, paper) in PAPER_T5 {
+        let m = measure(arch);
+        let (entry, prep, call) = m.syscall_phases_us();
+        println!(
+            "{:8} entry/exit {:>5.2} (paper {:>4.1})  prep {:>6.2} (paper {:>5.1})  call/ret {:>5.2} (paper {:>4.1})",
+            arch.to_string(), entry, paper[0], prep, paper[1], call, paper[2]
+        );
+        let s = measure(arch).syscall;
+        println!(
+            "         phase cycles: entry={} prep={} callret={} body={}",
+            s.phase(Phase::EntryExit).cycles,
+            s.phase(Phase::CallPrep).cycles,
+            s.phase(Phase::CallReturn).cycles,
+            s.phase(Phase::Body).cycles
+        );
+    }
+}

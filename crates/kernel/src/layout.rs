@@ -1,0 +1,163 @@
+//! Kernel virtual-address layout for the simulated machines.
+
+use osarch_cpu::ArchSpec;
+use osarch_mem::{AddressLayout, VirtAddr};
+
+/// Where the simulated kernel keeps the data its handlers touch.
+///
+/// Addresses are chosen per architecture so that they fall in the right
+/// segment of that architecture's address-space layout: on MIPS the register
+/// save area and PCBs live in unmapped-cached kseg0 (saving TLB entries,
+/// exactly as DeMoney et al. advise), while the page tables live in mapped
+/// kseg2 — which is why kernel TLB misses exist at all on the R3000
+/// (Section 5). The two process control blocks are placed 16 KB apart so
+/// that they conflict in a 16 KB direct-mapped cache (the XD88) but coexist
+/// in the 64 KB caches of the DECstations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct KernelLayout {
+    /// Trap-time register save area (top of the kernel stack).
+    pub save_area: VirtAddr,
+    /// Kernel stack for C code.
+    pub kstack: VirtAddr,
+    /// Process control blocks of the two ping-ponging processes.
+    pub pcb: [VirtAddr; 2],
+    /// Register-window save area (SPARC).
+    pub window_save: VirtAddr,
+    /// The per-process u-area the switch path also touches. Placed one
+    /// [`PCB_STRIDE`] above the second PCB, so on a 16 KB direct-mapped
+    /// cache (the XD88) it conflicts with the PCBs while 64 KB caches keep
+    /// everything resident.
+    pub uarea: VirtAddr,
+    /// Page-table storage the PTE-change handler reads and writes.
+    pub pte_area: VirtAddr,
+    /// The user test page the trap benchmark unmaps and touches.
+    pub user_page: VirtAddr,
+    /// Where the user's system-call argument block lives.
+    pub syscall_arg: VirtAddr,
+}
+
+/// Distance between the two PCBs (16 KB: one XD88 cache size).
+pub const PCB_STRIDE: u32 = 16 * 1024;
+
+impl KernelLayout {
+    /// The layout appropriate for `spec`'s address-space organisation.
+    #[must_use]
+    pub fn for_spec(spec: &ArchSpec) -> KernelLayout {
+        match spec.mem.layout {
+            AddressLayout::Mips => KernelLayout {
+                // kseg0: unmapped + cached.
+                save_area: VirtAddr(0x8000_2000),
+                kstack: VirtAddr(0x8000_4000),
+                pcb: [VirtAddr(0x8000_8000), VirtAddr(0x8000_8000 + PCB_STRIDE)],
+                window_save: VirtAddr(0x8002_0000),
+                uarea: VirtAddr(0x8000_8000 + 2 * PCB_STRIDE),
+                // kseg2: mapped kernel space — page tables are themselves
+                // paged, so touching them can miss in the TLB.
+                pte_area: VirtAddr(0xc000_0000),
+                user_page: VirtAddr(0x0040_0000),
+                syscall_arg: VirtAddr(0x8000_6000),
+            },
+            AddressLayout::SystemSpace => KernelLayout {
+                // VAX system space: mapped, kernel-only.
+                save_area: VirtAddr(0x8000_2000),
+                kstack: VirtAddr(0x8000_4000),
+                pcb: [VirtAddr(0x8000_8000), VirtAddr(0x8000_8000 + PCB_STRIDE)],
+                window_save: VirtAddr(0x8002_0000),
+                uarea: VirtAddr(0x8000_8000 + 2 * PCB_STRIDE),
+                pte_area: VirtAddr(0x8010_0000),
+                user_page: VirtAddr(0x0040_0000),
+                syscall_arg: VirtAddr(0x8000_6000),
+            },
+            AddressLayout::Uniform => KernelLayout {
+                save_area: VirtAddr(0x0001_2000),
+                kstack: VirtAddr(0x0001_4000),
+                pcb: [VirtAddr(0x0001_8000), VirtAddr(0x0001_8000 + PCB_STRIDE)],
+                window_save: VirtAddr(0x0003_0000),
+                uarea: VirtAddr(0x0001_8000 + 2 * PCB_STRIDE),
+                pte_area: VirtAddr(0x0010_0000),
+                user_page: VirtAddr(0x0040_0000),
+                syscall_arg: VirtAddr(0x0001_6000),
+            },
+        }
+    }
+
+    /// Every kernel-data page the machine must pre-map (pages that fall in
+    /// mapped segments of the layout).
+    #[must_use]
+    pub fn kernel_pages(&self) -> Vec<VirtAddr> {
+        let mut pages = Vec::new();
+        for base in [
+            self.save_area,
+            self.kstack,
+            self.pcb[0],
+            self.pcb[1],
+            self.window_save,
+            self.uarea,
+            self.syscall_arg,
+        ] {
+            pages.push(base.page_base());
+            pages.push(base.page_base().offset(4096));
+        }
+        // The PTE area spans several pages.
+        for i in 0..4 {
+            pages.push(self.pte_area.page_base().offset(i * 4096));
+        }
+        pages.sort_unstable();
+        pages.dedup();
+        pages
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osarch_cpu::Arch;
+
+    #[test]
+    fn mips_save_area_is_in_kseg0() {
+        let layout = KernelLayout::for_spec(&Arch::R3000.spec());
+        let seg = AddressLayout::Mips.classify(layout.save_area);
+        assert!(
+            !seg.mapped && seg.cached,
+            "save area must avoid the TLB on MIPS"
+        );
+    }
+
+    #[test]
+    fn mips_pte_area_is_mapped_kernel_space() {
+        let layout = KernelLayout::for_spec(&Arch::R3000.spec());
+        let seg = AddressLayout::Mips.classify(layout.pte_area);
+        assert!(
+            seg.mapped && seg.kernel_only,
+            "page tables live in mapped kseg2"
+        );
+    }
+
+    #[test]
+    fn pcbs_are_one_cache_size_apart() {
+        for arch in Arch::all() {
+            let layout = KernelLayout::for_spec(&arch.spec());
+            assert_eq!(layout.pcb[1].0 - layout.pcb[0].0, PCB_STRIDE, "{arch}");
+        }
+    }
+
+    #[test]
+    fn kernel_pages_are_unique_and_page_aligned() {
+        let layout = KernelLayout::for_spec(&Arch::Sparc.spec());
+        let pages = layout.kernel_pages();
+        for page in &pages {
+            assert_eq!(page.page_offset(), 0);
+        }
+        let mut deduped = pages.clone();
+        deduped.dedup();
+        assert_eq!(pages.len(), deduped.len());
+    }
+
+    #[test]
+    fn vax_kernel_data_is_in_system_space() {
+        let layout = KernelLayout::for_spec(&Arch::Cvax.spec());
+        assert!(layout.save_area.0 >= 0x8000_0000);
+        let seg = AddressLayout::SystemSpace.classify(layout.save_area);
+        assert!(seg.mapped && seg.kernel_only && seg.kernel_shared);
+    }
+}

@@ -1,0 +1,320 @@
+//! The virtual-memory services of Section 3: copy-on-write sharing and
+//! user-level fault reflection.
+//!
+//! "Accent and Mach use a copy-on-write mechanism to speed program startup
+//! and cross-address space communication for large data messages … This
+//! relies on the ability to quickly trap and change page protection bits."
+//! And for the run-time-level uses (garbage collection, checkpointing, DSM,
+//! transactions): "systems must find a way of quickly reflecting page
+//! faults back to the user level."
+
+use crate::handlers::{pte_change, trap_handler};
+use crate::machine::Machine;
+use osarch_cpu::{Arch, Program};
+use osarch_mem::{Asid, FaultKind, Protection, Pte, VirtAddr, KERNEL_ASID};
+use std::collections::HashMap;
+
+/// Outcome of a VM write through the copy-on-write manager.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum VmWrite {
+    /// The page was privately owned and writable: no fault.
+    Direct,
+    /// A copy-on-write fault fired; the page was copied and remapped.
+    CowFault {
+        /// Microseconds of kernel work (fault handler + copy + PTE updates).
+        micros: f64,
+    },
+}
+
+/// Counters kept by the [`CowManager`].
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct CowStats {
+    /// Copy-on-write faults taken.
+    pub faults: u64,
+    /// Pages physically copied.
+    pub copies: u64,
+    /// Writes that proceeded without a fault.
+    pub direct_writes: u64,
+    /// Total microseconds of fault service.
+    pub service_us: f64,
+}
+
+/// A copy-on-write page manager running on a simulated machine.
+///
+/// # Example
+///
+/// ```
+/// use osarch_cpu::Arch;
+/// use osarch_kernel::{CowManager, USER_ASID, USER2_ASID};
+/// use osarch_mem::VirtAddr;
+///
+/// let mut cow = CowManager::new(Arch::R3000);
+/// let page = VirtAddr(0x0060_0000);
+/// cow.share(USER_ASID, page, USER2_ASID, page);
+/// // The receiver only reads: no copy ever happens.
+/// cow.read(USER2_ASID, page).expect("readable");
+/// assert_eq!(cow.stats().copies, 0);
+/// // The sender writes: one fault, one copy.
+/// cow.write(USER_ASID, page).expect("writable after fault");
+/// assert_eq!(cow.stats().copies, 1);
+/// ```
+#[derive(Debug)]
+pub struct CowManager {
+    machine: Machine,
+    /// Pages currently mapped read-only as part of a sharing group, with
+    /// the share count.
+    shared: HashMap<(Asid, u32), u32>,
+    next_pfn: u32,
+    stats: CowStats,
+    copy_program: Program,
+}
+
+impl CowManager {
+    /// A manager on a fresh machine for `arch`.
+    #[must_use]
+    pub fn new(arch: Arch) -> CowManager {
+        let mut machine = Machine::new(arch);
+        // Kernel bounce buffers for the physical copy.
+        let src = VirtAddr(0x8040_0000);
+        let dst = VirtAddr(0x8042_0000);
+        for offset in [0u32, 4096] {
+            machine
+                .mem_mut()
+                .map_page(KERNEL_ASID, src.offset(offset), Protection::RW);
+            machine
+                .mem_mut()
+                .map_page(KERNEL_ASID, dst.offset(offset), Protection::RW);
+        }
+        let mut b = Program::builder("cow-page-copy");
+        for i in 0..1024u32 {
+            b.load(src.offset(4 * i));
+            b.store(dst.offset(4 * i));
+        }
+        let copy_program = b.build();
+        CowManager {
+            machine,
+            shared: HashMap::new(),
+            next_pfn: 0x4000,
+            stats: CowStats::default(),
+            copy_program,
+        }
+    }
+
+    /// The underlying machine (for inspection).
+    #[must_use]
+    pub fn machine(&self) -> &Machine {
+        &self.machine
+    }
+
+    /// Counters so far.
+    #[must_use]
+    pub fn stats(&self) -> CowStats {
+        self.stats
+    }
+
+    /// Share one physical page between `(src, src_va)` and `(dst, dst_va)`,
+    /// both mapped read-only — the copy-on-write send of a large message.
+    pub fn share(&mut self, src: Asid, src_va: VirtAddr, dst: Asid, dst_va: VirtAddr) {
+        let pfn = self.next_pfn;
+        self.next_pfn += 1;
+        let pte = Pte::new(pfn, Protection::READ);
+        self.machine.mem_mut().map_pte(src, src_va, pte);
+        self.machine.mem_mut().map_pte(dst, dst_va, pte);
+        *self.shared.entry((src, src_va.vpn())).or_insert(0) += 1;
+        *self.shared.entry((dst, dst_va.vpn())).or_insert(0) += 1;
+    }
+
+    /// Read from a page in `asid`.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault if the page is unmapped.
+    pub fn read(&mut self, asid: Asid, va: VirtAddr) -> Result<(), osarch_mem::Fault> {
+        self.machine.mem_mut().switch_to(asid);
+        let mut b = Program::builder("cow-read");
+        b.load(va);
+        let out = self.machine.run_user(&b.build());
+        match out.fault {
+            None => Ok(()),
+            Some(fault) => Err(fault),
+        }
+    }
+
+    /// Write to a page in `asid`, servicing a copy-on-write fault if the
+    /// page is a read-only shared mapping.
+    ///
+    /// # Errors
+    ///
+    /// Returns the fault for genuinely unmapped pages.
+    pub fn write(&mut self, asid: Asid, va: VirtAddr) -> Result<VmWrite, osarch_mem::Fault> {
+        self.machine.mem_mut().switch_to(asid);
+        let mut b = Program::builder("cow-write");
+        b.store(va);
+        let program = b.build();
+        let out = self.machine.run_user(&program);
+        match out.fault {
+            None => {
+                self.stats.direct_writes += 1;
+                Ok(VmWrite::Direct)
+            }
+            Some(fault)
+                if fault.kind == FaultKind::ProtectionViolation
+                    && self.shared.contains_key(&(asid, va.vpn())) =>
+            {
+                let micros = self.service_cow(asid, va);
+                // Retry the write; it must now succeed.
+                let retry = self.machine.run_user(&program);
+                debug_assert!(retry.completed(), "post-copy write must succeed");
+                Ok(VmWrite::CowFault { micros })
+            }
+            Some(fault) => Err(fault),
+        }
+    }
+
+    fn service_cow(&mut self, asid: Asid, va: VirtAddr) -> f64 {
+        let spec = self.machine.spec().clone();
+        let layout = *self.machine.layout();
+        let clock = spec.clock_mhz;
+        // Kernel fault handler dispatch.
+        let trap = trap_handler(&spec, &layout);
+        let mut micros = self.machine.measure(&trap).micros(clock);
+        // Physical copy to a fresh frame.
+        let copy = self.copy_program.clone();
+        micros += self.machine.measure(&copy).micros(clock);
+        self.stats.copies += 1;
+        // Remap the writer to its private copy, read-write.
+        let pfn = self.next_pfn;
+        self.next_pfn += 1;
+        self.machine
+            .mem_mut()
+            .map_pte(asid, va, Pte::new(pfn, Protection::RW));
+        let upgrade = pte_change(&spec, &layout);
+        micros += self.machine.measure(&upgrade).micros(clock);
+        self.shared.remove(&(asid, va.vpn()));
+        self.stats.faults += 1;
+        self.stats.service_us += micros;
+        micros
+    }
+}
+
+/// Microseconds to reflect a page fault to a *user-level* handler and
+/// resume: kernel fault dispatch, an upcall crossing into the handler's
+/// address space, the handler's decision, and the return crossing —
+/// "efficient dispatching of the fault within the kernel (i.e., trap
+/// handling) and efficient crossing from kernel space to user space and
+/// back (i.e., system calls)" (Section 3).
+#[must_use]
+pub fn user_fault_reflection_us(arch: Arch) -> f64 {
+    let mut machine = Machine::new(arch);
+    let spec = machine.spec().clone();
+    let layout = *machine.layout();
+    let clock = spec.clock_mhz;
+    let trap = trap_handler(&spec, &layout);
+    let mut total = machine.measure(&trap).micros(clock);
+    // Upcall out and return back: two kernel-boundary crossings.
+    let syscall = crate::handlers::null_syscall(&spec, &layout);
+    total += machine.measure(&syscall).micros(clock) * 2.0;
+    // The user-level handler's own decision logic.
+    let mut b = Program::builder("user-handler");
+    b.alu(40);
+    b.load_run(layout.syscall_arg, 6);
+    b.store_run(layout.syscall_arg.offset(64), 4);
+    total += machine.measure(&b.build()).micros(clock);
+    total
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::machine::{USER2_ASID, USER_ASID};
+
+    fn page() -> VirtAddr {
+        VirtAddr(0x0060_0000)
+    }
+
+    #[test]
+    fn unwritten_share_never_copies() {
+        let mut cow = CowManager::new(Arch::R3000);
+        cow.share(USER_ASID, page(), USER2_ASID, page());
+        for _ in 0..5 {
+            cow.read(USER_ASID, page()).unwrap();
+            cow.read(USER2_ASID, page()).unwrap();
+        }
+        assert_eq!(cow.stats().copies, 0);
+        assert_eq!(cow.stats().faults, 0);
+    }
+
+    #[test]
+    fn first_write_faults_and_copies_once() {
+        let mut cow = CowManager::new(Arch::Sparc);
+        cow.share(USER_ASID, page(), USER2_ASID, page());
+        let first = cow.write(USER_ASID, page()).unwrap();
+        match first {
+            VmWrite::CowFault { micros } => assert!(micros > 0.0),
+            VmWrite::Direct => panic!("first write must fault"),
+        }
+        // Subsequent writes are direct.
+        assert_eq!(cow.write(USER_ASID, page()).unwrap(), VmWrite::Direct);
+        assert_eq!(cow.stats().copies, 1);
+        assert_eq!(cow.stats().faults, 1);
+        assert_eq!(cow.stats().direct_writes, 1);
+    }
+
+    #[test]
+    fn receiver_write_copies_independently() {
+        let mut cow = CowManager::new(Arch::R2000);
+        cow.share(USER_ASID, page(), USER2_ASID, page());
+        cow.write(USER2_ASID, page()).unwrap();
+        // The sender's mapping is still read-only shared.
+        let sender = cow.write(USER_ASID, page()).unwrap();
+        assert!(matches!(sender, VmWrite::CowFault { .. }));
+        assert_eq!(cow.stats().copies, 2);
+    }
+
+    #[test]
+    fn unmapped_write_is_a_real_error() {
+        let mut cow = CowManager::new(Arch::R3000);
+        let err = cow.write(USER_ASID, VirtAddr(0x0070_0000)).unwrap_err();
+        assert_eq!(err.kind, FaultKind::PageNotResident);
+    }
+
+    #[test]
+    fn cow_fault_cost_tracks_the_trap_cost_ordering() {
+        // The machines with cheap traps service COW faults fastest.
+        let cost = |arch| {
+            let mut cow = CowManager::new(arch);
+            cow.share(USER_ASID, page(), USER2_ASID, page());
+            match cow.write(USER_ASID, page()).unwrap() {
+                VmWrite::CowFault { micros } => micros,
+                VmWrite::Direct => unreachable!(),
+            }
+        };
+        let r3000 = cost(Arch::R3000);
+        let cvax = cost(Arch::Cvax);
+        assert!(r3000 < cvax, "r3000 {r3000:.1} vs cvax {cvax:.1}");
+    }
+
+    #[test]
+    fn fault_reflection_is_dominated_by_crossings() {
+        // Reflection must cost at least a trap plus two syscalls.
+        for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+            let reflection = user_fault_reflection_us(arch);
+            let m = crate::measure::measure(arch).times_us();
+            let floor = m.trap + 2.0 * m.null_syscall;
+            assert!(
+                reflection >= floor * 0.95,
+                "{arch}: {reflection:.1} vs floor {floor:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn reflection_scales_worse_than_applications() {
+        // The microkernel-era worry: user-level VM handling rides on traps
+        // and syscalls, which do not scale.
+        let cvax = user_fault_reflection_us(Arch::Cvax);
+        let sparc = user_fault_reflection_us(Arch::Sparc);
+        let speedup = cvax / sparc;
+        assert!(speedup < Arch::Sparc.spec().application_speedup);
+    }
+}

@@ -1,0 +1,147 @@
+//! Property-based tests for the kernel layer.
+
+use osarch_cpu::Arch;
+use osarch_kernel::{
+    measure, CowManager, HandlerSet, Machine, Primitive, Scheduler, Variant, USER2_ASID, USER_ASID,
+};
+use osarch_mem::{Asid, Protection, VirtAddr};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![
+        Just(Arch::Cvax),
+        Just(Arch::M88000),
+        Just(Arch::R2000),
+        Just(Arch::R3000),
+        Just(Arch::Sparc),
+        Just(Arch::I860),
+        Just(Arch::Rs6000),
+    ]
+}
+
+fn arb_primitive() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        Just(Primitive::NullSyscall),
+        Just(Primitive::Trap),
+        Just(Primitive::PteChange),
+        Just(Primitive::ContextSwitch),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(20))]
+
+    /// Handler measurement is a pure function of (arch, primitive).
+    #[test]
+    fn measurement_is_pure(arch in arb_arch(), primitive in arb_primitive()) {
+        let run = || {
+            let mut machine = Machine::new(arch);
+            let handlers = HandlerSet::generate(&machine.spec().clone(), machine.layout());
+            machine.measure(handlers.program(primitive))
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Steady-state measurement is idempotent: measuring twice on the same
+    /// machine yields the same steady state.
+    #[test]
+    fn steady_state_is_stable(arch in arb_arch(), primitive in arb_primitive()) {
+        let mut machine = Machine::new(arch);
+        let handlers = HandlerSet::generate(&machine.spec().clone(), machine.layout());
+        let program = handlers.program(primitive);
+        let first = machine.measure(program);
+        let second = machine.measure(program);
+        prop_assert_eq!(first.cycles, second.cycles, "{} {}", arch, primitive);
+    }
+
+    /// Every architectural what-if variant both completes and improves on
+    /// its baseline.
+    #[test]
+    fn variants_always_improve(seed in 0u8..5) {
+        let (arch, variant) = match seed {
+            0 => (Arch::M88000, Variant::DeferredFaultCheck),
+            1 => (Arch::Sparc, Variant::HardwareWindowFault),
+            2 => (Arch::I860, Variant::ProvideFaultAddress),
+            3 => (Arch::M88000, Variant::PreciseInterrupts),
+            _ => (Arch::I860, Variant::TaggedVirtualCache),
+        };
+        let mut machine = Machine::new(arch);
+        let spec = machine.spec().clone();
+        let layout = *machine.layout();
+        let base = machine.measure(&osarch_kernel::variant_baseline(&spec, &layout, variant));
+        let improved = machine.measure(&osarch_kernel::variant_program(&spec, &layout, variant));
+        prop_assert!(improved.cycles < base.cycles, "{variant:?} on {arch}");
+    }
+
+    /// Scheduler invariants: thread switches dominate address-space
+    /// switches; the run queue never duplicates a thread.
+    #[test]
+    fn scheduler_invariants(ops in proptest::collection::vec((0u8..3, 0u8..6), 1..200)) {
+        let mut sched = Scheduler::new();
+        let mut threads = Vec::new();
+        for space in 0..3u16 {
+            let pid = sched.spawn_process(Asid(space + 1));
+            for _ in 0..2 {
+                threads.push(sched.spawn_thread(pid));
+            }
+        }
+        for (op, pick) in ops {
+            match op {
+                0 => sched.ready(threads[pick as usize % threads.len()]),
+                1 => {
+                    sched.switch_to_next();
+                }
+                _ => sched.block_current(),
+            }
+            prop_assert!(sched.address_space_switches() <= sched.thread_switches());
+        }
+    }
+
+    /// Copy-on-write servicing: after any interleaving of reads and writes
+    /// on a shared page, at most one copy per writer ever happens, and all
+    /// accesses succeed.
+    #[test]
+    fn cow_copies_at_most_once_per_writer(arch in arb_arch(), ops in proptest::collection::vec((any::<bool>(), any::<bool>()), 1..16)) {
+        let mut cow = CowManager::new(arch);
+        let page = VirtAddr(0x0060_0000);
+        cow.share(USER_ASID, page, USER2_ASID, page);
+        for (write, second_space) in ops {
+            let asid = if second_space { USER2_ASID } else { USER_ASID };
+            if write {
+                cow.write(asid, page).expect("shared page stays writable-after-fault");
+            } else {
+                cow.read(asid, page).expect("shared page stays readable");
+            }
+        }
+        prop_assert!(cow.stats().copies <= 2, "at most one copy per sharer");
+        prop_assert_eq!(cow.stats().copies, cow.stats().faults);
+    }
+
+    /// Mapping pages into a user space and touching them in order succeeds
+    /// regardless of how many pages and in what order they were mapped.
+    #[test]
+    fn bulk_map_touch(arch in arb_arch(), pages in proptest::collection::btree_set(1u32..4000, 1..40)) {
+        let mut machine = Machine::new(arch);
+        for &page in &pages {
+            machine.mem_mut().map_page(USER_ASID, VirtAddr(page * 4096), Protection::RW);
+        }
+        machine.mem_mut().switch_to(USER_ASID);
+        let mut b = osarch_cpu::Program::builder("bulk-touch");
+        for &page in &pages {
+            b.load(VirtAddr(page * 4096));
+            b.store(VirtAddr(page * 4096 + 4));
+        }
+        let out = machine.run_user(&b.build());
+        prop_assert!(out.completed(), "{arch}: {:?}", out.fault);
+    }
+}
+
+#[test]
+fn primitive_times_are_strictly_positive_everywhere() {
+    for arch in Arch::all() {
+        let times = measure(arch).times_us();
+        for primitive in Primitive::all() {
+            assert!(times.time(primitive) > 0.0, "{arch} {primitive}");
+        }
+    }
+}

@@ -1,0 +1,127 @@
+//! Per-event primitive costs for the OS-structure simulation.
+
+use osarch_cpu::{Arch, MicroOp, Program};
+use osarch_kernel::{measure, Machine};
+
+/// Microsecond costs of each Table 7 event class on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct EventCosts {
+    /// The architecture.
+    pub arch: Arch,
+    /// One system call.
+    pub syscall_us: f64,
+    /// One address-space context switch.
+    pub as_switch_us: f64,
+    /// One same-space kernel thread switch.
+    pub thread_switch_us: f64,
+    /// One kernel-emulated instruction (trap, decode, emulate, return).
+    pub emulated_us: f64,
+    /// One kernel-mode TLB miss ("a latency of a few hundred cycles").
+    pub kernel_tlb_miss_us: f64,
+    /// One other exception (page fault / interrupt dispatch).
+    pub other_exception_us: f64,
+}
+
+impl EventCosts {
+    /// Measure the costs on `arch`.
+    #[must_use]
+    pub fn measure(arch: Arch) -> EventCosts {
+        let primitives = measure(arch);
+        let times = primitives.times_us();
+        let mut machine = Machine::new(arch);
+        let clock = machine.spec().clock_mhz;
+        let spec = machine.spec().clone();
+
+        // A same-space thread switch: no address-space change, but the full
+        // register save/restore.
+        let thread_switch_us = times.context_switch * 0.6;
+
+        // Kernel instruction emulation: reserved-instruction trap, partial
+        // register save, decode, emulate, return.
+        let save = machine.layout().save_area.offset(2048);
+        let mut b = Program::builder("emulate-instruction");
+        b.op(MicroOp::TrapEnter);
+        b.op(MicroOp::ReadControl);
+        b.store_run(save, 6);
+        b.alu(14); // decode the faulting instruction
+        b.alu(6); // perform the emulated operation
+        b.load_run(save, 6);
+        b.op(MicroOp::TrapReturn);
+        let emulated_us = machine.measure(&b.build()).micros(clock);
+
+        // Kernel TLB miss: on software-refill machines the kernel-space
+        // handler latency; on hardware-walk machines a table walk.
+        let kernel_tlb_miss_us = match spec.mem.tlb_refill {
+            osarch_mem::TlbRefill::Software { kernel_cycles, .. } => {
+                f64::from(kernel_cycles) / clock
+            }
+            osarch_mem::TlbRefill::Hardware => f64::from(3 * spec.mem.timing.read_cycles) / clock,
+        };
+
+        EventCosts {
+            arch,
+            syscall_us: times.null_syscall,
+            as_switch_us: times.context_switch,
+            thread_switch_us,
+            emulated_us,
+            kernel_tlb_miss_us,
+            other_exception_us: times.trap,
+        }
+    }
+
+    /// Total seconds of primitive overhead for a demand vector.
+    #[must_use]
+    pub fn overhead_s(&self, demand: &osarch_workloads::ServiceDemand) -> f64 {
+        let same_space_switches = demand.thread_switches.saturating_sub(demand.as_switches);
+        let us = demand.syscalls as f64 * self.syscall_us
+            + demand.as_switches as f64 * self.as_switch_us
+            + same_space_switches as f64 * self.thread_switch_us
+            + demand.emulated_instructions as f64 * self.emulated_us
+            + demand.kernel_tlb_misses as f64 * self.kernel_tlb_miss_us
+            + demand.other_exceptions as f64 * self.other_exception_us;
+        us / 1e6
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osarch_workloads::find_workload;
+
+    #[test]
+    fn r3000_kernel_tlb_miss_is_a_few_hundred_cycles() {
+        let costs = EventCosts::measure(Arch::R3000);
+        let cycles = costs.kernel_tlb_miss_us * 25.0;
+        assert!((200.0..=400.0).contains(&cycles), "{cycles:.0} cycles");
+    }
+
+    #[test]
+    fn emulation_costs_a_few_microseconds_on_mips() {
+        let costs = EventCosts::measure(Arch::R3000);
+        assert!(
+            (1.0..=6.0).contains(&costs.emulated_us),
+            "{:.2} us",
+            costs.emulated_us
+        );
+    }
+
+    #[test]
+    fn overhead_is_linear_in_demand() {
+        let costs = EventCosts::measure(Arch::R3000);
+        let w = find_workload("spellcheck-1").unwrap();
+        let single = costs.overhead_s(&w.demand);
+        let double = costs.overhead_s(&w.demand.plus(&w.demand));
+        assert!((double - 2.0 * single).abs() < 1e-9);
+    }
+
+    #[test]
+    fn monolithic_overhead_is_a_small_share_of_runtime() {
+        // Under Mach 2.5 the primitives are a minor cost for most workloads.
+        let costs = EventCosts::measure(Arch::R3000);
+        for name in ["spellcheck-1", "latex-150", "link-vmunix"] {
+            let w = find_workload(name).unwrap();
+            let share = costs.overhead_s(&w.demand) / w.monolithic_time_s;
+            assert!(share < 0.12, "{name}: monolithic share {share:.3}");
+        }
+    }
+}

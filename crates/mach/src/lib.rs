@@ -1,0 +1,40 @@
+//! Operating-system structure simulation (Section 5 of the ASPLOS 1991
+//! study): monolithic Mach 2.5 versus decomposed small-kernel Mach 3.0.
+//!
+//! * [`EventCosts`] — per-event primitive costs measured on the simulated
+//!   machines;
+//! * [`simulate`] / [`table7`] — run the seven standard workloads under
+//!   both structures, reproducing Table 7's counters and
+//!   percentage-of-time-in-primitives column;
+//! * [`DecompositionModel`] — the structural expansion knobs ("at least two
+//!   system calls and two context switches" per service RPC), exposed for
+//!   ablation;
+//! * [`syscall_switch_overhead_s`] — the paper's SPARC/andrew-remote
+//!   9.4-second projection.
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_cpu::Arch;
+//! use osarch_mach::{simulate, OsStructure};
+//! use osarch_workloads::find_workload;
+//!
+//! let andrew = find_workload("andrew-remote").expect("standard workload");
+//! let run = simulate(&andrew, OsStructure::Microkernel, Arch::R3000);
+//! assert!(run.primitive_share() > 0.10);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod costs;
+mod event_sim;
+mod projection;
+mod simulate;
+mod trace_sim;
+
+pub use costs::EventCosts;
+pub use event_sim::{simulate_events, validate_multipliers, EventSimResult};
+pub use projection::syscall_switch_overhead_s;
+pub use simulate::{simulate, simulate_with, table7, DecompositionModel, MachRun, OsStructure};
+pub use trace_sim::{replay_trace, TraceReplay};

@@ -1,0 +1,58 @@
+//! Cross-architecture projections of the Table 7 results.
+//!
+//! Section 5: "the combination of Tables 1 and 7 indicates that a SPARC
+//! would spend 9.4 seconds just in the overhead for system calls and
+//! context switches in executing the remote Andrew script on Mach 3.0."
+
+use crate::simulate::{simulate, OsStructure};
+use osarch_cpu::Arch;
+use osarch_kernel::measure;
+use osarch_workloads::find_workload;
+
+/// Seconds a given architecture would spend in system-call plus
+/// context-switch overhead alone, executing `workload_name` under the
+/// decomposed structure (counts from the simulation, per-event times from
+/// that architecture's Table 1 column).
+///
+/// # Panics
+///
+/// Panics when the workload name is unknown.
+#[must_use]
+pub fn syscall_switch_overhead_s(arch: Arch, workload_name: &str) -> f64 {
+    let workload = find_workload(workload_name)
+        .unwrap_or_else(|| panic!("unknown workload {workload_name:?}"));
+    // Counts are a property of the OS structure, not the processor: simulate
+    // on the measurement platform.
+    let run = simulate(&workload, OsStructure::Microkernel, Arch::R3000);
+    let times = measure(arch).times_us();
+    let us = run.demand.syscalls as f64 * times.null_syscall
+        + run.demand.as_switches as f64 * times.context_switch;
+    us / 1e6
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparc_andrew_remote_projection_is_about_nine_seconds() {
+        let s = syscall_switch_overhead_s(Arch::Sparc, "andrew-remote");
+        assert!(
+            (6.5..=12.0).contains(&s),
+            "projection {s:.1} s (paper: 9.4 s)"
+        );
+    }
+
+    #[test]
+    fn r3000_spends_far_less_in_the_same_overhead() {
+        let sparc = syscall_switch_overhead_s(Arch::Sparc, "andrew-remote");
+        let r3000 = syscall_switch_overhead_s(Arch::R3000, "andrew-remote");
+        assert!(r3000 < sparc / 3.0, "r3000 {r3000:.1} vs sparc {sparc:.1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown workload")]
+    fn unknown_workload_panics() {
+        let _ = syscall_switch_overhead_s(Arch::Sparc, "doom");
+    }
+}

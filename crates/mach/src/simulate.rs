@@ -1,0 +1,324 @@
+//! The OS-structure simulation: monolithic versus decomposed small-kernel,
+//! reproducing Table 7.
+
+use crate::costs::EventCosts;
+use osarch_cpu::Arch;
+use osarch_workloads::{standard_workloads, ServiceDemand, Workload};
+use std::fmt;
+
+/// The kernel organisation an application runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum OsStructure {
+    /// Everything in one privileged kernel address space (Mach 2.5).
+    Monolithic,
+    /// A small message-based kernel with user-level servers (Mach 3.0).
+    Microkernel,
+}
+
+impl fmt::Display for OsStructure {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            OsStructure::Monolithic => "monolithic (Mach 2.5)",
+            OsStructure::Microkernel => "small-kernel (Mach 3.0)",
+        };
+        f.write_str(text)
+    }
+}
+
+/// Structural expansion parameters of the decomposed system. The defaults
+/// encode the paper's qualitative account: "Each invocation of an operating
+/// system service via an RPC requires at least two system calls and two
+/// context switches … the operating system servers are themselves
+/// multithreaded and can run concurrently."
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DecompositionModel {
+    /// System calls per local RPC (send + receive).
+    pub syscalls_per_rpc: f64,
+    /// Address-space switches per RPC.
+    pub as_switches_per_rpc: f64,
+    /// Extra same-space thread switches per RPC (server multithreading).
+    pub thread_extra_per_rpc: f64,
+    /// Baseline multiplier on intrinsic kernel TLB misses (less unmapped
+    /// kernel residency).
+    pub ktlb_base_factor: f64,
+    /// Kernel TLB misses per address-space switch (switch pressure on the
+    /// fixed-size TLB).
+    pub ktlb_per_as_switch: f64,
+    /// Additional other-exceptions per RPC (server page faults).
+    pub other_per_rpc: f64,
+    /// Microseconds of user-level server work per RPC beyond the kernel
+    /// primitives (copies, lookups) on the measurement machine.
+    pub server_work_us_per_rpc: f64,
+}
+
+impl Default for DecompositionModel {
+    fn default() -> Self {
+        DecompositionModel {
+            syscalls_per_rpc: 2.0,
+            as_switches_per_rpc: 1.6,
+            thread_extra_per_rpc: 0.3,
+            ktlb_base_factor: 3.0,
+            ktlb_per_as_switch: 11.0,
+            other_per_rpc: 0.7,
+            server_work_us_per_rpc: 55.0,
+        }
+    }
+}
+
+/// The result of running one workload on one structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MachRun {
+    /// The workload name.
+    pub workload: &'static str,
+    /// The structure simulated.
+    pub structure: OsStructure,
+    /// The architecture.
+    pub arch: Arch,
+    /// Predicted elapsed seconds.
+    pub time_s: f64,
+    /// Predicted event counts (the Table 7 columns).
+    pub demand: ServiceDemand,
+    /// Seconds spent in the low-level primitives.
+    pub primitive_time_s: f64,
+}
+
+impl MachRun {
+    /// Fraction of elapsed time in the primitives (the table's last column).
+    #[must_use]
+    pub fn primitive_share(&self) -> f64 {
+        self.primitive_time_s / self.time_s
+    }
+}
+
+/// Derive the decomposed-system demand for a workload.
+fn microkernel_demand(w: &Workload, model: &DecompositionModel) -> ServiceDemand {
+    let rpcs = w.service_requests() as f64 * w.rpcs_per_service;
+    let as_switches = w.demand.as_switches as f64 + model.as_switches_per_rpc * rpcs;
+    let thread_switches = w.demand.thread_switches as f64
+        + (model.as_switches_per_rpc + model.thread_extra_per_rpc) * rpcs;
+    let ktlb = w.demand.kernel_tlb_misses as f64 * model.ktlb_base_factor
+        + model.ktlb_per_as_switch * as_switches;
+    ServiceDemand {
+        as_switches: as_switches as u64,
+        thread_switches: thread_switches as u64,
+        syscalls: (model.syscalls_per_rpc * rpcs) as u64,
+        emulated_instructions: w.demand.emulated_instructions + (w.emul_per_rpc * rpcs) as u64,
+        kernel_tlb_misses: ktlb as u64,
+        other_exceptions: w.demand.other_exceptions + (model.other_per_rpc * rpcs) as u64,
+    }
+}
+
+/// Simulate `workload` under `structure` on `arch`.
+///
+/// The workload's pure compute time is derived from its monolithic run
+/// (elapsed time minus monolithic primitive overhead) and is invariant
+/// across structures; the decomposed run adds the structurally expanded
+/// primitive counts plus user-level server work.
+#[must_use]
+pub fn simulate(workload: &Workload, structure: OsStructure, arch: Arch) -> MachRun {
+    simulate_with(workload, structure, arch, &DecompositionModel::default())
+}
+
+/// [`simulate`] with an explicit decomposition model (for ablations).
+#[must_use]
+pub fn simulate_with(
+    workload: &Workload,
+    structure: OsStructure,
+    arch: Arch,
+    model: &DecompositionModel,
+) -> MachRun {
+    let costs = EventCosts::measure(arch);
+    // Pure compute is whatever the monolithic run did not spend in
+    // primitives, rescaled by integer speed relative to the R3000
+    // measurement platform.
+    let r3000_costs = EventCosts::measure(Arch::R3000);
+    let base_compute_r3000 =
+        (workload.monolithic_time_s - r3000_costs.overhead_s(&workload.demand)).max(0.0);
+    let compute = base_compute_r3000 * Arch::R3000.spec().application_speedup
+        / arch.spec().application_speedup;
+    match structure {
+        OsStructure::Monolithic => {
+            let primitive_time_s = costs.overhead_s(&workload.demand);
+            MachRun {
+                workload: workload.name,
+                structure,
+                arch,
+                time_s: compute + primitive_time_s,
+                demand: workload.demand,
+                primitive_time_s,
+            }
+        }
+        OsStructure::Microkernel => {
+            let demand = microkernel_demand(workload, model);
+            let primitive_time_s = costs.overhead_s(&demand);
+            let rpcs = workload.service_requests() as f64 * workload.rpcs_per_service;
+            let server_work_s = rpcs * model.server_work_us_per_rpc / 1e6
+                * Arch::R3000.spec().application_speedup
+                / arch.spec().application_speedup;
+            MachRun {
+                workload: workload.name,
+                structure,
+                arch,
+                time_s: compute + primitive_time_s + server_work_s,
+                demand,
+                primitive_time_s,
+            }
+        }
+    }
+}
+
+/// Simulate every standard workload under both structures — the full
+/// Table 7 — on `arch` (the paper used an R3000 DECstation 5000/200).
+#[must_use]
+pub fn table7(arch: Arch) -> Vec<(MachRun, MachRun)> {
+    standard_workloads()
+        .iter()
+        .map(|w| {
+            (
+                simulate(w, OsStructure::Monolithic, arch),
+                simulate(w, OsStructure::Microkernel, arch),
+            )
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osarch_workloads::find_workload;
+
+    fn ratio(a: f64, b: f64) -> f64 {
+        a / b
+    }
+
+    #[test]
+    fn decomposition_inflates_every_counter() {
+        for (mono, micro) in table7(Arch::R3000) {
+            assert!(
+                micro.demand.dominates(&mono.demand),
+                "{}: microkernel demand must dominate",
+                mono.workload
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_mach3_counters_track_the_paper() {
+        // Each simulated Mach 3.0 counter should be within 2x of the
+        // paper's measured value (most are far closer).
+        for w in standard_workloads() {
+            let run = simulate(&w, OsStructure::Microkernel, Arch::R3000);
+            let reference = w.mach3_reference.demand;
+            let pairs = [
+                ("as", run.demand.as_switches, reference.as_switches),
+                (
+                    "thread",
+                    run.demand.thread_switches,
+                    reference.thread_switches,
+                ),
+                ("syscalls", run.demand.syscalls, reference.syscalls),
+                (
+                    "emul",
+                    run.demand.emulated_instructions,
+                    reference.emulated_instructions,
+                ),
+                (
+                    "ktlb",
+                    run.demand.kernel_tlb_misses,
+                    reference.kernel_tlb_misses,
+                ),
+                (
+                    "other",
+                    run.demand.other_exceptions,
+                    reference.other_exceptions,
+                ),
+            ];
+            for (name, sim, paper) in pairs {
+                let r = ratio(sim as f64, paper as f64);
+                assert!(
+                    (0.5..=2.0).contains(&r),
+                    "{} {name}: sim {sim} vs paper {paper} (ratio {r:.2})",
+                    w.name
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn andrew_remote_context_switches_explode() {
+        // "there is a 33-fold increase in context switches for the remote
+        // Andrew benchmark on Mach 3.0 over Mach 2.5."
+        let w = find_workload("andrew-remote").unwrap();
+        let micro = simulate(&w, OsStructure::Microkernel, Arch::R3000);
+        let blowup = ratio(micro.demand.as_switches as f64, w.demand.as_switches as f64);
+        assert!((20.0..=50.0).contains(&blowup), "blowup {blowup:.0}x");
+    }
+
+    #[test]
+    fn microkernel_primitive_share_is_substantial() {
+        // "most of the applications spend between 15 and 20 percent of
+        // their time executing these primitives" — latex, with its low
+        // syscall rate, sits near 5%.
+        for (_, micro) in table7(Arch::R3000) {
+            let share = micro.primitive_share();
+            if micro.workload == "latex-150" {
+                assert!((0.02..=0.10).contains(&share), "latex share {share:.2}");
+            } else {
+                assert!(
+                    (0.10..=0.30).contains(&share),
+                    "{}: share {share:.2}",
+                    micro.workload
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn monolithic_share_is_always_smaller() {
+        for (mono, micro) in table7(Arch::R3000) {
+            assert!(
+                mono.primitive_share() < micro.primitive_share(),
+                "{}",
+                mono.workload
+            );
+        }
+    }
+
+    #[test]
+    fn predicted_times_track_the_paper_loosely() {
+        // Elapsed-time prediction is the weakest link (server work and
+        // remote-file waits are not modelled in detail); within 35%.
+        // spellcheck-1 is excluded: the paper's Mach 3.0 run was *faster*
+        // (2.3 s -> 1.4 s) thanks to user-level file caching, which a
+        // compute-invariant model cannot reproduce (see EXPERIMENTS.md).
+        for w in standard_workloads() {
+            if w.name == "spellcheck-1" {
+                continue;
+            }
+            let micro = simulate(&w, OsStructure::Microkernel, Arch::R3000);
+            let r = ratio(micro.time_s, w.mach3_reference.time_s);
+            assert!((0.65..=1.35).contains(&r), "{}: time ratio {r:.2}", w.name);
+        }
+    }
+
+    #[test]
+    fn structure_display() {
+        assert!(OsStructure::Monolithic.to_string().contains("2.5"));
+        assert!(OsStructure::Microkernel.to_string().contains("3.0"));
+    }
+
+    #[test]
+    fn ablation_cheaper_rpc_reduces_the_share() {
+        // If RPC cost one syscall and one switch (a hypothetical LRPC-grade
+        // path), the primitive share would drop markedly.
+        let w = find_workload("andrew-remote").unwrap();
+        let cheap = DecompositionModel {
+            syscalls_per_rpc: 1.0,
+            as_switches_per_rpc: 1.0,
+            ..DecompositionModel::default()
+        };
+        let default = simulate(&w, OsStructure::Microkernel, Arch::R3000);
+        let improved = simulate_with(&w, OsStructure::Microkernel, Arch::R3000, &cheap);
+        assert!(improved.primitive_time_s < default.primitive_time_s * 0.85);
+    }
+}

@@ -1,0 +1,139 @@
+//! Address newtypes and page arithmetic.
+
+use std::fmt;
+
+/// Size of a page in bytes. All architectures in the study use 4 KB pages.
+pub const PAGE_SIZE: u32 = 4096;
+
+/// log2 of [`PAGE_SIZE`].
+pub const PAGE_SHIFT: u32 = 12;
+
+/// A 32-bit virtual address.
+///
+/// Every machine the paper measures has a 32-bit paged virtual address space
+/// (Section 3.2), so a `u32` is faithful.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct VirtAddr(pub u32);
+
+/// A 32-bit physical address.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct PhysAddr(pub u32);
+
+/// An address-space identifier (the "process ID tag" of Section 3.2).
+///
+/// Tagged TLBs and caches match entries against the current `Asid`, which lets
+/// translations survive context switches; untagged ones must be purged instead.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Asid(pub u16);
+
+impl VirtAddr {
+    /// The virtual page number of this address.
+    #[must_use]
+    pub fn vpn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+
+    /// The offset of this address within its page.
+    #[must_use]
+    pub fn page_offset(self) -> u32 {
+        self.0 & (PAGE_SIZE - 1)
+    }
+
+    /// The address of the start of the containing page.
+    #[must_use]
+    pub fn page_base(self) -> VirtAddr {
+        VirtAddr(self.0 & !(PAGE_SIZE - 1))
+    }
+
+    /// This address displaced by `bytes`, wrapping on 32-bit overflow.
+    #[must_use]
+    pub fn offset(self, bytes: u32) -> VirtAddr {
+        VirtAddr(self.0.wrapping_add(bytes))
+    }
+}
+
+impl PhysAddr {
+    /// The physical frame number of this address.
+    #[must_use]
+    pub fn pfn(self) -> u32 {
+        self.0 >> PAGE_SHIFT
+    }
+}
+
+impl fmt::Display for VirtAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "va:{:#010x}", self.0)
+    }
+}
+
+impl fmt::Display for PhysAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "pa:{:#010x}", self.0)
+    }
+}
+
+impl fmt::Display for Asid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "asid:{}", self.0)
+    }
+}
+
+impl From<u32> for VirtAddr {
+    fn from(raw: u32) -> Self {
+        VirtAddr(raw)
+    }
+}
+
+impl From<u32> for PhysAddr {
+    fn from(raw: u32) -> Self {
+        PhysAddr(raw)
+    }
+}
+
+/// The virtual page number of a raw 32-bit address.
+#[must_use]
+pub fn vpn(raw: u32) -> u32 {
+    raw >> PAGE_SHIFT
+}
+
+/// The within-page offset of a raw 32-bit address.
+#[must_use]
+pub fn page_offset(raw: u32) -> u32 {
+    raw & (PAGE_SIZE - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vpn_and_offset_partition_the_address() {
+        let va = VirtAddr(0xdead_beef);
+        assert_eq!((va.vpn() << PAGE_SHIFT) | va.page_offset(), va.0);
+    }
+
+    #[test]
+    fn page_base_clears_offset() {
+        assert_eq!(VirtAddr(0x1234).page_base(), VirtAddr(0x1000));
+        assert_eq!(VirtAddr(0x1000).page_base(), VirtAddr(0x1000));
+    }
+
+    #[test]
+    fn offset_wraps() {
+        assert_eq!(VirtAddr(u32::MAX).offset(1), VirtAddr(0));
+    }
+
+    #[test]
+    fn display_forms_are_nonempty() {
+        assert!(!format!("{}", VirtAddr(0)).is_empty());
+        assert!(!format!("{}", PhysAddr(0)).is_empty());
+        assert!(!format!("{}", Asid(0)).is_empty());
+    }
+
+    #[test]
+    fn free_functions_match_methods() {
+        let raw = 0x00ab_cdef;
+        assert_eq!(vpn(raw), VirtAddr(raw).vpn());
+        assert_eq!(page_offset(raw), VirtAddr(raw).page_offset());
+    }
+}

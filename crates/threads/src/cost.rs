@@ -1,0 +1,175 @@
+//! Measured costs of the user-level thread operations of Section 4.
+
+use osarch_cpu::{Arch, MicroOp, Program};
+use osarch_kernel::Machine;
+
+/// Microsecond costs of the thread-package primitives on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ThreadCosts {
+    /// The architecture.
+    pub arch: Arch,
+    /// A plain procedure call (call + prologue + epilogue + return).
+    pub procedure_call_us: f64,
+    /// A user-level thread context switch (same address space).
+    pub thread_switch_us: f64,
+    /// User-level thread creation.
+    pub thread_create_us: f64,
+    /// Whether the switch needed a kernel trap (SPARC: the current-window
+    /// pointer is privileged, so "a completely user-level thread context
+    /// switch is impossible").
+    pub switch_requires_kernel: bool,
+}
+
+impl ThreadCosts {
+    /// Thread switch cost expressed in procedure calls — the currency of
+    /// the paper's Synapse analysis ("the cost of a thread context switch is
+    /// 50 times that of a procedure call").
+    #[must_use]
+    pub fn switch_to_call_ratio(&self) -> f64 {
+        self.thread_switch_us / self.procedure_call_us
+    }
+
+    /// Measure the costs for `arch`.
+    #[must_use]
+    pub fn measure(arch: Arch) -> ThreadCosts {
+        let mut machine = Machine::new(arch);
+        let clock = machine.spec().clock_mhz;
+        let spec = machine.spec().clone();
+        let layout = *machine.layout();
+        let stack = layout.kstack;
+        let tcb = layout.pcb[0];
+
+        // Procedure call. With register windows the frame lives in
+        // registers; without them the prologue stores and epilogue loads go
+        // to the stack.
+        let mut b = Program::builder("procedure-call");
+        b.alu(2); // argument setup
+        b.op(MicroOp::Call);
+        if spec.windows.is_none() {
+            b.store(stack).store(stack.offset(4));
+        }
+        b.alu(6); // a typical small body
+        if spec.windows.is_none() {
+            b.load(stack).load(stack.offset(4));
+        }
+        b.op(MicroOp::Ret);
+        let call = machine.measure(&b.build());
+
+        // User-level thread switch: save and reload the integer thread
+        // state, plus scheduler bookkeeping. On SPARC the live windows must
+        // be flushed, and flushing needs a kernel trap.
+        let words = spec.integer_thread_state_words();
+        let mut b = Program::builder("uthread-switch");
+        let requires_kernel = spec.windows.map(|w| w.cwp_privileged).unwrap_or(false);
+        if requires_kernel {
+            b.op(MicroOp::TrapEnter);
+        }
+        match spec.windows {
+            Some(_) => {
+                // Flush the average window population (three, per the Sun
+                // Unix measurement) out, and load the new thread's back.
+                for i in 0..spec.avg_windows_on_switch {
+                    b.op(MicroOp::SaveWindow(tcb.offset(64 * i)));
+                }
+                for i in 0..spec.avg_windows_on_switch {
+                    b.op(MicroOp::RestoreWindow(tcb.offset(1024 + 64 * i)));
+                }
+                // Globals and misc state.
+                b.store_run(tcb.offset(2048), 14);
+                b.load_run(tcb.offset(2048 + 64), 14);
+            }
+            None => {
+                b.store_run(tcb, words);
+                b.load_run(tcb.offset(4 * words), words);
+            }
+        }
+        b.alu(12); // run-queue manipulation
+        if requires_kernel {
+            b.op(MicroOp::TrapReturn);
+        }
+        let switch = machine.measure(&b.build());
+
+        // Thread creation: allocate and initialise a control block and
+        // stack frame — "5-10 times the cost of a procedure call".
+        let mut b = Program::builder("uthread-create");
+        b.alu(30); // allocator fast path, stack carving
+        b.store_run(tcb.offset(4096), 20); // initialise TCB and initial frame
+        b.alu(16);
+        b.op(MicroOp::Call);
+        b.op(MicroOp::Ret);
+        let create = machine.measure(&b.build());
+
+        ThreadCosts {
+            arch,
+            procedure_call_us: call.micros(clock),
+            thread_switch_us: switch.micros(clock),
+            thread_create_us: create.micros(clock),
+            switch_requires_kernel: requires_kernel,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn creation_is_a_few_procedure_calls_on_riscs() {
+        // "new thread creation in 5-10 times the cost of a procedure call"
+        // (Anderson et al. 1989). Our RISCs land in a band around that.
+        for arch in [Arch::R2000, Arch::R3000, Arch::M88000] {
+            let costs = ThreadCosts::measure(arch);
+            let ratio = costs.thread_create_us / costs.procedure_call_us;
+            assert!(
+                (2.5..=14.0).contains(&ratio),
+                "{arch}: creation ratio {ratio:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn sparc_thread_switch_is_about_fifty_calls() {
+        // "the cost of a thread context switch is 50 times that of a
+        // procedure call, assuming 3 window save/restores."
+        let costs = ThreadCosts::measure(Arch::Sparc);
+        let ratio = costs.switch_to_call_ratio();
+        assert!(
+            (30.0..=80.0).contains(&ratio),
+            "SPARC switch/call ratio {ratio:.0}"
+        );
+    }
+
+    #[test]
+    fn sparc_switch_needs_the_kernel() {
+        assert!(ThreadCosts::measure(Arch::Sparc).switch_requires_kernel);
+        assert!(!ThreadCosts::measure(Arch::R3000).switch_requires_kernel);
+    }
+
+    #[test]
+    fn flat_register_files_switch_much_faster_than_sparc() {
+        let sparc = ThreadCosts::measure(Arch::Sparc).thread_switch_us;
+        for arch in [Arch::R3000, Arch::Cvax, Arch::Rs6000] {
+            let other = ThreadCosts::measure(arch).thread_switch_us;
+            assert!(
+                other < sparc / 2.0,
+                "{arch}: {other:.2} vs SPARC {sparc:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn windowed_procedure_calls_are_cheap() {
+        // Register windows exist to make calls cheap: no stack traffic.
+        let sparc = ThreadCosts::measure(Arch::Sparc).procedure_call_us;
+        let mips = ThreadCosts::measure(Arch::R3000).procedure_call_us;
+        assert!(sparc <= mips * 1.5, "sparc {sparc:.3} vs mips {mips:.3}");
+    }
+
+    #[test]
+    fn costs_are_deterministic() {
+        assert_eq!(
+            ThreadCosts::measure(Arch::Sparc),
+            ThreadCosts::measure(Arch::Sparc)
+        );
+    }
+}

@@ -1,0 +1,46 @@
+//! Thread management on the simulated architectures (Section 4 of the
+//! ASPLOS 1991 study).
+//!
+//! * [`thread_state_table`] — the processor-state inventory of Table 6;
+//! * [`ThreadCosts`] — measured procedure-call, thread-switch and
+//!   thread-creation costs, including the SPARC's forced kernel trap;
+//! * [`UserThreads`] — a cooperative user-level thread package whose
+//!   operation costs come from the simulated machines;
+//! * [`LockStrategy`] / [`lock_pair_us`] — atomic test-and-set versus
+//!   kernel-trap versus Lamport-fast synchronisation;
+//! * [`synapse_report`] — the calls-per-switch analysis showing a SPARC
+//!   spends more time switching threads than calling procedures;
+//! * [`parthenon_run`] — the theorem prover that loses a fifth of its time
+//!   to kernel-mediated locks on the MIPS.
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_cpu::Arch;
+//! use osarch_threads::ThreadCosts;
+//!
+//! let sparc = ThreadCosts::measure(Arch::Sparc);
+//! assert!(sparc.switch_requires_kernel, "the window pointer is privileged");
+//! assert!(sparc.switch_to_call_ratio() > 30.0);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod activations;
+mod cost;
+mod parthenon;
+mod state;
+mod synapse;
+mod sync;
+mod uthread;
+
+pub use activations::{model_overhead_us, ThreadModel, ThreadWorkload};
+pub use cost::ThreadCosts;
+pub use parthenon::{
+    parthenon_run, ParthenonRun, BASE_COMPUTE_S, LOCKS_ONE_THREAD, LOCKS_TEN_THREADS,
+};
+pub use state::{thread_state_table, ThreadStateRow};
+pub use synapse::{synapse_report, SynapseReport, SYNAPSE_RATIO_RANGE};
+pub use sync::{lock_pair_us, LockStrategy};
+pub use uthread::{UserThreads, UthreadId, UthreadStats};

@@ -1,0 +1,90 @@
+//! The Synapse experiment of Section 4.1.
+//!
+//! Synapse is an object-oriented parallel-simulation system with
+//! user-level threads. Across measured runs, the ratio of procedure calls
+//! to context switches varied from 21:1 to 42:1 — and yet, because a SPARC
+//! thread switch costs ~50 procedure calls, "Synapse would spend more of
+//! its time doing context switches than procedure calls."
+
+use crate::cost::ThreadCosts;
+use osarch_cpu::Arch;
+
+/// The call/switch ratios the paper reports for Synapse.
+pub const SYNAPSE_RATIO_RANGE: (u32, u32) = (21, 42);
+
+/// Outcome of running the Synapse time-budget analysis on one architecture.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SynapseReport {
+    /// The architecture.
+    pub arch: Arch,
+    /// Procedure calls per context switch in the modelled run.
+    pub calls_per_switch: u32,
+    /// Cost of one thread switch in procedure calls.
+    pub switch_to_call_ratio: f64,
+    /// Microseconds spent in procedure calls per switch interval.
+    pub call_time_us: f64,
+    /// Microseconds spent context switching per switch interval.
+    pub switch_time_us: f64,
+}
+
+impl SynapseReport {
+    /// Does the program spend more time switching than calling?
+    #[must_use]
+    pub fn switches_dominate(&self) -> bool {
+        self.switch_time_us > self.call_time_us
+    }
+}
+
+/// Analyse a Synapse-like run on `arch` with the given procedure-call to
+/// context-switch ratio.
+#[must_use]
+pub fn synapse_report(arch: Arch, calls_per_switch: u32) -> SynapseReport {
+    let costs = ThreadCosts::measure(arch);
+    SynapseReport {
+        arch,
+        calls_per_switch,
+        switch_to_call_ratio: costs.switch_to_call_ratio(),
+        call_time_us: costs.procedure_call_us * f64::from(calls_per_switch),
+        switch_time_us: costs.thread_switch_us,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sparc_switch_time_dominates_across_the_measured_range() {
+        // The paper's punchline: even at 42 calls per switch, the SPARC
+        // spends more time switching than calling.
+        for ratio in [SYNAPSE_RATIO_RANGE.0, 30, SYNAPSE_RATIO_RANGE.1] {
+            let report = synapse_report(Arch::Sparc, ratio);
+            assert!(
+                report.switches_dominate(),
+                "at {ratio}:1 the SPARC should still be switch-bound \
+                 (switch {:.2} us vs calls {:.2} us)",
+                report.switch_time_us,
+                report.call_time_us
+            );
+        }
+    }
+
+    #[test]
+    fn flat_register_files_stay_call_bound() {
+        // On a MIPS the same workload spends more time in calls.
+        let report = synapse_report(Arch::R3000, SYNAPSE_RATIO_RANGE.0);
+        assert!(
+            !report.switches_dominate(),
+            "R3000 switch {:.2} us vs calls {:.2} us",
+            report.switch_time_us,
+            report.call_time_us
+        );
+    }
+
+    #[test]
+    fn report_is_consistent() {
+        let report = synapse_report(Arch::Sparc, 21);
+        assert_eq!(report.calls_per_switch, 21);
+        assert!(report.switch_to_call_ratio > 1.0);
+    }
+}

@@ -1,0 +1,205 @@
+//! A user-level thread package running on the simulated machines.
+//!
+//! Section 4: "At the run-time level, threads are completely managed by
+//! user-level code invisibly to the operating system. The advantage is
+//! performance and flexibility; thread operations do not need to cross
+//! kernel boundaries" — except on SPARC, where the privileged window
+//! pointer drags every switch through the kernel anyway.
+//!
+//! The package schedules cooperative threads over a virtual clock whose
+//! operation costs come from [`ThreadCosts`].
+
+use crate::cost::ThreadCosts;
+use osarch_cpu::Arch;
+use std::collections::VecDeque;
+
+/// Identifier of a user-level thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct UthreadId(pub u32);
+
+#[derive(Debug, Clone)]
+struct Uthread {
+    remaining_slices: u32,
+}
+
+/// Run statistics of a [`UserThreads`] schedule.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct UthreadStats {
+    /// Virtual microseconds elapsed.
+    pub elapsed_us: f64,
+    /// Thread context switches performed.
+    pub switches: u64,
+    /// Microseconds spent in switch overhead.
+    pub switch_overhead_us: f64,
+    /// Microseconds spent creating threads.
+    pub create_overhead_us: f64,
+    /// Threads completed.
+    pub completed: u64,
+}
+
+impl UthreadStats {
+    /// Fraction of elapsed time lost to thread management.
+    #[must_use]
+    pub fn overhead_share(&self) -> f64 {
+        (self.switch_overhead_us + self.create_overhead_us) / self.elapsed_us
+    }
+}
+
+/// A cooperative round-robin user-level scheduler with architecture-derived
+/// operation costs.
+///
+/// # Example
+///
+/// ```
+/// use osarch_cpu::Arch;
+/// use osarch_threads::UserThreads;
+///
+/// let mut pool = UserThreads::new(Arch::R3000, 50.0);
+/// for _ in 0..4 {
+///     pool.spawn(10); // 10 time slices each
+/// }
+/// let stats = pool.run();
+/// assert_eq!(stats.completed, 4);
+/// assert!(stats.overhead_share() < 0.5);
+/// ```
+#[derive(Debug, Clone)]
+pub struct UserThreads {
+    costs: ThreadCosts,
+    slice_us: f64,
+    threads: Vec<Uthread>,
+    ready: VecDeque<usize>,
+    stats: UthreadStats,
+}
+
+impl UserThreads {
+    /// A scheduler on `arch` whose threads run `slice_us` microseconds of
+    /// work per time slice.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `slice_us` is not positive.
+    #[must_use]
+    pub fn new(arch: Arch, slice_us: f64) -> UserThreads {
+        assert!(slice_us > 0.0, "time slice must be positive");
+        UserThreads {
+            costs: ThreadCosts::measure(arch),
+            slice_us,
+            threads: Vec::new(),
+            ready: VecDeque::new(),
+            stats: UthreadStats {
+                elapsed_us: 0.0,
+                switches: 0,
+                switch_overhead_us: 0.0,
+                create_overhead_us: 0.0,
+                completed: 0,
+            },
+        }
+    }
+
+    /// The measured operation costs in force.
+    #[must_use]
+    pub fn costs(&self) -> ThreadCosts {
+        self.costs
+    }
+
+    /// Create a thread with `slices` time slices of work.
+    pub fn spawn(&mut self, slices: u32) -> UthreadId {
+        let id = UthreadId(self.threads.len() as u32);
+        self.threads.push(Uthread {
+            remaining_slices: slices,
+        });
+        self.ready.push_back(id.0 as usize);
+        self.stats.elapsed_us += self.costs.thread_create_us;
+        self.stats.create_overhead_us += self.costs.thread_create_us;
+        id
+    }
+
+    /// Run every thread to completion, round-robin, and return the stats.
+    pub fn run(&mut self) -> UthreadStats {
+        while let Some(idx) = self.ready.pop_front() {
+            // Run one slice.
+            let thread = &mut self.threads[idx];
+            if thread.remaining_slices > 0 {
+                thread.remaining_slices -= 1;
+                self.stats.elapsed_us += self.slice_us;
+            }
+            if thread.remaining_slices == 0 {
+                self.stats.completed += 1;
+            } else {
+                self.ready.push_back(idx);
+            }
+            // Switching to the next thread costs real time — but running
+            // the same thread again is not a switch.
+            let switches_thread = self.ready.front().is_some_and(|&next| next != idx);
+            if switches_thread {
+                self.stats.switches += 1;
+                self.stats.elapsed_us += self.costs.thread_switch_us;
+                self.stats.switch_overhead_us += self.costs.thread_switch_us;
+            }
+        }
+        self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(arch: Arch, threads: u32, slices: u32, slice_us: f64) -> UthreadStats {
+        let mut pool = UserThreads::new(arch, slice_us);
+        for _ in 0..threads {
+            pool.spawn(slices);
+        }
+        pool.run()
+    }
+
+    #[test]
+    fn all_threads_complete() {
+        let stats = run(Arch::R3000, 8, 5, 100.0);
+        assert_eq!(stats.completed, 8);
+        assert!(stats.elapsed_us >= 8.0 * 5.0 * 100.0);
+    }
+
+    #[test]
+    fn fine_grained_slices_inflate_overhead_on_sparc() {
+        // The finer the parallelism, the more the SPARC's expensive switch
+        // hurts (Section 4: fine-grained threads are "highly inefficient").
+        let coarse = run(Arch::Sparc, 8, 4, 500.0);
+        let fine = run(Arch::Sparc, 8, 4, 10.0);
+        assert!(fine.overhead_share() > coarse.overhead_share() * 3.0);
+        assert!(
+            fine.overhead_share() > 0.5,
+            "fine-grained SPARC share {:.2}",
+            fine.overhead_share()
+        );
+    }
+
+    #[test]
+    fn mips_supports_finer_grain_than_sparc() {
+        let sparc = run(Arch::Sparc, 8, 4, 25.0);
+        let mips = run(Arch::R3000, 8, 4, 25.0);
+        assert!(mips.overhead_share() < sparc.overhead_share() / 2.0);
+    }
+
+    #[test]
+    fn single_thread_never_switches() {
+        let stats = run(Arch::R3000, 1, 10, 50.0);
+        assert_eq!(stats.switches, 0);
+        assert_eq!(stats.switch_overhead_us, 0.0);
+    }
+
+    #[test]
+    fn switch_count_matches_round_robin() {
+        // Two threads, two slices each: switches happen whenever another
+        // thread is waiting.
+        let stats = run(Arch::R3000, 2, 2, 50.0);
+        assert_eq!(stats.completed, 2);
+        assert_eq!(stats.switches, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_slice_panics() {
+        let _ = UserThreads::new(Arch::R3000, 0.0);
+    }
+}

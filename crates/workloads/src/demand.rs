@@ -1,0 +1,305 @@
+//! The application workloads of Section 5 as operating-system service
+//! demands.
+//!
+//! The paper instruments two Mach kernels and runs six applications; the
+//! Mach 2.5 (monolithic) rows of Table 7 define each application's
+//! *intrinsic* demand for OS services — under a monolithic kernel one
+//! service request is one system call. Those rows are the workload
+//! definitions here. The Mach 3.0 rows are retained as reference values the
+//! OS-structure simulation is validated against.
+
+use std::fmt;
+
+/// Counts of primitive-operation events over one application run — the
+/// columns of Table 7.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceDemand {
+    /// Address-space context switches.
+    pub as_switches: u64,
+    /// Kernel-level thread context switches (includes the address-space ones).
+    pub thread_switches: u64,
+    /// Kernel-handled system calls.
+    pub syscalls: u64,
+    /// Kernel-emulated instructions (test-and-set emulation and friends).
+    pub emulated_instructions: u64,
+    /// Kernel-mode TLB misses.
+    pub kernel_tlb_misses: u64,
+    /// Other exceptions (interrupts, page faults; excluding user TLB misses).
+    pub other_exceptions: u64,
+}
+
+impl ServiceDemand {
+    /// Component-wise sum.
+    #[must_use]
+    pub fn plus(&self, other: &ServiceDemand) -> ServiceDemand {
+        ServiceDemand {
+            as_switches: self.as_switches + other.as_switches,
+            thread_switches: self.thread_switches + other.thread_switches,
+            syscalls: self.syscalls + other.syscalls,
+            emulated_instructions: self.emulated_instructions + other.emulated_instructions,
+            kernel_tlb_misses: self.kernel_tlb_misses + other.kernel_tlb_misses,
+            other_exceptions: self.other_exceptions + other.other_exceptions,
+        }
+    }
+
+    /// Every counter dominates (is ≥) the other's.
+    #[must_use]
+    pub fn dominates(&self, other: &ServiceDemand) -> bool {
+        self.as_switches >= other.as_switches
+            && self.thread_switches >= other.thread_switches
+            && self.syscalls >= other.syscalls
+            && self.emulated_instructions >= other.emulated_instructions
+            && self.kernel_tlb_misses >= other.kernel_tlb_misses
+            && self.other_exceptions >= other.other_exceptions
+    }
+}
+
+/// The paper's measured Mach 3.0 row for a workload, kept as a validation
+/// reference.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Mach3Reference {
+    /// Elapsed seconds under Mach 3.0.
+    pub time_s: f64,
+    /// Event counts under Mach 3.0.
+    pub demand: ServiceDemand,
+    /// Fraction of elapsed time in the low-level primitives (the table's
+    /// final column), where reported.
+    pub primitive_share: f64,
+}
+
+/// One application workload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Workload {
+    /// Short name, as in Table 7.
+    pub name: &'static str,
+    /// What the application does.
+    pub description: &'static str,
+    /// Threads the application runs.
+    pub threads: u32,
+    /// Elapsed seconds under the monolithic kernel (Mach 2.5).
+    pub monolithic_time_s: f64,
+    /// Intrinsic service demand (the Mach 2.5 row).
+    pub demand: ServiceDemand,
+    /// Local RPCs each Unix service call expands to under a small-kernel
+    /// structure (file operations talk to both the Unix server and the file
+    /// cache manager, so file-heavy workloads exceed 1.0).
+    pub rpcs_per_service: f64,
+    /// Kernel-emulated instructions (user-level server critical sections)
+    /// per RPC under the small-kernel structure.
+    pub emul_per_rpc: f64,
+    /// The paper's measured Mach 3.0 row, for validation.
+    pub mach3_reference: Mach3Reference,
+}
+
+impl Workload {
+    /// Service requests issued by the application (one per monolithic
+    /// system call).
+    #[must_use]
+    pub fn service_requests(&self) -> u64 {
+        self.demand.syscalls
+    }
+}
+
+impl fmt::Display for Workload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} ({})", self.name, self.description)
+    }
+}
+
+#[allow(clippy::too_many_arguments)] // a private row constructor for the table literals
+fn workload(
+    name: &'static str,
+    description: &'static str,
+    threads: u32,
+    time_s: f64,
+    row: [u64; 6],
+    rpcs_per_service: f64,
+    emul_per_rpc: f64,
+    time3_s: f64,
+    row3: [u64; 6],
+    primitive_share: f64,
+) -> Workload {
+    let demand = |r: [u64; 6]| ServiceDemand {
+        as_switches: r[0],
+        thread_switches: r[1],
+        syscalls: r[2],
+        emulated_instructions: r[3],
+        kernel_tlb_misses: r[4],
+        other_exceptions: r[5],
+    };
+    Workload {
+        name,
+        description,
+        threads,
+        monolithic_time_s: time_s,
+        demand: demand(row),
+        rpcs_per_service,
+        emul_per_rpc,
+        mach3_reference: Mach3Reference {
+            time_s: time3_s,
+            demand: demand(row3),
+            primitive_share,
+        },
+    }
+}
+
+/// The six applications (seven rows: parthenon runs once with 1 thread and
+/// once with 10), with the measured Table 7 values.
+#[must_use]
+pub fn standard_workloads() -> Vec<Workload> {
+    vec![
+        workload(
+            "spellcheck-1",
+            "spellcheck a 1 page document",
+            1,
+            2.3,
+            [139, 238, 802, 39, 2953, 2274],
+            1.18,
+            14.6,
+            1.4,
+            [1277, 1418, 1898, 13_807, 22_931, 2824],
+            0.20,
+        ),
+        workload(
+            "latex-150",
+            "format a 150 page document",
+            1,
+            69.3,
+            [2336, 2952, 5513, 320, 34_203, 15_049],
+            1.50,
+            25.8,
+            80.9,
+            [16_208, 19_068, 16_561, 213_781, 378_159, 19_309],
+            0.05,
+        ),
+        workload(
+            "andrew-local",
+            "file-system intensive script, local files",
+            1,
+            73.9,
+            [3477, 5788, 35_168, 331, 145_446, 67_611],
+            1.00,
+            14.0,
+            99.2,
+            [41_355, 50_865, 70_495, 492_179, 1_136_756, 144_122],
+            0.12,
+        ),
+        workload(
+            "andrew-remote",
+            "the same script over a remote file system",
+            1,
+            92.5,
+            [3904, 6779, 35_498, 410, 205_799, 67_618],
+            2.26,
+            20.0,
+            150.0,
+            [128_874, 144_919, 160_233, 1_601_813, 1_865_436, 187_804],
+            0.16,
+        ),
+        workload(
+            "link-vmunix",
+            "final link phase of a Mach kernel build",
+            1,
+            25.5,
+            [537, 994, 13_099, 137, 46_628, 15_365],
+            1.03,
+            12.2,
+            29.9,
+            [24_589, 25_830, 26_904, 164_436, 423_607, 28_796],
+            0.16,
+        ),
+        workload(
+            "parthenon (1 thread)",
+            "resolution-based theorem prover, serial",
+            1,
+            22.9,
+            [171, 309, 257, 1_395_555, 1077, 2660],
+            2.55,
+            17.2,
+            28.8,
+            [1723, 2211, 1308, 1_406_792, 12_675, 3385],
+            0.18,
+        ),
+        workload(
+            "parthenon (10 threads)",
+            "resolution-based theorem prover, or-parallel",
+            10,
+            20.8,
+            [176, 1165, 268, 1_254_087, 2961, 3360],
+            2.55,
+            17.2,
+            26.3,
+            [1785, 3963, 1372, 1_341_130, 18_038, 4045],
+            0.19,
+        ),
+    ]
+}
+
+/// Find a standard workload by name.
+#[must_use]
+pub fn find_workload(name: &str) -> Option<Workload> {
+    standard_workloads().into_iter().find(|w| w.name == name)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn seven_rows_as_in_table_7() {
+        assert_eq!(standard_workloads().len(), 7);
+    }
+
+    #[test]
+    fn mach3_reference_dominates_monolithic_demand() {
+        // The decomposed system executes more of everything.
+        for w in standard_workloads() {
+            assert!(
+                w.mach3_reference.demand.dominates(&w.demand),
+                "{}: Mach 3.0 row must dominate the 2.5 row",
+                w.name
+            );
+        }
+    }
+
+    #[test]
+    fn andrew_remote_shows_the_33x_switch_blowup() {
+        let w = find_workload("andrew-remote").expect("present");
+        let ratio = w.mach3_reference.demand.as_switches as f64 / w.demand.as_switches as f64;
+        assert!((30.0..36.0).contains(&ratio), "ratio {ratio:.1}");
+    }
+
+    #[test]
+    fn kernel_tlb_misses_grow_an_order_of_magnitude() {
+        for w in standard_workloads() {
+            let ratio = w.mach3_reference.demand.kernel_tlb_misses as f64
+                / w.demand.kernel_tlb_misses as f64;
+            assert!(ratio > 5.0, "{}: ktlb ratio {ratio:.1}", w.name);
+        }
+    }
+
+    #[test]
+    fn parthenon_emulated_instructions_dominate_both_kernels() {
+        let w = find_workload("parthenon (1 thread)").expect("present");
+        assert!(w.demand.emulated_instructions > 1_000_000);
+        assert!(w.mach3_reference.demand.emulated_instructions > 1_000_000);
+    }
+
+    #[test]
+    fn plus_and_dominates_behave() {
+        let w = find_workload("spellcheck-1").unwrap();
+        let doubled = w.demand.plus(&w.demand);
+        assert!(doubled.dominates(&w.demand));
+        assert_eq!(doubled.syscalls, w.demand.syscalls * 2);
+        assert!(!w.demand.dominates(&doubled));
+    }
+
+    #[test]
+    fn lookup_by_name() {
+        assert!(find_workload("latex-150").is_some());
+        assert!(find_workload("fortnite").is_none());
+        let w = find_workload("parthenon (10 threads)").unwrap();
+        assert_eq!(w.threads, 10);
+        assert!(w.to_string().contains("theorem prover"));
+    }
+}

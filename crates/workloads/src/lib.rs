@@ -1,0 +1,26 @@
+//! The application workloads of Section 5 of the ASPLOS 1991 study.
+//!
+//! Seven Table 7 rows — spellcheck, latex, two Andrew scripts, a kernel
+//! link, and parthenon with 1 and 10 threads — expressed as operating-system
+//! [`ServiceDemand`]s, plus a reproducible [`TraceGenerator`] for
+//! event-stream consumers.
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_workloads::standard_workloads;
+//!
+//! let workloads = standard_workloads();
+//! assert_eq!(workloads.len(), 7);
+//! let andrew = workloads.iter().find(|w| w.name == "andrew-remote").unwrap();
+//! assert!(andrew.demand.syscalls > 30_000);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod demand;
+mod trace;
+
+pub use demand::{find_workload, standard_workloads, Mach3Reference, ServiceDemand, Workload};
+pub use trace::{ServiceEvent, TraceGenerator};

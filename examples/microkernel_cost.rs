@@ -1,0 +1,82 @@
+//! OS-structure scenario (Section 5): what does decomposing a monolithic
+//! kernel into user-level servers cost, workload by workload — and how much
+//! of that cost is the architecture's fault?
+//!
+//! Run with: `cargo run --example microkernel_cost`
+
+use osarch::mach::{simulate_with, syscall_switch_overhead_s, DecompositionModel};
+use osarch::{simulate, standard_workloads, Arch, OsStructure};
+
+fn main() {
+    println!("Monolithic (Mach 2.5) vs small-kernel (Mach 3.0), simulated on the R3000:\n");
+    println!(
+        "{:24} {:>8} {:>8} {:>9} {:>9} {:>8}",
+        "workload", "2.5 s", "3.0 s", "2.5 prim", "3.0 prim", "ctx blow"
+    );
+    for w in standard_workloads() {
+        let mono = simulate(&w, OsStructure::Monolithic, Arch::R3000);
+        let micro = simulate(&w, OsStructure::Microkernel, Arch::R3000);
+        println!(
+            "{:24} {:>8.1} {:>8.1} {:>8.0}% {:>8.0}% {:>7.0}x",
+            w.name,
+            mono.time_s,
+            micro.time_s,
+            mono.primitive_share() * 100.0,
+            micro.primitive_share() * 100.0,
+            micro.demand.as_switches as f64 / mono.demand.as_switches.max(1) as f64,
+        );
+    }
+
+    // What if the RPC path were as lean as LRPC makes it?
+    let andrew = standard_workloads()
+        .into_iter()
+        .find(|w| w.name == "andrew-remote")
+        .unwrap();
+    println!("\nAblation — andrew-remote with a leaner RPC path:\n");
+    println!(
+        "{:44} {:>8} {:>9}",
+        "decomposition model", "3.0 s", "3.0 prim"
+    );
+    let models = [
+        (
+            "default (2 syscalls + 2 switches per RPC)",
+            DecompositionModel::default(),
+        ),
+        (
+            "LRPC-grade (1 syscall + 1 switch per RPC)",
+            DecompositionModel {
+                syscalls_per_rpc: 1.0,
+                as_switches_per_rpc: 1.0,
+                ..DecompositionModel::default()
+            },
+        ),
+        (
+            "tagged-TLB friendly (half the kTLB pressure)",
+            DecompositionModel {
+                ktlb_per_as_switch: 5.5,
+                ktlb_base_factor: 1.5,
+                ..DecompositionModel::default()
+            },
+        ),
+    ];
+    for (name, model) in models {
+        let run = simulate_with(&andrew, OsStructure::Microkernel, Arch::R3000, &model);
+        println!(
+            "{:44} {:>8.1} {:>8.0}%",
+            name,
+            run.time_s,
+            run.primitive_share() * 100.0
+        );
+    }
+
+    // The cross-architecture projection the paper makes from Tables 1 + 7.
+    println!("\nProjected syscall+context-switch overhead for andrew-remote on Mach 3.0:\n");
+    for arch in Arch::timed() {
+        println!(
+            "{:8} {:>6.1} s",
+            arch.to_string(),
+            syscall_switch_overhead_s(arch, "andrew-remote")
+        );
+    }
+    println!("\n(The paper projects 9.4 s for the SPARC.)");
+}

@@ -1,0 +1,42 @@
+//! Quickstart: measure the four primitive OS operations on every
+//! architecture of the study and compare against integer application
+//! performance — the paper's headline result in ~40 lines.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use osarch::{measure, Arch, Primitive};
+
+fn main() {
+    println!("Primitive OS operation times (microseconds):\n");
+    println!(
+        "{:10} {:>12} {:>8} {:>10} {:>12} {:>10}",
+        "arch", "null syscall", "trap", "PTE chg", "ctx switch", "app speed"
+    );
+    let cvax = measure(Arch::Cvax).times_us();
+    for arch in Arch::timed() {
+        let m = measure(arch);
+        let t = m.times_us();
+        println!(
+            "{:10} {:>12.2} {:>8.2} {:>10.2} {:>12.2} {:>9.1}x",
+            arch.to_string(),
+            t.null_syscall,
+            t.trap,
+            t.pte_change,
+            t.context_switch,
+            arch.spec().application_speedup,
+        );
+    }
+
+    println!("\nSpeedup over the CVAX — primitives vs applications:\n");
+    for arch in [Arch::M88000, Arch::R2000, Arch::R3000, Arch::Sparc] {
+        let t = measure(arch).times_us();
+        let app = arch.spec().application_speedup;
+        println!("{:8} application {app:>4.1}x", arch.to_string());
+        for primitive in Primitive::all() {
+            let speedup = cvax.time(primitive) / t.time(primitive);
+            let bar = "#".repeat((speedup * 4.0) as usize);
+            println!("         {:24} {speedup:>4.1}x {bar}", primitive.label());
+        }
+    }
+    println!("\nOS primitives have not scaled with integer performance — Section 1.1.");
+}

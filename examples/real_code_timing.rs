@@ -1,0 +1,88 @@
+//! Real code on simulated iron: write the paper's hot loops in assembly,
+//! verify them functionally with the ISA interpreter, then time the exact
+//! execution trace on every machine.
+//!
+//! Run with: `cargo run --example real_code_timing`
+
+use osarch::isa::{assemble, Interpreter};
+use osarch::kernel::Machine;
+use osarch::Arch;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // 1. The RPC checksum loop: one load paired with one add per word.
+    let checksum = assemble(
+        "        li   r1, 0x80002000   ; packet buffer
+                 li   r3, 128          ; words
+                 li   r2, 0            ; sum
+         loop:   lw   r4, (r1)
+                 add  r2, r2, r4
+                 addi r1, r1, 4
+                 addi r3, r3, -1
+                 bne  r3, r0, loop
+                 halt",
+    )?;
+    let mut cpu = Interpreter::new();
+    let words: Vec<u32> = (0..128u32)
+        .map(|i| i.wrapping_mul(2_654_435_761) % 65536)
+        .collect();
+    cpu.load_words(0x8000_2000, &words);
+    let run = cpu.run(&checksum, 100_000)?;
+    assert_eq!(
+        cpu.reg(2),
+        words.iter().fold(0u32, |a, &w| a.wrapping_add(w))
+    );
+    println!(
+        "checksum of a 512-byte packet: {} instructions, {} loads, sum verified\n",
+        run.instructions, run.loads
+    );
+
+    // 2. memcpy: the data-copying path of Section 2.4.
+    let memcpy = assemble(
+        "        li   r1, 0x80002000   ; src
+                 li   r2, 0x80003000   ; dst
+                 li   r3, 128
+         loop:   lw   r4, (r1)
+                 sw   r4, (r2)
+                 addi r1, r1, 4
+                 addi r2, r2, 4
+                 addi r3, r3, -1
+                 bne  r3, r0, loop
+                 halt",
+    )?;
+    let mut cpu2 = Interpreter::new();
+    cpu2.load_words(0x8000_2000, &words);
+    let copy_run = cpu2.run(&memcpy, 100_000)?;
+    assert_eq!(cpu2.word(0x8000_3000 + 4 * 127), words[127]);
+    println!(
+        "memcpy of the same packet: {} instructions, {} stores, copy verified\n",
+        copy_run.instructions, copy_run.stores
+    );
+
+    // 3. Time both traces on every machine.
+    println!(
+        "{:8} {:>14} {:>12} {:>16}",
+        "arch", "checksum us", "memcpy us", "copy MB/s"
+    );
+    for arch in Arch::timed() {
+        let mut machine = Machine::new(arch);
+        let clock = machine.spec().clock_mhz;
+        let checksum_us = machine.measure(&run.to_program("checksum")).micros(clock);
+        let memcpy_us = machine
+            .measure(&copy_run.to_program("memcpy"))
+            .micros(clock);
+        let mbps = 512.0 / memcpy_us; // bytes per microsecond = MB/s
+        println!(
+            "{:8} {:>14.1} {:>12.1} {:>16.1}",
+            arch.to_string(),
+            checksum_us,
+            memcpy_us,
+            mbps
+        );
+    }
+    println!(
+        "\n\"the relative performance of memory copying drops almost monotonically\n\
+         with faster processors\" — Ousterhout, quoted in Section 2.4. The copy\n\
+         bandwidth above scales far less than the 3.5-6.7x application speedups."
+    );
+    Ok(())
+}

@@ -1,0 +1,66 @@
+//! Communication scenario (Section 2): where does a remote procedure call
+//! spend its time, what does LRPC leave on the table, and what happens when
+//! networks get 10-100x faster while OS primitives stand still?
+//!
+//! Run with: `cargo run --example rpc_comparison`
+
+use osarch::ipc::{
+    lrpc_breakdown, message_rpc_us, rpc_component, src_rpc_breakdown, Network, RpcConfig,
+};
+use osarch::Arch;
+
+fn main() {
+    // 1. The SRC RPC budget on the CVAX Firefly stand-in.
+    println!("{}", src_rpc_breakdown(Arch::Cvax, RpcConfig::null_call()));
+    println!(
+        "{}",
+        src_rpc_breakdown(Arch::Cvax, RpcConfig::large_result())
+    );
+
+    // 2. Local calls: message-based RPC vs LRPC, per architecture.
+    println!("Local cross-address-space calls:\n");
+    println!(
+        "{:8} {:>12} {:>10} {:>12}",
+        "arch", "message us", "LRPC us", "improvement"
+    );
+    for arch in Arch::timed() {
+        let message = message_rpc_us(arch);
+        let lrpc = lrpc_breakdown(arch).total_us();
+        println!(
+            "{:8} {:>12.1} {:>10.1} {:>11.1}x",
+            arch.to_string(),
+            message,
+            lrpc,
+            message / lrpc
+        );
+    }
+    println!();
+    println!("{}", lrpc_breakdown(Arch::Cvax));
+
+    // 3. Faster networks: the OS becomes the bottleneck.
+    println!("Round-trip null RPC on the R3000 as the network speeds up:\n");
+    println!("{:>10} {:>10} {:>8}", "bandwidth", "total us", "wire %");
+    for factor in [1.0, 10.0, 100.0] {
+        let config = RpcConfig {
+            network: if factor > 1.0 {
+                Network::future(factor)
+            } else {
+                Network::ethernet()
+            },
+            request_bytes: 74,
+            reply_bytes: 74,
+        };
+        let b = src_rpc_breakdown(Arch::R3000, config);
+        println!(
+            "{:>7.0}x10M {:>10.0} {:>7.0}%",
+            factor,
+            b.total_us(),
+            b.share(rpc_component::WIRE) * 100.0
+        );
+    }
+    println!(
+        "\n\"the lower bound on RPC performance will be due to the cost of operating\n\
+         system primitives ... interrupt processing, thread management, and\n\
+         memory-intensive byte copying or checksum operations.\" — Section 2.1"
+    );
+}

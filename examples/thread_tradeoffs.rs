@@ -1,0 +1,102 @@
+//! Thread-management scenario (Section 4): register windows versus
+//! fine-grained threads, and what a missing atomic instruction costs a
+//! parallel theorem prover.
+//!
+//! Run with: `cargo run --example thread_tradeoffs`
+
+use osarch::threads::{parthenon_run, synapse_report, thread_state_table, SYNAPSE_RATIO_RANGE};
+use osarch::{Arch, LockStrategy, ThreadCosts, UserThreads};
+
+fn main() {
+    // 1. The state a switch must move (Table 6).
+    println!("Processor state per thread (32-bit words):\n");
+    for row in thread_state_table() {
+        println!(
+            "{:8} {:>4} registers + {:>2} fp + {:>2} misc = {:>3}",
+            row.arch.to_string(),
+            row.registers,
+            row.fp_state,
+            row.misc_state,
+            row.total()
+        );
+    }
+
+    // 2. Thread operation costs.
+    println!("\nUser-level thread operations (microseconds):\n");
+    println!(
+        "{:8} {:>7} {:>8} {:>8} {:>13} {:>7}",
+        "arch", "call", "switch", "create", "switch/call", "kernel?"
+    );
+    for arch in Arch::all() {
+        let costs = ThreadCosts::measure(arch);
+        println!(
+            "{:8} {:>7.2} {:>8.2} {:>8.2} {:>12.0}x {:>7}",
+            arch.to_string(),
+            costs.procedure_call_us,
+            costs.thread_switch_us,
+            costs.thread_create_us,
+            costs.switch_to_call_ratio(),
+            if costs.switch_requires_kernel {
+                "yes"
+            } else {
+                "no"
+            },
+        );
+    }
+
+    // 3. Synapse: is the program call-bound or switch-bound?
+    println!("\nSynapse time budget (per switch interval):\n");
+    for arch in [Arch::Sparc, Arch::R3000] {
+        for ratio in [SYNAPSE_RATIO_RANGE.0, SYNAPSE_RATIO_RANGE.1] {
+            let r = synapse_report(arch, ratio);
+            println!(
+                "{:8} at {ratio:>2}:1  calls {:>6.2} us, switch {:>6.2} us -> {}",
+                arch.to_string(),
+                r.call_time_us,
+                r.switch_time_us,
+                if r.switches_dominate() {
+                    "switch-bound"
+                } else {
+                    "call-bound"
+                }
+            );
+        }
+    }
+
+    // 4. Fine-grained scheduling overhead.
+    println!("\nScheduling 16 threads of 8 slices at varying grain:\n");
+    for arch in [Arch::Sparc, Arch::R3000] {
+        for slice_us in [500.0, 50.0, 10.0] {
+            let mut pool = UserThreads::new(arch, slice_us);
+            for _ in 0..16 {
+                pool.spawn(8);
+            }
+            let stats = pool.run();
+            println!(
+                "{:8} slice {:>5.0} us: overhead {:>5.1}%",
+                arch.to_string(),
+                slice_us,
+                stats.overhead_share() * 100.0
+            );
+        }
+    }
+
+    // 5. Parthenon and the missing test-and-set.
+    println!("\nparthenon, 10 threads, by lock strategy:\n");
+    for arch in [Arch::R3000, Arch::Sparc] {
+        for strategy in LockStrategy::available(arch) {
+            let run = parthenon_run(arch, 10, strategy);
+            println!(
+                "{:8} {:24} total {:>5.1} s, {:>4.1}% synchronising",
+                arch.to_string(),
+                strategy.to_string(),
+                run.total_s(),
+                run.sync_share() * 100.0
+            );
+        }
+    }
+    println!(
+        "\nThe MIPS has no atomic test-and-set: every lock is a kernel trap, and the\n\
+         prover gives a fifth of its runtime back — Section 4.1."
+    );
+}

@@ -1,0 +1,22 @@
+//! # osarch
+//!
+//! A reproduction of Anderson, Levy, Bershad & Lazowska, *The Interaction
+//! of Architecture and Operating System Design* (ASPLOS 1991), as a
+//! cycle-level architecture/OS interaction simulator.
+//!
+//! This crate is a thin facade over [`osarch_core`]; see the README for the
+//! repository map and EXPERIMENTS.md for the paper-vs-measured record.
+//!
+//! ```
+//! use osarch::{measure, Arch};
+//!
+//! let sparc = measure(Arch::Sparc).times_us();
+//! let cvax = measure(Arch::Cvax).times_us();
+//! // The SPARC runs applications 4.3x faster than the CVAX, but a null
+//! // system call barely improves.
+//! assert!(cvax.null_syscall / sparc.null_syscall < 1.5);
+//! ```
+
+#![forbid(unsafe_code)]
+
+pub use osarch_core::*;

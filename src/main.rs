@@ -1,0 +1,168 @@
+//! `osarch` — command-line front end for the ASPLOS 1991 reproduction.
+//!
+//! ```text
+//! osarch tables [NAME]         print reproduction tables (default: all)
+//! osarch measure <ARCH>        measure the four primitives on one machine
+//! osarch listing <ARCH> <OP>   print a handler program listing
+//! osarch compare <A> <B>       compare two machines primitive by primitive
+//! osarch archs                 list the modelled architectures
+//! ```
+
+use osarch::kernel::{HandlerSet, Machine};
+use osarch::{ablations, experiments, measure, Arch, Primitive};
+use std::process::ExitCode;
+
+fn parse_arch(name: &str) -> Option<Arch> {
+    Arch::all()
+        .into_iter()
+        .find(|a| a.to_string().eq_ignore_ascii_case(name))
+}
+
+fn parse_primitive(name: &str) -> Option<Primitive> {
+    match name.to_ascii_lowercase().as_str() {
+        "syscall" | "null-syscall" => Some(Primitive::NullSyscall),
+        "trap" => Some(Primitive::Trap),
+        "pte" | "pte-change" => Some(Primitive::PteChange),
+        "ctxsw" | "context-switch" => Some(Primitive::ContextSwitch),
+        _ => None,
+    }
+}
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage: osarch <command>\n\
+         \n\
+         commands:\n\
+         \x20 tables [NAME]        print reproduction tables (table1..table7,\n\
+         \x20                      intext, ablations, vm, tlb, threads, future, depth)\n\
+         \x20 measure ARCH         measure the four primitives on one machine\n\
+         \x20 listing ARCH OP      print a handler listing (syscall|trap|pte|ctxsw)\n\
+         \x20 compare ARCH ARCH    compare two machines\n\
+         \x20 archs                list the modelled architectures"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("archs") => {
+            for arch in Arch::all() {
+                let spec = arch.spec();
+                println!(
+                    "{:8} {:>6.2} MHz  app {:>3.1}x  {} + {} + {} state words",
+                    arch.to_string(),
+                    spec.clock_mhz,
+                    spec.application_speedup,
+                    spec.int_registers,
+                    spec.fp_state_words,
+                    spec.misc_state_words,
+                );
+            }
+            ExitCode::SUCCESS
+        }
+        Some("tables") => {
+            let reports = match args.get(1).map(String::as_str) {
+                None | Some("all") => {
+                    let mut reports = experiments::all_reports();
+                    reports.push(ablations::ablation_table());
+                    reports
+                }
+                Some("table1") => vec![experiments::table1()],
+                Some("table2") => vec![experiments::table2()],
+                Some("table3") => vec![experiments::table3()],
+                Some("table4") => vec![experiments::table4()],
+                Some("table5") => vec![experiments::table5()],
+                Some("table6") => vec![experiments::table6()],
+                Some("table7") => vec![experiments::table7()],
+                Some("intext") => vec![experiments::intext_results()],
+                Some("ablations") => vec![ablations::ablation_table()],
+                Some("vm") => vec![experiments::vm_overloading()],
+                Some("tlb") => vec![experiments::tlb_effectiveness()],
+                Some("threads") => vec![experiments::thread_models()],
+                Some("future") => vec![experiments::future_machines()],
+                Some("depth") => vec![experiments::decomposition_depth()],
+                Some(other) => {
+                    eprintln!("unknown table {other:?}");
+                    return usage();
+                }
+            };
+            for report in reports {
+                println!("{report}");
+            }
+            ExitCode::SUCCESS
+        }
+        Some("measure") => {
+            let Some(arch) = args.get(1).and_then(|n| parse_arch(n)) else {
+                eprintln!("expected an architecture (see `osarch archs`)");
+                return usage();
+            };
+            let m = measure(arch);
+            let times = m.times_us();
+            let counts = m.instruction_counts();
+            println!("{arch} ({:.2} MHz):", m.clock_mhz);
+            for (primitive, count) in Primitive::all().into_iter().zip(counts) {
+                println!(
+                    "  {:26} {:>8.2} us  {:>4} instructions",
+                    primitive.label(),
+                    times.time(primitive),
+                    count
+                );
+            }
+            let (entry, prep, call) = m.syscall_phases_us();
+            println!(
+                "  syscall phases: entry/exit {entry:.2} us, prep {prep:.2} us, call/ret {call:.2} us"
+            );
+            ExitCode::SUCCESS
+        }
+        Some("listing") => {
+            let (Some(arch), Some(primitive)) = (
+                args.get(1).and_then(|n| parse_arch(n)),
+                args.get(2).and_then(|n| parse_primitive(n)),
+            ) else {
+                eprintln!("expected: listing ARCH syscall|trap|pte|ctxsw");
+                return usage();
+            };
+            let machine = Machine::new(arch);
+            let handlers = HandlerSet::generate(machine.spec(), machine.layout());
+            print!("{}", handlers.program(primitive).listing());
+            ExitCode::SUCCESS
+        }
+        Some("compare") => {
+            let (Some(a), Some(b)) = (
+                args.get(1).and_then(|n| parse_arch(n)),
+                args.get(2).and_then(|n| parse_arch(n)),
+            ) else {
+                eprintln!("expected: compare ARCH ARCH");
+                return usage();
+            };
+            let (ma, mb) = (measure(a), measure(b));
+            println!(
+                "{:26} {:>10} {:>10} {:>8}",
+                "operation",
+                a.to_string(),
+                b.to_string(),
+                "ratio"
+            );
+            for primitive in Primitive::all() {
+                let (ta, tb) = (ma.times_us().time(primitive), mb.times_us().time(primitive));
+                println!(
+                    "{:26} {:>8.2}us {:>8.2}us {:>7.2}x",
+                    primitive.label(),
+                    ta,
+                    tb,
+                    ta / tb
+                );
+            }
+            println!(
+                "{:26} {:>10.1} {:>10.1} {:>7.2}x",
+                "application performance",
+                a.spec().application_speedup,
+                b.spec().application_speedup,
+                a.spec().application_speedup / b.spec().application_speedup
+            );
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
+}

@@ -1,0 +1,105 @@
+//! Cross-crate consistency: the same machine model underlies every layer.
+
+use osarch::kernel::{PrimitiveCosts, USER2_ASID, USER_ASID};
+use osarch::mach::EventCosts;
+use osarch::mem::{AccessKind, Mode, Protection};
+use osarch::{measure, Arch, Machine, MicroOp, Program, VirtAddr};
+
+#[test]
+fn mach_event_costs_agree_with_kernel_measurements() {
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        let kernel = measure(arch).times_us();
+        let mach = EventCosts::measure(arch);
+        assert_eq!(mach.syscall_us, kernel.null_syscall, "{arch} syscall");
+        assert_eq!(mach.as_switch_us, kernel.context_switch, "{arch} switch");
+        assert_eq!(mach.other_exception_us, kernel.trap, "{arch} trap");
+    }
+}
+
+#[test]
+fn primitive_costs_facade_is_consistent() {
+    let costs = PrimitiveCosts::measure(Arch::Sparc);
+    let direct = measure(Arch::Sparc).times_us();
+    assert_eq!(costs.syscall_us, direct.null_syscall);
+    assert_eq!(costs.trap_us, direct.trap);
+    assert_eq!(costs.pte_change_us, direct.pte_change);
+    assert_eq!(costs.context_switch_us, direct.context_switch);
+}
+
+#[test]
+fn machine_supports_multi_process_fault_isolation() {
+    let mut machine = Machine::new(Arch::R3000);
+    let page = machine.layout().user_page; // mapped in USER_ASID only
+    machine.mem_mut().switch_to(USER2_ASID);
+    let mut b = Program::builder("cross-space touch");
+    b.load(page);
+    let out = machine.run_user(&b.build());
+    assert!(!out.completed(), "another space's page must not be visible");
+    machine.mem_mut().switch_to(USER_ASID);
+    let mut b = Program::builder("own touch");
+    b.load(page);
+    assert!(machine.run_user(&b.build()).completed());
+}
+
+#[test]
+fn ipc_and_threads_share_the_same_syscall_floor() {
+    // A kernel-trap lock can never be cheaper than the bare trap machinery
+    // it is built from.
+    use osarch::threads::{lock_pair_us, LockStrategy};
+    for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
+        let spec = arch.spec();
+        let trap_floor_us = f64::from(2 * spec.trap_entry_cycles) / spec.clock_mhz;
+        let lock = lock_pair_us(arch, LockStrategy::KernelTrap);
+        assert!(
+            lock > trap_floor_us,
+            "{arch}: lock {lock:.2} vs floor {trap_floor_us:.2}"
+        );
+    }
+}
+
+#[test]
+fn direct_mem_access_and_program_execution_agree() {
+    // A program's load outcome matches a direct memory-system access.
+    let mut machine = Machine::new(Arch::Sparc);
+    let addr = machine.layout().kstack;
+    let direct = machine
+        .mem_mut()
+        .access(addr, AccessKind::Read, Mode::Kernel)
+        .unwrap();
+    let mut b = Program::builder("one load");
+    b.op(MicroOp::Load(addr));
+    let out = machine.run(&b.build());
+    assert!(out.completed());
+    // Second access (warm) should not miss the TLB again.
+    assert!(direct.tlb_miss);
+    assert_eq!(out.stats.tlb_misses, 0);
+}
+
+#[test]
+fn unmapping_under_a_running_program_faults_cleanly() {
+    let mut machine = Machine::new(Arch::R2000);
+    let page = VirtAddr(0x0055_0000);
+    machine.mem_mut().map_page(USER_ASID, page, Protection::RW);
+    machine.mem_mut().switch_to(USER_ASID);
+    let mut b = Program::builder("touch");
+    b.load(page);
+    let program = b.build();
+    assert!(machine.run_user(&program).completed());
+    machine.mem_mut().unmap_page(USER_ASID, page);
+    let out = machine.run_user(&program);
+    assert!(
+        !out.completed(),
+        "stale TLB entries must not outlive the unmap"
+    );
+}
+
+#[test]
+fn workload_traces_feed_the_structure_model() {
+    use osarch::workloads::{find_workload, TraceGenerator};
+    let w = find_workload("andrew-remote").unwrap();
+    let mut generator = TraceGenerator::new(&w.demand, 11);
+    let sample = generator.sample_counts(50_000);
+    // The sampled mix must reflect the demand's dominant components.
+    assert!(sample.kernel_tlb_misses > sample.syscalls);
+    assert!(sample.other_exceptions > sample.as_switches);
+}

@@ -1,0 +1,122 @@
+//! Integration tests for the extension studies built on top of the core
+//! reproduction: copy-on-write, DSM, the pager, thread models, ablations,
+//! clock scaling, and decomposition depth.
+
+use osarch::ablations::{all_ablations, tlb_lockdown_misses};
+use osarch::ipc::{DsmSystem, Network, PageState};
+use osarch::kernel::{
+    measure_with_spec, user_fault_reflection_us, CowManager, USER2_ASID, USER_ASID,
+};
+use osarch::mem::{Asid, Pager, ReplacementPolicy};
+use osarch::threads::{model_overhead_us, ThreadModel, ThreadWorkload};
+use osarch::{Arch, VirtAddr};
+
+#[test]
+fn cow_and_dsm_share_a_consistent_cost_basis() {
+    // A DSM write fault includes a trap; a COW fault includes a trap + a
+    // 4 KB copy. On the same architecture the COW service must cost more
+    // than the DSM protocol's local (non-wire) trap component.
+    let mut cow = CowManager::new(Arch::R3000);
+    let page = VirtAddr(0x0060_0000);
+    cow.share(USER_ASID, page, USER2_ASID, page);
+    let cow_us = match cow.write(USER_ASID, page).unwrap() {
+        osarch::kernel::VmWrite::CowFault { micros } => micros,
+        other => panic!("expected fault, got {other:?}"),
+    };
+    let trap_us = osarch::measure(Arch::R3000).times_us().trap;
+    assert!(
+        cow_us > trap_us,
+        "cow {cow_us:.1} must exceed the bare trap {trap_us:.1}"
+    );
+}
+
+#[test]
+fn dsm_protocol_respects_single_writer_over_long_runs() {
+    let mut dsm = DsmSystem::new(Arch::Sparc, 8, Network::ethernet());
+    for step in 0..2_000u32 {
+        let node = (step.wrapping_mul(2_654_435_761) >> 16) as usize % 8;
+        let page = step * 5 % 17;
+        if step % 4 == 0 {
+            dsm.write(node, page);
+            assert_eq!(dsm.state(node, page), PageState::Writable);
+        } else {
+            dsm.read(node, page);
+        }
+        assert!(dsm.coherent(), "step {step}");
+    }
+}
+
+#[test]
+fn pager_and_primitives_compose_into_fault_costs() {
+    let mut pager = Pager::new(8, ReplacementPolicy::Clock);
+    for i in 0..10_000u32 {
+        pager.reference(Asid(1), VirtAddr((i % 24) << 12), false);
+    }
+    let faults = pager.stats().faults;
+    assert!(faults > 100, "24 pages on 8 frames must fault steadily");
+    // Price the stream on two machines: same faults, different CPU cost.
+    let r3000 = osarch::measure(Arch::R3000).times_us();
+    let cvax = osarch::measure(Arch::Cvax).times_us();
+    let cost = |t: &osarch::kernel::PrimitiveTimes| faults as f64 * (t.trap + t.pte_change);
+    assert!(cost(&cvax) > cost(&r3000) * 3.0);
+}
+
+#[test]
+fn thread_models_order_correctly_on_every_timed_arch() {
+    let fine = ThreadWorkload::fine_grained();
+    for arch in Arch::timed() {
+        let kernel = model_overhead_us(arch, ThreadModel::KernelThreads, &fine);
+        let activations = model_overhead_us(arch, ThreadModel::SchedulerActivations, &fine);
+        assert!(
+            activations < kernel,
+            "{arch}: activations must win on fine grain"
+        );
+    }
+}
+
+#[test]
+fn ablations_are_deterministic_and_all_positive() {
+    let a = all_ablations();
+    let b = all_ablations();
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(&b) {
+        assert_eq!(x, y, "ablation results must be reproducible");
+        assert!(x.improvement() > 0.0, "{}", x.name);
+    }
+}
+
+#[test]
+fn lockdown_scales_with_pressure() {
+    let (small, _) = tlb_lockdown_misses(24, 32);
+    let (large, locked) = tlb_lockdown_misses(24, 128);
+    assert!(
+        large >= small,
+        "more user pressure, at least as many kernel misses"
+    );
+    assert_eq!(locked, 0);
+}
+
+#[test]
+fn clock_scaling_preserves_instruction_counts() {
+    // Faster clocks change cycles, never the instruction stream.
+    let base = measure_with_spec(Arch::Sparc.spec());
+    let fast = measure_with_spec(Arch::Sparc.spec().with_scaled_clock(4.0));
+    assert_eq!(base.instruction_counts(), fast.instruction_counts());
+    // And the scaled machine is faster in absolute terms everywhere.
+    let b = base.times_us();
+    let f = fast.times_us();
+    assert!(f.null_syscall < b.null_syscall);
+    assert!(f.context_switch < b.context_switch);
+}
+
+#[test]
+fn fault_reflection_orders_like_the_primitives() {
+    let r3000 = user_fault_reflection_us(Arch::R3000);
+    let cvax = user_fault_reflection_us(Arch::Cvax);
+    let sparc = user_fault_reflection_us(Arch::Sparc);
+    assert!(r3000 < sparc, "cheap primitives, cheap reflection");
+    assert!(
+        sparc < cvax * 1.2,
+        "but the SPARC does not beat the CVAX by much"
+    );
+}

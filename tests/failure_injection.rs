@@ -1,0 +1,160 @@
+//! Failure injection: the simulator's fault machinery under abuse.
+
+use osarch::kernel::USER_ASID;
+use osarch::mem::{FaultKind, Protection};
+use osarch::{Arch, Machine, MicroOp, Program, VirtAddr};
+
+#[test]
+fn unmapped_touch_faults_on_every_architecture() {
+    for arch in Arch::all() {
+        let mut machine = Machine::new(arch);
+        machine.mem_mut().switch_to(USER_ASID);
+        let mut b = Program::builder("wild load");
+        b.alu(3);
+        b.load(VirtAddr(0x6666_0000));
+        let out = machine.run_user(&b.build());
+        let fault = out
+            .fault
+            .unwrap_or_else(|| panic!("{arch}: wild load must fault"));
+        assert_eq!(fault.kind, FaultKind::PageNotResident, "{arch}");
+        assert_eq!(
+            out.stats.instructions, 3,
+            "{arch}: partial progress preserved"
+        );
+    }
+}
+
+#[test]
+fn user_mode_cannot_reach_kernel_segments() {
+    for arch in Arch::all() {
+        let mut machine = Machine::new(arch);
+        let kernel_addr = machine.layout().save_area;
+        machine.mem_mut().switch_to(USER_ASID);
+        let mut b = Program::builder("kernel poke");
+        b.store(kernel_addr);
+        let out = machine.run_user(&b.build());
+        assert!(
+            !out.completed(),
+            "{arch}: user store into kernel space must fault"
+        );
+    }
+}
+
+#[test]
+fn write_to_read_only_page_faults_but_read_succeeds() {
+    for arch in [Arch::Cvax, Arch::R3000, Arch::I860] {
+        let mut machine = Machine::new(arch);
+        let page = machine.layout().user_page;
+        machine
+            .mem_mut()
+            .protect_page(USER_ASID, page, Protection::READ);
+        machine.mem_mut().switch_to(USER_ASID);
+        let mut read = Program::builder("read");
+        read.load(page);
+        assert!(
+            machine.run_user(&read.build()).completed(),
+            "{arch}: read must pass"
+        );
+        let mut write = Program::builder("write");
+        write.store(page);
+        let out = machine.run_user(&write.build());
+        assert_eq!(
+            out.fault.map(|f| f.kind),
+            Some(FaultKind::ProtectionViolation),
+            "{arch}"
+        );
+    }
+}
+
+#[test]
+fn tlb_pressure_storm_stays_correct() {
+    // Touch far more pages than the TLB holds; every access must still
+    // translate correctly (misses, not faults).
+    let mut machine = Machine::new(Arch::R3000);
+    let entries = machine.spec().mem.tlb.map(|t| t.entries).unwrap_or(64);
+    let pages = (entries * 4) as u32;
+    for i in 0..pages {
+        machine
+            .mem_mut()
+            .map_page(USER_ASID, VirtAddr(0x0100_0000 + i * 4096), Protection::RW);
+    }
+    machine.mem_mut().switch_to(USER_ASID);
+    let mut b = Program::builder("tlb storm");
+    for i in 0..pages {
+        b.load(VirtAddr(0x0100_0000 + i * 4096));
+    }
+    let program = b.build();
+    let out = machine.run_user(&program);
+    assert!(out.completed(), "storm must not fault: {:?}", out.fault);
+    assert!(out.stats.tlb_misses + entries as u64 >= u64::from(pages));
+    // A second sweep still misses (capacity), still completes.
+    let out2 = machine.run_user(&program);
+    assert!(out2.completed());
+    assert!(out2.stats.tlb_misses > 0, "the working set exceeds the TLB");
+}
+
+#[test]
+fn window_overflow_storm_is_bounded() {
+    use osarch::cpu::{WindowEngine, WindowEvent};
+    let config = Arch::Sparc.spec().windows.unwrap();
+    let mut engine = WindowEngine::new(config);
+    let mut spills = 0u64;
+    for _ in 0..10_000 {
+        if engine.call() == WindowEvent::Spill {
+            spills += 1;
+        }
+    }
+    assert_eq!(spills, 10_000 - u64::from(config.windows - 2));
+    assert!(engine.occupied() < config.windows);
+    // Unwind: fills appear once the live frames are exhausted.
+    let mut fills = 0u64;
+    for _ in 0..10_000 {
+        if engine.ret() == WindowEvent::Fill {
+            fills += 1;
+        }
+    }
+    assert!(fills > 9_000);
+}
+
+#[test]
+fn faulting_handler_is_reported_not_swallowed() {
+    // A deliberately broken handler program touching unmapped kernel space.
+    let mut machine = Machine::new(Arch::Sparc);
+    let mut b = Program::builder("broken handler");
+    b.op(MicroOp::TrapEnter);
+    b.load(VirtAddr(0x9999_0000));
+    b.op(MicroOp::TrapReturn);
+    let out = machine.run(&b.build());
+    assert!(!out.completed());
+    assert_eq!(out.stats.instructions, 1, "only the entry executed");
+}
+
+#[test]
+fn destroyed_address_space_faults_with_address_error() {
+    let mut machine = Machine::new(Arch::R3000);
+    machine.mem_mut().switch_to(USER_ASID);
+    assert!(machine.mem_mut().destroy_space(USER_ASID));
+    let mut b = Program::builder("use after destroy");
+    b.load(VirtAddr(0x0001_0000));
+    let out = machine.run_user(&b.build());
+    assert!(!out.completed());
+}
+
+#[test]
+fn i860_context_switch_flushes_the_whole_virtual_cache() {
+    let mut machine = Machine::new(Arch::I860);
+    let addr = machine.layout().save_area;
+    // Warm a line, switch spaces, and observe the reload cost.
+    let mut warm = Program::builder("warm");
+    warm.load(addr);
+    machine.run(&warm.build());
+    let mut probe = Program::builder("probe");
+    probe.load(addr);
+    let hit = machine.run(&probe.build()).stats.cycles;
+    machine.mem_mut().switch_to(osarch::kernel::USER2_ASID);
+    let miss = machine.run(&probe.build()).stats.cycles;
+    assert!(
+        miss > hit,
+        "untagged virtual cache must lose its contents on switch"
+    );
+}

@@ -1,0 +1,130 @@
+//! Property-based tests over the public API.
+
+use osarch::ipc::{src_rpc_breakdown, Network, RpcConfig};
+use osarch::kernel::USER_ASID;
+use osarch::mem::Protection;
+use osarch::{simulate, Arch, Machine, MicroOp, OsStructure, Phase, Program, VirtAddr};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![
+        Just(Arch::Cvax),
+        Just(Arch::M88000),
+        Just(Arch::R2000),
+        Just(Arch::R3000),
+        Just(Arch::Sparc),
+        Just(Arch::I860),
+        Just(Arch::Rs6000),
+    ]
+}
+
+/// Ops restricted to mapped kernel data so programs never fault.
+fn arb_safe_op() -> impl Strategy<Value = MicroOp> {
+    let addr = |offset: u32| VirtAddr(0x8000_2000 + (offset % 2048) * 4);
+    prop_oneof![
+        Just(MicroOp::Alu),
+        Just(MicroOp::DelayNop),
+        Just(MicroOp::Branch),
+        Just(MicroOp::ReadControl),
+        Just(MicroOp::WriteControl),
+        Just(MicroOp::TlbWriteEntry),
+        (0u32..2048).prop_map(move |o| MicroOp::Load(addr(o))),
+        (0u32..2048).prop_map(move |o| MicroOp::Store(addr(o))),
+        (0u32..64).prop_map(MicroOp::Stall),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Any sequence of safe ops executes to completion with consistent
+    /// accounting on every architecture.
+    #[test]
+    fn executor_is_total_over_safe_programs(arch in arb_arch(), ops in proptest::collection::vec(arb_safe_op(), 1..120)) {
+        let mut machine = Machine::new(arch);
+        let mut b = Program::builder("arbitrary");
+        for op in &ops {
+            b.op(*op);
+        }
+        let out = machine.run(&b.build());
+        prop_assert!(out.completed(), "{arch}: {:?}", out.fault);
+        prop_assert!(out.stats.cycles >= out.stats.instructions.saturating_sub(
+            ops.iter().filter(|o| matches!(o, MicroOp::Stall(_))).count() as u64));
+        let phase_sum: u64 = Phase::all().iter().map(|p| out.stats.phase(*p).cycles).sum();
+        prop_assert_eq!(phase_sum, out.stats.cycles);
+    }
+
+    /// Execution of the same program is deterministic on a fresh machine.
+    #[test]
+    fn fresh_machine_execution_is_deterministic(arch in arb_arch(), ops in proptest::collection::vec(arb_safe_op(), 1..60)) {
+        let run = || {
+            let mut machine = Machine::new(arch);
+            let mut b = Program::builder("det");
+            for op in &ops {
+                b.op(*op);
+            }
+            machine.run(&b.build()).stats
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// RPC time is monotone in payload size.
+    #[test]
+    fn rpc_time_monotone_in_payload(a in 16u32..3000, b in 16u32..3000) {
+        let (small, large) = if a <= b { (a, b) } else { (b, a) };
+        let time = |bytes| {
+            src_rpc_breakdown(
+                Arch::R3000,
+                RpcConfig { network: Network::ethernet(), request_bytes: 74, reply_bytes: bytes },
+            )
+            .total_us()
+        };
+        prop_assert!(time(small) <= time(large) + 1e-6);
+    }
+
+    /// Decomposition never shrinks any Table 7 counter, for every workload.
+    #[test]
+    fn microkernel_demand_dominates(index in 0usize..7) {
+        let workloads = osarch::standard_workloads();
+        let w = &workloads[index];
+        let mono = simulate(w, OsStructure::Monolithic, Arch::R3000);
+        let micro = simulate(w, OsStructure::Microkernel, Arch::R3000);
+        prop_assert!(micro.demand.dominates(&mono.demand));
+        prop_assert!(micro.primitive_share() >= mono.primitive_share());
+    }
+
+    /// Mapping then touching a page never faults; protection downgrades
+    /// always bite.
+    #[test]
+    fn map_touch_protect_cycle(arch in arb_arch(), page in 1u32..0x3000) {
+        let mut machine = Machine::new(arch);
+        let va = VirtAddr(page * 4096);
+        machine.mem_mut().map_page(USER_ASID, va, Protection::RW);
+        machine.mem_mut().switch_to(USER_ASID);
+        let mut b = Program::builder("touch");
+        b.store(va);
+        prop_assert!(machine.run_user(&b.build()).completed());
+        machine.mem_mut().protect_page(USER_ASID, va, Protection::READ);
+        let mut b = Program::builder("retouch");
+        b.store(va);
+        prop_assert!(!machine.run_user(&b.build()).completed());
+    }
+
+    /// Report rendering is total: arbitrary cell content never panics and
+    /// always round-trips every cell.
+    #[test]
+    fn table_rendering_is_total(cells in proptest::collection::vec("[a-zA-Z0-9 .%-]{0,18}", 1..40)) {
+        let mut table = osarch::Table::new("prop");
+        table.headers(["a", "b", "c"]);
+        for chunk in cells.chunks(3) {
+            table.row(chunk.iter().cloned());
+        }
+        let text = table.render();
+        for cell in &cells {
+            let trimmed = cell.trim();
+            if !trimmed.is_empty() {
+                prop_assert!(text.contains(trimmed), "missing {trimmed:?}");
+            }
+        }
+    }
+}
