@@ -1,38 +1,40 @@
 //! Print the reproduction of every table in the paper.
 //!
-//! Usage: `repro_tables [table1..table7|intext|ablations]`
-//! With no argument, prints everything.
+//! Usage: `repro_tables [NAME] [--json]`
+//! With no name, prints everything. The names are the report registry's
+//! (`table1..table7`, `intext`, `ablations`, `vm`, `tlb`, `threads`,
+//! `future`, `depth`); `--json` emits the tables as a JSON array.
 
-use osarch_core::{ablations, experiments};
+use osarch_core::{metrics, session};
 
 fn main() {
-    let arg = std::env::args().nth(1);
-    let reports = match arg.as_deref() {
-        None | Some("all") => {
-            let mut reports = experiments::all_reports();
-            reports.push(ablations::ablation_table());
-            reports
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut selector: Option<&str> = None;
+    let mut json = false;
+    for arg in &args {
+        match arg.as_str() {
+            "--json" => json = true,
+            name if selector.is_none() => selector = Some(name),
+            other => {
+                eprintln!("unexpected argument {other:?}");
+                std::process::exit(2);
+            }
         }
-        Some("table1") => vec![experiments::table1()],
-        Some("table2") => vec![experiments::table2()],
-        Some("table3") => vec![experiments::table3()],
-        Some("table4") => vec![experiments::table4()],
-        Some("table5") => vec![experiments::table5()],
-        Some("table6") => vec![experiments::table6()],
-        Some("table7") => vec![experiments::table7()],
-        Some("intext") => vec![experiments::intext_results()],
-        Some("ablations") => vec![ablations::ablation_table()],
-        Some("vm") => vec![experiments::vm_overloading()],
-        Some("tlb") => vec![experiments::tlb_effectiveness()],
-        Some("threads") => vec![experiments::thread_models()],
-        Some("future") => vec![experiments::future_machines()],
-        Some("depth") => vec![experiments::decomposition_depth()],
-        Some(other) => {
-            eprintln!("unknown report {other:?}; expected table1..table7, intext, ablations, vm, tlb, threads, future, depth, or all");
-            std::process::exit(2);
-        }
+    }
+    let Some(reports) = session::resolve_reports(selector) else {
+        let names: Vec<&str> = session::REPORTS.iter().map(|spec| spec.name).collect();
+        eprintln!(
+            "unknown report {:?}; expected {}, or all",
+            selector.unwrap_or_default(),
+            names.join(", ")
+        );
+        std::process::exit(2);
     };
-    for report in reports {
-        println!("{report}");
+    if json {
+        print!("{}", metrics::tables_json(&reports));
+    } else {
+        for report in reports {
+            println!("{report}");
+        }
     }
 }

@@ -139,58 +139,74 @@ pub fn tlb_lockdown_misses(kernel_pages: u32, user_pages: u32) -> (u64, u64) {
     (run(false), run(true))
 }
 
-/// Every ablation, measured.
+/// Every ablation, measured. The what-ifs are independent simulations, so
+/// they run concurrently; the result order is fixed.
 #[must_use]
 pub fn all_ablations() -> Vec<Ablation> {
-    let mut out = vec![
-        handler_ablation(
-            Arch::M88000,
-            Variant::DeferredFaultCheck,
-            "88000 syscall: defer fault checks on voluntary traps",
-        ),
-        handler_ablation(
-            Arch::Sparc,
-            Variant::HardwareWindowFault,
-            "SPARC syscall: hardware window fault before the call",
-        ),
-        handler_ablation(
-            Arch::I860,
-            Variant::ProvideFaultAddress,
-            "i860 trap: hardware reports the fault address",
-        ),
-        handler_ablation(
-            Arch::M88000,
-            Variant::PreciseInterrupts,
-            "88000 trap: precise interrupts",
-        ),
-        handler_ablation(
-            Arch::I860,
-            Variant::TaggedVirtualCache,
-            "i860 ctx switch: process-ID tags in the virtual cache",
-        ),
+    let tasks: Vec<Box<dyn FnOnce() -> Ablation + Send>> = vec![
+        Box::new(|| {
+            handler_ablation(
+                Arch::M88000,
+                Variant::DeferredFaultCheck,
+                "88000 syscall: defer fault checks on voluntary traps",
+            )
+        }),
+        Box::new(|| {
+            handler_ablation(
+                Arch::Sparc,
+                Variant::HardwareWindowFault,
+                "SPARC syscall: hardware window fault before the call",
+            )
+        }),
+        Box::new(|| {
+            handler_ablation(
+                Arch::I860,
+                Variant::ProvideFaultAddress,
+                "i860 trap: hardware reports the fault address",
+            )
+        }),
+        Box::new(|| {
+            handler_ablation(
+                Arch::M88000,
+                Variant::PreciseInterrupts,
+                "88000 trap: precise interrupts",
+            )
+        }),
+        Box::new(|| {
+            handler_ablation(
+                Arch::I860,
+                Variant::TaggedVirtualCache,
+                "i860 ctx switch: process-ID tags in the virtual cache",
+            )
+        }),
+        // MIPS with an atomic test-and-set: parthenon's sync time under a
+        // hypothetical TAS (priced like the SPARC's) vs the kernel-trap
+        // reality.
+        Box::new(|| {
+            let kernel = parthenon_run(Arch::R3000, 10, LockStrategy::KernelTrap);
+            let software = parthenon_run(Arch::R3000, 10, LockStrategy::LamportFast);
+            Ablation {
+                name: "MIPS parthenon: software fast locks instead of kernel traps".to_string(),
+                arch: Arch::R3000,
+                baseline: kernel.total_s(),
+                variant: software.total_s(),
+                unit: "s",
+            }
+        }),
+        // TLB lockdown (counts, not time).
+        Box::new(|| {
+            let (unlocked, locked) = tlb_lockdown_misses(24, 96);
+            Ablation {
+                name: "SPARC/Cypress: locked super-page entry for the kernel (TLB misses/sweep)"
+                    .to_string(),
+                arch: Arch::Sparc,
+                baseline: unlocked as f64,
+                variant: locked as f64,
+                unit: "misses",
+            }
+        }),
     ];
-    // MIPS with an atomic test-and-set: parthenon's sync time under a
-    // hypothetical TAS (priced like the SPARC's) vs the kernel-trap reality.
-    let kernel = parthenon_run(Arch::R3000, 10, LockStrategy::KernelTrap);
-    let software = parthenon_run(Arch::R3000, 10, LockStrategy::LamportFast);
-    out.push(Ablation {
-        name: "MIPS parthenon: software fast locks instead of kernel traps".to_string(),
-        arch: Arch::R3000,
-        baseline: kernel.total_s(),
-        variant: software.total_s(),
-        unit: "s",
-    });
-    // TLB lockdown (counts, not time).
-    let (unlocked, locked) = tlb_lockdown_misses(24, 96);
-    out.push(Ablation {
-        name: "SPARC/Cypress: locked super-page entry for the kernel (TLB misses/sweep)"
-            .to_string(),
-        arch: Arch::Sparc,
-        baseline: unlocked as f64,
-        variant: locked as f64,
-        unit: "misses",
-    });
-    out
+    crate::session::parallel_ordered(tasks)
 }
 
 /// Render the ablation study.

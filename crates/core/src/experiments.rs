@@ -3,12 +3,13 @@
 
 use crate::paper;
 use crate::report::{fmt_f, fmt_pct, Table};
+use crate::session::{parallel_tables, shared as session};
 use osarch_cpu::{Arch, MicroOp, Program};
 use osarch_ipc::{
     cpu_scaling_forecast, lrpc_breakdown, lrpc_component, message_rpc_us, rpc_component,
     rpc_scaling, src_rpc_breakdown, RpcConfig,
 };
-use osarch_kernel::{measure, HandlerSet, Machine, Primitive};
+use osarch_kernel::{HandlerSet, Machine, Primitive};
 use osarch_mach::{simulate, syscall_switch_overhead_s, OsStructure};
 use osarch_threads::{
     lock_pair_us, parthenon_run, synapse_report, thread_state_table, LockStrategy, ThreadCosts,
@@ -36,7 +37,7 @@ pub fn table1() -> Table {
     ]);
     let measured: Vec<_> = paper::TABLE1_US
         .iter()
-        .map(|(arch, _)| measure(*arch))
+        .map(|(arch, _)| session().measurement(*arch))
         .collect();
     for (row, primitive) in Primitive::all().into_iter().enumerate() {
         let mut cells = vec![primitive.label().to_string()];
@@ -92,7 +93,7 @@ pub fn table2() -> Table {
     ]);
     let measured: Vec<[u64; 4]> = paper::TABLE2_INSTRUCTIONS
         .iter()
-        .map(|(arch, _)| measure(*arch).instruction_counts())
+        .map(|(arch, _)| session().measurement(*arch).instruction_counts())
         .collect();
     for (row, primitive) in Primitive::all().into_iter().enumerate() {
         let mut cells = vec![primitive.label().to_string()];
@@ -184,7 +185,7 @@ pub fn table5() -> Table {
     table.headers(["Function", "CVAX", "sim", "R2000", "sim", "SPARC", "sim"]);
     let measured: Vec<(f64, f64, f64)> = paper::TABLE5_US
         .iter()
-        .map(|(arch, _)| measure(*arch).syscall_phases_us())
+        .map(|(arch, _)| session().measurement(*arch).syscall_phases_us())
         .collect();
     let rows = ["Kernel entry/exit", "Call preparation", "Call/return to C"];
     for (i, label) in rows.iter().enumerate() {
@@ -313,7 +314,7 @@ pub fn intext_results() -> Table {
     let mut table = Table::new("In-text results: paper vs simulation");
     table.headers(["Result", "Paper", "Simulated"]);
 
-    let sparc = measure(Arch::Sparc);
+    let sparc = session().measurement(Arch::Sparc);
     table.row([
         "SPARC syscall: window-processing share".to_string(),
         fmt_pct(paper::intext::SPARC_SYSCALL_WINDOW_SHARE),
@@ -325,7 +326,7 @@ pub fn intext_results() -> Table {
         fmt_pct(sparc_window_share(3, sparc.context_switch.cycles)),
     ]);
 
-    let r2000 = measure(Arch::R2000);
+    let r2000 = session().measurement(Arch::R2000);
     table.row([
         "R2000 trap: write-buffer stall share".to_string(),
         fmt_pct(paper::intext::R2000_TRAP_WB_SHARE),
@@ -345,7 +346,7 @@ pub fn intext_results() -> Table {
         fmt_pct(nops / r2000.syscall.cycles as f64),
     ]);
 
-    let i860 = measure(Arch::I860);
+    let i860 = session().measurement(Arch::I860);
     table.row([
         "i860 PTE change: cache-flush instructions".to_string(),
         paper::intext::I860_FLUSH_INSTRS.to_string(),
@@ -464,7 +465,7 @@ pub fn vm_overloading() -> Table {
     ]);
     for arch in Arch::timed() {
         let reflect = user_fault_reflection_us(arch);
-        let pte = measure(arch).times_us().pte_change;
+        let pte = session().measurement(arch).times_us().pte_change;
         let event = reflect + pte;
         table.row([
             arch.to_string(),
@@ -687,23 +688,29 @@ pub fn decomposition_depth() -> Table {
 }
 
 /// Every report, in paper order.
+///
+/// The tables are independent, so they are generated concurrently; the
+/// shared measurement session is primed first so each architecture
+/// simulates exactly once, and the output order (and bytes) match a
+/// sequential run.
 #[must_use]
 pub fn all_reports() -> Vec<Table> {
-    vec![
-        table1(),
-        table2(),
-        table3(),
-        table4(),
-        table5(),
-        table6(),
-        table7(),
-        intext_results(),
-        vm_overloading(),
-        tlb_effectiveness(),
-        thread_models(),
-        future_machines(),
-        decomposition_depth(),
-    ]
+    session().prime();
+    parallel_tables(&[
+        table1,
+        table2,
+        table3,
+        table4,
+        table5,
+        table6,
+        table7,
+        intext_results,
+        vm_overloading,
+        tlb_effectiveness,
+        thread_models,
+        future_machines,
+        decomposition_depth,
+    ])
 }
 
 #[cfg(test)]

@@ -33,10 +33,13 @@
 
 pub mod ablations;
 pub mod experiments;
+pub mod metrics;
 pub mod paper;
 mod report;
+pub mod session;
 
 pub use report::{fmt_f, fmt_pct, Table};
+pub use session::MeasurementSession;
 
 // The substrate crates, re-exported whole for path-based access…
 pub use osarch_cpu as cpu;
@@ -52,7 +55,8 @@ pub use osarch_workloads as workloads;
 pub use osarch_cpu::{Arch, ArchSpec, Cpu, ExecStats, MicroOp, Phase, Program};
 pub use osarch_ipc::{lrpc_breakdown, src_rpc_breakdown, LrpcBreakdown, RpcBreakdown, RpcConfig};
 pub use osarch_kernel::{
-    measure, measure_all, HandlerSet, Machine, Primitive, PrimitiveCosts, PrimitiveMeasurement,
+    measure, measure_all, measure_fresh, simulation_count, HandlerSet, Machine, Primitive,
+    PrimitiveCosts, PrimitiveMeasurement,
 };
 pub use osarch_mach::{simulate, table7, MachRun, OsStructure};
 pub use osarch_mem::{MemorySystem, MemorySystemConfig, VirtAddr};

@@ -1,0 +1,365 @@
+//! Machine-readable output: per-primitive cycle accounting serialized to
+//! JSON, without any serialization dependency.
+//!
+//! The emitter is a few string-building helpers over the shared
+//! [`crate::session`] measurements; [`validate_json`] is a minimal
+//! well-formedness checker so tests (and the `bench-json` subcommand) can
+//! verify what they wrote without a JSON crate.
+
+use crate::report::Table;
+use crate::session::shared as session;
+use osarch_cpu::{Arch, ExecStats, Phase};
+use osarch_kernel::Primitive;
+use std::fmt::Write as _;
+
+/// The schema tag stamped into every `BENCH_repro.json`.
+pub const BENCH_SCHEMA: &str = "osarch-bench/1";
+
+/// Escape a string for a JSON string literal (quotes not included).
+#[must_use]
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// A finite `f64` as a JSON number token.
+fn json_f64(value: f64) -> String {
+    assert!(value.is_finite(), "JSON numbers must be finite: {value}");
+    // `Display` never emits an exponent for the magnitudes we produce, but
+    // an integral value renders without a point; either way the token is
+    // valid JSON.
+    format!("{value}")
+}
+
+fn snake_name(primitive: Primitive) -> &'static str {
+    match primitive {
+        Primitive::NullSyscall => "null_syscall",
+        Primitive::Trap => "trap",
+        Primitive::PteChange => "pte_change",
+        Primitive::ContextSwitch => "context_switch",
+    }
+}
+
+fn phase_name(phase: Phase) -> &'static str {
+    match phase {
+        Phase::EntryExit => "entry_exit",
+        Phase::CallPrep => "call_prep",
+        Phase::CallReturn => "call_return",
+        Phase::Body => "body",
+        Phase::Other => "other",
+    }
+}
+
+fn stats_json(name: &str, stats: &ExecStats, clock_mhz: f64) -> String {
+    let mut phases = Vec::with_capacity(Phase::all().len());
+    for phase in Phase::all() {
+        let p = stats.phase(phase);
+        phases.push(format!(
+            "{{\"phase\":\"{}\",\"instructions\":{},\"cycles\":{}}}",
+            phase_name(phase),
+            p.instructions,
+            p.cycles
+        ));
+    }
+    format!(
+        concat!(
+            "{{\"name\":\"{}\",\"micros\":{},\"instructions\":{},\"cycles\":{},",
+            "\"wb_stall_cycles\":{},\"tlb_misses\":{},\"cache_misses\":{},",
+            "\"phases\":[{}]}}"
+        ),
+        name,
+        json_f64(stats.micros(clock_mhz)),
+        stats.instructions,
+        stats.cycles,
+        stats.wb_stall_cycles,
+        stats.tlb_misses,
+        stats.cache_misses,
+        phases.join(",")
+    )
+}
+
+/// Per-primitive cycle accounting for one architecture, as a JSON object.
+#[must_use]
+pub fn arch_json(arch: Arch) -> String {
+    let m = session().measurement(arch);
+    let primitives: Vec<String> = Primitive::all()
+        .into_iter()
+        .map(|p| stats_json(snake_name(p), m.stats(p), m.clock_mhz))
+        .collect();
+    format!(
+        "{{\"arch\":\"{}\",\"clock_mhz\":{},\"primitives\":[{}]}}",
+        json_escape(&arch.to_string()),
+        json_f64(m.clock_mhz),
+        primitives.join(",")
+    )
+}
+
+/// The full benchmark document: every modelled architecture's primitives.
+#[must_use]
+pub fn bench_json() -> String {
+    let architectures: Vec<String> = Arch::all().into_iter().map(arch_json).collect();
+    format!(
+        "{{\"schema\":\"{}\",\"architectures\":[{}]}}\n",
+        BENCH_SCHEMA,
+        architectures.join(",")
+    )
+}
+
+/// A rendered report table as a JSON object.
+#[must_use]
+pub fn table_json(table: &Table) -> String {
+    let string_array = |items: &[String]| {
+        let quoted: Vec<String> = items
+            .iter()
+            .map(|s| format!("\"{}\"", json_escape(s)))
+            .collect();
+        format!("[{}]", quoted.join(","))
+    };
+    let rows: Vec<String> = table.data_rows().iter().map(|r| string_array(r)).collect();
+    format!(
+        "{{\"title\":\"{}\",\"headers\":{},\"rows\":[{}],\"notes\":{}}}",
+        json_escape(table.title()),
+        string_array(table.header_cells()),
+        rows.join(","),
+        string_array(table.footnotes())
+    )
+}
+
+/// A batch of tables as a JSON array document.
+#[must_use]
+pub fn tables_json(tables: &[Table]) -> String {
+    let items: Vec<String> = tables.iter().map(table_json).collect();
+    format!("[{}]\n", items.join(","))
+}
+
+/// Check that `text` is one well-formed JSON value (plus trailing
+/// whitespace). Returns the byte offset of the first error, or `Ok(())`.
+///
+/// This is a structural validator, not a full parser: it accepts exactly
+/// the JSON grammar for objects, arrays, strings, numbers and literals,
+/// which is all the emitter above produces and all the tests need.
+pub fn validate_json(text: &str) -> Result<(), usize> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos == bytes.len() {
+        Ok(())
+    } else {
+        Err(pos)
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while *pos < bytes.len() && matches!(bytes[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(bytes: &[u8], pos: &mut usize, byte: u8) -> Result<(), usize> {
+    if *pos < bytes.len() && bytes[*pos] == byte {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(*pos)
+    }
+}
+
+fn parse_value(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
+    match bytes.get(*pos) {
+        Some(b'{') => parse_object(bytes, pos),
+        Some(b'[') => parse_array(bytes, pos),
+        Some(b'"') => parse_string(bytes, pos),
+        Some(b't') => parse_literal(bytes, pos, b"true"),
+        Some(b'f') => parse_literal(bytes, pos, b"false"),
+        Some(b'n') => parse_literal(bytes, pos, b"null"),
+        Some(b'-' | b'0'..=b'9') => parse_number(bytes, pos),
+        _ => Err(*pos),
+    }
+}
+
+fn parse_literal(bytes: &[u8], pos: &mut usize, literal: &[u8]) -> Result<(), usize> {
+    if bytes[*pos..].starts_with(literal) {
+        *pos += literal.len();
+        Ok(())
+    } else {
+        Err(*pos)
+    }
+}
+
+fn parse_object(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
+    expect(bytes, pos, b'{')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_string(bytes, pos)?;
+        skip_ws(bytes, pos);
+        expect(bytes, pos, b':')?;
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn parse_array(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
+    expect(bytes, pos, b'[')?;
+    skip_ws(bytes, pos);
+    if bytes.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(());
+    }
+    loop {
+        skip_ws(bytes, pos);
+        parse_value(bytes, pos)?;
+        skip_ws(bytes, pos);
+        match bytes.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(());
+            }
+            _ => return Err(*pos),
+        }
+    }
+}
+
+fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
+    expect(bytes, pos, b'"')?;
+    while let Some(&b) = bytes.get(*pos) {
+        match b {
+            b'"' => {
+                *pos += 1;
+                return Ok(());
+            }
+            b'\\' => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"' | b'\\' | b'/' | b'b' | b'f' | b'n' | b'r' | b't') => *pos += 1,
+                    Some(b'u') => {
+                        *pos += 1;
+                        for _ in 0..4 {
+                            if !bytes.get(*pos).is_some_and(|c| c.is_ascii_hexdigit()) {
+                                return Err(*pos);
+                            }
+                            *pos += 1;
+                        }
+                    }
+                    _ => return Err(*pos),
+                }
+            }
+            0x00..=0x1f => return Err(*pos),
+            _ => *pos += 1,
+        }
+    }
+    Err(*pos)
+}
+
+fn parse_number(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
+    let start = *pos;
+    if bytes.get(*pos) == Some(&b'-') {
+        *pos += 1;
+    }
+    let digits = |bytes: &[u8], pos: &mut usize| {
+        let begin = *pos;
+        while bytes.get(*pos).is_some_and(u8::is_ascii_digit) {
+            *pos += 1;
+        }
+        *pos > begin
+    };
+    if !digits(bytes, pos) {
+        return Err(start);
+    }
+    if bytes.get(*pos) == Some(&b'.') {
+        *pos += 1;
+        if !digits(bytes, pos) {
+            return Err(*pos);
+        }
+    }
+    if matches!(bytes.get(*pos), Some(b'e' | b'E')) {
+        *pos += 1;
+        if matches!(bytes.get(*pos), Some(b'+' | b'-')) {
+            *pos += 1;
+        }
+        if !digits(bytes, pos) {
+            return Err(*pos);
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn escape_covers_the_specials() {
+        assert_eq!(json_escape("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(json_escape("\u{1}"), "\\u0001");
+    }
+
+    #[test]
+    fn validator_accepts_json_and_rejects_near_json() {
+        for good in [
+            "null",
+            "-1.5e+3",
+            "[]",
+            "{}",
+            "  {\"a\": [1, 2, {\"b\": \"c\\n\"}], \"d\": true}  ",
+        ] {
+            assert_eq!(validate_json(good), Ok(()), "{good}");
+        }
+        for bad in ["", "{", "[1,]", "{\"a\":}", "01x", "\"unterminated", "1 2"] {
+            assert!(validate_json(bad).is_err(), "{bad}");
+        }
+    }
+
+    #[test]
+    fn bench_document_is_valid_and_complete() {
+        let doc = bench_json();
+        assert_eq!(validate_json(&doc), Ok(()));
+        for arch in Arch::all() {
+            assert!(doc.contains(&format!("\"arch\":\"{arch}\"")), "{arch}");
+        }
+        for name in ["null_syscall", "trap", "pte_change", "context_switch"] {
+            assert!(doc.contains(&format!("\"name\":\"{name}\"")), "{name}");
+        }
+    }
+
+    #[test]
+    fn table_document_round_trips_the_cells() {
+        let mut table = Table::new("T \"quoted\"");
+        table.headers(["a", "b"]);
+        table.row(["1", "x\ny"]);
+        table.note("n");
+        let doc = tables_json(&[table]);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains("T \\\"quoted\\\""));
+        assert!(doc.contains("x\\ny"));
+    }
+}

@@ -68,6 +68,24 @@ impl Table {
         &self.title
     }
 
+    /// The column headers (read side of [`Table::headers`]).
+    #[must_use]
+    pub fn header_cells(&self) -> &[String] {
+        &self.headers
+    }
+
+    /// The data rows.
+    #[must_use]
+    pub fn data_rows(&self) -> &[Vec<String>] {
+        &self.rows
+    }
+
+    /// The footnotes.
+    #[must_use]
+    pub fn footnotes(&self) -> &[String] {
+        &self.notes
+    }
+
     /// Number of data rows.
     #[must_use]
     pub fn len(&self) -> usize {

@@ -36,6 +36,16 @@ pub enum Arch {
 }
 
 impl Arch {
+    /// Number of modelled architectures (`Arch::all().len()`).
+    pub const COUNT: usize = 7;
+
+    /// This architecture's position in [`Arch::all`] — a dense index for
+    /// per-architecture tables and caches.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self as usize
+    }
+
     /// All modelled architectures, in the paper's table order.
     #[must_use]
     pub fn all() -> [Arch; 7] {

@@ -98,8 +98,13 @@ impl WindowEngine {
 
     /// Flush every live window to memory (a context switch must do this).
     /// Returns how many windows were written out.
+    ///
+    /// The active frame is not a spill: the switch path saves it through
+    /// the PCB like any register state, so only the frames *beneath* it —
+    /// `occupied - 1` of them — take overflow-style window writes. A fresh
+    /// engine therefore flushes nothing.
     pub fn flush_for_switch(&mut self) -> u32 {
-        let flushed = self.occupied;
+        let flushed = self.occupied - 1;
         self.spills += u64::from(flushed);
         self.occupied = 1;
         flushed
@@ -192,12 +197,24 @@ mod tests {
     }
 
     #[test]
-    fn flush_for_switch_writes_all_live_windows() {
+    fn flush_for_switch_writes_all_live_windows_but_the_active_one() {
         let mut engine = WindowEngine::new(config());
         engine.call();
         engine.call();
         let flushed = engine.flush_for_switch();
-        assert_eq!(flushed, 3);
+        assert_eq!(flushed, 2);
+        assert_eq!(engine.spills(), 2);
+        assert_eq!(engine.occupied(), 1);
+    }
+
+    /// Regression: the always-resident active frame must not be counted as
+    /// a spill — a switch away from a thread that made no calls writes no
+    /// windows at all.
+    #[test]
+    fn flushing_a_fresh_engine_spills_nothing() {
+        let mut engine = WindowEngine::new(config());
+        assert_eq!(engine.flush_for_switch(), 0);
+        assert_eq!(engine.spills(), 0);
         assert_eq!(engine.occupied(), 1);
     }
 

@@ -1,8 +1,19 @@
 //! The measurement harness of Section 1.1.
+//!
+//! [`measure`] is memoized process-wide: the cycle-level simulation of one
+//! architecture's four primitives is deterministic (see
+//! `measurement_is_deterministic`), so every caller — the report tables,
+//! the IPC/thread/Mach models layered on top, tests, benches — shares one
+//! simulation per architecture. [`measure_fresh`] bypasses the cache for
+//! callers that explicitly want to re-run the simulator, and
+//! [`simulation_count`] exposes how many full simulations have actually
+//! run, so tests can assert the sharing.
 
 use crate::handlers::{HandlerSet, Primitive};
 use crate::machine::Machine;
 use osarch_cpu::{Arch, ExecStats, Phase};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
 
 /// Microsecond timings for the four primitives — one column of Table 1.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -31,7 +42,7 @@ impl PrimitiveTimes {
 }
 
 /// Full measurement of one architecture: per-primitive execution statistics.
-#[derive(Debug, Clone)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct PrimitiveMeasurement {
     /// The measured architecture.
     pub arch: Arch,
@@ -100,11 +111,47 @@ impl PrimitiveMeasurement {
     }
 }
 
+/// One cache slot per architecture plus the shared simulation counter.
+struct MeasureCache {
+    slots: [OnceLock<PrimitiveMeasurement>; Arch::COUNT],
+    simulations: AtomicU64,
+}
+
+fn cache() -> &'static MeasureCache {
+    static CACHE: OnceLock<MeasureCache> = OnceLock::new();
+    CACHE.get_or_init(|| MeasureCache {
+        slots: [const { OnceLock::new() }; Arch::COUNT],
+        simulations: AtomicU64::new(0),
+    })
+}
+
 /// Measure all four primitives on `arch` using the paper's steady-state
 /// methodology (repeated invocation with warm caches and TLB).
+///
+/// Memoized: the first call per architecture runs the cycle-level
+/// simulation; every later call (from any thread) returns a copy of the
+/// same result. Use [`measure_fresh`] to force a re-run.
 #[must_use]
 pub fn measure(arch: Arch) -> PrimitiveMeasurement {
+    cache().slots[arch.index()]
+        .get_or_init(|| measure_fresh(arch))
+        .clone()
+}
+
+/// [`measure`] without the cache: always runs the full simulation.
+#[must_use]
+pub fn measure_fresh(arch: Arch) -> PrimitiveMeasurement {
+    cache().simulations.fetch_add(1, Ordering::Relaxed);
     measure_with_spec(arch.spec())
+}
+
+/// How many full stock-architecture primitive simulations have run in this
+/// process — cache hits do not count, and neither do explicit-spec what-if
+/// runs through [`measure_with_spec`]. Lets tests assert that a batch of
+/// reports performed exactly one simulation per architecture.
+#[must_use]
+pub fn simulation_count() -> u64 {
+    cache().simulations.load(Ordering::Relaxed)
 }
 
 /// [`measure`] on an explicit (possibly modified) specification — the entry
@@ -210,20 +257,25 @@ pub struct PrimitiveCosts {
 }
 
 impl PrimitiveCosts {
-    /// Measure `arch` and package the costs.
+    /// Measure `arch` (through the shared memo) and package the costs.
     #[must_use]
     pub fn measure(arch: Arch) -> PrimitiveCosts {
-        let m = measure(arch);
+        PrimitiveCosts::from_measurement(&measure(arch))
+    }
+
+    /// Package the costs of an existing measurement without re-simulating —
+    /// the entry point for callers holding a shared measurement session.
+    #[must_use]
+    pub fn from_measurement(m: &PrimitiveMeasurement) -> PrimitiveCosts {
         let times = m.times_us();
-        let spec = arch.spec();
         PrimitiveCosts {
-            arch,
+            arch: m.arch,
             syscall_us: times.null_syscall,
             trap_us: times.trap,
             pte_change_us: times.pte_change,
             context_switch_us: times.context_switch,
-            clock_mhz: spec.clock_mhz,
-            application_speedup: spec.application_speedup,
+            clock_mhz: m.clock_mhz,
+            application_speedup: m.arch.spec().application_speedup,
         }
     }
 }

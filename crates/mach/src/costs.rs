@@ -1,7 +1,7 @@
 //! Per-event primitive costs for the OS-structure simulation.
 
 use osarch_cpu::{Arch, MicroOp, Program};
-use osarch_kernel::{measure, Machine};
+use osarch_kernel::{measure, Machine, PrimitiveMeasurement};
 
 /// Microsecond costs of each Table 7 event class on one architecture.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -23,10 +23,18 @@ pub struct EventCosts {
 }
 
 impl EventCosts {
-    /// Measure the costs on `arch`.
+    /// Measure the costs on `arch` (through the shared primitive memo).
     #[must_use]
     pub fn measure(arch: Arch) -> EventCosts {
-        let primitives = measure(arch);
+        EventCosts::from_measurement(&measure(arch))
+    }
+
+    /// Derive the event costs from an existing primitive measurement —
+    /// only the emulation micro-program is simulated afresh; the four
+    /// primitives come from the caller's (typically shared) measurement.
+    #[must_use]
+    pub fn from_measurement(primitives: &PrimitiveMeasurement) -> EventCosts {
+        let arch = primitives.arch;
         let times = primitives.times_us();
         let mut machine = Machine::new(arch);
         let clock = machine.spec().clock_mhz;

@@ -1,15 +1,16 @@
 //! `osarch` — command-line front end for the ASPLOS 1991 reproduction.
 //!
 //! ```text
-//! osarch tables [NAME]         print reproduction tables (default: all)
-//! osarch measure <ARCH>        measure the four primitives on one machine
-//! osarch listing <ARCH> <OP>   print a handler program listing
-//! osarch compare <A> <B>       compare two machines primitive by primitive
-//! osarch archs                 list the modelled architectures
+//! osarch tables [NAME] [--json]  print reproduction tables (default: all)
+//! osarch bench-json [PATH]       write machine-readable measurements
+//! osarch measure <ARCH>          measure the four primitives on one machine
+//! osarch listing <ARCH> <OP>     print a handler program listing
+//! osarch compare <A> <B>         compare two machines primitive by primitive
+//! osarch archs                   list the modelled architectures
 //! ```
 
 use osarch::kernel::{HandlerSet, Machine};
-use osarch::{ablations, experiments, measure, Arch, Primitive};
+use osarch::{measure, metrics, session, Arch, Primitive};
 use std::process::ExitCode;
 
 fn parse_arch(name: &str) -> Option<Arch> {
@@ -33,12 +34,14 @@ fn usage() -> ExitCode {
         "usage: osarch <command>\n\
          \n\
          commands:\n\
-         \x20 tables [NAME]        print reproduction tables (table1..table7,\n\
-         \x20                      intext, ablations, vm, tlb, threads, future, depth)\n\
-         \x20 measure ARCH         measure the four primitives on one machine\n\
-         \x20 listing ARCH OP      print a handler listing (syscall|trap|pte|ctxsw)\n\
-         \x20 compare ARCH ARCH    compare two machines\n\
-         \x20 archs                list the modelled architectures"
+         \x20 tables [NAME] [--json]  print reproduction tables (table1..table7,\n\
+         \x20                         intext, ablations, vm, tlb, threads, future, depth)\n\
+         \x20 bench-json [PATH]       write per-primitive measurements as JSON\n\
+         \x20                         (default BENCH_repro.json; `-` for stdout)\n\
+         \x20 measure ARCH            measure the four primitives on one machine\n\
+         \x20 listing ARCH OP         print a handler listing (syscall|trap|pte|ctxsw)\n\
+         \x20 compare ARCH ARCH       compare two machines\n\
+         \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
 }
@@ -62,35 +65,53 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("tables") => {
-            let reports = match args.get(1).map(String::as_str) {
-                None | Some("all") => {
-                    let mut reports = experiments::all_reports();
-                    reports.push(ablations::ablation_table());
-                    reports
+            let mut selector: Option<&str> = None;
+            let mut json = false;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    name if selector.is_none() => selector = Some(name),
+                    other => {
+                        eprintln!("unexpected argument {other:?}");
+                        return usage();
+                    }
                 }
-                Some("table1") => vec![experiments::table1()],
-                Some("table2") => vec![experiments::table2()],
-                Some("table3") => vec![experiments::table3()],
-                Some("table4") => vec![experiments::table4()],
-                Some("table5") => vec![experiments::table5()],
-                Some("table6") => vec![experiments::table6()],
-                Some("table7") => vec![experiments::table7()],
-                Some("intext") => vec![experiments::intext_results()],
-                Some("ablations") => vec![ablations::ablation_table()],
-                Some("vm") => vec![experiments::vm_overloading()],
-                Some("tlb") => vec![experiments::tlb_effectiveness()],
-                Some("threads") => vec![experiments::thread_models()],
-                Some("future") => vec![experiments::future_machines()],
-                Some("depth") => vec![experiments::decomposition_depth()],
-                Some(other) => {
-                    eprintln!("unknown table {other:?}");
-                    return usage();
-                }
+            }
+            let Some(reports) = session::resolve_reports(selector) else {
+                eprintln!("unknown table {:?}", selector.unwrap_or_default());
+                return usage();
             };
-            for report in reports {
-                println!("{report}");
+            if json {
+                print!("{}", metrics::tables_json(&reports));
+            } else {
+                for report in reports {
+                    println!("{report}");
+                }
             }
             ExitCode::SUCCESS
+        }
+        Some("bench-json") => {
+            let path = args.get(1).map_or("BENCH_repro.json", String::as_str);
+            let doc = metrics::bench_json();
+            debug_assert_eq!(metrics::validate_json(&doc), Ok(()));
+            if path == "-" {
+                print!("{doc}");
+                return ExitCode::SUCCESS;
+            }
+            match std::fs::write(path, &doc) {
+                Ok(()) => {
+                    println!(
+                        "wrote {path}: {} architectures, {} bytes",
+                        Arch::all().len(),
+                        doc.len()
+                    );
+                    ExitCode::SUCCESS
+                }
+                Err(err) => {
+                    eprintln!("cannot write {path}: {err}");
+                    ExitCode::FAILURE
+                }
+            }
         }
         Some("measure") => {
             let Some(arch) = args.get(1).and_then(|n| parse_arch(n)) else {

@@ -1,0 +1,258 @@
+//! Offline stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so the workspace
+//! vendors the slice of the criterion 0.5 API its benches use. Instead of
+//! statistical sampling, every benchmark runs a small fixed number of
+//! timed iterations and prints a single mean — enough for `cargo bench`
+//! to exercise the bench code paths and give a rough number, with zero
+//! dependencies.
+
+#![forbid(unsafe_code)]
+
+use std::time::{Duration, Instant};
+
+/// Re-export so benches can use `criterion::black_box`.
+pub use std::hint::black_box;
+
+const ITERATIONS: u32 = 3;
+
+/// The benchmark context. Collects nothing; prints as it goes.
+#[derive(Debug, Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// No plots are ever produced; accepted for API compatibility.
+    #[must_use]
+    pub fn without_plots(self) -> Criterion {
+        self
+    }
+
+    /// Start a named group of benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        let name = name.into();
+        println!("group {name}");
+        BenchmarkGroup {
+            _criterion: self,
+            name,
+        }
+    }
+
+    /// Run one stand-alone benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one("", &id.into().0, &mut f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing (ignored) sampling settings.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    _criterion: &'a mut Criterion,
+    name: String,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Ignored; accepted for API compatibility.
+    pub fn sample_size(&mut self, _samples: usize) -> &mut Self {
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn measurement_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Ignored; accepted for API compatibility.
+    pub fn warm_up_time(&mut self, _duration: Duration) -> &mut Self {
+        self
+    }
+
+    /// Run one benchmark in the group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        run_one(&self.name, &id.into().0, &mut f);
+        self
+    }
+
+    /// Run one benchmark that borrows an input.
+    pub fn bench_with_input<I, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        run_one(&self.name, &id.into().0, &mut |b: &mut Bencher| {
+            f(b, input);
+        });
+        self
+    }
+
+    /// End the group.
+    pub fn finish(self) {}
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(group: &str, id: &str, f: &mut F) {
+    let mut bencher = Bencher {
+        elapsed: Duration::ZERO,
+        iterations: 0,
+    };
+    f(&mut bencher);
+    let mean = if bencher.iterations == 0 {
+        Duration::ZERO
+    } else {
+        bencher.elapsed / bencher.iterations
+    };
+    if group.is_empty() {
+        println!("  {id}: {mean:?}/iter");
+    } else {
+        println!("  {group}/{id}: {mean:?}/iter");
+    }
+}
+
+/// Times closures handed to it by the benchmark body.
+#[derive(Debug)]
+pub struct Bencher {
+    elapsed: Duration,
+    iterations: u32,
+}
+
+impl Bencher {
+    /// Time `routine` over a fixed number of iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        for _ in 0..ITERATIONS {
+            let start = Instant::now();
+            black_box(routine());
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+
+    /// Time `routine` against a fresh `setup` product each iteration; the
+    /// setup cost is excluded from the measurement.
+    pub fn iter_batched_ref<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(&mut I) -> O,
+    {
+        for _ in 0..ITERATIONS {
+            let mut input = setup();
+            let start = Instant::now();
+            black_box(routine(&mut input));
+            self.elapsed += start.elapsed();
+            self.iterations += 1;
+        }
+    }
+}
+
+/// Batch sizing hint; ignored.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs.
+    SmallInput,
+    /// Large per-iteration inputs.
+    LargeInput,
+}
+
+/// A benchmark's display name.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId(pub String);
+
+impl BenchmarkId {
+    /// `name/parameter`.
+    #[must_use]
+    pub fn new(name: impl std::fmt::Display, parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(format!("{name}/{parameter}"))
+    }
+
+    /// Just the parameter.
+    #[must_use]
+    pub fn from_parameter(parameter: impl std::fmt::Display) -> BenchmarkId {
+        BenchmarkId(parameter.to_string())
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(name: &str) -> BenchmarkId {
+        BenchmarkId(name.to_string())
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(name: String) -> BenchmarkId {
+        BenchmarkId(name)
+    }
+}
+
+/// Declare a group of benchmark functions.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = { $config };
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declare the bench entry point.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_bench(c: &mut Criterion) {
+        let mut group = c.benchmark_group("g");
+        group
+            .sample_size(10)
+            .measurement_time(Duration::from_millis(1));
+        group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
+        group.bench_with_input(BenchmarkId::from_parameter("x"), &21, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        c.bench_function("top", |b| {
+            b.iter_batched_ref(
+                || vec![1, 2, 3],
+                |v| v.iter().sum::<i32>(),
+                BatchSize::SmallInput,
+            )
+        });
+    }
+
+    criterion_group! {
+        name = benches;
+        config = Criterion::default().without_plots();
+        targets = sample_bench
+    }
+
+    #[test]
+    fn the_harness_runs() {
+        benches();
+    }
+}

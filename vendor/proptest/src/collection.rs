@@ -1,0 +1,76 @@
+//! Collection strategies: `vec` and `btree_set`.
+
+use crate::strategy::Strategy;
+use crate::test_runner::TestRng;
+use std::collections::BTreeSet;
+
+/// A `Vec` of `element` values with a length drawn from `size`
+/// (half-open, as in the real crate).
+#[must_use]
+pub fn vec<S: Strategy>(element: S, size: core::ops::Range<usize>) -> VecStrategy<S> {
+    assert!(size.start < size.end, "empty size range");
+    VecStrategy { element, size }
+}
+
+/// [`vec`]'s strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S: Strategy> Strategy for VecStrategy<S> {
+    type Value = Vec<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+        let span = self.size.end - self.size.start;
+        let length = self.size.start + rng.below(span.max(1));
+        (0..length).map(|_| self.element.generate(rng)).collect()
+    }
+}
+
+/// A `BTreeSet` of `element` values whose size lands in `size` — duplicates
+/// are redrawn, so the element domain must be at least `size.start` large.
+#[must_use]
+pub fn btree_set<S>(element: S, size: core::ops::Range<usize>) -> BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    assert!(size.start < size.end, "empty size range");
+    BTreeSetStrategy { element, size }
+}
+
+/// [`btree_set`]'s strategy.
+#[derive(Debug, Clone)]
+pub struct BTreeSetStrategy<S> {
+    element: S,
+    size: core::ops::Range<usize>,
+}
+
+impl<S> Strategy for BTreeSetStrategy<S>
+where
+    S: Strategy,
+    S::Value: Ord,
+{
+    type Value = BTreeSet<S::Value>;
+
+    fn generate(&self, rng: &mut TestRng) -> BTreeSet<S::Value> {
+        let span = self.size.end - self.size.start;
+        let target = self.size.start + rng.below(span.max(1));
+        let mut set = BTreeSet::new();
+        // Collisions shrink the set below target; keep drawing (bounded)
+        // until the minimum holds.
+        let mut attempts = 0usize;
+        while set.len() < target.max(self.size.start) && attempts < 10_000 {
+            set.insert(self.element.generate(rng));
+            attempts += 1;
+        }
+        assert!(
+            set.len() >= self.size.start,
+            "element domain too small for btree_set size {:?}",
+            self.size
+        );
+        set
+    }
+}

@@ -1,0 +1,197 @@
+//! The [`Strategy`] trait and the primitive strategies: constants, integer
+//! ranges, tuples, unions and simple regex strings.
+
+use crate::test_runner::TestRng;
+
+/// Generates values of an associated type from a [`TestRng`].
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produce one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// A strategy producing `f` of this strategy's values.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f }
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// [`Strategy::prop_map`]'s strategy.
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn generate(&self, rng: &mut TestRng) -> O {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// A boxed generator function, one arm of a `prop_oneof!`.
+pub type UnionOption<V> = Box<dyn Fn(&mut TestRng) -> V>;
+
+/// Uniform choice among boxed generators (built by `prop_oneof!`).
+pub struct Union<V> {
+    options: Vec<UnionOption<V>>,
+}
+
+impl<V> Union<V> {
+    /// A union over `options`.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `options` is empty.
+    #[must_use]
+    pub fn new(options: Vec<UnionOption<V>>) -> Union<V> {
+        assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+        Union { options }
+    }
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+
+    fn generate(&self, rng: &mut TestRng) -> V {
+        let index = rng.below(self.options.len());
+        (self.options[index])(rng)
+    }
+}
+
+macro_rules! int_range_strategy {
+    ($($int:ty),* $(,)?) => {$(
+        impl Strategy for core::ops::Range<$int> {
+            type Value = $int;
+
+            fn generate(&self, rng: &mut TestRng) -> $int {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let offset = (u128::from(rng.next_u64()) % span) as i128;
+                (self.start as i128 + offset) as $int
+            }
+        }
+    )*};
+}
+
+int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// `&str` as a strategy: a regex of the form `[class]{min,max}` generating
+/// strings over the class. This is the only regex shape the workspace's
+/// tests use; anything else panics loudly rather than mis-generating.
+impl Strategy for &str {
+    type Value = String;
+
+    fn generate(&self, rng: &mut TestRng) -> String {
+        let (alphabet, min, max) = parse_class_repeat(self);
+        let length = min + rng.below(max - min + 1);
+        (0..length)
+            .map(|_| alphabet[rng.below(alphabet.len())])
+            .collect()
+    }
+}
+
+/// Parse `[class]{min,max}` into (alphabet, min, max).
+fn parse_class_repeat(pattern: &str) -> (Vec<char>, usize, usize) {
+    let mut chars = pattern.chars().peekable();
+    assert_eq!(
+        chars.next(),
+        Some('['),
+        "unsupported regex strategy {pattern:?}: expected [class]{{min,max}}"
+    );
+    let mut alphabet = Vec::new();
+    loop {
+        let c = chars
+            .next()
+            .unwrap_or_else(|| panic!("unterminated class in {pattern:?}"));
+        match c {
+            ']' => break,
+            '\\' => {
+                let escaped = chars
+                    .next()
+                    .unwrap_or_else(|| panic!("dangling escape in {pattern:?}"));
+                alphabet.push(match escaped {
+                    'n' => '\n',
+                    't' => '\t',
+                    'r' => '\r',
+                    other => other,
+                });
+            }
+            _ => {
+                // `a-z` is a range unless the dash is last in the class.
+                if chars.peek() == Some(&'-') {
+                    let mut ahead = chars.clone();
+                    ahead.next();
+                    if ahead.peek() != Some(&']') {
+                        chars.next(); // the dash
+                        let end = chars
+                            .next()
+                            .unwrap_or_else(|| panic!("dangling range in {pattern:?}"));
+                        assert!(c <= end, "inverted range {c}-{end} in {pattern:?}");
+                        alphabet.extend(c..=end);
+                        continue;
+                    }
+                }
+                alphabet.push(c);
+            }
+        }
+    }
+    assert!(!alphabet.is_empty(), "empty class in {pattern:?}");
+    let rest: String = chars.collect();
+    let inner = rest
+        .strip_prefix('{')
+        .and_then(|r| r.strip_suffix('}'))
+        .unwrap_or_else(|| panic!("unsupported repetition in {pattern:?}"));
+    let (min, max) = inner
+        .split_once(',')
+        .unwrap_or_else(|| panic!("expected {{min,max}} in {pattern:?}"));
+    let min: usize = min.trim().parse().expect("min repeat");
+    let max: usize = max.trim().parse().expect("max repeat");
+    assert!(min <= max, "inverted repetition in {pattern:?}");
+    (alphabet, min, max)
+}

@@ -1,0 +1,58 @@
+//! Sampling distributions. Only the weighted-choice distribution the
+//! workload trace generator needs.
+
+use crate::Rng;
+
+/// A distribution over values of type `T`.
+pub trait Distribution<T> {
+    /// Draw one value.
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> T;
+}
+
+/// Error from building a [`WeightedIndex`] with no positive weight.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WeightedError;
+
+impl core::fmt::Display for WeightedError {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.write_str("all weights are zero (or no weights given)")
+    }
+}
+
+impl std::error::Error for WeightedError {}
+
+/// Distribution over `0..n` where index `i` is drawn with probability
+/// proportional to `weights[i]`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct WeightedIndex<W> {
+    cumulative: Vec<W>,
+}
+
+impl WeightedIndex<u64> {
+    /// Build from an iterator of weights. Zero weights are legal (and never
+    /// drawn); an all-zero or empty set is an error.
+    pub fn new<I>(weights: I) -> Result<WeightedIndex<u64>, WeightedError>
+    where
+        I: IntoIterator<Item = u64>,
+    {
+        let mut cumulative = Vec::new();
+        let mut total = 0u64;
+        for w in weights {
+            total = total.checked_add(w).expect("weight overflow");
+            cumulative.push(total);
+        }
+        if total == 0 {
+            return Err(WeightedError);
+        }
+        Ok(WeightedIndex { cumulative })
+    }
+}
+
+impl Distribution<usize> for WeightedIndex<u64> {
+    fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let total = *self.cumulative.last().expect("non-empty by construction");
+        // Modulo bias is ~total/2^64 — irrelevant for event-mix weights.
+        let x = rng.next_u64() % total;
+        self.cumulative.partition_point(|&c| c <= x)
+    }
+}
