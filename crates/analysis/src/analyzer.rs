@@ -1,0 +1,181 @@
+//! The analysis driver: run every rule over every registered program.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use crate::rules::{default_rules, Rule, RuleContext};
+use osarch_cpu::{Arch, ArchSpec, Program};
+use osarch_kernel::{program_catalog, KernelLayout, Primitive};
+
+/// The static analyzer: an ordered set of rules plus the drivers that walk
+/// the kernel's program catalog.
+pub struct Analyzer {
+    rules: Vec<Box<dyn Rule>>,
+}
+
+impl Default for Analyzer {
+    fn default() -> Analyzer {
+        Analyzer::new()
+    }
+}
+
+impl Analyzer {
+    /// An analyzer carrying the default rule set.
+    #[must_use]
+    pub fn new() -> Analyzer {
+        Analyzer {
+            rules: default_rules(),
+        }
+    }
+
+    /// An analyzer over a custom rule set (used by tests; the diagnostic
+    /// output is independent of registration order).
+    #[must_use]
+    pub fn with_rules(rules: Vec<Box<dyn Rule>>) -> Analyzer {
+        Analyzer { rules }
+    }
+
+    /// The registered rules, in registration order.
+    #[must_use]
+    pub fn rules(&self) -> &[Box<dyn Rule>] {
+        &self.rules
+    }
+
+    /// Run every rule over one program. Diagnostics come back in the
+    /// deterministic [`Diagnostic::sort_key`] order.
+    #[must_use]
+    pub fn check_program(
+        &self,
+        spec: &ArchSpec,
+        primitive: Option<Primitive>,
+        program: &Program,
+    ) -> Vec<Diagnostic> {
+        let ctx = RuleContext {
+            spec,
+            primitive,
+            program,
+        };
+        let mut diagnostics: Vec<Diagnostic> = self
+            .rules
+            .iter()
+            .flat_map(|rule| rule.check(&ctx))
+            .collect();
+        diagnostics.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+        diagnostics
+    }
+
+    /// Analyze every program the kernel generates for one architecture:
+    /// the four primitive handlers plus the applicable what-if variants.
+    #[must_use]
+    pub fn analyze_arch(&self, arch: Arch) -> AnalysisReport {
+        let mut report = AnalysisReport::empty();
+        self.extend_with_arch(arch, &mut report);
+        report.architectures = 1;
+        report.finish();
+        report
+    }
+
+    /// Analyze all architectures' programs — the CI entry point.
+    #[must_use]
+    pub fn analyze_all(&self) -> AnalysisReport {
+        let mut report = AnalysisReport::empty();
+        for arch in Arch::all() {
+            self.extend_with_arch(arch, &mut report);
+        }
+        report.architectures = Arch::all().len();
+        report.finish();
+        report
+    }
+
+    fn extend_with_arch(&self, arch: Arch, report: &mut AnalysisReport) {
+        let spec = arch.spec();
+        let layout = KernelLayout::for_spec(&spec);
+        for entry in program_catalog(&spec, &layout) {
+            report.diagnostics.extend(self.check_program(
+                &spec,
+                Some(entry.primitive),
+                &entry.program,
+            ));
+            report.programs_checked += 1;
+        }
+    }
+}
+
+/// The outcome of an analysis run: every finding, plus coverage counters.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisReport {
+    diagnostics: Vec<Diagnostic>,
+    programs_checked: usize,
+    architectures: usize,
+}
+
+impl AnalysisReport {
+    fn empty() -> AnalysisReport {
+        AnalysisReport {
+            diagnostics: Vec::new(),
+            programs_checked: 0,
+            architectures: 0,
+        }
+    }
+
+    fn finish(&mut self) {
+        self.diagnostics
+            .sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    }
+
+    /// Every finding, in deterministic order.
+    #[must_use]
+    pub fn diagnostics(&self) -> &[Diagnostic] {
+        &self.diagnostics
+    }
+
+    /// Programs walked.
+    #[must_use]
+    pub fn programs_checked(&self) -> usize {
+        self.programs_checked
+    }
+
+    /// Architectures covered.
+    #[must_use]
+    pub fn architectures(&self) -> usize {
+        self.architectures
+    }
+
+    /// Findings at exactly `severity`.
+    #[must_use]
+    pub fn count(&self, severity: Severity) -> usize {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == severity)
+            .count()
+    }
+
+    /// The worst severity present, or `None` when the run is clean.
+    #[must_use]
+    pub fn max_severity(&self) -> Option<Severity> {
+        self.diagnostics.iter().map(|d| d.severity).max()
+    }
+
+    /// Whether the run passes: no errors, and no warnings either when
+    /// `deny_warnings` is set. Notes never fail a run.
+    #[must_use]
+    pub fn passes(&self, deny_warnings: bool) -> bool {
+        let ceiling = if deny_warnings {
+            Severity::Info
+        } else {
+            Severity::Warn
+        };
+        self.max_severity().is_none_or(|worst| worst <= ceiling)
+    }
+
+    /// One-line human summary.
+    #[must_use]
+    pub fn summary(&self) -> String {
+        format!(
+            "checked {} programs across {} architecture(s): {} error(s), {} warning(s), {} note(s)",
+            self.programs_checked,
+            self.architectures,
+            self.count(Severity::Error),
+            self.count(Severity::Warn),
+            self.count(Severity::Info),
+        )
+    }
+}

@@ -1,0 +1,152 @@
+//! Structural checks for assembled [`IsaProgram`]s.
+//!
+//! The micro-op rules in [`crate::rules`] verify *generated* handler
+//! programs; these checks verify *assembled* RISC code from
+//! [`osarch_isa`] before it is interpreted: control flow must terminate,
+//! every static branch target must exist, and indirect jumps through the
+//! hardwired zero register are almost certainly bugs. Codes live in the
+//! `OA1xx` range so they can never collide with the micro-op rules.
+
+use crate::diagnostics::{Diagnostic, Severity};
+use osarch_isa::{Instr, IsaProgram, Reg};
+
+/// Code for a program whose control flow can fall off the end.
+pub const FALLS_OFF_END: &str = "OA101";
+/// Code for a branch/jump target outside the program.
+pub const TARGET_OUT_OF_RANGE: &str = "OA102";
+/// Code for an indirect jump through `r0`.
+pub const JUMP_THROUGH_ZERO: &str = "OA103";
+
+fn diag(
+    code: &'static str,
+    severity: Severity,
+    name: &str,
+    op_index: Option<usize>,
+    message: impl Into<String>,
+) -> Diagnostic {
+    Diagnostic {
+        code,
+        severity,
+        arch: None,
+        program: name.to_string(),
+        op_index,
+        message: message.into(),
+    }
+}
+
+/// Statically check one assembled program. `name` labels the diagnostics
+/// (the assembler does not name programs).
+#[must_use]
+pub fn check_isa_program(program: &IsaProgram, name: &str) -> Vec<Diagnostic> {
+    let instrs = program.instrs();
+    let mut out = Vec::new();
+    match instrs.last() {
+        None => out.push(diag(
+            FALLS_OFF_END,
+            Severity::Error,
+            name,
+            None,
+            "empty program: nothing to execute, nothing to halt",
+        )),
+        Some(Instr::Halt | Instr::Jump { .. } | Instr::Jr { .. }) => {}
+        Some(_) => out.push(diag(
+            FALLS_OFF_END,
+            Severity::Error,
+            name,
+            Some(instrs.len() - 1),
+            "control flow falls off the end: the last instruction must halt or jump",
+        )),
+    }
+    for (i, instr) in instrs.iter().enumerate() {
+        let target = match instr {
+            Instr::Branch { target, .. } | Instr::Jump { target } | Instr::Jal { target } => {
+                Some(*target)
+            }
+            _ => None,
+        };
+        if let Some(target) = target {
+            if target >= instrs.len() {
+                out.push(diag(
+                    TARGET_OUT_OF_RANGE,
+                    Severity::Error,
+                    name,
+                    Some(i),
+                    format!(
+                        "target {target} is outside the program ({} instructions)",
+                        instrs.len()
+                    ),
+                ));
+            }
+        }
+        if matches!(instr, Instr::Jr { rs } if *rs == Reg(0)) {
+            out.push(diag(
+                JUMP_THROUGH_ZERO,
+                Severity::Warn,
+                name,
+                Some(i),
+                "indirect jump through r0 always lands on instruction 0",
+            ));
+        }
+    }
+    out.sort_by(|a, b| a.sort_key().cmp(&b.sort_key()));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osarch_isa::assemble;
+
+    #[test]
+    fn clean_program_lints_clean() {
+        let program = assemble(
+            "        li   r1, 3
+             loop:   addi r1, r1, -1
+                     bne  r1, r0, loop
+                     halt",
+        )
+        .expect("assembles");
+        assert!(check_isa_program(&program, "clean").is_empty());
+    }
+
+    #[test]
+    fn falling_off_the_end_is_an_error() {
+        let program = assemble("li r1, 1\nadd r2, r1, r1").expect("assembles");
+        let diags = check_isa_program(&program, "fall");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, FALLS_OFF_END);
+        assert_eq!(diags[0].severity, Severity::Error);
+        assert_eq!(diags[0].op_index, Some(1));
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        let program = assemble("; nothing but a comment").expect("assembles");
+        let diags = check_isa_program(&program, "empty");
+        assert_eq!(diags[0].code, FALLS_OFF_END);
+    }
+
+    #[test]
+    fn trailing_label_branch_is_out_of_range() {
+        // `end:` resolves to one past the last instruction.
+        let program = assemble(
+            "        beq r0, r0, end
+                     halt
+             end:",
+        )
+        .expect("assembles");
+        let diags = check_isa_program(&program, "trailing");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, TARGET_OUT_OF_RANGE);
+        assert_eq!(diags[0].op_index, Some(0));
+    }
+
+    #[test]
+    fn jr_through_zero_warns() {
+        let program = assemble("jr r0").expect("assembles");
+        let diags = check_isa_program(&program, "jr0");
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, JUMP_THROUGH_ZERO);
+        assert_eq!(diags[0].severity, Severity::Warn);
+    }
+}

@@ -1,0 +1,51 @@
+//! # osarch-analysis
+//!
+//! Static hazard & invariant verifier for the generated kernel handler
+//! programs of the ASPLOS 1991 reproduction.
+//!
+//! The paper's central claim is that primitive OS paths are fragile exactly
+//! where architecture leaks into software: unfilled delay slots on exposed
+//! pipelines, register-window spills on SPARC-style machines, write buffers
+//! that must drain before a PTE change or address-space switch becomes
+//! visible. The simulator enforces those contracts *dynamically*, by
+//! executing handler programs through `osarch-cpu`; this crate verifies the
+//! generated code itself — every [`osarch_cpu::Program`] in the kernel's
+//! catalog, for every architecture, on every build, without executing
+//! anything.
+//!
+//! Each invariant is an independent [`Rule`] trait object with a stable
+//! diagnostic code:
+//!
+//! | code  | rule | checks |
+//! |-------|------|--------|
+//! | OA001 | delay-slot-discipline | branch slots fillable; no nops on interlocked pipelines |
+//! | OA002 | window-balance | spills/fills balance within the window file |
+//! | OA003 | write-buffer-drain | drains precede returns and address-space switches |
+//! | OA004 | state-save-completeness | context switches move the required state words |
+//! | OA005 | phase-ordering | phases follow the legal trap-handler nesting |
+//! | OA006 | control-register-legality | special-register runs fit the architecture |
+//! | OA007 | feature-legality | only instructions the architecture implements |
+//! | OA008 | redundant-maintenance | no unnecessary cache/TLB maintenance |
+//! | OA101–OA103 | isa-lint | assembled [`osarch_isa::IsaProgram`] structure |
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_analysis::{Analyzer, Severity};
+//!
+//! let report = Analyzer::new().analyze_all();
+//! // The shipped handlers carry no invariant violations.
+//! assert_eq!(report.count(Severity::Error), 0);
+//! assert!(report.programs_checked() > 28); // 7 archs x 4 primitives + variants
+//! ```
+
+pub mod diagnostics;
+pub mod isa_lint;
+pub mod rules;
+
+mod analyzer;
+
+pub use analyzer::{AnalysisReport, Analyzer};
+pub use diagnostics::{Diagnostic, Severity};
+pub use isa_lint::check_isa_program;
+pub use rules::{default_rules, Rule, RuleContext};

@@ -1,0 +1,90 @@
+//! Property tests: analysis output is a pure, order-stable function of the
+//! (architecture, program) pair.
+
+use osarch_analysis::{default_rules, Analyzer};
+use osarch_cpu::{Arch, MicroOp, Phase, Program};
+use osarch_mem::{Asid, VirtAddr};
+use proptest::prelude::*;
+
+/// Decode one `(phase, op)` pair from a pair of small integers, covering
+/// every op the rules inspect.
+fn decode(phase: u8, op: u8) -> (Phase, MicroOp) {
+    let phase = match phase % 5 {
+        0 => Phase::EntryExit,
+        1 => Phase::CallPrep,
+        2 => Phase::CallReturn,
+        3 => Phase::Body,
+        _ => Phase::Other,
+    };
+    let op = match op % 20 {
+        0 => MicroOp::Alu,
+        1 => MicroOp::DelayNop,
+        2 => MicroOp::Load(VirtAddr(0x100)),
+        3 => MicroOp::Store(VirtAddr(0x104)),
+        4 => MicroOp::Branch,
+        5 => MicroOp::Call,
+        6 => MicroOp::Ret,
+        7 => MicroOp::ReadControl,
+        8 => MicroOp::WriteControl,
+        9 => MicroOp::TrapEnter,
+        10 => MicroOp::TrapReturn,
+        11 => MicroOp::SaveWindow(VirtAddr(0x200)),
+        12 => MicroOp::RestoreWindow(VirtAddr(0x200)),
+        13 => MicroOp::AtomicTas(VirtAddr(0x108)),
+        14 => MicroOp::TlbWriteEntry,
+        15 => MicroOp::TlbFlushAll,
+        16 => MicroOp::CacheFlushAll,
+        17 => MicroOp::SwitchAddressSpace(Asid(1), Asid(2)),
+        18 => MicroOp::DrainWriteBuffer,
+        _ => MicroOp::DrainFpu,
+    };
+    (phase, op)
+}
+
+fn build(ops: &[(u8, u8)]) -> Program {
+    let mut builder = Program::builder("generated");
+    for &(phase, op) in ops {
+        let (phase, op) = decode(phase, op);
+        builder.phase(phase).op(op);
+    }
+    builder.build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Linting the same program twice yields byte-identical diagnostics, in
+    /// [`osarch_analysis::Diagnostic::sort_key`] order.
+    #[test]
+    fn lint_is_deterministic_and_sorted(
+        arch_index in 0usize..7,
+        ops in proptest::collection::vec((0u8..5, 0u8..20), 0..40),
+    ) {
+        let arch = Arch::all()[arch_index];
+        let spec = arch.spec();
+        let program = build(&ops);
+        let analyzer = Analyzer::new();
+        let first = analyzer.check_program(&spec, None, &program);
+        let second = analyzer.check_program(&spec, None, &program);
+        prop_assert_eq!(&first, &second);
+        for pair in first.windows(2) {
+            prop_assert!(pair[0].sort_key() <= pair[1].sort_key());
+        }
+    }
+
+    /// Diagnostics are independent of rule registration order: reversing the
+    /// rule set reports the same findings.
+    #[test]
+    fn lint_is_registration_order_stable(
+        arch_index in 0usize..7,
+        ops in proptest::collection::vec((0u8..5, 0u8..20), 0..40),
+    ) {
+        let arch = Arch::all()[arch_index];
+        let spec = arch.spec();
+        let program = build(&ops);
+        let forward = Analyzer::new().check_program(&spec, None, &program);
+        let reversed = Analyzer::with_rules(default_rules().into_iter().rev().collect())
+            .check_program(&spec, None, &program);
+        prop_assert_eq!(forward, reversed);
+    }
+}

@@ -1,0 +1,354 @@
+//! Per-rule tests: every rule must fire on a deliberately broken program
+//! and stay silent on the shipped handlers.
+
+use osarch_analysis::{default_rules, Analyzer, Diagnostic, Severity};
+use osarch_cpu::{Arch, MicroOp, Phase, Program};
+use osarch_kernel::Primitive;
+use osarch_mem::{Asid, VirtAddr};
+
+fn lint(arch: Arch, primitive: Option<Primitive>, program: &Program) -> Vec<Diagnostic> {
+    Analyzer::new().check_program(&arch.spec(), primitive, program)
+}
+
+/// The findings carrying `code`, as `(severity, op_index)` pairs.
+fn fired(diags: &[Diagnostic], code: &str) -> Vec<(Severity, Option<usize>)> {
+    diags
+        .iter()
+        .filter(|d| d.code == code)
+        .map(|d| (d.severity, d.op_index))
+        .collect()
+}
+
+// ---------------------------------------------------------------------------
+// OA001 — delay-slot discipline
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa001_rejects_delay_nop_on_interlocked_pipeline() {
+    let program = Program::builder("bad")
+        .op(MicroOp::Alu)
+        .op(MicroOp::DelayNop)
+        .build();
+    let diags = lint(Arch::Cvax, None, &program);
+    assert_eq!(fired(&diags, "OA001"), vec![(Severity::Error, Some(1))]);
+}
+
+#[test]
+fn oa001_rejects_unfillable_and_doubly_occupied_slots() {
+    // A transfer in another transfer's delay slot, and a final transfer whose
+    // slot can never be filled.
+    let program = Program::builder("bad")
+        .op(MicroOp::Branch)
+        .op(MicroOp::Call)
+        .build();
+    let diags = lint(Arch::R2000, None, &program);
+    assert_eq!(
+        fired(&diags, "OA001"),
+        vec![(Severity::Error, Some(1)), (Severity::Error, Some(1))]
+    );
+
+    let clean = Program::builder("ok")
+        .op(MicroOp::Branch)
+        .op(MicroOp::DelayNop)
+        .build();
+    assert!(fired(&lint(Arch::R2000, None, &clean), "OA001").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// OA002 — window balance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa002_rejects_window_ops_on_windowless_machines() {
+    let program = Program::builder("bad")
+        .op(MicroOp::SaveWindow(VirtAddr(0x100)))
+        .build();
+    let diags = lint(Arch::Cvax, None, &program);
+    assert_eq!(fired(&diags, "OA002"), vec![(Severity::Error, Some(0))]);
+}
+
+#[test]
+fn oa002_rejects_fills_without_spills_and_leaked_spills() {
+    let fill_first = Program::builder("fill-first")
+        .op(MicroOp::RestoreWindow(VirtAddr(0x100)))
+        .build();
+    let diags = lint(Arch::Sparc, None, &fill_first);
+    assert_eq!(fired(&diags, "OA002"), vec![(Severity::Error, Some(0))]);
+
+    let leaked = Program::builder("leaked")
+        .op(MicroOp::SaveWindow(VirtAddr(0x100)))
+        .op(MicroOp::Alu)
+        .build();
+    let diags = lint(Arch::Sparc, None, &leaked);
+    assert_eq!(fired(&diags, "OA002"), vec![(Severity::Error, None)]);
+}
+
+#[test]
+fn oa002_rejects_spilling_past_the_window_file() {
+    let depth = Arch::Sparc
+        .spec()
+        .windows
+        .expect("SPARC has windows")
+        .windows;
+    let mut builder = Program::builder("too-deep");
+    for i in 0..depth {
+        builder.op(MicroOp::SaveWindow(VirtAddr(0x100 + 64 * i)));
+    }
+    for i in (0..depth).rev() {
+        builder.op(MicroOp::RestoreWindow(VirtAddr(0x100 + 64 * i)));
+    }
+    let diags = lint(Arch::Sparc, None, &builder.build());
+    // Spilling `depth` times overflows a file where only `depth - 1` frames
+    // can be live; the balanced restores keep the end-state clean.
+    assert_eq!(
+        fired(&diags, "OA002"),
+        vec![(Severity::Error, Some(depth as usize - 1))]
+    );
+}
+
+// ---------------------------------------------------------------------------
+// OA003 — write-buffer drain
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa003_rejects_undrained_returns_and_switches() {
+    let ret = Program::builder("ret")
+        .op(MicroOp::Store(VirtAddr(0x100)))
+        .op(MicroOp::TrapReturn)
+        .build();
+    let diags = lint(Arch::R2000, None, &ret);
+    assert_eq!(fired(&diags, "OA003"), vec![(Severity::Error, Some(1))]);
+
+    let switch = Program::builder("switch")
+        .op(MicroOp::Store(VirtAddr(0x100)))
+        .op(MicroOp::SwitchAddressSpace(Asid(1), Asid(2)))
+        .build();
+    let diags = lint(Arch::R2000, None, &switch);
+    assert_eq!(fired(&diags, "OA003"), vec![(Severity::Error, Some(1))]);
+}
+
+#[test]
+fn oa003_notes_tlb_updates_racing_the_buffer_and_accepts_drains() {
+    let racy = Program::builder("racy")
+        .op(MicroOp::Store(VirtAddr(0x100)))
+        .op(MicroOp::TlbWriteEntry)
+        .build();
+    let diags = lint(Arch::R2000, None, &racy);
+    assert_eq!(fired(&diags, "OA003"), vec![(Severity::Info, Some(1))]);
+
+    let drained = Program::builder("drained")
+        .op(MicroOp::Store(VirtAddr(0x100)))
+        .op(MicroOp::DrainWriteBuffer)
+        .op(MicroOp::TlbWriteEntry)
+        .op(MicroOp::TrapReturn)
+        .build();
+    assert!(fired(&lint(Arch::R2000, None, &drained), "OA003").is_empty());
+
+    // No write buffer, no rule: the same racy program is fine on the CVAX.
+    assert!(fired(&lint(Arch::Cvax, None, &racy), "OA003").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// OA004 — state-save completeness
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa004_rejects_context_switches_that_shed_state() {
+    let skimpy = Program::builder("skimpy-switch")
+        .op(MicroOp::Store(VirtAddr(0x100)))
+        .op(MicroOp::Load(VirtAddr(0x200)))
+        .build();
+    let diags = lint(Arch::Sparc, Some(Primitive::ContextSwitch), &skimpy);
+    // Both the save side and the restore side fall short of the floor.
+    assert_eq!(
+        fired(&diags, "OA004"),
+        vec![(Severity::Error, None), (Severity::Error, None)]
+    );
+
+    // The same program is not a context switch when labelled as a syscall.
+    let diags = lint(Arch::Sparc, Some(Primitive::NullSyscall), &skimpy);
+    assert!(fired(&diags, "OA004").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// OA005 — phase ordering
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa005_rejects_illegal_phase_shapes() {
+    let starts_midway = Program::builder("starts-midway")
+        .phase(Phase::CallPrep)
+        .op(MicroOp::Alu)
+        .phase(Phase::EntryExit)
+        .op(MicroOp::Alu)
+        .build();
+    let diags = lint(Arch::Cvax, None, &starts_midway);
+    assert_eq!(fired(&diags, "OA005"), vec![(Severity::Error, Some(0))]);
+
+    let skips_prep = Program::builder("skips-prep")
+        .phase(Phase::EntryExit)
+        .op(MicroOp::Alu)
+        .phase(Phase::Body)
+        .op(MicroOp::Alu)
+        .phase(Phase::EntryExit)
+        .op(MicroOp::Alu)
+        .build();
+    let diags = lint(Arch::Cvax, None, &skips_prep);
+    // EntryExit -> Body and Body -> EntryExit both skip the call phases.
+    assert_eq!(
+        fired(&diags, "OA005"),
+        vec![(Severity::Error, None), (Severity::Error, None)]
+    );
+}
+
+#[test]
+fn oa005_rejects_mistagged_and_unpaired_traps() {
+    let mistagged = Program::builder("mistagged")
+        .phase(Phase::Body)
+        .op(MicroOp::TrapEnter)
+        .phase(Phase::EntryExit)
+        .op(MicroOp::TrapReturn)
+        .build();
+    let diags = lint(Arch::Cvax, None, &mistagged);
+    // The Body-tagged TrapEnter is wrong twice over: the tag itself, plus
+    // the Body -> EntryExit transition it forces.
+    assert!(fired(&diags, "OA005").contains(&(Severity::Error, Some(0))));
+
+    let unpaired = Program::builder("unpaired")
+        .phase(Phase::EntryExit)
+        .op(MicroOp::TrapEnter)
+        .op(MicroOp::Alu)
+        .build();
+    let diags = lint(Arch::Cvax, None, &unpaired);
+    assert_eq!(fired(&diags, "OA005"), vec![(Severity::Error, Some(0))]);
+}
+
+// ---------------------------------------------------------------------------
+// OA006 — control-register legality
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa006_rejects_control_runs_exceeding_the_register_file() {
+    // CVAX budget: 1 misc word + 0 pipeline regs + 2 = 3.
+    let mut builder = Program::builder("greedy");
+    for _ in 0..4 {
+        builder.op(MicroOp::ReadControl);
+    }
+    let diags = lint(Arch::Cvax, None, &builder.build());
+    assert_eq!(fired(&diags, "OA006"), vec![(Severity::Error, Some(0))]);
+
+    let mut builder = Program::builder("within-budget");
+    for _ in 0..3 {
+        builder.op(MicroOp::ReadControl);
+    }
+    // A write run restarts the count: 3 reads + 3 writes is two legal runs.
+    for _ in 0..3 {
+        builder.op(MicroOp::WriteControl);
+    }
+    assert!(fired(&lint(Arch::Cvax, None, &builder.build()), "OA006").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// OA007 — feature legality
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa007_rejects_features_the_architecture_lacks() {
+    let program = Program::builder("fantasy-mips")
+        .op(MicroOp::AtomicTas(VirtAddr(0x100)))
+        .op(MicroOp::DrainFpu)
+        .op(MicroOp::Microcoded {
+            cycles: 10,
+            mem_refs: 2,
+        })
+        .build();
+    // The R2000 has no atomic test-and-set, no exposed FPU pipeline state,
+    // and no microcode.
+    let diags = lint(Arch::R2000, None, &program);
+    assert_eq!(
+        fired(&diags, "OA007"),
+        vec![
+            (Severity::Error, Some(0)),
+            (Severity::Error, Some(1)),
+            (Severity::Error, Some(2)),
+        ]
+    );
+
+    // Each op is legal on an architecture that has the feature.
+    let tas = Program::builder("tas")
+        .op(MicroOp::AtomicTas(VirtAddr(0x100)))
+        .build();
+    assert!(fired(&lint(Arch::Sparc, None, &tas), "OA007").is_empty());
+    let drain = Program::builder("drain").op(MicroOp::DrainFpu).build();
+    assert!(fired(&lint(Arch::M88000, None, &drain), "OA007").is_empty());
+    let ucode = Program::builder("ucode")
+        .op(MicroOp::Microcoded {
+            cycles: 10,
+            mem_refs: 2,
+        })
+        .build();
+    assert!(fired(&lint(Arch::Cvax, None, &ucode), "OA007").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// OA008 — redundant maintenance
+// ---------------------------------------------------------------------------
+
+#[test]
+fn oa008_warns_on_unnecessary_cache_and_tlb_maintenance() {
+    let program = Program::builder("overzealous")
+        .op(MicroOp::TlbFlushAll)
+        .op(MicroOp::CacheFlushAll)
+        .build();
+    // SPARC: tagged TLB and tagged virtual cache — neither needs purging.
+    let diags = lint(Arch::Sparc, None, &program);
+    assert_eq!(
+        fired(&diags, "OA008"),
+        vec![(Severity::Warn, Some(0)), (Severity::Warn, Some(1))]
+    );
+
+    let program = Program::builder("software-refill")
+        .op(MicroOp::TlbWriteEntry)
+        .build();
+    // The CVAX TLB refills in hardware; software writes are wasted work.
+    let diags = lint(Arch::Cvax, None, &program);
+    assert_eq!(fired(&diags, "OA008"), vec![(Severity::Warn, Some(0))]);
+    // On the software-refilled MIPS the same op is the whole point.
+    assert!(fired(&lint(Arch::R2000, None, &program), "OA008").is_empty());
+}
+
+// ---------------------------------------------------------------------------
+// The shipped handlers
+// ---------------------------------------------------------------------------
+
+#[test]
+fn shipped_handlers_carry_no_errors_or_warnings() {
+    let report = Analyzer::new().analyze_all();
+    let noisy: Vec<&Diagnostic> = report
+        .diagnostics()
+        .iter()
+        .filter(|d| d.severity > Severity::Info)
+        .collect();
+    assert!(
+        noisy.is_empty(),
+        "shipped handlers must lint clean, got: {noisy:#?}"
+    );
+    assert_eq!(report.architectures(), Arch::all().len());
+    // 7 architectures x 4 primitives, plus the what-if variants.
+    assert!(report.programs_checked() > Arch::all().len() * 4);
+    assert!(report.passes(true), "deny-warnings must pass on the seed");
+}
+
+#[test]
+fn rule_codes_are_unique_and_stable() {
+    let rules = default_rules();
+    let codes: Vec<&str> = rules.iter().map(|r| r.code()).collect();
+    assert_eq!(
+        codes,
+        vec!["OA001", "OA002", "OA003", "OA004", "OA005", "OA006", "OA007", "OA008"]
+    );
+    for rule in &rules {
+        assert!(!rule.name().is_empty());
+        assert!(!rule.summary().is_empty());
+    }
+}

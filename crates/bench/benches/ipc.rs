@@ -41,10 +41,10 @@ fn ipc_benches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(400));
     for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
         group.bench_with_input(BenchmarkId::new("null_call", arch), &arch, |b, &arch| {
-            b.iter(|| black_box(src_rpc_breakdown(arch, RpcConfig::null_call())))
+            b.iter(|| black_box(src_rpc_breakdown(arch, RpcConfig::null_call())));
         });
         group.bench_with_input(BenchmarkId::new("large_result", arch), &arch, |b, &arch| {
-            b.iter(|| black_box(src_rpc_breakdown(arch, RpcConfig::large_result())))
+            b.iter(|| black_box(src_rpc_breakdown(arch, RpcConfig::large_result())));
         });
     }
     group.finish();
@@ -55,7 +55,7 @@ fn ipc_benches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(400));
     for arch in [Arch::Cvax, Arch::R3000, Arch::Sparc] {
         group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
-            b.iter(|| black_box(lrpc_breakdown(arch)))
+            b.iter(|| black_box(lrpc_breakdown(arch)));
         });
     }
     group.finish();

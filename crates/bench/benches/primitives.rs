@@ -23,7 +23,7 @@ fn primitive_benches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(400));
     for arch in Arch::timed() {
         group.bench_function(arch.to_string(), |b| {
-            b.iter(|| black_box(measure(black_box(arch))))
+            b.iter(|| black_box(measure(black_box(arch))));
         });
     }
     group.finish();
@@ -44,7 +44,7 @@ fn primitive_benches(c: &mut Criterion) {
                     },
                     |(machine, handlers)| black_box(machine.measure(handlers.program(primitive))),
                     BatchSize::SmallInput,
-                )
+                );
             });
         }
     }

@@ -41,7 +41,7 @@ fn structure_benches(c: &mut Criterion) {
         );
     }
     group.bench_function("full_table7", |b| {
-        b.iter(|| black_box(osarch_core::table7(Arch::R3000)))
+        b.iter(|| black_box(osarch_core::table7(Arch::R3000)));
     });
     group.finish();
 }

@@ -71,7 +71,7 @@ fn thread_benches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(400));
     for arch in Arch::all() {
         group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
-            b.iter(|| black_box(ThreadCosts::measure(arch)))
+            b.iter(|| black_box(ThreadCosts::measure(arch)));
         });
     }
     group.finish();
@@ -88,7 +88,7 @@ fn thread_benches(c: &mut Criterion) {
                     pool.spawn(8);
                 }
                 black_box(pool.run())
-            })
+            });
         });
     }
     group.finish();

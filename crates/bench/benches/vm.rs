@@ -28,7 +28,7 @@ fn vm_benches(c: &mut Criterion) {
                 let page = VirtAddr(0x0060_0000);
                 cow.share(USER_ASID, page, USER2_ASID, page);
                 black_box(cow.write(USER_ASID, page).expect("serviced"))
-            })
+            });
         });
     }
     group.finish();
@@ -39,7 +39,7 @@ fn vm_benches(c: &mut Criterion) {
     group.warm_up_time(Duration::from_millis(400));
     for arch in Arch::timed() {
         group.bench_with_input(BenchmarkId::from_parameter(arch), &arch, |b, &arch| {
-            b.iter(|| black_box(user_fault_reflection_us(arch)))
+            b.iter(|| black_box(user_fault_reflection_us(arch)));
         });
     }
     group.finish();
@@ -56,7 +56,7 @@ fn vm_benches(c: &mut Criterion) {
                 total += dsm.write((i % 2) as usize, i % 4);
             }
             black_box(total)
-        })
+        });
     });
     group.finish();
 
@@ -80,7 +80,7 @@ fn vm_benches(c: &mut Criterion) {
                         pager.reference(Asid(1), VirtAddr(vpn << 12), false);
                     }
                     black_box(pager.stats())
-                })
+                });
             },
         );
     }

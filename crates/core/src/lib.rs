@@ -42,6 +42,7 @@ pub use report::{fmt_f, fmt_pct, Table};
 pub use session::MeasurementSession;
 
 // The substrate crates, re-exported whole for path-based access…
+pub use osarch_analysis as analysis;
 pub use osarch_cpu as cpu;
 pub use osarch_ipc as ipc;
 pub use osarch_isa as isa;
@@ -52,6 +53,7 @@ pub use osarch_threads as threads;
 pub use osarch_workloads as workloads;
 
 // …and the most common items at the crate root.
+pub use osarch_analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
 pub use osarch_cpu::{Arch, ArchSpec, Cpu, ExecStats, MicroOp, Phase, Program};
 pub use osarch_ipc::{lrpc_breakdown, src_rpc_breakdown, LrpcBreakdown, RpcBreakdown, RpcConfig};
 pub use osarch_kernel::{

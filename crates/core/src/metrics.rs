@@ -8,12 +8,16 @@
 
 use crate::report::Table;
 use crate::session::shared as session;
+use osarch_analysis::{default_rules, AnalysisReport, Severity};
 use osarch_cpu::{Arch, ExecStats, Phase};
 use osarch_kernel::Primitive;
 use std::fmt::Write as _;
 
 /// The schema tag stamped into every `BENCH_repro.json`.
 pub const BENCH_SCHEMA: &str = "osarch-bench/1";
+
+/// The schema tag stamped into every `osarch lint --json` document.
+pub const LINT_SCHEMA: &str = "osarch-lint/1";
 
 /// Escape a string for a JSON string literal (quotes not included).
 #[must_use]
@@ -115,6 +119,62 @@ pub fn bench_json() -> String {
         "{{\"schema\":\"{}\",\"architectures\":[{}]}}\n",
         BENCH_SCHEMA,
         architectures.join(",")
+    )
+}
+
+/// A static-analysis report as a JSON document (`osarch lint --json`).
+///
+/// The `rules` array lists the full registered rule set (whether or not a
+/// rule fired), so consumers can map codes to names without a side table.
+#[must_use]
+pub fn lint_json(report: &AnalysisReport) -> String {
+    let rules: Vec<String> = default_rules()
+        .iter()
+        .map(|rule| {
+            format!(
+                "{{\"code\":\"{}\",\"name\":\"{}\",\"summary\":\"{}\"}}",
+                json_escape(rule.code()),
+                json_escape(rule.name()),
+                json_escape(rule.summary())
+            )
+        })
+        .collect();
+    let diagnostics: Vec<String> = report
+        .diagnostics()
+        .iter()
+        .map(|d| {
+            let arch = d
+                .arch
+                .map_or_else(|| "null".to_string(), |a| format!("\"{a}\""));
+            let op = d
+                .op_index
+                .map_or_else(|| "null".to_string(), |i| i.to_string());
+            format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"arch\":{},\"program\":\"{}\",\
+                 \"op\":{},\"message\":\"{}\"}}",
+                json_escape(d.code),
+                d.severity.label(),
+                arch,
+                json_escape(&d.program),
+                op,
+                json_escape(&d.message)
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"schema\":\"{}\",\"programs_checked\":{},\"architectures\":{},",
+            "\"rules\":[{}],\"diagnostics\":[{}],",
+            "\"counts\":{{\"error\":{},\"warning\":{},\"info\":{}}}}}\n"
+        ),
+        LINT_SCHEMA,
+        report.programs_checked(),
+        report.architectures(),
+        rules.join(","),
+        diagnostics.join(","),
+        report.count(Severity::Error),
+        report.count(Severity::Warn),
+        report.count(Severity::Info),
     )
 }
 
@@ -264,7 +324,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<(), usize> {
                     Some(b'u') => {
                         *pos += 1;
                         for _ in 0..4 {
-                            if !bytes.get(*pos).is_some_and(|c| c.is_ascii_hexdigit()) {
+                            if !bytes.get(*pos).is_some_and(u8::is_ascii_hexdigit) {
                                 return Err(*pos);
                             }
                             *pos += 1;
@@ -349,6 +409,22 @@ mod tests {
         for name in ["null_syscall", "trap", "pte_change", "context_switch"] {
             assert!(doc.contains(&format!("\"name\":\"{name}\"")), "{name}");
         }
+    }
+
+    #[test]
+    fn lint_document_is_valid_and_lists_every_rule() {
+        let report = osarch_analysis::Analyzer::new().analyze_all();
+        let doc = lint_json(&report);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains(&format!("\"schema\":\"{LINT_SCHEMA}\"")));
+        for rule in default_rules() {
+            assert!(
+                doc.contains(&format!("\"code\":\"{}\"", rule.code())),
+                "{}",
+                rule.code()
+            );
+        }
+        assert!(doc.contains("\"counts\":{\"error\":0,\"warning\":0,"));
     }
 
     #[test]

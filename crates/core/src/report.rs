@@ -126,7 +126,7 @@ impl Table {
         out.push('\n');
         let emit = |out: &mut String, cells: &[String]| {
             for (i, width) in widths.iter().enumerate() {
-                let cell = cells.get(i).map(String::as_str).unwrap_or("");
+                let cell = cells.get(i).map_or("", String::as_str);
                 if i == 0 {
                     out.push_str(&format!("{cell:<width$}"));
                 } else {

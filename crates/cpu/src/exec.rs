@@ -294,11 +294,11 @@ impl Cpu {
                 stats.charge(phase, instructions, u64::from(cycles).max(instructions));
             }
             MicroOp::CacheFlushAll => {
-                let lines = mem.cache().map(|c| c.config().lines()).unwrap_or(0);
+                let lines = mem.cache().map_or(0, |c| c.config().lines());
                 if lines == 0 {
                     return Ok(());
                 }
-                let cycles = mem.cache_mut().map(|c| c.flush_all()).unwrap_or(0);
+                let cycles = mem.cache_mut().map_or(0, osarch_mem::Cache::flush_all);
                 let instructions = u64::from(lines) * u64::from(spec.flush_instrs_per_line);
                 stats.charge(phase, instructions, u64::from(cycles).max(instructions));
                 mem.advance(u64::from(cycles));

@@ -130,6 +130,94 @@ pub enum MicroOp {
     Stall(u32),
 }
 
+impl MicroOp {
+    /// Assembly-style mnemonic for this op — the same text [`Program::listing`]
+    /// prints, usable in diagnostics.
+    #[must_use]
+    pub fn mnemonic(&self) -> String {
+        mnemonic(self)
+    }
+
+    /// Whether this op transfers control and therefore owns a delay slot on
+    /// architectures with exposed pipelines (branches, calls, returns, and
+    /// the return-from-exception).
+    #[must_use]
+    pub fn is_control_transfer(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::Branch | MicroOp::Call | MicroOp::Ret | MicroOp::TrapReturn
+        )
+    }
+
+    /// Whether this op writes memory through the normal store path (and so
+    /// lands in a write buffer when the machine has one). Window spills and
+    /// atomic operations count; microcoded memory traffic is accounted
+    /// separately via [`MicroOp::microcoded_mem_refs`].
+    #[must_use]
+    pub fn writes_memory(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::Store(_) | MicroOp::SaveWindow(_) | MicroOp::AtomicTas(_)
+        )
+    }
+
+    /// Whether this op reads memory (loads, window fills, atomics).
+    #[must_use]
+    pub fn reads_memory(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::Load(_) | MicroOp::RestoreWindow(_) | MicroOp::AtomicTas(_)
+        )
+    }
+
+    /// Whether this op updates translation state (TLB writes and flushes,
+    /// wholesale address-space installs).
+    #[must_use]
+    pub fn is_tlb_maintenance(&self) -> bool {
+        matches!(
+            self,
+            MicroOp::TlbWriteEntry
+                | MicroOp::TlbFlushPage(_)
+                | MicroOp::TlbFlushAll
+                | MicroOp::SwitchAddressSpace(..)
+        )
+    }
+
+    /// Memory references a microcoded op performs, zero for everything else.
+    #[must_use]
+    pub fn microcoded_mem_refs(&self) -> u32 {
+        match self {
+            MicroOp::Microcoded { mem_refs, .. } => *mem_refs,
+            _ => 0,
+        }
+    }
+
+    /// Words this op moves to memory when saving state: one per store, a
+    /// whole window per spill (`words_per_window` from the architecture's
+    /// window configuration), and the microcode's memory references.
+    #[must_use]
+    pub fn save_words(&self, words_per_window: u32) -> u32 {
+        match self {
+            MicroOp::Store(_) | MicroOp::AtomicTas(_) => 1,
+            MicroOp::SaveWindow(_) => words_per_window,
+            MicroOp::Microcoded { mem_refs, .. } => *mem_refs,
+            _ => 0,
+        }
+    }
+
+    /// Words this op moves from memory when restoring state — the mirror of
+    /// [`MicroOp::save_words`].
+    #[must_use]
+    pub fn restore_words(&self, words_per_window: u32) -> u32 {
+        match self {
+            MicroOp::Load(_) | MicroOp::AtomicTas(_) => 1,
+            MicroOp::RestoreWindow(_) => words_per_window,
+            MicroOp::Microcoded { mem_refs, .. } => *mem_refs,
+            _ => 0,
+        }
+    }
+}
+
 /// A handler program: a named sequence of phase-tagged micro-ops.
 ///
 /// Build with [`ProgramBuilder`].
@@ -180,6 +268,30 @@ impl Program {
         self.ops.extend_from_slice(&other.ops);
     }
 
+    /// Iterate over the phase-tagged ops in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, (Phase, MicroOp)> {
+        self.ops.iter()
+    }
+
+    /// Count the ops satisfying `predicate`.
+    pub fn count_ops(&self, predicate: impl Fn(&MicroOp) -> bool) -> usize {
+        self.ops.iter().filter(|(_, op)| predicate(op)).count()
+    }
+
+    /// The sequence of distinct phases, in first-use order with consecutive
+    /// runs collapsed — the program's phase *shape*, which static analysis
+    /// checks against the legal trap-handler nesting.
+    #[must_use]
+    pub fn phase_shape(&self) -> Vec<Phase> {
+        let mut shape: Vec<Phase> = Vec::new();
+        for (phase, _) in &self.ops {
+            if shape.last() != Some(phase) {
+                shape.push(*phase);
+            }
+        }
+        shape
+    }
+
     /// A human-readable assembly-style listing, one op per line, with phase
     /// markers — the debugging view of a handler.
     #[must_use]
@@ -227,6 +339,15 @@ fn mnemonic(op: &MicroOp) -> String {
         MicroOp::DrainWriteBuffer => "wb.drain".to_string(),
         MicroOp::DrainFpu => "fpu.drain".to_string(),
         MicroOp::Stall(cycles) => format!("stall  {cycles}"),
+    }
+}
+
+impl<'a> IntoIterator for &'a Program {
+    type Item = &'a (Phase, MicroOp);
+    type IntoIter = std::slice::Iter<'a, (Phase, MicroOp)>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.iter()
     }
 }
 
@@ -455,5 +576,54 @@ mod tests {
         let program = Program::builder("empty").build();
         assert!(program.is_empty());
         assert!(program.to_string().contains("0 ops"));
+    }
+
+    #[test]
+    fn structural_accessors_classify_ops() {
+        assert!(MicroOp::Branch.is_control_transfer());
+        assert!(MicroOp::TrapReturn.is_control_transfer());
+        assert!(!MicroOp::TrapEnter.is_control_transfer());
+        assert!(MicroOp::Store(VirtAddr(0)).writes_memory());
+        assert!(MicroOp::SaveWindow(VirtAddr(0)).writes_memory());
+        assert!(!MicroOp::Load(VirtAddr(0)).writes_memory());
+        assert!(MicroOp::RestoreWindow(VirtAddr(0)).reads_memory());
+        assert!(MicroOp::TlbFlushAll.is_tlb_maintenance());
+        assert!(MicroOp::SwitchAddressSpace(Asid(1), Asid(2)).is_tlb_maintenance());
+        assert_eq!(
+            MicroOp::Microcoded {
+                cycles: 9,
+                mem_refs: 4
+            }
+            .microcoded_mem_refs(),
+            4
+        );
+        assert_eq!(MicroOp::SaveWindow(VirtAddr(0)).save_words(16), 16);
+        assert_eq!(MicroOp::Store(VirtAddr(0)).save_words(16), 1);
+        assert_eq!(MicroOp::RestoreWindow(VirtAddr(0)).restore_words(16), 16);
+        assert_eq!(MicroOp::Alu.save_words(16), 0);
+        assert_eq!(MicroOp::Alu.mnemonic(), "alu");
+    }
+
+    #[test]
+    fn phase_shape_collapses_runs() {
+        let mut b = Program::builder("shape");
+        b.phase(Phase::EntryExit).op(MicroOp::TrapEnter);
+        b.phase(Phase::CallPrep).alu(3);
+        b.phase(Phase::CallPrep).alu(1); // same phase: still one segment
+        b.phase(Phase::Body).alu(2);
+        b.phase(Phase::EntryExit).op(MicroOp::TrapReturn);
+        let program = b.build();
+        assert_eq!(
+            program.phase_shape(),
+            vec![
+                Phase::EntryExit,
+                Phase::CallPrep,
+                Phase::Body,
+                Phase::EntryExit
+            ]
+        );
+        assert_eq!(program.count_ops(MicroOp::is_control_transfer), 1);
+        assert_eq!(program.iter().count(), program.len());
+        assert_eq!((&program).into_iter().count(), program.len());
     }
 }

@@ -73,8 +73,7 @@ impl LrpcBreakdown {
         self.components
             .iter()
             .find(|c| c.name == name)
-            .map(|c| c.micros / total)
-            .unwrap_or(0.0)
+            .map_or(0.0, |c| c.micros / total)
     }
 }
 

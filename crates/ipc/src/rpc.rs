@@ -50,8 +50,7 @@ impl RpcBreakdown {
         self.components
             .iter()
             .find(|c| c.name == name)
-            .map(|c| c.micros / total)
-            .unwrap_or(0.0)
+            .map_or(0.0, |c| c.micros / total)
     }
 
     /// Microseconds of a named component, or 0 when absent.
@@ -60,8 +59,7 @@ impl RpcBreakdown {
         self.components
             .iter()
             .find(|c| c.name == name)
-            .map(|c| c.micros)
-            .unwrap_or(0.0)
+            .map_or(0.0, |c| c.micros)
     }
 }
 

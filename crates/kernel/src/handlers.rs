@@ -842,6 +842,104 @@ pub enum Variant {
     TaggedVirtualCache,
 }
 
+impl Variant {
+    /// All what-if variants, in section order.
+    #[must_use]
+    pub fn all() -> [Variant; 5] {
+        [
+            Variant::DeferredFaultCheck,
+            Variant::HardwareWindowFault,
+            Variant::ProvideFaultAddress,
+            Variant::PreciseInterrupts,
+            Variant::TaggedVirtualCache,
+        ]
+    }
+
+    /// The one architecture this variant applies to.
+    #[must_use]
+    pub fn arch(self) -> Arch {
+        match self {
+            Variant::DeferredFaultCheck | Variant::PreciseInterrupts => Arch::M88000,
+            Variant::HardwareWindowFault => Arch::Sparc,
+            Variant::ProvideFaultAddress | Variant::TaggedVirtualCache => Arch::I860,
+        }
+    }
+
+    /// The primitive operation this variant re-implements.
+    #[must_use]
+    pub fn primitive(self) -> Primitive {
+        match self {
+            Variant::DeferredFaultCheck | Variant::HardwareWindowFault => Primitive::NullSyscall,
+            Variant::ProvideFaultAddress | Variant::PreciseInterrupts => Primitive::Trap,
+            Variant::TaggedVirtualCache => Primitive::ContextSwitch,
+        }
+    }
+
+    /// A short human-readable label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Variant::DeferredFaultCheck => "deferred fault check",
+            Variant::HardwareWindowFault => "hardware window fault",
+            Variant::ProvideFaultAddress => "provided fault address",
+            Variant::PreciseInterrupts => "precise interrupts",
+            Variant::TaggedVirtualCache => "tagged virtual cache",
+        }
+    }
+}
+
+/// One entry in the [`program_catalog`]: which primitive a program
+/// implements, which what-if [`Variant`] produced it (if any), and the
+/// program itself.
+#[derive(Debug, Clone)]
+pub struct CatalogEntry {
+    /// The primitive operation the program implements.
+    pub primitive: Primitive,
+    /// The variant that produced it, or `None` for a shipped handler.
+    pub variant: Option<Variant>,
+    /// The generated program.
+    pub program: Program,
+}
+
+impl CatalogEntry {
+    /// A stable identifier for reports: the program name plus the variant
+    /// tag when present.
+    #[must_use]
+    pub fn id(&self) -> String {
+        match self.variant {
+            Some(variant) => format!("{} [{}]", self.program.name(), variant.label()),
+            None => self.program.name().to_string(),
+        }
+    }
+}
+
+/// Every program the kernel generates for `spec`: the four primitive
+/// handlers plus the what-if variants that apply to this architecture.
+/// This is the registry static analysis walks — a new handler or variant
+/// added here is automatically covered by `osarch lint`.
+#[must_use]
+pub fn program_catalog(spec: &ArchSpec, layout: &KernelLayout) -> Vec<CatalogEntry> {
+    let handlers = HandlerSet::generate(spec, layout);
+    let mut entries: Vec<CatalogEntry> = Primitive::all()
+        .into_iter()
+        .map(|primitive| CatalogEntry {
+            primitive,
+            variant: None,
+            program: handlers.program(primitive).clone(),
+        })
+        .collect();
+    for variant in Variant::all() {
+        if variant.arch() == spec.arch {
+            entries.push(CatalogEntry {
+                primitive: variant.primitive(),
+                variant: Some(variant),
+                program: variant_program(spec, layout, variant),
+            });
+        }
+    }
+    entries
+}
+
 /// Generate the handler a [`Variant`] modifies, in its improved form.
 ///
 /// # Panics
@@ -1129,5 +1227,36 @@ mod tests {
     fn primitive_labels_match_paper_rows() {
         assert_eq!(Primitive::NullSyscall.label(), "Null system call");
         assert_eq!(Primitive::PteChange.to_string(), "Page table entry change");
+    }
+
+    #[test]
+    fn every_variant_generates_on_its_own_arch() {
+        for variant in Variant::all() {
+            let machine = Machine::new(variant.arch());
+            let program = variant_program(machine.spec(), machine.layout(), variant);
+            assert!(!program.is_empty(), "{variant:?}");
+            assert!(!variant.label().is_empty());
+        }
+    }
+
+    #[test]
+    fn catalog_registers_primitives_and_applicable_variants() {
+        for arch in Arch::all() {
+            let machine = Machine::new(arch);
+            let catalog = program_catalog(machine.spec(), machine.layout());
+            let variants = Variant::all().iter().filter(|v| v.arch() == arch).count();
+            assert_eq!(catalog.len(), Primitive::all().len() + variants, "{arch}");
+            // The first four entries are the shipped handlers, in row order.
+            for (entry, primitive) in catalog.iter().zip(Primitive::all()) {
+                assert_eq!(entry.primitive, primitive, "{arch}");
+                assert!(entry.variant.is_none());
+            }
+            for entry in catalog.iter().skip(Primitive::all().len()) {
+                let variant = entry.variant.expect("tail entries are variants");
+                assert_eq!(variant.arch(), arch);
+                assert_eq!(variant.primitive(), entry.primitive);
+                assert!(entry.id().contains(variant.label()));
+            }
+        }
     }
 }

@@ -34,8 +34,8 @@ mod process;
 mod vm;
 
 pub use handlers::{
-    context_switch, null_syscall, pte_change, trap_handler, variant_baseline, variant_program,
-    HandlerSet, Primitive, Variant,
+    context_switch, null_syscall, program_catalog, pte_change, trap_handler, variant_baseline,
+    variant_program, CatalogEntry, HandlerSet, Primitive, Variant,
 };
 pub use layout::{KernelLayout, PCB_STRIDE};
 pub use machine::{Machine, USER2_ASID, USER_ASID};

@@ -241,7 +241,7 @@ impl Cache {
                 // Write-through caches don't allocate on write misses.
                 let allocate = !write || self.config.write_policy == WritePolicy::Back;
                 if allocate {
-                    let way = match ways.iter().position(|line| line.is_none()) {
+                    let way = match ways.iter().position(std::option::Option::is_none) {
                         Some(free) => free,
                         None => {
                             let victim = self.victim[set];
@@ -275,7 +275,10 @@ impl Cache {
         {
             return;
         }
-        let way = ways.iter().position(|line| line.is_none()).unwrap_or(0);
+        let way = ways
+            .iter()
+            .position(std::option::Option::is_none)
+            .unwrap_or(0);
         ways[way] = Some(Line {
             tag,
             asid: ctx,

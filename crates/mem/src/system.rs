@@ -480,8 +480,7 @@ impl MemorySystem {
     pub fn walk_refs(&self, asid: Asid, va: VirtAddr) -> u32 {
         self.spaces
             .get(&asid)
-            .map(|s| s.table.walk_mem_refs(va))
-            .unwrap_or(0)
+            .map_or(0, |s| s.table.walk_mem_refs(va))
     }
 
     /// Switch the installed address space, paying the architectural cost
@@ -727,8 +726,7 @@ impl MemorySystem {
     pub fn write_buffer_drain_time(&self) -> u32 {
         self.write_buffer
             .as_ref()
-            .map(|wb| wb.drain_time(self.clock))
-            .unwrap_or(0)
+            .map_or(0, |wb| wb.drain_time(self.clock))
     }
 
     /// Borrow the TLB, if present.

@@ -240,9 +240,8 @@ impl Tlb {
 
     fn pick_victim(&mut self) -> usize {
         let n = self.config.entries;
-        let unlocked = |idx: usize, entries: &[Option<TlbEntry>]| {
-            entries[idx].map(|e| !e.locked).unwrap_or(true)
-        };
+        let unlocked =
+            |idx: usize, entries: &[Option<TlbEntry>]| entries[idx].is_none_or(|e| !e.locked);
         match self.config.replacement {
             Replacement::Fifo => {
                 for _ in 0..n {
@@ -304,7 +303,7 @@ impl Tlb {
     pub fn flush_unlocked(&mut self) -> usize {
         let mut flushed = 0;
         for slot in &mut self.entries {
-            if slot.map(|e| !e.locked).unwrap_or(false) {
+            if slot.is_some_and(|e| !e.locked) {
                 *slot = None;
                 flushed += 1;
             }

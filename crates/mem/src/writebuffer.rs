@@ -140,11 +140,7 @@ impl WriteBuffer {
         }
         let issue_time = now + u64::from(stall);
         // Retirement pipelines behind the previous pending write.
-        let prev_done = self
-            .pending
-            .back()
-            .map(|p| p.retire_at)
-            .unwrap_or(issue_time);
+        let prev_done = self.pending.back().map_or(issue_time, |p| p.retire_at);
         let start = prev_done.max(issue_time);
         // Page-mode check is against the previous write in program order.
         let cost = match self.pending.back() {
@@ -167,8 +163,7 @@ impl WriteBuffer {
     pub fn drain_time(&self, now: u64) -> u32 {
         self.pending
             .back()
-            .map(|p| p.retire_at.saturating_sub(now) as u32)
-            .unwrap_or(0)
+            .map_or(0, |p| p.retire_at.saturating_sub(now) as u32)
     }
 
     /// Number of writes currently pending.

@@ -60,7 +60,7 @@ impl ThreadCosts {
         // be flushed, and flushing needs a kernel trap.
         let words = spec.integer_thread_state_words();
         let mut b = Program::builder("uthread-switch");
-        let requires_kernel = spec.windows.map(|w| w.cwp_privileged).unwrap_or(false);
+        let requires_kernel = spec.windows.is_some_and(|w| w.cwp_privileged);
         if requires_kernel {
             b.op(MicroOp::TrapEnter);
         }

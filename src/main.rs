@@ -6,11 +6,13 @@
 //! osarch measure <ARCH>          measure the four primitives on one machine
 //! osarch listing <ARCH> <OP>     print a handler program listing
 //! osarch compare <A> <B>         compare two machines primitive by primitive
+//! osarch lint [ARCH] [--json] [--deny-warnings]
+//!                                statically verify the generated handlers
 //! osarch archs                   list the modelled architectures
 //! ```
 
 use osarch::kernel::{HandlerSet, Machine};
-use osarch::{measure, metrics, session, Arch, Primitive};
+use osarch::{measure, metrics, session, Analyzer, Arch, Primitive};
 use std::process::ExitCode;
 
 fn parse_arch(name: &str) -> Option<Arch> {
@@ -41,6 +43,8 @@ fn usage() -> ExitCode {
          \x20 measure ARCH            measure the four primitives on one machine\n\
          \x20 listing ARCH OP         print a handler listing (syscall|trap|pte|ctxsw)\n\
          \x20 compare ARCH ARCH       compare two machines\n\
+         \x20 lint [ARCH] [--json] [--deny-warnings]\n\
+         \x20                         statically verify the generated handler programs\n\
          \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
@@ -183,6 +187,44 @@ fn main() -> ExitCode {
                 a.spec().application_speedup / b.spec().application_speedup
             );
             ExitCode::SUCCESS
+        }
+        Some("lint") => {
+            let mut arch: Option<Arch> = None;
+            let mut json = false;
+            let mut deny_warnings = false;
+            for arg in &args[1..] {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--deny-warnings" => deny_warnings = true,
+                    name => match parse_arch(name) {
+                        Some(parsed) if arch.is_none() => arch = Some(parsed),
+                        _ => {
+                            eprintln!("unexpected argument {name:?}");
+                            return usage();
+                        }
+                    },
+                }
+            }
+            let analyzer = Analyzer::new();
+            let report = match arch {
+                Some(arch) => analyzer.analyze_arch(arch),
+                None => analyzer.analyze_all(),
+            };
+            if json {
+                let doc = metrics::lint_json(&report);
+                debug_assert_eq!(metrics::validate_json(&doc), Ok(()));
+                print!("{doc}");
+            } else {
+                for diagnostic in report.diagnostics() {
+                    println!("{diagnostic}");
+                }
+                println!("{}", report.summary());
+            }
+            if report.passes(deny_warnings) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
         }
         _ => usage(),
     }

@@ -71,7 +71,7 @@ fn tlb_pressure_storm_stays_correct() {
     // Touch far more pages than the TLB holds; every access must still
     // translate correctly (misses, not faults).
     let mut machine = Machine::new(Arch::R3000);
-    let entries = machine.spec().mem.tlb.map(|t| t.entries).unwrap_or(64);
+    let entries = machine.spec().mem.tlb.map_or(64, |t| t.entries);
     let pages = (entries * 4) as u32;
     for i in 0..pages {
         machine

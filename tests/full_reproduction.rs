@@ -129,11 +129,11 @@ fn sparc_projection_matches_the_prose() {
 fn reproduction_is_fully_deterministic() {
     let a: Vec<String> = experiments::all_reports()
         .iter()
-        .map(|t| t.render())
+        .map(osarch::Table::render)
         .collect();
     let b: Vec<String> = experiments::all_reports()
         .iter()
-        .map(|t| t.render())
+        .map(osarch::Table::render)
         .collect();
     assert_eq!(a, b);
 }

@@ -1,0 +1,30 @@
+//! Golden-output snapshot of `osarch lint --json` for one architecture.
+//!
+//! The document is part of the tool's interface: CI archives it, and
+//! downstream consumers parse it by the `osarch-lint/1` schema. Any change
+//! to the rule set, the diagnostic wording, or the emitter shows up as a
+//! diff against `tests/golden/lint_sparc.json` — regenerate it with
+//! `osarch lint sparc --json` when the change is intentional.
+
+use osarch::{metrics, Analyzer, Arch};
+
+const GOLDEN: &str = include_str!("golden/lint_sparc.json");
+
+#[test]
+fn sparc_lint_json_matches_the_golden_snapshot() {
+    let report = Analyzer::new().analyze_arch(Arch::Sparc);
+    let doc = metrics::lint_json(&report);
+    assert_eq!(metrics::validate_json(&doc), Ok(()));
+    assert_eq!(
+        doc, GOLDEN,
+        "lint output drifted from the snapshot; if intentional, regenerate \
+         tests/golden/lint_sparc.json with `osarch lint sparc --json`"
+    );
+}
+
+#[test]
+fn golden_snapshot_itself_is_well_formed() {
+    assert_eq!(metrics::validate_json(GOLDEN), Ok(()));
+    assert!(GOLDEN.contains("\"schema\":\"osarch-lint/1\""));
+    assert!(GOLDEN.contains("\"counts\":{\"error\":0,\"warning\":0,\"info\":1}"));
+}

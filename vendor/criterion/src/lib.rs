@@ -233,7 +233,7 @@ mod tests {
             .measurement_time(Duration::from_millis(1));
         group.bench_function("plain", |b| b.iter(|| black_box(2 + 2)));
         group.bench_with_input(BenchmarkId::from_parameter("x"), &21, |b, &x| {
-            b.iter(|| black_box(x * 2))
+            b.iter(|| black_box(x * 2));
         });
         group.finish();
         c.bench_function("top", |b| {
@@ -241,7 +241,7 @@ mod tests {
                 || vec![1, 2, 3],
                 |v| v.iter().sum::<i32>(),
                 BatchSize::SmallInput,
-            )
+            );
         });
     }
 
