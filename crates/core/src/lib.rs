@@ -50,6 +50,7 @@ pub use osarch_kernel as kernel;
 pub use osarch_mach as mach;
 pub use osarch_mem as mem;
 pub use osarch_threads as threads;
+pub use osarch_trace as trace;
 pub use osarch_workloads as workloads;
 
 // …and the most common items at the crate root.
@@ -57,10 +58,11 @@ pub use osarch_analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
 pub use osarch_cpu::{Arch, ArchSpec, Cpu, ExecStats, MicroOp, Phase, Program};
 pub use osarch_ipc::{lrpc_breakdown, src_rpc_breakdown, LrpcBreakdown, RpcBreakdown, RpcConfig};
 pub use osarch_kernel::{
-    measure, measure_all, measure_fresh, simulation_count, HandlerSet, Machine, Primitive,
-    PrimitiveCosts, PrimitiveMeasurement,
+    measure, measure_all, measure_fresh, simulation_count, trace_all, trace_primitive, HandlerSet,
+    Machine, Primitive, PrimitiveCosts, PrimitiveMeasurement, PrimitiveTrace,
 };
 pub use osarch_mach::{simulate, table7, MachRun, OsStructure};
 pub use osarch_mem::{MemorySystem, MemorySystemConfig, VirtAddr};
 pub use osarch_threads::{LockStrategy, ThreadCosts, UserThreads};
+pub use osarch_trace::{EventTracer, NullTracer, Tracer};
 pub use osarch_workloads::{find_workload, standard_workloads, ServiceDemand, Workload};

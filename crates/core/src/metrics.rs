@@ -10,7 +10,8 @@ use crate::report::Table;
 use crate::session::shared as session;
 use osarch_analysis::{default_rules, AnalysisReport, Severity};
 use osarch_cpu::{Arch, ExecStats, Phase};
-use osarch_kernel::Primitive;
+use osarch_kernel::{Primitive, PrimitiveTrace};
+use osarch_trace::{CounterRegistry, Event, EventKind};
 use std::fmt::Write as _;
 
 /// The schema tag stamped into every `BENCH_repro.json`.
@@ -18,6 +19,13 @@ pub const BENCH_SCHEMA: &str = "osarch-bench/1";
 
 /// The schema tag stamped into every `osarch lint --json` document.
 pub const LINT_SCHEMA: &str = "osarch-lint/1";
+
+/// The schema tag stamped into every `osarch trace --counters` document.
+pub const COUNTERS_SCHEMA: &str = "osarch-counters/1";
+
+/// The schema tag stamped into the `otherData` of every Chrome-trace
+/// export (the document body is the standard Chrome trace-event format).
+pub const TRACE_SCHEMA: &str = "osarch-trace/1";
 
 /// Escape a string for a JSON string literal (quotes not included).
 #[must_use]
@@ -49,22 +57,11 @@ fn json_f64(value: f64) -> String {
 }
 
 fn snake_name(primitive: Primitive) -> &'static str {
-    match primitive {
-        Primitive::NullSyscall => "null_syscall",
-        Primitive::Trap => "trap",
-        Primitive::PteChange => "pte_change",
-        Primitive::ContextSwitch => "context_switch",
-    }
+    primitive.tag()
 }
 
 fn phase_name(phase: Phase) -> &'static str {
-    match phase {
-        Phase::EntryExit => "entry_exit",
-        Phase::CallPrep => "call_prep",
-        Phase::CallReturn => "call_return",
-        Phase::Body => "body",
-        Phase::Other => "other",
-    }
+    phase.tag()
 }
 
 fn stats_json(name: &str, stats: &ExecStats, clock_mhz: f64) -> String {
@@ -203,6 +200,111 @@ pub fn table_json(table: &Table) -> String {
 pub fn tables_json(tables: &[Table]) -> String {
     let items: Vec<String> = tables.iter().map(table_json).collect();
     format!("[{}]\n", items.join(","))
+}
+
+/// One trace event as a Chrome trace-event object.
+///
+/// Complete events become `"ph":"X"` with `ts`/`dur`; instants become
+/// `"ph":"i"` with thread scope. The phase tag and numeric arguments ride
+/// in `args`.
+fn trace_event_json(event: &Event) -> String {
+    let mut args = String::new();
+    if let Some(phase) = event.phase {
+        let _ = write!(args, "\"phase\":\"{}\"", json_escape(phase));
+    }
+    for (key, value) in &event.args {
+        if !args.is_empty() {
+            args.push(',');
+        }
+        let _ = write!(args, "\"{}\":{}", json_escape(key), value);
+    }
+    let head = format!(
+        "{{\"name\":\"{}\",\"cat\":\"{}\",\"pid\":{},\"tid\":{},\"ts\":{}",
+        json_escape(&event.name),
+        event.cat.label(),
+        event.pid,
+        event.tid,
+        event.ts
+    );
+    match event.kind {
+        EventKind::Complete => {
+            format!(
+                "{head},\"ph\":\"X\",\"dur\":{},\"args\":{{{args}}}}}",
+                event.dur
+            )
+        }
+        EventKind::Instant => format!("{head},\"ph\":\"i\",\"s\":\"t\",\"args\":{{{args}}}}}"),
+    }
+}
+
+fn metadata_event_json(name: &str, tid: u32, value: &str) -> String {
+    format!(
+        "{{\"name\":\"{}\",\"ph\":\"M\",\"pid\":0,\"tid\":{tid},\"args\":{{\"name\":\"{}\"}}}}",
+        json_escape(name),
+        json_escape(value)
+    )
+}
+
+/// A traced primitive run as a Chrome trace-event JSON document.
+///
+/// The document loads directly in `chrome://tracing` and
+/// [Perfetto](https://ui.perfetto.dev): tid 0 is the execution track
+/// (micro-op and phase spans in run-local cycles), tid 1 is the memory
+/// system (TLB / cache / write-buffer events on the rebased memory
+/// clock). Timestamps are cycles, not microseconds; `otherData` carries
+/// the schema tag, architecture, primitive and clock rate needed to
+/// convert.
+#[must_use]
+pub fn chrome_trace_json(trace: &PrimitiveTrace) -> String {
+    let mut events = vec![
+        metadata_event_json(
+            "process_name",
+            0,
+            &format!("{} {}", trace.arch, trace.primitive.tag()),
+        ),
+        metadata_event_json("thread_name", 0, "execution"),
+        metadata_event_json("thread_name", 1, "memory system"),
+    ];
+    events.extend(trace.events.iter().map(trace_event_json));
+    format!(
+        concat!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ns\",",
+            "\"otherData\":{{\"schema\":\"{}\",\"arch\":\"{}\",\"primitive\":\"{}\",",
+            "\"clock_mhz\":{},\"cycles\":{},\"instructions\":{}}}}}\n"
+        ),
+        events.join(","),
+        TRACE_SCHEMA,
+        json_escape(&trace.arch.to_string()),
+        trace.primitive.tag(),
+        json_f64(trace.clock_mhz),
+        trace.stats.cycles,
+        trace.stats.instructions,
+    )
+}
+
+/// A performance-counter registry as an `osarch-counters/1` JSON document:
+/// a flat array of `{arch, primitive, phase, name, value}` records in the
+/// registry's deterministic (sorted) order.
+#[must_use]
+pub fn counters_json(counters: &CounterRegistry) -> String {
+    let records: Vec<String> = counters
+        .iter()
+        .map(|(key, value)| {
+            format!(
+                "{{\"arch\":\"{}\",\"primitive\":\"{}\",\"phase\":\"{}\",\
+                 \"name\":\"{}\",\"value\":{value}}}",
+                json_escape(&key.arch),
+                json_escape(&key.primitive),
+                json_escape(&key.phase),
+                json_escape(&key.name),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"schema\":\"{}\",\"counters\":[{}]}}\n",
+        COUNTERS_SCHEMA,
+        records.join(",")
+    )
 }
 
 /// Check that `text` is one well-formed JSON value (plus trailing
@@ -400,6 +502,55 @@ mod tests {
     }
 
     #[test]
+    fn escape_covers_every_control_character() {
+        // All 32 C0 controls must escape; the named ones use their short
+        // forms, the rest the \u00xx form — and the result must survive
+        // the validator inside a string literal.
+        for code in 0u32..0x20 {
+            let c = char::from_u32(code).unwrap();
+            let escaped = json_escape(&c.to_string());
+            assert!(
+                escaped.starts_with('\\'),
+                "U+{code:04X} must escape, got {escaped:?}"
+            );
+            assert_eq!(validate_json(&format!("\"{escaped}\"")), Ok(()));
+        }
+        assert_eq!(json_escape("\u{7}"), "\\u0007");
+        assert_eq!(json_escape("\u{1f}"), "\\u001f");
+        // Non-control characters pass through untouched.
+        assert_eq!(json_escape("π … ok"), "π … ok");
+    }
+
+    #[test]
+    fn validator_accepts_nested_arrays() {
+        for good in [
+            "[[[]]]",
+            "[[1,[2,[3,[4]]]],[]]",
+            "{\"a\":[[1,2],[3,[true,null]]]}",
+            "[ [ \"x\" , [ ] ] ]",
+        ] {
+            assert_eq!(validate_json(good), Ok(()), "{good}");
+        }
+    }
+
+    #[test]
+    fn validator_rejects_trailing_commas_and_bare_keys() {
+        for bad in [
+            "[1,2,]",
+            "{\"a\":1,}",
+            "[[1,],2]",
+            "{\"a\":[1,2,]}",
+            "{a:1}",
+            "{a:\"b\"}",
+            "{'a':1}",
+            "[,1]",
+            "{,}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
     fn bench_document_is_valid_and_complete() {
         let doc = bench_json();
         assert_eq!(validate_json(&doc), Ok(()));
@@ -425,6 +576,29 @@ mod tests {
             );
         }
         assert!(doc.contains("\"counts\":{\"error\":0,\"warning\":0,"));
+    }
+
+    #[test]
+    fn chrome_trace_document_is_valid_and_reconciles() {
+        let trace = osarch_kernel::trace_primitive(Arch::R3000, Primitive::NullSyscall);
+        let doc = chrome_trace_json(&trace);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains(&format!("\"schema\":\"{TRACE_SCHEMA}\"")));
+        assert!(doc.contains("\"name\":\"process_name\""));
+        assert!(doc.contains(&format!("\"cycles\":{}", trace.stats.cycles)));
+        // Every recorded event appears: metadata (3) + events.
+        assert_eq!(doc.matches("\"ph\":").count(), trace.events.len() + 3);
+    }
+
+    #[test]
+    fn counters_document_is_valid_and_sorted() {
+        let trace = osarch_kernel::trace_primitive(Arch::Sparc, Primitive::Trap);
+        let doc = counters_json(&trace.counters);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains(&format!("\"schema\":\"{COUNTERS_SCHEMA}\"")));
+        assert!(doc.contains("\"name\":\"cycles\""));
+        assert!(doc.contains("\"primitive\":\"trap\""));
     }
 
     #[test]

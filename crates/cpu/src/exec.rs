@@ -3,6 +3,7 @@
 use crate::arch::ArchSpec;
 use crate::microop::{MicroOp, Phase, Program};
 use osarch_mem::{AccessKind, Fault, MemorySystem, Mode, VirtAddr};
+use osarch_trace::{Category, Event, NullTracer, Tracer};
 use std::fmt;
 
 /// Instruction and cycle totals for one phase.
@@ -38,8 +39,17 @@ impl ExecStats {
     }
 
     /// Elapsed microseconds on a machine clocked at `clock_mhz`.
+    ///
+    /// `clock_mhz` must be positive: a zero or negative clock rate has no
+    /// physical meaning, and the division would silently produce an
+    /// infinity or NaN that poisons every table built downstream. The
+    /// contract is debug-asserted; release builds return the raw quotient.
     #[must_use]
     pub fn micros(&self, clock_mhz: f64) -> f64 {
+        debug_assert!(
+            clock_mhz > 0.0,
+            "ExecStats::micros requires a positive clock rate, got {clock_mhz} MHz"
+        );
         self.cycles as f64 / clock_mhz
     }
 
@@ -129,27 +139,106 @@ impl Cpu {
 
     /// Execute `program` in `mode`, stopping at the first fault.
     pub fn run(&mut self, program: &Program, mem: &mut MemorySystem, mode: Mode) -> ExecOutcome {
+        self.run_with(program, mem, mode, &mut NullTracer)
+    }
+
+    /// [`Cpu::run`] with tracing.
+    ///
+    /// Emits one [`Category::MicroOp`] span per micro-op (phase-tagged,
+    /// with `instructions` and `stall_cycles` arguments), one
+    /// [`Category::Phase`] span per contiguous phase segment, and
+    /// window-trap / fault instants. Micro-op and phase timestamps are
+    /// *run-local executor cycles*: a span starting at cycle `ts` with
+    /// duration `dur` means exactly those cycles were charged to
+    /// [`ExecStats`], so per-phase span durations sum precisely to
+    /// [`ExecStats::phase`] cycles. Memory-system events ride the memory
+    /// clock (see [`MemorySystem::access_with`]).
+    ///
+    /// With [`NullTracer`] this is exactly [`Cpu::run`]: the `enabled()`
+    /// guards are constant-false and monomorphisation removes the
+    /// instrumentation, so traced-with-null and untraced runs are
+    /// bit-identical.
+    pub fn run_with<T: Tracer>(
+        &mut self,
+        program: &Program,
+        mem: &mut MemorySystem,
+        mode: Mode,
+        tracer: &mut T,
+    ) -> ExecOutcome {
         let mut stats = ExecStats::default();
-        for &(phase, op) in program.ops() {
-            if let Err(fault) = self.step(op, phase, mem, mode, &mut stats) {
-                return ExecOutcome {
-                    stats,
-                    fault: Some(fault),
-                };
+        let mut segment: Option<(Phase, u64)> = None;
+        let close_segment = |segment: &mut Option<(Phase, u64)>, tracer: &mut T, end: u64| {
+            if let Some((phase, start)) = segment.take() {
+                tracer.record(
+                    Event::complete(phase.tag(), Category::Phase, start, end - start)
+                        .with_phase(phase.tag()),
+                );
             }
+        };
+        for &(phase, op) in program.ops() {
+            if tracer.enabled() && segment.map(|(p, _)| p) != Some(phase) {
+                close_segment(&mut segment, tracer, stats.cycles);
+                tracer.set_phase(phase.tag());
+                segment = Some((phase, stats.cycles));
+            }
+            let ts = stats.cycles;
+            let instr_before = stats.instructions;
+            let stall_before = stats.wb_stall_cycles;
+            match self.step(op, phase, mem, mode, &mut stats, tracer) {
+                Ok(()) => {
+                    if tracer.enabled() {
+                        tracer.record(
+                            Event::complete(op.opcode(), Category::MicroOp, ts, stats.cycles - ts)
+                                .with_phase(phase.tag())
+                                .with_arg("instructions", stats.instructions - instr_before)
+                                .with_arg("stall_cycles", stats.wb_stall_cycles - stall_before),
+                        );
+                        if self.spec.windows.is_some() {
+                            let trap = match op {
+                                MicroOp::SaveWindow(_) => Some("window overflow trap"),
+                                MicroOp::RestoreWindow(_) => Some("window underflow trap"),
+                                _ => None,
+                            };
+                            if let Some(name) = trap {
+                                tracer.record(
+                                    Event::instant(name, Category::Trap, ts)
+                                        .with_phase(phase.tag()),
+                                );
+                            }
+                        }
+                    }
+                }
+                Err(fault) => {
+                    if tracer.enabled() {
+                        tracer.record(
+                            Event::instant("fault", Category::Trap, stats.cycles)
+                                .with_phase(phase.tag()),
+                        );
+                        close_segment(&mut segment, tracer, stats.cycles);
+                    }
+                    return ExecOutcome {
+                        stats,
+                        fault: Some(fault),
+                    };
+                }
+            }
+        }
+        if tracer.enabled() {
+            close_segment(&mut segment, tracer, stats.cycles);
         }
         ExecOutcome { stats, fault: None }
     }
 
-    fn mem_access(
+    fn mem_access<T: Tracer>(
         &self,
         addr: VirtAddr,
         kind: AccessKind,
         mode: Mode,
         mem: &mut MemorySystem,
         stats: &mut ExecStats,
+        tracer: &mut T,
     ) -> Result<u64, Fault> {
-        let access = mem.access(addr, kind, mode)?;
+        let access = mem.access_with(addr, kind, mode, tracer)?;
         if access.tlb_miss {
             stats.tlb_misses += 1;
         }
@@ -160,13 +249,14 @@ impl Cpu {
         Ok(u64::from(access.cycles))
     }
 
-    fn step(
+    fn step<T: Tracer>(
         &mut self,
         op: MicroOp,
         phase: Phase,
         mem: &mut MemorySystem,
         mode: Mode,
         stats: &mut ExecStats,
+        tracer: &mut T,
     ) -> Result<(), Fault> {
         let spec = &self.spec;
         match op {
@@ -179,11 +269,11 @@ impl Cpu {
                 mem.advance(1);
             }
             MicroOp::Load(addr) => {
-                let extra = self.mem_access(addr, AccessKind::Read, mode, mem, stats)?;
+                let extra = self.mem_access(addr, AccessKind::Read, mode, mem, stats, tracer)?;
                 stats.charge(phase, 1, u64::from(spec.load_cycles) + extra);
             }
             MicroOp::Store(addr) => {
-                let extra = self.mem_access(addr, AccessKind::Write, mode, mem, stats)?;
+                let extra = self.mem_access(addr, AccessKind::Write, mode, mem, stats, tracer)?;
                 stats.charge(phase, 1, u64::from(spec.store_cycles) + extra);
             }
             MicroOp::Branch => {
@@ -231,8 +321,14 @@ impl Cpu {
                 let mut instructions = u64::from(windows.spill_overhead_instrs);
                 mem.advance(cycles);
                 for i in 0..windows.words_per_window {
-                    let extra =
-                        self.mem_access(base.offset(4 * i), AccessKind::Write, mode, mem, stats)?;
+                    let extra = self.mem_access(
+                        base.offset(4 * i),
+                        AccessKind::Write,
+                        mode,
+                        mem,
+                        stats,
+                        tracer,
+                    )?;
                     cycles += u64::from(spec.store_cycles) + extra;
                     instructions += 1;
                 }
@@ -246,8 +342,14 @@ impl Cpu {
                 let mut instructions = u64::from(windows.spill_overhead_instrs);
                 mem.advance(cycles);
                 for i in 0..windows.words_per_window {
-                    let extra =
-                        self.mem_access(base.offset(4 * i), AccessKind::Read, mode, mem, stats)?;
+                    let extra = self.mem_access(
+                        base.offset(4 * i),
+                        AccessKind::Read,
+                        mode,
+                        mem,
+                        stats,
+                        tracer,
+                    )?;
                     cycles += u64::from(spec.load_cycles) + extra;
                     instructions += 1;
                 }
@@ -264,7 +366,7 @@ impl Cpu {
                     "generator must not emit TAS on {}",
                     spec.arch
                 );
-                let extra = self.mem_access(addr, AccessKind::Write, mode, mem, stats)?;
+                let extra = self.mem_access(addr, AccessKind::Write, mode, mem, stats, tracer)?;
                 stats.charge(phase, 1, u64::from(spec.tas_cycles) + extra);
             }
             MicroOp::TlbWriteEntry => {
@@ -305,7 +407,24 @@ impl Cpu {
             }
             MicroOp::SwitchAddressSpace(a, b) => {
                 let target = if mem.current_asid() == a { b } else { a };
+                let clock_now = mem.clock();
                 let switch = mem.switch_to(target);
+                if tracer.enabled() {
+                    tracer.record(
+                        Event::instant("address-space switch", Category::Tlb, clock_now)
+                            .on(0, 1)
+                            .with_phase(phase.tag())
+                            .with_arg(
+                                "tlb_entries_flushed",
+                                u64::try_from(switch.tlb_entries_flushed).unwrap_or(u64::MAX),
+                            )
+                            .with_arg(
+                                "cache_lines_flushed",
+                                u64::try_from(switch.cache_lines_flushed).unwrap_or(u64::MAX),
+                            )
+                            .with_arg("flush_cycles", u64::from(switch.cycles())),
+                    );
+                }
                 let cycles = u64::from(spec.control_write_cycles)
                     + u64::from(spec.asid_switch_cycles)
                     + u64::from(switch.cycles());
@@ -313,6 +432,18 @@ impl Cpu {
             }
             MicroOp::DrainWriteBuffer => {
                 let cycles = mem.write_buffer_drain_time();
+                if tracer.enabled() && cycles > 0 {
+                    tracer.record(
+                        Event::complete(
+                            "wb drain",
+                            Category::WriteBuffer,
+                            mem.clock(),
+                            u64::from(cycles),
+                        )
+                        .on(0, 1)
+                        .with_phase(phase.tag()),
+                    );
+                }
                 stats.charge(phase, 0, u64::from(cycles));
                 mem.advance(u64::from(cycles));
             }

@@ -39,6 +39,19 @@ impl Phase {
         ]
     }
 
+    /// Stable snake_case tag, used in JSON schemas, trace events and
+    /// counter keys.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Phase::EntryExit => "entry_exit",
+            Phase::CallPrep => "call_prep",
+            Phase::CallReturn => "call_return",
+            Phase::Body => "body",
+            Phase::Other => "other",
+        }
+    }
+
     pub(crate) fn index(self) -> usize {
         match self {
             Phase::EntryExit => 0,
@@ -136,6 +149,38 @@ impl MicroOp {
     #[must_use]
     pub fn mnemonic(&self) -> String {
         mnemonic(self)
+    }
+
+    /// The mnemonic head without operands — the stable op-kind label trace
+    /// events and phase profiles aggregate by.
+    #[must_use]
+    pub fn opcode(&self) -> &'static str {
+        match self {
+            MicroOp::Alu => "alu",
+            MicroOp::DelayNop => "nop",
+            MicroOp::Load(_) => "load",
+            MicroOp::Store(_) => "store",
+            MicroOp::Branch => "branch",
+            MicroOp::Call => "call",
+            MicroOp::Ret => "ret",
+            MicroOp::ReadControl => "rdctl",
+            MicroOp::WriteControl => "wrctl",
+            MicroOp::TrapEnter => "trap.enter",
+            MicroOp::TrapReturn => "trap.return",
+            MicroOp::SaveWindow(_) => "win.save",
+            MicroOp::RestoreWindow(_) => "win.restore",
+            MicroOp::Microcoded { .. } => "ucode",
+            MicroOp::AtomicTas(_) => "tas",
+            MicroOp::TlbWriteEntry => "tlb.write",
+            MicroOp::TlbFlushPage(_) => "tlb.flushpage",
+            MicroOp::TlbFlushAll => "tlb.flushall",
+            MicroOp::CacheFlushPage(_) => "cache.flushpage",
+            MicroOp::CacheFlushAll => "cache.flushall",
+            MicroOp::SwitchAddressSpace(..) => "mmu.switch",
+            MicroOp::DrainWriteBuffer => "wb.drain",
+            MicroOp::DrainFpu => "fpu.drain",
+            MicroOp::Stall(_) => "stall",
+        }
     }
 
     /// Whether this op transfers control and therefore owns a delay slot on

@@ -67,6 +67,17 @@ impl Primitive {
             Primitive::ContextSwitch => "Context switch",
         }
     }
+
+    /// Stable snake_case tag used in JSON schemas and counter keys.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            Primitive::NullSyscall => "null_syscall",
+            Primitive::Trap => "trap",
+            Primitive::PteChange => "pte_change",
+            Primitive::ContextSwitch => "context_switch",
+        }
+    }
 }
 
 impl std::fmt::Display for Primitive {

@@ -31,6 +31,7 @@ mod layout;
 mod machine;
 mod measure;
 mod process;
+mod tracing;
 mod vm;
 
 pub use handlers::{
@@ -45,4 +46,5 @@ pub use measure::{
     PrimitiveMeasurement, PrimitiveTimes,
 };
 pub use process::{Process, ProcessId, Scheduler, Thread, ThreadId, ThreadState};
+pub use tracing::{trace_all, trace_primitive, PrimitiveTrace};
 pub use vm::{user_fault_reflection_us, CowManager, CowStats, VmWrite};

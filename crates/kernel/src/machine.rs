@@ -3,6 +3,7 @@
 use crate::layout::KernelLayout;
 use osarch_cpu::{Arch, ArchSpec, Cpu, ExecOutcome, ExecStats, Program};
 use osarch_mem::{Asid, MemorySystem, Mode, Protection, VirtAddr, KERNEL_ASID};
+use osarch_trace::Tracer;
 
 /// The ASID of the primary user process on a freshly built machine.
 pub const USER_ASID: Asid = Asid(1);
@@ -109,6 +110,31 @@ impl Machine {
         self.cpu.run(program, &mut self.mem, Mode::User)
     }
 
+    /// Run a program once in kernel mode with a tracer attached.
+    pub fn run_with<T: Tracer>(&mut self, program: &Program, tracer: &mut T) -> ExecOutcome {
+        self.cpu
+            .run_with(program, &mut self.mem, Mode::Kernel, tracer)
+    }
+
+    /// Perform one warm-up iteration of the steady-state measurement
+    /// protocol: run the handler once, then let the write buffer drain
+    /// during the inter-invocation gap. Two of these followed by a
+    /// measured run is exactly what [`Machine::measure`] reports.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults.
+    pub fn warm_up(&mut self, program: &Program) {
+        let out = self.run(program);
+        assert!(
+            out.completed(),
+            "handler {program} faulted during warm-up: {:?}",
+            out.fault
+        );
+        let drain = self.mem.write_buffer_drain_time();
+        self.mem.advance(u64::from(drain) + 32);
+    }
+
     /// Measure a handler in the steady state the paper's methodology
     /// produces: run it twice to warm caches and TLB, let the write buffer
     /// drain, then report the third run.
@@ -118,19 +144,25 @@ impl Machine {
     /// Panics if the program faults — handler programs are expected to touch
     /// only pre-mapped kernel memory.
     pub fn measure(&mut self, program: &Program) -> ExecStats {
-        for _ in 0..2 {
-            let out = self.run(program);
-            assert!(
-                out.completed(),
-                "handler {program} faulted during warm-up: {:?}",
-                out.fault
-            );
-            // Inter-invocation gap: the benchmark loop's own overhead lets
-            // the write buffer drain.
-            let drain = self.mem.write_buffer_drain_time();
-            self.mem.advance(u64::from(drain) + 32);
-        }
-        let out = self.run(program);
+        self.measure_with(program, &mut osarch_trace::NullTracer)
+    }
+
+    /// [`Machine::measure`] with a tracer attached to the measured (third)
+    /// run. The two warm-up runs are never traced — they exist only to
+    /// reach the steady state — so with an [`osarch_trace::EventTracer`]
+    /// the recorded events describe exactly the run whose stats are
+    /// returned, and with [`osarch_trace::NullTracer`] this is
+    /// bit-identical to [`Machine::measure`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if the program faults.
+    pub fn measure_with<T: Tracer>(&mut self, program: &Program, tracer: &mut T) -> ExecStats {
+        // Inter-invocation gap after each warm-up: the benchmark loop's own
+        // overhead lets the write buffer drain.
+        self.warm_up(program);
+        self.warm_up(program);
+        let out = self.run_with(program, tracer);
         assert!(
             out.completed(),
             "handler {program} faulted: {:?}",

@@ -1,0 +1,177 @@
+//! The cycle-level tracing harness: runs one primitive under the paper's
+//! steady-state measurement protocol with an [`EventTracer`] attached to
+//! the measured run, and packages the events, reconciled statistics and
+//! derived performance counters.
+//!
+//! The protocol replayed here is *exactly* the one [`crate::measure`]
+//! uses — a fresh machine, earlier primitives in catalogue order measured
+//! first, two warm-up runs of the target, then the traced third run — so
+//! [`PrimitiveTrace::stats`] is equal to the memoized
+//! [`crate::measure`]`(arch).stats(primitive)` field for field, and the
+//! event durations reconcile with it cycle for cycle.
+
+use crate::handlers::{HandlerSet, Primitive};
+use crate::machine::Machine;
+use osarch_cpu::{Arch, ExecStats};
+use osarch_trace::{Category, CounterRegistry, Event, EventTracer, PhaseProfile};
+
+/// A fully traced steady-state run of one primitive on one architecture.
+#[derive(Debug, Clone)]
+pub struct PrimitiveTrace {
+    /// The traced architecture.
+    pub arch: Arch,
+    /// The traced primitive.
+    pub primitive: Primitive,
+    /// Clock rate of the machine (MHz), for cycle → µs conversion.
+    pub clock_mhz: f64,
+    /// Execution statistics of the traced run — equal to what
+    /// [`crate::measure`] reports for this architecture and primitive.
+    pub stats: ExecStats,
+    /// The recorded events, all run-local: execution events count cycles
+    /// from the start of the measured run, memory-system events are
+    /// rebased to the memory clock at the start of that run.
+    pub events: Vec<Event>,
+    /// Named performance counters derived from the events.
+    pub counters: CounterRegistry,
+}
+
+impl PrimitiveTrace {
+    /// The per-phase / per-op cost profile of the traced run.
+    #[must_use]
+    pub fn profile(&self) -> PhaseProfile {
+        PhaseProfile::from_events(&self.events)
+    }
+
+    /// Total traced duration in microseconds.
+    #[must_use]
+    pub fn micros(&self) -> f64 {
+        self.stats.micros(self.clock_mhz)
+    }
+}
+
+/// Trace one primitive on `arch` under the steady-state protocol.
+///
+/// # Panics
+///
+/// Panics if the handler program faults — handlers touch only pre-mapped
+/// kernel memory, so this indicates a generator bug.
+#[must_use]
+pub fn trace_primitive(arch: Arch, primitive: Primitive) -> PrimitiveTrace {
+    let spec = arch.spec();
+    let mut machine = Machine::with_spec(spec.clone());
+    let layout = *machine.layout();
+    let handlers = HandlerSet::generate(&spec, &layout);
+    // Replay the measurement session up to the target primitive so the
+    // traced stats equal the memoized `measure()` results exactly: the
+    // session measures the four primitives in catalogue order on one
+    // machine, and each run perturbs cache/TLB/write-buffer state.
+    for earlier in Primitive::all() {
+        if earlier == primitive {
+            break;
+        }
+        let _ = machine.measure(handlers.program(earlier));
+    }
+    let program = handlers.program(primitive);
+    machine.warm_up(program);
+    machine.warm_up(program);
+    // The memory clock at the start of the measured run: memory-system
+    // events are stamped on this clock and rebased below so every event
+    // in the trace is run-local.
+    let clock0 = machine.mem().clock();
+    let mut tracer = EventTracer::new();
+    let out = machine.run_with(program, &mut tracer);
+    assert!(
+        out.completed(),
+        "handler {program} faulted under trace: {:?}",
+        out.fault
+    );
+    let stats = out.stats;
+    tracer.rebase(clock0, |e| e.cat.is_memory());
+    let mut events = tracer.into_events();
+    events.insert(
+        0,
+        Event::complete(primitive.label(), Category::Primitive, 0, stats.cycles)
+            .with_arg("instructions", stats.instructions),
+    );
+    let mut counters = CounterRegistry::new();
+    counters.accumulate_events(&arch.to_string(), primitive.tag(), &events);
+    PrimitiveTrace {
+        arch,
+        primitive,
+        clock_mhz: spec.clock_mhz,
+        stats,
+        events,
+        counters,
+    }
+}
+
+/// Trace all four primitives on `arch`, in catalogue order.
+#[must_use]
+pub fn trace_all(arch: Arch) -> Vec<PrimitiveTrace> {
+    Primitive::all()
+        .into_iter()
+        .map(|p| trace_primitive(arch, p))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::measure::measure;
+    use osarch_cpu::Phase;
+
+    #[test]
+    fn traced_stats_match_memoized_measurement() {
+        for primitive in Primitive::all() {
+            let trace = trace_primitive(Arch::R3000, primitive);
+            let expected = measure(Arch::R3000);
+            assert_eq!(&trace.stats, expected.stats(primitive), "R3000 {primitive}");
+        }
+    }
+
+    #[test]
+    fn phase_spans_reconcile_with_stats() {
+        let trace = trace_primitive(Arch::Sparc, Primitive::NullSyscall);
+        for phase in Phase::all() {
+            let traced: u64 = trace
+                .events
+                .iter()
+                .filter(|e| e.cat == Category::MicroOp && e.phase == Some(phase.tag()))
+                .map(|e| e.dur)
+                .sum();
+            assert_eq!(
+                traced,
+                trace.stats.phase(phase).cycles,
+                "SPARC syscall {phase:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn trace_records_primitive_span_and_counters() {
+        let trace = trace_primitive(Arch::R2000, Primitive::NullSyscall);
+        let root = &trace.events[0];
+        assert_eq!(root.cat, Category::Primitive);
+        assert_eq!(root.dur, trace.stats.cycles);
+        assert_eq!(
+            trace.counters.total("R2000", "null_syscall", "cycles"),
+            trace.stats.cycles
+        );
+        assert_eq!(
+            trace
+                .counters
+                .total("R2000", "null_syscall", "instructions"),
+            trace.stats.instructions
+        );
+    }
+
+    #[test]
+    fn trace_all_covers_every_primitive() {
+        let traces = trace_all(Arch::Cvax);
+        assert_eq!(traces.len(), 4);
+        for (trace, primitive) in traces.iter().zip(Primitive::all()) {
+            assert_eq!(trace.primitive, primitive);
+            assert!(trace.stats.cycles > 0);
+        }
+    }
+}

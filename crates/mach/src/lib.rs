@@ -34,7 +34,9 @@ mod simulate;
 mod trace_sim;
 
 pub use costs::EventCosts;
-pub use event_sim::{simulate_events, validate_multipliers, EventSimResult};
+pub use event_sim::{
+    simulate_events, simulate_events_traced, validate_multipliers, EventSimResult,
+};
 pub use projection::syscall_switch_overhead_s;
 pub use simulate::{simulate, simulate_with, table7, DecompositionModel, MachRun, OsStructure};
 pub use trace_sim::{replay_trace, TraceReplay};

@@ -9,7 +9,11 @@ use crate::pagetable::{
 };
 use crate::tlb::{Tlb, TlbConfig, TlbEntry};
 use crate::writebuffer::{WriteBuffer, WriteBufferConfig};
+use osarch_trace::{Category, Event, NullTracer, Tracer};
 use std::collections::BTreeMap;
+
+/// The trace track memory-system events are placed on.
+const MEM_TRACK: u32 = 1;
 
 /// Processor privilege mode of an access.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -608,6 +612,25 @@ impl MemorySystem {
     /// access. Faults do not advance the clock; the CPU's trap machinery is
     /// expected to take over.
     pub fn access(&mut self, va: VirtAddr, kind: AccessKind, mode: Mode) -> Result<Access, Fault> {
+        self.access_with(va, kind, mode, &mut NullTracer)
+    }
+
+    /// [`MemorySystem::access`] with tracing: TLB misses (and their refill
+    /// cost), cache misses, and write-buffer enqueues/stalls are reported to
+    /// `tracer`, timestamped on the memory clock. With [`NullTracer`] this
+    /// is exactly [`MemorySystem::access`] — the instrumentation compiles
+    /// away and the simulation is bit-identical.
+    ///
+    /// # Errors
+    ///
+    /// Identical to [`MemorySystem::access`].
+    pub fn access_with<T: Tracer>(
+        &mut self,
+        va: VirtAddr,
+        kind: AccessKind,
+        mode: Mode,
+        tracer: &mut T,
+    ) -> Result<Access, Fault> {
         let segment = self.config.layout.classify(va);
         if segment.kernel_only && mode == Mode::User {
             self.stats.faults += 1;
@@ -624,6 +647,14 @@ impl MemorySystem {
                 Ok((pte, extra, missed)) => {
                     result.cycles += extra;
                     result.tlb_miss = missed;
+                    if missed && tracer.enabled() {
+                        tracer.record(
+                            Event::instant("tlb miss", Category::Tlb, self.clock)
+                                .on(0, MEM_TRACK)
+                                .with_arg("refill_cycles", u64::from(extra))
+                                .with_arg("kernel", u64::from(segment.kernel_only)),
+                        );
+                    }
                     (
                         PhysAddr((pte.pfn << PAGE_SHIFT) | va.page_offset()),
                         pte.cacheable,
@@ -648,12 +679,20 @@ impl MemorySystem {
                 let outcome = cache.access(addr, self.current, kind);
                 result.cycles += outcome.extra_cycles;
                 result.cache_hit = Some(outcome.hit);
+                if !outcome.hit && tracer.enabled() {
+                    tracer.record(
+                        Event::instant("cache miss", Category::Cache, self.clock)
+                            .on(0, MEM_TRACK)
+                            .with_arg("extra_cycles", u64::from(outcome.extra_cycles)),
+                    );
+                }
                 if write && cache.config().write_policy == WritePolicy::Through {
                     if let Some(wb) = &mut self.write_buffer {
                         let stall = wb.store(self.clock, pa.0);
                         result.cycles += stall;
                         result.wb_stall = stall;
                         self.stats.wb_stall_cycles += u64::from(stall);
+                        record_wb_events(tracer, wb, self.clock, stall);
                     } else {
                         result.cycles += self.config.timing.write_cycles;
                     }
@@ -664,6 +703,7 @@ impl MemorySystem {
                     result.cycles += stall;
                     result.wb_stall = stall;
                     self.stats.wb_stall_cycles += u64::from(stall);
+                    record_wb_events(tracer, wb, self.clock, stall);
                 }
             }
         } else {
@@ -791,6 +831,27 @@ impl MemorySystem {
             cache.warm(addr.wrapping_add(offset), asid);
             offset += line;
         }
+    }
+}
+
+/// Report a write-buffer enqueue (and the stall it caused, if any) for one
+/// buffered store at memory-clock `now`.
+fn record_wb_events<T: Tracer>(tracer: &mut T, wb: &WriteBuffer, now: u64, stall: u32) {
+    if !tracer.enabled() {
+        return;
+    }
+    let depth = u64::try_from(wb.occupancy(now)).unwrap_or(u64::MAX);
+    tracer.record(
+        Event::instant("wb enqueue", Category::WriteBuffer, now)
+            .on(0, MEM_TRACK)
+            .with_arg("depth", depth),
+    );
+    if stall > 0 {
+        tracer.record(
+            Event::instant("wb stall", Category::WriteBuffer, now)
+                .on(0, MEM_TRACK)
+                .with_arg("stall_cycles", u64::from(stall)),
+        );
     }
 }
 
@@ -1015,6 +1076,63 @@ mod tests {
         mem.access(VirtAddr(0x1000), AccessKind::Read, Mode::Kernel)
             .unwrap();
         assert!(mem.clock() > before);
+    }
+
+    #[test]
+    fn traced_access_reports_tlb_and_wb_events() {
+        use osarch_trace::EventTracer;
+        let mut config = MemorySystemConfig::uniform_mapped();
+        config.write_buffer = Some(WriteBufferConfig::decstation_3100());
+        let mut mem = MemorySystem::new(config);
+        mem.map_page(KERNEL_ASID, VirtAddr(0x1000), Protection::RW);
+        let mut tracer = EventTracer::new();
+        let access = mem
+            .access_with(
+                VirtAddr(0x1000),
+                AccessKind::Write,
+                Mode::Kernel,
+                &mut tracer,
+            )
+            .unwrap();
+        assert!(access.tlb_miss);
+        let miss = tracer
+            .events()
+            .iter()
+            .find(|e| e.cat == Category::Tlb && e.name == "tlb miss")
+            .expect("a tlb miss event");
+        assert_eq!(
+            miss.arg("refill_cycles"),
+            Some(u64::from(access.cycles - access.wb_stall))
+        );
+        assert!(tracer
+            .events()
+            .iter()
+            .any(|e| e.cat == Category::WriteBuffer && e.name == "wb enqueue"));
+    }
+
+    #[test]
+    fn traced_access_is_bit_identical_to_untraced() {
+        use osarch_trace::EventTracer;
+        let build = || {
+            let mut config = MemorySystemConfig::uniform_mapped();
+            config.write_buffer = Some(WriteBufferConfig::decstation_3100());
+            let mut mem = MemorySystem::new(config);
+            mem.map_page(KERNEL_ASID, VirtAddr(0x1000), Protection::RW);
+            mem
+        };
+        let mut plain = build();
+        let mut traced = build();
+        let mut tracer = EventTracer::new();
+        for i in 0..12u32 {
+            let va = VirtAddr(0x1000 + (i % 64) * 4);
+            let a = plain.access(va, AccessKind::Write, Mode::Kernel).unwrap();
+            let b = traced
+                .access_with(va, AccessKind::Write, Mode::Kernel, &mut tracer)
+                .unwrap();
+            assert_eq!(a, b);
+        }
+        assert_eq!(plain.clock(), traced.clock());
+        assert_eq!(plain.stats(), traced.stats());
     }
 
     #[test]

@@ -1,0 +1,231 @@
+//! Hardware-style performance counters.
+//!
+//! A [`CounterRegistry`] holds named monotonic counters keyed by
+//! architecture × primitive × phase, the aggregation the paper's tables
+//! slice along. Counters only ever increase; the registry iterates in a
+//! stable (sorted) order so exports are deterministic.
+
+use crate::event::{Category, Event, EventKind};
+use std::collections::BTreeMap;
+
+/// The scope a counter value is aggregated under.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord)]
+pub struct CounterKey {
+    /// Architecture label (e.g. `R3000`).
+    pub arch: String,
+    /// Primitive tag (e.g. `null_syscall`).
+    pub primitive: String,
+    /// Handler-phase tag (e.g. `entry_exit`), or `other` when unknown.
+    pub phase: String,
+    /// Counter name (e.g. `cycles`, `tlb_misses`).
+    pub name: String,
+}
+
+/// A registry of named monotonic counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CounterRegistry {
+    counters: BTreeMap<CounterKey, u64>,
+}
+
+impl CounterRegistry {
+    /// An empty registry.
+    #[must_use]
+    pub fn new() -> CounterRegistry {
+        CounterRegistry::default()
+    }
+
+    /// Increment `name` under `arch` × `primitive` × `phase` by `delta`.
+    pub fn add(&mut self, arch: &str, primitive: &str, phase: &str, name: &str, delta: u64) {
+        if delta == 0 {
+            return;
+        }
+        let key = CounterKey {
+            arch: arch.to_string(),
+            primitive: primitive.to_string(),
+            phase: phase.to_string(),
+            name: name.to_string(),
+        };
+        *self.counters.entry(key).or_insert(0) += delta;
+    }
+
+    /// The value of one counter (zero when never incremented).
+    #[must_use]
+    pub fn get(&self, arch: &str, primitive: &str, phase: &str, name: &str) -> u64 {
+        let key = CounterKey {
+            arch: arch.to_string(),
+            primitive: primitive.to_string(),
+            phase: phase.to_string(),
+            name: name.to_string(),
+        };
+        self.counters.get(&key).copied().unwrap_or(0)
+    }
+
+    /// Sum of `name` under `arch` × `primitive` across all phases.
+    #[must_use]
+    pub fn total(&self, arch: &str, primitive: &str, name: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.arch == arch && k.primitive == primitive && k.name == name)
+            .map(|(_, v)| v)
+            .sum()
+    }
+
+    /// Iterate all counters in sorted key order.
+    pub fn iter(&self) -> impl Iterator<Item = (&CounterKey, u64)> {
+        self.counters.iter().map(|(k, v)| (k, *v))
+    }
+
+    /// Number of distinct counters.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.counters.len()
+    }
+
+    /// Whether the registry is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty()
+    }
+
+    /// Fold another registry's counters into this one.
+    pub fn merge(&mut self, other: &CounterRegistry) {
+        for (key, value) in &other.counters {
+            *self.counters.entry(key.clone()).or_insert(0) += value;
+        }
+    }
+
+    /// Aggregate an event stream recorded for one `arch` × `primitive` run
+    /// into counters. Micro-op spans contribute `instructions`, `cycles` and
+    /// `wb_stall_cycles`; memory events contribute miss/refill/enqueue
+    /// counts; trap instants contribute per-kind trap counts.
+    pub fn accumulate_events(&mut self, arch: &str, primitive: &str, events: &[Event]) {
+        for event in events {
+            let phase = event.phase.unwrap_or("other");
+            match event.cat {
+                Category::MicroOp => {
+                    self.add(arch, primitive, phase, "cycles", event.dur);
+                    self.add(
+                        arch,
+                        primitive,
+                        phase,
+                        "instructions",
+                        event.arg("instructions").unwrap_or(0),
+                    );
+                    self.add(
+                        arch,
+                        primitive,
+                        phase,
+                        "wb_stall_cycles",
+                        event.arg("stall_cycles").unwrap_or(0),
+                    );
+                }
+                Category::Tlb => {
+                    if event.name == "tlb miss" {
+                        self.add(arch, primitive, phase, "tlb_misses", 1);
+                        self.add(
+                            arch,
+                            primitive,
+                            phase,
+                            "tlb_refill_cycles",
+                            event.arg("refill_cycles").unwrap_or(0),
+                        );
+                    }
+                }
+                Category::Cache => {
+                    if event.name == "cache miss" {
+                        self.add(arch, primitive, phase, "cache_misses", 1);
+                    }
+                }
+                Category::WriteBuffer => match (event.name.as_str(), event.kind) {
+                    ("wb enqueue", _) => self.add(arch, primitive, phase, "wb_enqueues", 1),
+                    ("wb drain", EventKind::Complete) => {
+                        self.add(arch, primitive, phase, "wb_drain_cycles", event.dur);
+                    }
+                    _ => {}
+                },
+                Category::Trap => {
+                    let name: &str = match event.name.as_str() {
+                        "window overflow trap" => "window_overflow_traps",
+                        "window underflow trap" => "window_underflow_traps",
+                        _ => "other_traps",
+                    };
+                    self.add(arch, primitive, phase, name, 1);
+                }
+                Category::Phase | Category::Primitive | Category::Mach => {}
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_get_total_roundtrip() {
+        let mut reg = CounterRegistry::new();
+        reg.add("R3000", "trap", "body", "cycles", 10);
+        reg.add("R3000", "trap", "body", "cycles", 5);
+        reg.add("R3000", "trap", "entry_exit", "cycles", 3);
+        reg.add("R3000", "trap", "body", "zero", 0);
+        assert_eq!(reg.get("R3000", "trap", "body", "cycles"), 15);
+        assert_eq!(reg.total("R3000", "trap", "cycles"), 18);
+        assert_eq!(reg.get("R3000", "trap", "body", "zero"), 0);
+        assert_eq!(reg.len(), 2, "zero deltas create no counter");
+    }
+
+    #[test]
+    fn merge_sums_counterparts() {
+        let mut a = CounterRegistry::new();
+        a.add("SPARC", "null_syscall", "body", "cycles", 7);
+        let mut b = CounterRegistry::new();
+        b.add("SPARC", "null_syscall", "body", "cycles", 3);
+        b.add("SPARC", "null_syscall", "body", "instructions", 2);
+        a.merge(&b);
+        assert_eq!(a.get("SPARC", "null_syscall", "body", "cycles"), 10);
+        assert_eq!(a.get("SPARC", "null_syscall", "body", "instructions"), 2);
+    }
+
+    #[test]
+    fn accumulate_maps_event_categories_to_counters() {
+        use crate::event::Event;
+        let events = vec![
+            Event::complete("alu", Category::MicroOp, 0, 4)
+                .with_arg("instructions", 2)
+                .with_arg("stall_cycles", 1)
+                .with_phase("body"),
+            Event::instant("tlb miss", Category::Tlb, 1)
+                .with_arg("refill_cycles", 12)
+                .with_phase("body"),
+            Event::instant("cache miss", Category::Cache, 2).with_phase("body"),
+            Event::instant("wb enqueue", Category::WriteBuffer, 3).with_phase("body"),
+            Event::complete("wb drain", Category::WriteBuffer, 4, 9).with_phase("body"),
+            Event::instant("window overflow trap", Category::Trap, 5).with_phase("call_prep"),
+            Event::complete("entry_exit", Category::Phase, 0, 4),
+        ];
+        let mut reg = CounterRegistry::new();
+        reg.accumulate_events("R2000", "trap", &events);
+        assert_eq!(reg.get("R2000", "trap", "body", "cycles"), 4);
+        assert_eq!(reg.get("R2000", "trap", "body", "instructions"), 2);
+        assert_eq!(reg.get("R2000", "trap", "body", "wb_stall_cycles"), 1);
+        assert_eq!(reg.get("R2000", "trap", "body", "tlb_misses"), 1);
+        assert_eq!(reg.get("R2000", "trap", "body", "tlb_refill_cycles"), 12);
+        assert_eq!(reg.get("R2000", "trap", "body", "cache_misses"), 1);
+        assert_eq!(reg.get("R2000", "trap", "body", "wb_enqueues"), 1);
+        assert_eq!(reg.get("R2000", "trap", "body", "wb_drain_cycles"), 9);
+        assert_eq!(
+            reg.get("R2000", "trap", "call_prep", "window_overflow_traps"),
+            1
+        );
+    }
+
+    #[test]
+    fn iteration_is_sorted_and_deterministic() {
+        let mut reg = CounterRegistry::new();
+        reg.add("b", "p", "x", "n", 1);
+        reg.add("a", "p", "x", "n", 1);
+        let archs: Vec<&str> = reg.iter().map(|(k, _)| k.arch.as_str()).collect();
+        assert_eq!(archs, vec!["a", "b"]);
+        assert!(!reg.is_empty());
+    }
+}

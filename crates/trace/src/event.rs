@@ -1,0 +1,235 @@
+//! The trace-event vocabulary.
+//!
+//! Every instrumentation point in the simulator reports one [`Event`]: a
+//! named, categorised record with a timestamp in the emitting component's
+//! clock domain (executor cycles for CPU/kernel events, nanosecond ticks
+//! for the OS-structure event simulation). Events are plain data — the
+//! Chrome-trace exporter and the counter registry both consume the same
+//! stream.
+
+use std::fmt;
+
+/// Which layer of the simulator emitted an event.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Category {
+    /// One micro-op executed by the cycle-level CPU model.
+    MicroOp,
+    /// A contiguous run of micro-ops in one handler phase.
+    Phase,
+    /// A whole primitive operation (null syscall, trap, …).
+    Primitive,
+    /// TLB activity in the memory system.
+    Tlb,
+    /// Cache activity in the memory system.
+    Cache,
+    /// Write-buffer activity in the memory system.
+    WriteBuffer,
+    /// A trap-like architectural event (window overflow/underflow, fault).
+    Trap,
+    /// The discrete-event small-kernel simulation (RPCs, syscalls,
+    /// address-space switches per process).
+    Mach,
+}
+
+impl Category {
+    /// The category label exported to Chrome-trace `cat` fields.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Category::MicroOp => "microop",
+            Category::Phase => "phase",
+            Category::Primitive => "primitive",
+            Category::Tlb => "mem.tlb",
+            Category::Cache => "mem.cache",
+            Category::WriteBuffer => "mem.wb",
+            Category::Trap => "trap",
+            Category::Mach => "mach",
+        }
+    }
+
+    /// Whether this category is emitted by the memory system (and therefore
+    /// timestamped on the memory clock rather than the executor's run-local
+    /// cycle count).
+    #[must_use]
+    pub fn is_memory(self) -> bool {
+        matches!(
+            self,
+            Category::Tlb | Category::Cache | Category::WriteBuffer
+        )
+    }
+}
+
+impl fmt::Display for Category {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// The shape of an event on the timeline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EventKind {
+    /// A span with a duration (`Chrome ph:"X"`).
+    Complete,
+    /// A zero-duration marker (`Chrome ph:"i"`).
+    Instant,
+}
+
+/// One trace event.
+///
+/// Timestamps and durations are unsigned ticks in the emitter's clock
+/// domain; numeric arguments carry auxiliary detail (instruction counts,
+/// stall cycles, refill cycles, …) under stable snake_case keys.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Event {
+    /// Event name (an op mnemonic head, a phase label, a span name).
+    pub name: String,
+    /// Emitting layer.
+    pub cat: Category,
+    /// Span or instant.
+    pub kind: EventKind,
+    /// Start tick.
+    pub ts: u64,
+    /// Duration in ticks (zero for instants).
+    pub dur: u64,
+    /// Simulated process the event belongs to (0 = the simulator itself).
+    pub pid: u32,
+    /// Track within the process (0 = execution, 1 = memory system).
+    pub tid: u32,
+    /// Handler phase in force when the event fired, when known.
+    pub phase: Option<&'static str>,
+    /// Auxiliary numeric arguments.
+    pub args: Vec<(&'static str, u64)>,
+}
+
+impl Event {
+    /// A span of `dur` ticks starting at `ts`.
+    #[must_use]
+    pub fn complete(name: impl Into<String>, cat: Category, ts: u64, dur: u64) -> Event {
+        Event {
+            name: name.into(),
+            cat,
+            kind: EventKind::Complete,
+            ts,
+            dur,
+            pid: 0,
+            tid: 0,
+            phase: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// A zero-duration marker at `ts`.
+    #[must_use]
+    pub fn instant(name: impl Into<String>, cat: Category, ts: u64) -> Event {
+        Event {
+            name: name.into(),
+            cat,
+            kind: EventKind::Instant,
+            ts,
+            dur: 0,
+            pid: 0,
+            tid: 0,
+            phase: None,
+            args: Vec::new(),
+        }
+    }
+
+    /// Attach a numeric argument.
+    #[must_use]
+    pub fn with_arg(mut self, key: &'static str, value: u64) -> Event {
+        self.args.push((key, value));
+        self
+    }
+
+    /// Pin the event to a handler phase.
+    #[must_use]
+    pub fn with_phase(mut self, phase: &'static str) -> Event {
+        self.phase = Some(phase);
+        self
+    }
+
+    /// Place the event on a process/track.
+    #[must_use]
+    pub fn on(mut self, pid: u32, tid: u32) -> Event {
+        self.pid = pid;
+        self.tid = tid;
+        self
+    }
+
+    /// Look up a numeric argument by key.
+    #[must_use]
+    pub fn arg(&self, key: &str) -> Option<u64> {
+        self.args.iter().find(|(k, _)| *k == key).map(|(_, v)| *v)
+    }
+
+    /// The tick just past the end of the event.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.ts + self.dur
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self.kind {
+            EventKind::Complete => {
+                write!(
+                    f,
+                    "[{}..{}] {} {}",
+                    self.ts,
+                    self.end(),
+                    self.cat,
+                    self.name
+                )
+            }
+            EventKind::Instant => write!(f, "[{}] {} {}", self.ts, self.cat, self.name),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builders_fill_fields() {
+        let e = Event::complete("alu", Category::MicroOp, 10, 3)
+            .with_arg("instructions", 1)
+            .with_phase("body")
+            .on(2, 1);
+        assert_eq!(e.end(), 13);
+        assert_eq!(e.arg("instructions"), Some(1));
+        assert_eq!(e.arg("missing"), None);
+        assert_eq!(e.phase, Some("body"));
+        assert_eq!((e.pid, e.tid), (2, 1));
+        assert_eq!(e.to_string(), "[10..13] microop alu");
+    }
+
+    #[test]
+    fn instants_have_zero_duration() {
+        let e = Event::instant("tlb miss", Category::Tlb, 7);
+        assert_eq!(e.dur, 0);
+        assert_eq!(e.kind, EventKind::Instant);
+        assert_eq!(e.to_string(), "[7] mem.tlb tlb miss");
+    }
+
+    #[test]
+    fn category_labels_are_distinct() {
+        let cats = [
+            Category::MicroOp,
+            Category::Phase,
+            Category::Primitive,
+            Category::Tlb,
+            Category::Cache,
+            Category::WriteBuffer,
+            Category::Trap,
+            Category::Mach,
+        ];
+        let mut labels: Vec<&str> = cats.iter().map(|c| c.label()).collect();
+        labels.sort_unstable();
+        labels.dedup();
+        assert_eq!(labels.len(), cats.len());
+        assert!(Category::Tlb.is_memory());
+        assert!(!Category::MicroOp.is_memory());
+    }
+}

@@ -1,0 +1,48 @@
+//! # osarch-trace
+//!
+//! Cycle-level tracing and performance-counter substrate for the `osarch`
+//! simulator.
+//!
+//! The paper's analysis lives or dies on *where* cycles go — state
+//! save/restore, trap vectoring, write-buffer drains, TLB refills. This
+//! crate defines the event vocabulary those cost centers report through:
+//!
+//! * [`Tracer`] — the sink trait instrumentation sites write against,
+//!   with a zero-overhead [`NullTracer`] (the default everywhere) and a
+//!   recording [`EventTracer`];
+//! * [`Event`] / [`Category`] — the phase-tagged, cycle-timestamped
+//!   records the CPU executor, memory system, kernel measurement harness
+//!   and OS-structure simulation emit;
+//! * [`CounterRegistry`] — hardware-style named monotonic counters
+//!   aggregated per architecture × primitive × phase;
+//! * [`PhaseProfile`] — the per-phase cycle histogram / top-N op view.
+//!
+//! The crate is deliberately a leaf: it depends on nothing in the
+//! workspace, so every simulation layer can thread a tracer through
+//! without dependency cycles. JSON export (Chrome trace-event format and
+//! the `osarch-counters/1` schema) lives in `osarch-core::metrics`, next
+//! to the existing dependency-free emitter.
+//!
+//! # Example
+//!
+//! ```
+//! use osarch_trace::{Category, Event, EventTracer, Tracer};
+//!
+//! let mut tracer = EventTracer::new();
+//! tracer.set_phase("entry_exit");
+//! tracer.record(Event::complete("trap.enter", Category::MicroOp, 0, 6));
+//! assert_eq!(tracer.events()[0].phase, Some("entry_exit"));
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod counters;
+mod event;
+mod profile;
+mod tracer;
+
+pub use counters::{CounterKey, CounterRegistry};
+pub use event::{Category, Event, EventKind};
+pub use profile::{OpCost, PhaseCost, PhaseProfile};
+pub use tracer::{EventTracer, NullTracer, Tracer};

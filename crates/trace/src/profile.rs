@@ -1,0 +1,209 @@
+//! The phase-profile text view: a per-phase cycle histogram plus the
+//! top-N costliest micro-op kinds, computed from a recorded event stream.
+
+use crate::event::{Category, Event};
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Aggregate cost of one micro-op kind across a run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OpCost {
+    /// The op's mnemonic head (e.g. `win.save`).
+    pub name: String,
+    /// Times the op executed.
+    pub count: u64,
+    /// Total cycles across all executions.
+    pub cycles: u64,
+    /// Total dynamic instructions across all executions.
+    pub instructions: u64,
+}
+
+/// Per-phase totals for one run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhaseCost {
+    /// Phase tag (e.g. `entry_exit`).
+    pub phase: String,
+    /// Cycles spent in the phase.
+    pub cycles: u64,
+    /// Instructions executed in the phase.
+    pub instructions: u64,
+}
+
+/// A digest of one traced run: phase totals and per-op costs.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct PhaseProfile {
+    phases: Vec<PhaseCost>,
+    ops: Vec<OpCost>,
+    total_cycles: u64,
+}
+
+impl PhaseProfile {
+    /// Digest a recorded event stream. Phase order follows first
+    /// appearance; op costs sort by descending cycles (name breaks ties).
+    #[must_use]
+    pub fn from_events(events: &[Event]) -> PhaseProfile {
+        let mut phase_order: Vec<&str> = Vec::new();
+        let mut phase_totals: BTreeMap<&str, (u64, u64)> = BTreeMap::new();
+        let mut op_totals: BTreeMap<&str, (u64, u64, u64)> = BTreeMap::new();
+        let mut total_cycles = 0u64;
+        for event in events {
+            if event.cat != Category::MicroOp {
+                continue;
+            }
+            let phase = event.phase.unwrap_or("other");
+            if !phase_order.contains(&phase) {
+                phase_order.push(phase);
+            }
+            let instructions = event.arg("instructions").unwrap_or(0);
+            let slot = phase_totals.entry(phase).or_insert((0, 0));
+            slot.0 += event.dur;
+            slot.1 += instructions;
+            let op = op_totals.entry(event.name.as_str()).or_insert((0, 0, 0));
+            op.0 += 1;
+            op.1 += event.dur;
+            op.2 += instructions;
+            total_cycles += event.dur;
+        }
+        let phases = phase_order
+            .into_iter()
+            .map(|phase| {
+                let (cycles, instructions) = phase_totals[phase];
+                PhaseCost {
+                    phase: phase.to_string(),
+                    cycles,
+                    instructions,
+                }
+            })
+            .collect();
+        let mut ops: Vec<OpCost> = op_totals
+            .into_iter()
+            .map(|(name, (count, cycles, instructions))| OpCost {
+                name: name.to_string(),
+                count,
+                cycles,
+                instructions,
+            })
+            .collect();
+        ops.sort_by(|a, b| b.cycles.cmp(&a.cycles).then_with(|| a.name.cmp(&b.name)));
+        PhaseProfile {
+            phases,
+            ops,
+            total_cycles,
+        }
+    }
+
+    /// Per-phase totals, in execution order.
+    #[must_use]
+    pub fn phases(&self) -> &[PhaseCost] {
+        &self.phases
+    }
+
+    /// Per-op costs, costliest first.
+    #[must_use]
+    pub fn ops(&self) -> &[OpCost] {
+        &self.ops
+    }
+
+    /// Total micro-op cycles in the run.
+    #[must_use]
+    pub fn total_cycles(&self) -> u64 {
+        self.total_cycles
+    }
+
+    /// Render the text view: a per-phase cycle histogram and the `top_n`
+    /// costliest op kinds.
+    #[must_use]
+    pub fn render(&self, top_n: usize) -> String {
+        const BAR_WIDTH: u64 = 40;
+        let mut out = String::new();
+        let _ = writeln!(out, "phase profile ({} cycles):", self.total_cycles);
+        let widest = self.phases.iter().map(|p| p.phase.len()).max().unwrap_or(0);
+        for p in &self.phases {
+            let bar_len = if self.total_cycles == 0 {
+                0
+            } else {
+                (p.cycles * BAR_WIDTH).div_ceil(self.total_cycles)
+            };
+            let pct = if self.total_cycles == 0 {
+                0.0
+            } else {
+                100.0 * p.cycles as f64 / self.total_cycles as f64
+            };
+            let _ = writeln!(
+                out,
+                "  {:widest$}  {:>7} cy {:>5.1}%  |{}",
+                p.phase,
+                p.cycles,
+                pct,
+                "#".repeat(usize::try_from(bar_len).unwrap_or(0)),
+            );
+        }
+        let _ = writeln!(
+            out,
+            "top {} costliest micro-ops:",
+            top_n.min(self.ops.len())
+        );
+        for op in self.ops.iter().take(top_n) {
+            let _ = writeln!(
+                out,
+                "  {:16} {:>5} calls  {:>7} cycles  {:>5} instructions",
+                op.name, op.count, op.cycles, op.instructions
+            );
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<Event> {
+        vec![
+            Event::complete("trap.enter", Category::MicroOp, 0, 6)
+                .with_arg("instructions", 1)
+                .with_phase("entry_exit"),
+            Event::complete("alu", Category::MicroOp, 6, 1)
+                .with_arg("instructions", 1)
+                .with_phase("body"),
+            Event::complete("alu", Category::MicroOp, 7, 1)
+                .with_arg("instructions", 1)
+                .with_phase("body"),
+            Event::instant("tlb miss", Category::Tlb, 7).with_phase("body"),
+            Event::complete("body", Category::Phase, 6, 2),
+        ]
+    }
+
+    #[test]
+    fn profile_aggregates_phases_in_order_and_ops_by_cost() {
+        let profile = PhaseProfile::from_events(&sample());
+        assert_eq!(profile.total_cycles(), 8);
+        let phases: Vec<(&str, u64, u64)> = profile
+            .phases()
+            .iter()
+            .map(|p| (p.phase.as_str(), p.cycles, p.instructions))
+            .collect();
+        assert_eq!(phases, vec![("entry_exit", 6, 1), ("body", 2, 2)]);
+        assert_eq!(profile.ops()[0].name, "trap.enter");
+        assert_eq!(profile.ops()[1].count, 2);
+    }
+
+    #[test]
+    fn render_shows_bars_and_top_ops() {
+        let text = PhaseProfile::from_events(&sample()).render(1);
+        assert!(text.contains("phase profile (8 cycles):"));
+        assert!(text.contains("entry_exit"));
+        assert!(text.contains('#'));
+        assert!(text.contains("top 1 costliest micro-ops:"));
+        assert!(text.contains("trap.enter"));
+        assert!(!text.contains("\nalu"), "only the top-1 op is listed");
+    }
+
+    #[test]
+    fn empty_profile_renders_without_panicking() {
+        let profile = PhaseProfile::from_events(&[]);
+        assert_eq!(profile.total_cycles(), 0);
+        let text = profile.render(5);
+        assert!(text.contains("0 cycles"));
+    }
+}

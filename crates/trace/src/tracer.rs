@@ -1,0 +1,156 @@
+//! The tracer trait and its two implementations.
+//!
+//! Instrumentation sites are written against a generic `T: Tracer` and
+//! guard every event construction behind [`Tracer::enabled`]. With
+//! [`NullTracer`] the guard is a constant `false`, so monomorphisation
+//! deletes the instrumentation entirely — traced and untraced runs execute
+//! the same simulation code and produce bit-identical statistics.
+
+use crate::event::Event;
+
+/// A sink for trace events.
+pub trait Tracer {
+    /// Whether events should be constructed at all. Instrumentation must
+    /// check this before building an [`Event`], so a disabled tracer costs
+    /// nothing.
+    fn enabled(&self) -> bool;
+
+    /// Record one event. May be called without checking [`Tracer::enabled`]
+    /// only with an already-built event.
+    fn record(&mut self, event: Event);
+
+    /// Note the handler phase now in force; recording tracers stamp it on
+    /// subsequent events that carry no phase of their own.
+    fn set_phase(&mut self, phase: &'static str) {
+        let _ = phase;
+    }
+}
+
+/// The no-op tracer: every simulation entry point without an explicit
+/// tracer runs through this.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullTracer;
+
+impl Tracer for NullTracer {
+    fn enabled(&self) -> bool {
+        false
+    }
+
+    fn record(&mut self, _event: Event) {}
+}
+
+/// A recording tracer: buffers every event in order and stamps the current
+/// handler phase on events that lack one.
+#[derive(Debug, Clone, Default)]
+pub struct EventTracer {
+    events: Vec<Event>,
+    current_phase: Option<&'static str>,
+}
+
+impl EventTracer {
+    /// An empty recording tracer.
+    #[must_use]
+    pub fn new() -> EventTracer {
+        EventTracer::default()
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[Event] {
+        &self.events
+    }
+
+    /// Consume the tracer, yielding the events.
+    #[must_use]
+    pub fn into_events(self) -> Vec<Event> {
+        self.events
+    }
+
+    /// Number of recorded events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Drop all recorded events (phase context kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Rebase the timestamps of every event for which `select` returns true
+    /// by subtracting `base` (saturating). Used to move memory-clock events
+    /// into the run-local cycle domain.
+    pub fn rebase(&mut self, base: u64, select: impl Fn(&Event) -> bool) {
+        for event in &mut self.events {
+            if select(event) {
+                event.ts = event.ts.saturating_sub(base);
+            }
+        }
+    }
+}
+
+impl Tracer for EventTracer {
+    fn enabled(&self) -> bool {
+        true
+    }
+
+    fn record(&mut self, mut event: Event) {
+        if event.phase.is_none() {
+            event.phase = self.current_phase;
+        }
+        self.events.push(event);
+    }
+
+    fn set_phase(&mut self, phase: &'static str) {
+        self.current_phase = Some(phase);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::Category;
+
+    #[test]
+    fn null_tracer_is_disabled_and_silent() {
+        let mut t = NullTracer;
+        assert!(!t.enabled());
+        t.record(Event::instant("x", Category::Trap, 0));
+        t.set_phase("body");
+    }
+
+    #[test]
+    fn event_tracer_records_in_order_and_stamps_phase() {
+        let mut t = EventTracer::new();
+        assert!(t.enabled());
+        assert!(t.is_empty());
+        t.record(Event::instant("before", Category::Tlb, 1));
+        t.set_phase("entry_exit");
+        t.record(Event::complete("alu", Category::MicroOp, 2, 1));
+        t.record(Event::instant("tagged", Category::Cache, 3).with_phase("body"));
+        assert_eq!(t.len(), 3);
+        assert_eq!(t.events()[0].phase, None, "no phase before set_phase");
+        assert_eq!(t.events()[1].phase, Some("entry_exit"));
+        assert_eq!(t.events()[2].phase, Some("body"), "explicit phase wins");
+    }
+
+    #[test]
+    fn rebase_shifts_selected_events_only() {
+        let mut t = EventTracer::new();
+        t.record(Event::instant("mem", Category::Tlb, 100));
+        t.record(Event::complete("alu", Category::MicroOp, 5, 1));
+        t.rebase(90, |e| e.cat.is_memory());
+        assert_eq!(t.events()[0].ts, 10);
+        assert_eq!(t.events()[1].ts, 5);
+        t.rebase(1000, |e| e.cat.is_memory());
+        assert_eq!(t.events()[0].ts, 0, "rebase saturates at zero");
+        t.clear();
+        assert!(t.is_empty());
+    }
+}

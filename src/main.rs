@@ -8,17 +8,27 @@
 //! osarch compare <A> <B>         compare two machines primitive by primitive
 //! osarch lint [ARCH] [--json] [--deny-warnings]
 //!                                statically verify the generated handlers
+//! osarch trace <ARCH> <OP> [--out PATH] [--counters]
+//!                                cycle-level trace of one primitive
 //! osarch archs                   list the modelled architectures
 //! ```
 
 use osarch::kernel::{HandlerSet, Machine};
-use osarch::{measure, metrics, session, Analyzer, Arch, Primitive};
+use osarch::{measure, metrics, session, trace_primitive, Analyzer, Arch, Primitive};
 use std::process::ExitCode;
 
 fn parse_arch(name: &str) -> Option<Arch> {
-    Arch::all()
-        .into_iter()
-        .find(|a| a.to_string().eq_ignore_ascii_case(name))
+    // Vendor-prefixed spellings for the MIPS machines are accepted too.
+    let name = match name.to_ascii_lowercase().as_str() {
+        "mips-r2000" => "R2000",
+        "mips-r3000" => "R3000",
+        other => {
+            return Arch::all()
+                .into_iter()
+                .find(|a| a.to_string().eq_ignore_ascii_case(other))
+        }
+    };
+    Arch::all().into_iter().find(|a| a.to_string() == name)
 }
 
 fn parse_primitive(name: &str) -> Option<Primitive> {
@@ -45,6 +55,9 @@ fn usage() -> ExitCode {
          \x20 compare ARCH ARCH       compare two machines\n\
          \x20 lint [ARCH] [--json] [--deny-warnings]\n\
          \x20                         statically verify the generated handler programs\n\
+         \x20 trace ARCH OP [--out PATH] [--counters]\n\
+         \x20                         cycle-level trace of one primitive: phase profile\n\
+         \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
          \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
@@ -225,6 +238,74 @@ fn main() -> ExitCode {
             } else {
                 ExitCode::FAILURE
             }
+        }
+        Some("trace") => {
+            let (Some(arch), Some(primitive)) = (
+                args.get(1).and_then(|n| parse_arch(n)),
+                args.get(2).and_then(|n| parse_primitive(n)),
+            ) else {
+                eprintln!("expected: trace ARCH syscall|trap|pte|ctxsw [--out PATH] [--counters]");
+                return usage();
+            };
+            let mut out: Option<&str> = None;
+            let mut counters = false;
+            let mut rest = args[3..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--counters" => counters = true,
+                    "--out" => match rest.next() {
+                        Some(path) => out = Some(path),
+                        None => {
+                            eprintln!("--out requires a path");
+                            return usage();
+                        }
+                    },
+                    other => {
+                        eprintln!("unexpected argument {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            let trace = trace_primitive(arch, primitive);
+            println!(
+                "{arch} {} — {} cycles, {} instructions, {} events ({:.2} us at {:.2} MHz)",
+                primitive.label(),
+                trace.stats.cycles,
+                trace.stats.instructions,
+                trace.events.len(),
+                trace.micros(),
+                trace.clock_mhz
+            );
+            print!("{}", trace.profile().render(10));
+            if counters {
+                let doc = metrics::counters_json(&trace.counters);
+                if let Err(offset) = metrics::validate_json(&doc) {
+                    eprintln!("internal error: counters JSON invalid at byte {offset}");
+                    return ExitCode::FAILURE;
+                }
+                print!("{doc}");
+            }
+            if let Some(path) = out {
+                let doc = metrics::chrome_trace_json(&trace);
+                // Validate unconditionally: the export exists to be loaded
+                // into external viewers, so never write a malformed file.
+                if let Err(offset) = metrics::validate_json(&doc) {
+                    eprintln!("internal error: trace JSON invalid at byte {offset}");
+                    return ExitCode::FAILURE;
+                }
+                match std::fs::write(path, &doc) {
+                    Ok(()) => println!(
+                        "wrote {path}: {} events, {} bytes",
+                        trace.events.len(),
+                        doc.len()
+                    ),
+                    Err(err) => {
+                        eprintln!("cannot write {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
+            }
+            ExitCode::SUCCESS
         }
         _ => usage(),
     }

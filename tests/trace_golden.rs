@@ -1,0 +1,37 @@
+//! Golden-output snapshot of the Chrome-trace export for the MIPS R3000
+//! null system call.
+//!
+//! The document is part of the tool's interface: CI archives it and
+//! external viewers (chrome://tracing, Perfetto) load it. Any change to
+//! the instrumentation points, the event vocabulary, or the emitter shows
+//! up as a diff against `tests/golden/trace_r3000_syscall.json` —
+//! regenerate it with `osarch trace mips-r3000 syscall --out
+//! tests/golden/trace_r3000_syscall.json` when the change is intentional.
+
+use osarch::{metrics, trace_primitive, Arch, Primitive};
+
+const GOLDEN: &str = include_str!("golden/trace_r3000_syscall.json");
+
+#[test]
+fn r3000_syscall_trace_matches_the_golden_snapshot() {
+    let trace = trace_primitive(Arch::R3000, Primitive::NullSyscall);
+    let doc = metrics::chrome_trace_json(&trace);
+    assert_eq!(metrics::validate_json(&doc), Ok(()));
+    assert_eq!(
+        doc, GOLDEN,
+        "trace output drifted from the snapshot; if intentional, regenerate \
+         tests/golden/trace_r3000_syscall.json with \
+         `osarch trace mips-r3000 syscall --out tests/golden/trace_r3000_syscall.json`"
+    );
+}
+
+#[test]
+fn golden_snapshot_itself_is_well_formed() {
+    assert_eq!(metrics::validate_json(GOLDEN), Ok(()));
+    assert!(GOLDEN.contains("\"traceEvents\":["));
+    assert!(GOLDEN.contains("\"schema\":\"osarch-trace/1\""));
+    assert!(GOLDEN.contains("\"arch\":\"R3000\""));
+    assert!(GOLDEN.contains("\"primitive\":\"null_syscall\""));
+    // The root span covers the whole measured run.
+    assert!(GOLDEN.contains("\"name\":\"Null system call\",\"cat\":\"primitive\""));
+}

@@ -1,0 +1,120 @@
+//! The tracing subsystem's core contract: traced events reconcile exactly
+//! with the executor's cycle accounting, and tracing never perturbs what
+//! it observes.
+
+use osarch::trace::Category;
+use osarch::{measure, trace_primitive, Arch, EventTracer, Machine, NullTracer, Phase, Primitive};
+use proptest::prelude::*;
+
+fn arb_arch() -> impl Strategy<Value = Arch> {
+    prop_oneof![
+        Just(Arch::Cvax),
+        Just(Arch::M88000),
+        Just(Arch::R2000),
+        Just(Arch::R3000),
+        Just(Arch::Sparc),
+        Just(Arch::I860),
+        Just(Arch::Rs6000),
+    ]
+}
+
+fn arb_primitive() -> impl Strategy<Value = Primitive> {
+    prop_oneof![
+        Just(Primitive::NullSyscall),
+        Just(Primitive::Trap),
+        Just(Primitive::PteChange),
+        Just(Primitive::ContextSwitch),
+    ]
+}
+
+/// Per-phase sum of micro-op span durations must equal the executor's
+/// per-phase cycle accounting — not approximately, exactly.
+fn assert_reconciles(arch: Arch, primitive: Primitive) {
+    let trace = trace_primitive(arch, primitive);
+    let mut total = 0u64;
+    for phase in Phase::all() {
+        let traced: u64 = trace
+            .events
+            .iter()
+            .filter(|e| e.cat == Category::MicroOp && e.phase == Some(phase.tag()))
+            .map(|e| e.dur)
+            .sum();
+        assert_eq!(
+            traced,
+            trace.stats.phase(phase).cycles,
+            "{arch} {primitive} {phase:?}: traced cycles must equal ExecStats"
+        );
+        total += traced;
+    }
+    assert_eq!(total, trace.stats.cycles, "{arch} {primitive}: total");
+    // And the traced run *is* the measured run: same stats as the shared
+    // measurement session reports.
+    assert_eq!(
+        &trace.stats,
+        measure(arch).stats(primitive),
+        "{arch} {primitive}"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    #[test]
+    fn traced_durations_reconcile_with_exec_stats(
+        arch in arb_arch(),
+        primitive in arb_primitive(),
+    ) {
+        assert_reconciles(arch, primitive);
+    }
+}
+
+/// The proptest above samples; the acceptance criterion is the full cross
+/// product, so walk it exhaustively too (28 traces, each a fast run).
+#[test]
+fn reconciliation_holds_for_every_arch_and_primitive() {
+    for arch in Arch::all() {
+        for primitive in Primitive::all() {
+            assert_reconciles(arch, primitive);
+        }
+    }
+}
+
+/// A `NullTracer` run is bit-identical to an untraced run: same stats,
+/// same memory-system evolution.
+#[test]
+fn null_tracer_runs_are_bit_identical() {
+    for arch in Arch::all() {
+        let program = {
+            let machine = Machine::new(arch);
+            let handlers = osarch::HandlerSet::generate(machine.spec(), machine.layout());
+            handlers.program(Primitive::NullSyscall).clone()
+        };
+        let mut plain = Machine::new(arch);
+        let mut traced = Machine::new(arch);
+        let out_plain = plain.run(&program);
+        let out_traced = traced.run_with(&program, &mut NullTracer);
+        assert_eq!(out_plain.stats, out_traced.stats, "{arch}");
+        assert_eq!(
+            plain.mem().clock(),
+            traced.mem().clock(),
+            "{arch}: memory clock must advance identically"
+        );
+    }
+}
+
+/// An `EventTracer` observes without disturbing: the traced stats equal
+/// the untraced stats for the same protocol.
+#[test]
+fn event_tracer_does_not_perturb_measurement() {
+    for arch in [Arch::Cvax, Arch::Sparc, Arch::Rs6000] {
+        let mut machine = Machine::new(arch);
+        let handlers = osarch::HandlerSet::generate(machine.spec(), machine.layout());
+        let program = handlers.program(Primitive::ContextSwitch);
+        let baseline = machine.measure(program);
+        let mut fresh = Machine::new(arch);
+        let mut tracer = EventTracer::new();
+        let traced = fresh.measure_with(program, &mut tracer);
+        assert_eq!(baseline, traced, "{arch}");
+        assert!(!tracer.is_empty(), "{arch}: events must have been recorded");
+    }
+}
