@@ -5,7 +5,7 @@
 //! (`table1..table7`, `intext`, `ablations`, `vm`, `tlb`, `threads`,
 //! `future`, `depth`); `--json` emits the tables as a JSON array.
 
-use osarch_core::{metrics, session};
+use osarch_core::{metrics, names, session};
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
@@ -22,12 +22,9 @@ fn main() {
         }
     }
     let Some(reports) = session::resolve_reports(selector) else {
-        let names: Vec<&str> = session::REPORTS.iter().map(|spec| spec.name).collect();
-        eprintln!(
-            "unknown report {:?}; expected {}, or all",
-            selector.unwrap_or_default(),
-            names.join(", ")
-        );
+        // One line, nonzero exit, every valid name — the same contract as
+        // `osarch tables` (the registry is shared through core::names).
+        eprintln!("{}", names::unknown_report(selector.unwrap_or_default()));
         std::process::exit(2);
     };
     if json {

@@ -34,12 +34,15 @@
 pub mod ablations;
 pub mod experiments;
 pub mod metrics;
+pub mod names;
 pub mod paper;
 mod report;
 pub mod session;
+pub mod stats;
 
 pub use report::{fmt_f, fmt_pct, Table};
 pub use session::MeasurementSession;
+pub use stats::LatencySummary;
 
 // The substrate crates, re-exported whole for path-based access…
 pub use osarch_analysis as analysis;

@@ -27,6 +27,12 @@ pub const COUNTERS_SCHEMA: &str = "osarch-counters/1";
 /// export (the document body is the standard Chrome trace-event format).
 pub const TRACE_SCHEMA: &str = "osarch-trace/1";
 
+/// The schema tag stamped into every `osarch-serve` response envelope.
+pub const SERVE_SCHEMA: &str = "osarch-serve/1";
+
+/// The schema tag stamped into every `BENCH_serve.json` load report.
+pub const SERVE_BENCH_SCHEMA: &str = "osarch-serve-bench/1";
+
 /// Escape a string for a JSON string literal (quotes not included).
 #[must_use]
 pub fn json_escape(s: &str) -> String {
@@ -47,13 +53,22 @@ pub fn json_escape(s: &str) -> String {
     out
 }
 
-/// A finite `f64` as a JSON number token.
-fn json_f64(value: f64) -> String {
-    assert!(value.is_finite(), "JSON numbers must be finite: {value}");
+/// An `f64` as a JSON value token: the number for finite values, `null`
+/// for NaN and the infinities (JSON has no spelling for them, and a raw
+/// `NaN` token would corrupt every document downstream).
+#[must_use]
+pub fn json_number(value: f64) -> String {
+    if !value.is_finite() {
+        return "null".to_string();
+    }
     // `Display` never emits an exponent for the magnitudes we produce, but
     // an integral value renders without a point; either way the token is
     // valid JSON.
     format!("{value}")
+}
+
+fn json_f64(value: f64) -> String {
+    json_number(value)
 }
 
 fn snake_name(primitive: Primitive) -> &'static str {
@@ -116,6 +131,89 @@ pub fn bench_json() -> String {
         "{{\"schema\":\"{}\",\"architectures\":[{}]}}\n",
         BENCH_SCHEMA,
         architectures.join(",")
+    )
+}
+
+/// One (architecture, primitive) measurement as a JSON object — the
+/// payload of the `osarch-serve` `measure` query. Priced through the
+/// shared [`crate::session`], so repeated requests never re-simulate.
+#[must_use]
+pub fn measure_json(arch: Arch, primitive: Primitive) -> String {
+    let m = session().measurement(arch);
+    format!(
+        "{{\"arch\":\"{}\",\"clock_mhz\":{},\"primitive\":{}}}",
+        json_escape(&arch.to_string()),
+        json_number(m.clock_mhz),
+        stats_json(snake_name(primitive), m.stats(primitive), m.clock_mhz)
+    )
+}
+
+/// One `osarch-loadgen` run, ready to serialize as `BENCH_serve.json`.
+///
+/// Latency fields are microseconds of client-observed request round-trip
+/// time; the cache counters are the server's own `/stats` deltas over the
+/// run, so a report ties client throughput to server cache behaviour.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ServeBenchReport {
+    /// Key distribution (`uniform` or `skewed`).
+    pub workload: String,
+    /// Loop discipline (`closed` or `open`).
+    pub mode: String,
+    /// Concurrent client connections.
+    pub conns: u32,
+    /// Server worker threads.
+    pub workers: u32,
+    /// Cache shards.
+    pub shards: u32,
+    /// Measured wall-clock seconds.
+    pub secs: f64,
+    /// Requests completed with an `ok` envelope.
+    pub requests: u64,
+    /// Requests answered with an error envelope.
+    pub errors: u64,
+    /// Completed requests per second.
+    pub throughput_rps: f64,
+    /// Client-observed latency distribution (µs).
+    pub latency: crate::stats::LatencySummary,
+    /// Server cache hits over the run.
+    pub hits: u64,
+    /// Server cache misses (computations) over the run.
+    pub misses: u64,
+    /// Requests that coalesced onto another request's computation.
+    pub coalesced: u64,
+}
+
+/// A load-generator report as an `osarch-serve-bench/1` JSON document.
+#[must_use]
+pub fn serve_bench_json(report: &ServeBenchReport) -> String {
+    format!(
+        concat!(
+            "{{\"schema\":\"{}\",\"workload\":\"{}\",\"mode\":\"{}\",",
+            "\"conns\":{},\"workers\":{},\"shards\":{},\"secs\":{},",
+            "\"requests\":{},\"errors\":{},\"throughput_rps\":{},",
+            "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
+            "\"max\":{},\"mean\":{}}},",
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{}}}}}\n"
+        ),
+        SERVE_BENCH_SCHEMA,
+        json_escape(&report.workload),
+        json_escape(&report.mode),
+        report.conns,
+        report.workers,
+        report.shards,
+        json_number(report.secs),
+        report.requests,
+        report.errors,
+        json_number(report.throughput_rps),
+        report.latency.count,
+        report.latency.p50,
+        report.latency.p90,
+        report.latency.p99,
+        report.latency.max,
+        json_number(report.latency.mean),
+        report.hits,
+        report.misses,
+        report.coalesced,
     )
 }
 
@@ -548,6 +646,74 @@ mod tests {
         ] {
             assert!(validate_json(bad).is_err(), "{bad} must be rejected");
         }
+    }
+
+    #[test]
+    fn non_finite_floats_serialize_as_null_never_raw() {
+        assert_eq!(json_number(f64::NAN), "null");
+        assert_eq!(json_number(f64::INFINITY), "null");
+        assert_eq!(json_number(f64::NEG_INFINITY), "null");
+        assert_eq!(json_number(1.5), "1.5");
+        assert_eq!(json_number(-0.0), "-0");
+        // An emitter that interpolates a non-finite value still produces a
+        // well-formed document.
+        let doc = format!("{{\"x\":{}}}", json_number(f64::NAN));
+        assert_eq!(validate_json(&doc), Ok(()));
+    }
+
+    #[test]
+    fn validator_rejects_non_finite_number_tokens() {
+        for bad in [
+            "NaN",
+            "nan",
+            "Infinity",
+            "-Infinity",
+            "inf",
+            "{\"x\":NaN}",
+            "[1,Infinity]",
+            "{\"x\":-inf}",
+        ] {
+            assert!(validate_json(bad).is_err(), "{bad} must be rejected");
+        }
+    }
+
+    #[test]
+    fn measure_document_is_valid() {
+        let doc = measure_json(Arch::R3000, Primitive::Trap);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains("\"arch\":\"R3000\""));
+        assert!(doc.contains("\"name\":\"trap\""));
+        assert!(doc.contains("\"phases\":["));
+    }
+
+    #[test]
+    fn serve_bench_document_is_valid() {
+        let report = ServeBenchReport {
+            workload: "skewed".to_string(),
+            mode: "closed".to_string(),
+            conns: 8,
+            workers: 4,
+            shards: 16,
+            secs: 3.0,
+            requests: 1200,
+            errors: 0,
+            throughput_rps: 400.0,
+            latency: crate::stats::LatencySummary::from_unsorted(&[100, 200, 300]),
+            hits: 1172,
+            misses: 28,
+            coalesced: 3,
+        };
+        let doc = serve_bench_json(&report);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains(&format!("\"schema\":\"{SERVE_BENCH_SCHEMA}\"")));
+        assert!(doc.contains("\"throughput_rps\":400"));
+        assert!(doc.contains("\"p99\":300"));
+        // Non-finite throughput (a zero-second run) must degrade to null.
+        let mut broken = report;
+        broken.throughput_rps = f64::INFINITY;
+        let doc = serve_bench_json(&broken);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains("\"throughput_rps\":null"));
     }
 
     #[test]

@@ -99,6 +99,13 @@ impl MeasurementSession {
     }
 }
 
+// The `osarch-serve` worker pool holds one session behind an `Arc` and
+// reads it from every worker; keep the shareability a compile-time fact.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<MeasurementSession>();
+};
+
 /// The process-wide session every report and binary shares.
 #[must_use]
 pub fn shared() -> &'static MeasurementSession {

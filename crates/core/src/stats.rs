@@ -1,0 +1,111 @@
+//! Latency-percentile helpers for the serving layer.
+//!
+//! The paper's argument is about *fixed per-operation overheads*; the
+//! serving layer makes the same argument at request granularity, so its
+//! benchmark output reports the latency distribution, not just a mean.
+//! These helpers compute nearest-rank percentiles over microsecond
+//! samples — enough for `osarch-serve`'s `/stats` query and the
+//! `BENCH_serve.json` emitter, with no external dependency.
+
+/// Nearest-rank percentile of a **sorted** sample set.
+///
+/// `q` is in `[0, 100]`. An empty slice yields 0. The nearest-rank method
+/// always returns an observed sample (no interpolation), which keeps the
+/// output stable across platforms.
+///
+/// # Panics
+///
+/// Panics when `q` is outside `[0, 100]`.
+#[must_use]
+pub fn percentile(sorted: &[u64], q: f64) -> u64 {
+    assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+    if sorted.is_empty() {
+        return 0;
+    }
+    debug_assert!(sorted.windows(2).all(|w| w[0] <= w[1]), "input not sorted");
+    let rank = ((q / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+/// Summary of a latency sample set, in the sample unit (microseconds by
+/// convention).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LatencySummary {
+    /// Number of samples.
+    pub count: u64,
+    /// Median (50th percentile).
+    pub p50: u64,
+    /// 90th percentile.
+    pub p90: u64,
+    /// 99th percentile.
+    pub p99: u64,
+    /// Largest sample.
+    pub max: u64,
+    /// Arithmetic mean.
+    pub mean: f64,
+}
+
+impl LatencySummary {
+    /// Summarize an unsorted sample set (sorts a copy; the input order is
+    /// irrelevant). An empty set summarizes to all zeros.
+    #[must_use]
+    pub fn from_unsorted(samples: &[u64]) -> LatencySummary {
+        let mut sorted = samples.to_vec();
+        sorted.sort_unstable();
+        LatencySummary::from_sorted(&sorted)
+    }
+
+    /// Summarize an already-sorted sample set without copying.
+    #[must_use]
+    pub fn from_sorted(sorted: &[u64]) -> LatencySummary {
+        let count = sorted.len() as u64;
+        let mean = if sorted.is_empty() {
+            0.0
+        } else {
+            sorted.iter().sum::<u64>() as f64 / count as f64
+        };
+        LatencySummary {
+            count,
+            p50: percentile(sorted, 50.0),
+            p90: percentile(sorted, 90.0),
+            p99: percentile(sorted, 99.0),
+            max: sorted.last().copied().unwrap_or(0),
+            mean,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn percentile_nearest_rank() {
+        let sorted: Vec<u64> = (1..=100).collect();
+        assert_eq!(percentile(&sorted, 50.0), 50);
+        assert_eq!(percentile(&sorted, 99.0), 99);
+        assert_eq!(percentile(&sorted, 100.0), 100);
+        assert_eq!(percentile(&sorted, 0.0), 1);
+        assert_eq!(percentile(&[7], 99.0), 7);
+        assert_eq!(percentile(&[], 50.0), 0);
+    }
+
+    #[test]
+    fn summary_matches_hand_computation() {
+        let s = LatencySummary::from_unsorted(&[5, 1, 3, 2, 4]);
+        assert_eq!(s.count, 5);
+        assert_eq!(s.p50, 3);
+        assert_eq!(s.p99, 5);
+        assert_eq!(s.max, 5);
+        assert!((s.mean - 3.0).abs() < 1e-12);
+        let empty = LatencySummary::from_unsorted(&[]);
+        assert_eq!((empty.count, empty.p50, empty.max), (0, 0, 0));
+        assert_eq!(empty.mean, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "percentile out of range")]
+    fn percentile_rejects_out_of_range() {
+        let _ = percentile(&[1], 101.0);
+    }
+}

@@ -280,9 +280,36 @@ impl PrimitiveCosts {
     }
 }
 
+// The serving layer shares measurements and costs across a worker-thread
+// pool by reference; losing `Send + Sync` on these types (say, by adding
+// an `Rc` or `Cell` field) would only surface as a compile error deep in
+// `osarch-serve`, so pin the guarantee here at the definition site.
+const _: () = {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    assert_send_sync::<PrimitiveMeasurement>();
+    assert_send_sync::<PrimitiveTimes>();
+    assert_send_sync::<PrimitiveCosts>();
+};
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn measurement_is_shareable_across_threads() {
+        // `measure` hands out clones of one memoized measurement; workers
+        // read it concurrently by reference. Exercise exactly that shape.
+        let shared = measure(Arch::R3000);
+        let reference = shared.times_us();
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let shared = &shared;
+                scope.spawn(move || {
+                    assert_eq!(shared.times_us(), reference);
+                });
+            }
+        });
+    }
 
     #[test]
     fn measurement_is_deterministic() {

@@ -1,0 +1,23 @@
+//! Standalone load generator for `osarch-serve`.
+//!
+//! ```text
+//! osarch-loadgen [--addr HOST:PORT] [--conns N] [--secs S] [--skew]
+//!                [--rate R] [--workers N] [--shards N] [--out PATH]
+//! ```
+//!
+//! Without `--addr` a server is self-hosted for the run. The report is
+//! written to `BENCH_serve.json` (schema `osarch-serve-bench/1`);
+//! `--out -` prints it to stdout instead.
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match osarch_serve::loadgen::cli(&args, "osarch-loadgen") {
+        Ok(code) => code,
+        Err(message) => {
+            eprintln!("{message}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,248 @@
+//! The sharded single-flight response cache.
+//!
+//! Every query the server answers is a pure function of its key (the
+//! simulator is deterministic), so the serving layer never needs to run a
+//! computation twice — and under concurrency it must not run the *same*
+//! computation twice at the *same* time. [`ShardedCache`] gives both
+//! properties:
+//!
+//! * **Sharding** — keys hash to one of N independent shards, each behind
+//!   its own mutex, so unrelated requests never contend on a global lock.
+//! * **Single flight** — the first requester of a key installs an
+//!   in-flight slot and computes *outside* every lock; concurrent
+//!   requesters for the same key park on the slot's condvar and share the
+//!   one result when it lands (a "coalesced wait").
+//!
+//! This is the serving-layer analogue of the paper's argument about fixed
+//! per-operation overheads: the expensive part of a request is a fixed
+//! per-key simulation cost, so amortizing it across requests is the whole
+//! ballgame.
+
+use std::collections::HashMap;
+use std::hash::{BuildHasher, Hasher, RandomState};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+
+/// The state of one key's computation.
+enum Flight {
+    /// Someone is computing; park on the condvar.
+    Pending,
+    /// The computation landed (or failed); share the result.
+    Done(Arc<str>),
+}
+
+/// One key's slot: flight state plus the condvar latecomers park on.
+struct Slot {
+    state: Mutex<Flight>,
+    landed: Condvar,
+}
+
+/// Clears a pending slot if the computing closure panics, so parked
+/// waiters receive an error result instead of waiting forever.
+struct FlightGuard<'a> {
+    slot: &'a Slot,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            let mut state = self
+                .slot
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *state = Flight::Done(Arc::from("{\"ok\":false,\"error\":\"computation failed\"}"));
+            self.slot.landed.notify_all();
+        }
+    }
+}
+
+/// A sharded, single-flight memo cache from string keys to immutable
+/// string results.
+pub struct ShardedCache {
+    shards: Vec<Mutex<HashMap<String, Arc<Slot>>>>,
+    hasher: RandomState,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    coalesced: AtomicU64,
+}
+
+impl std::fmt::Debug for ShardedCache {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedCache")
+            .field("shards", &self.shards.len())
+            .field("hits", &self.hits())
+            .field("misses", &self.misses())
+            .field("coalesced", &self.coalesced())
+            .finish()
+    }
+}
+
+impl ShardedCache {
+    /// A cache with `shards` independent lock domains (clamped to ≥ 1).
+    #[must_use]
+    pub fn new(shards: usize) -> ShardedCache {
+        let shards = shards.max(1);
+        ShardedCache {
+            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            hasher: RandomState::new(),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    fn shard_for(&self, key: &str) -> &Mutex<HashMap<String, Arc<Slot>>> {
+        let mut hasher = self.hasher.build_hasher();
+        hasher.write(key.as_bytes());
+        let index = (hasher.finish() as usize) % self.shards.len();
+        &self.shards[index]
+    }
+
+    /// The cached result for `key`, computing it with `compute` on first
+    /// request. Exactly one caller per key runs `compute`; everyone else
+    /// either hits the finished result or parks until the in-flight
+    /// computation lands. Returns the result and whether it was served
+    /// from cache (a hit or a coalesced wait).
+    pub fn get_or_compute<F>(&self, key: &str, compute: F) -> (Arc<str>, bool)
+    where
+        F: FnOnce() -> String,
+    {
+        let (slot, leader) = {
+            let mut shard = self
+                .shard_for(key)
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            match shard.get(key) {
+                Some(slot) => (Arc::clone(slot), false),
+                None => {
+                    let slot = Arc::new(Slot {
+                        state: Mutex::new(Flight::Pending),
+                        landed: Condvar::new(),
+                    });
+                    shard.insert(key.to_string(), Arc::clone(&slot));
+                    (slot, true)
+                }
+            }
+        };
+        if leader {
+            self.misses.fetch_add(1, Ordering::Relaxed);
+            let mut guard = FlightGuard {
+                slot: &slot,
+                armed: true,
+            };
+            let result: Arc<str> = Arc::from(compute());
+            guard.armed = false;
+            let mut state = slot
+                .state
+                .lock()
+                .unwrap_or_else(std::sync::PoisonError::into_inner);
+            *state = Flight::Done(Arc::clone(&result));
+            drop(state);
+            slot.landed.notify_all();
+            return (result, false);
+        }
+        let mut state = slot
+            .state
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if matches!(*state, Flight::Pending) {
+            self.coalesced.fetch_add(1, Ordering::Relaxed);
+            while matches!(*state, Flight::Pending) {
+                state = slot
+                    .landed
+                    .wait(state)
+                    .unwrap_or_else(std::sync::PoisonError::into_inner);
+            }
+        } else {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+        }
+        match &*state {
+            Flight::Done(result) => (Arc::clone(result), true),
+            Flight::Pending => unreachable!("left the wait loop with the flight pending"),
+        }
+    }
+
+    /// Requests served from an already-landed result.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Requests that ran the computation.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+
+    /// Requests that parked on another request's in-flight computation.
+    #[must_use]
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn second_request_hits() {
+        let cache = ShardedCache::new(4);
+        let (a, cached_a) = cache.get_or_compute("k", || "v".to_string());
+        let (b, cached_b) = cache.get_or_compute("k", || panic!("must not recompute"));
+        assert_eq!((&*a, cached_a), ("v", false));
+        assert_eq!((&*b, cached_b), ("v", true));
+        assert_eq!((cache.misses(), cache.hits(), cache.coalesced()), (1, 1, 0));
+    }
+
+    #[test]
+    fn distinct_keys_compute_independently() {
+        let cache = ShardedCache::new(2);
+        for i in 0..10 {
+            let key = format!("k{i}");
+            let (value, _) = cache.get_or_compute(&key, || format!("v{i}"));
+            assert_eq!(&*value, &format!("v{i}"));
+        }
+        assert_eq!(cache.misses(), 10);
+    }
+
+    #[test]
+    fn concurrent_same_key_coalesces_to_one_computation() {
+        use std::sync::Barrier;
+        let cache = ShardedCache::new(8);
+        let computations = AtomicU64::new(0);
+        let barrier = Barrier::new(8);
+        std::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|| {
+                    barrier.wait();
+                    let (value, _) = cache.get_or_compute("hot", || {
+                        computations.fetch_add(1, Ordering::Relaxed);
+                        // Hold the flight open long enough that the other
+                        // threads arrive while it is pending.
+                        std::thread::sleep(std::time::Duration::from_millis(20));
+                        "result".to_string()
+                    });
+                    assert_eq!(&*value, "result");
+                });
+            }
+        });
+        assert_eq!(computations.load(Ordering::Relaxed), 1);
+        assert_eq!(cache.misses(), 1);
+        assert_eq!(cache.hits() + cache.coalesced(), 7);
+    }
+
+    #[test]
+    fn shard_count_is_clamped() {
+        assert_eq!(ShardedCache::new(0).shard_count(), 1);
+        assert_eq!(ShardedCache::new(16).shard_count(), 16);
+    }
+}

@@ -1,0 +1,58 @@
+//! # osarch-serve
+//!
+//! The long-lived serving layer over the `osarch` simulator: a
+//! concurrent TCP query service with a sharded single-flight response
+//! cache, plus the load-generator harness that benchmarks it.
+//!
+//! The ASPLOS 1991 paper's thesis is that OS primitive cost is dominated
+//! by *fixed per-operation overheads* that fail to scale with processor
+//! speed. The repo used to exhibit the same pathology at its own serving
+//! layer: every query re-ran a whole process (and a whole
+//! `MeasurementSession`). This crate replaces that with an explicit,
+//! measured request path — the small-kernel decomposition the paper
+//! studies, applied to ourselves:
+//!
+//! * [`cache::ShardedCache`] — N-way sharded, single-flight memoization:
+//!   concurrent requests for one key coalesce onto one computation;
+//! * [`protocol`] — the `osarch-serve/1` line-delimited JSON protocol
+//!   over the full result surface (measure / table / lint / trace /
+//!   counters), reusing the `core/metrics` emitters byte-for-byte;
+//! * [`server`] — `std::net` listener, fixed worker pool, bounded
+//!   connection queue with backpressure, per-request deadlines, graceful
+//!   shutdown, and a `/stats` query with monotonic counters and latency
+//!   percentiles;
+//! * [`loadgen`] — open-/closed-loop workload driver emitting
+//!   `BENCH_serve.json` (`osarch-serve-bench/1`).
+//!
+//! Everything is `std`-only: no new external dependencies.
+//!
+//! # Quickstart
+//!
+//! ```
+//! use osarch_serve::{LoadgenConfig, Server, ServerConfig};
+//! use std::io::{BufRead, BufReader, Write};
+//!
+//! let server = Server::start(&ServerConfig::default()).unwrap();
+//! let mut conn = std::net::TcpStream::connect(server.addr()).unwrap();
+//! writeln!(conn, "{}", r#"{"op":"ping","id":1}"#).unwrap();
+//! let mut reply = String::new();
+//! BufReader::new(&conn).read_line(&mut reply).unwrap();
+//! assert!(reply.contains("\"pong\":true"));
+//! server.stop();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cache;
+pub mod loadgen;
+pub mod protocol;
+pub mod queue;
+pub mod server;
+pub mod stats;
+
+pub use cache::ShardedCache;
+pub use loadgen::{run as run_loadgen, LoadgenConfig};
+pub use protocol::{Query, Request, MAX_REQUEST_BYTES};
+pub use server::{Server, ServerConfig, ServerHandle};
+pub use stats::ServeStats;

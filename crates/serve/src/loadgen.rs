@@ -1,0 +1,410 @@
+//! The load-generator harness (`osarch-loadgen`).
+//!
+//! Drives a running `osarch-serve` instance (or self-hosts one) with
+//! concurrent closed- or open-loop connections over the full 7 × 4
+//! architecture × primitive key space, under a uniform or hot-key-skewed
+//! draw, and reports throughput plus client-observed latency percentiles
+//! as an `osarch-serve-bench/1` document (`BENCH_serve.json`).
+//!
+//! * **closed loop** — each connection keeps exactly one request in
+//!   flight: send, wait, repeat. Throughput is bounded by service latency.
+//! * **open loop** — each connection fires on a fixed arrival schedule
+//!   (`rate` requests/second); when a reply is late the next request goes
+//!   out immediately afterwards, so sustained overload shows up as rising
+//!   latency rather than reduced offered load.
+//!
+//! The skewed draw makes the single-flight cache's case: most requests
+//! pile onto a few hot keys, so hit/coalesce counters dominate and
+//! serving cost is the fixed per-request envelope, not the simulation.
+
+use crate::server::{Server, ServerConfig, ServerHandle};
+use osarch_core::metrics::ServeBenchReport;
+use osarch_core::stats::LatencySummary;
+use osarch_cpu::Arch;
+use osarch_kernel::Primitive;
+use rand::distributions::{Distribution, WeightedIndex};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, BufWriter, Write};
+use std::net::TcpStream;
+use std::time::{Duration, Instant};
+
+/// Load-generator knobs.
+#[derive(Debug, Clone)]
+pub struct LoadgenConfig {
+    /// Target server; `None` self-hosts one for the run.
+    pub addr: Option<String>,
+    /// Concurrent connections.
+    pub conns: u32,
+    /// Run duration in seconds.
+    pub secs: f64,
+    /// Hot-key-skewed draw instead of uniform.
+    pub skew: bool,
+    /// Open-loop arrival rate per connection (requests/second);
+    /// `None` runs closed-loop.
+    pub rate: Option<f64>,
+    /// Worker threads for the self-hosted server.
+    pub workers: usize,
+    /// Cache shards for the self-hosted server.
+    pub shards: usize,
+    /// RNG seed; every connection derives its own deterministic stream.
+    pub seed: u64,
+}
+
+impl Default for LoadgenConfig {
+    fn default() -> LoadgenConfig {
+        LoadgenConfig {
+            addr: None,
+            conns: 4,
+            secs: 3.0,
+            skew: false,
+            rate: None,
+            workers: 4,
+            shards: 16,
+            seed: 0x05a1c,
+        }
+    }
+}
+
+/// The full measure key space: every architecture × primitive pair.
+#[must_use]
+pub fn key_space() -> Vec<(Arch, Primitive)> {
+    let mut keys = Vec::with_capacity(Arch::COUNT * 4);
+    for arch in Arch::all() {
+        for primitive in Primitive::all() {
+            keys.push((arch, primitive));
+        }
+    }
+    keys
+}
+
+/// Per-connection tallies, merged after the run.
+#[derive(Debug, Default)]
+struct ConnResult {
+    oks: u64,
+    errors: u64,
+    latencies_us: Vec<u64>,
+}
+
+/// Counter values scraped from a `stats` reply.
+#[derive(Debug, Default, Clone, Copy)]
+struct CacheCounters {
+    hits: u64,
+    misses: u64,
+    coalesced: u64,
+}
+
+/// Run the workload and report. Self-hosts a server when `config.addr`
+/// is `None` (and shuts it down afterwards).
+pub fn run(config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
+    let mut hosted: Option<ServerHandle> = None;
+    let addr = match &config.addr {
+        Some(addr) => addr.clone(),
+        None => {
+            let handle = Server::start(&ServerConfig {
+                workers: config.workers,
+                shards: config.shards,
+                // The queue must absorb every loadgen connection at once.
+                queue_depth: (config.conns as usize * 2).max(64),
+                ..ServerConfig::default()
+            })?;
+            let addr = handle.addr().to_string();
+            hosted = Some(handle);
+            addr
+        }
+    };
+    let result = drive(&addr, config);
+    if let Some(handle) = hosted {
+        handle.stop();
+    }
+    result
+}
+
+fn drive(addr: &str, config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
+    let before = query_stats(addr)?;
+    let duration = Duration::from_secs_f64(config.secs.max(0.1));
+    let keys = key_space();
+    let weights: Vec<u64> = if config.skew {
+        // Harmonic (Zipf-like) weights: the hottest key draws ~25% of the
+        // traffic, the tail thins as 1/rank.
+        (0..keys.len())
+            .map(|rank| 720 / (rank as u64 + 1))
+            .collect()
+    } else {
+        vec![1; keys.len()]
+    };
+    let dist =
+        WeightedIndex::new(weights.iter().copied()).expect("weights are positive by construction");
+
+    let started = Instant::now();
+    let results: Vec<std::io::Result<ConnResult>> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.conns)
+            .map(|conn| {
+                let dist = &dist;
+                let keys = &keys;
+                scope.spawn(move || {
+                    drive_connection(
+                        addr,
+                        config.seed ^ (u64::from(conn) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                        dist,
+                        keys,
+                        started + duration,
+                        config.rate,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("loadgen connection thread panicked"))
+            .collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let after = query_stats(addr)?;
+
+    let mut oks = 0u64;
+    let mut errors = 0u64;
+    let mut latencies: Vec<u64> = Vec::new();
+    for result in results {
+        // A connection refused by backpressure contributes nothing but
+        // does not sink the run; a connect failure on the first
+        // connection would already have failed `query_stats`.
+        if let Ok(conn) = result {
+            oks += conn.oks;
+            errors += conn.errors;
+            latencies.extend(conn.latencies_us);
+        } else {
+            errors += 1;
+        }
+    }
+    latencies.sort_unstable();
+    Ok(ServeBenchReport {
+        workload: if config.skew { "skewed" } else { "uniform" }.to_string(),
+        mode: if config.rate.is_some() {
+            "open"
+        } else {
+            "closed"
+        }
+        .to_string(),
+        conns: config.conns,
+        workers: config.workers as u32,
+        shards: config.shards as u32,
+        secs,
+        requests: oks,
+        errors,
+        throughput_rps: if secs > 0.0 { oks as f64 / secs } else { 0.0 },
+        latency: LatencySummary::from_sorted(&latencies),
+        hits: after.hits.saturating_sub(before.hits),
+        misses: after.misses.saturating_sub(before.misses),
+        coalesced: after.coalesced.saturating_sub(before.coalesced),
+    })
+}
+
+/// One connection's request loop.
+fn drive_connection(
+    addr: &str,
+    seed: u64,
+    dist: &WeightedIndex<u64>,
+    keys: &[(Arch, Primitive)],
+    stop_at: Instant,
+    rate: Option<f64>,
+) -> std::io::Result<ConnResult> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut result = ConnResult::default();
+    let interval = rate.map(|r| Duration::from_secs_f64(1.0 / r.max(0.001)));
+    let mut next_arrival = Instant::now();
+    let mut request_id = 0u64;
+    while Instant::now() < stop_at {
+        if let Some(interval) = interval {
+            // Open loop: hold to the arrival schedule; a late reply means
+            // the next request fires immediately (no schedule reset).
+            let now = Instant::now();
+            if next_arrival > now {
+                std::thread::sleep(next_arrival - now);
+            }
+            next_arrival += interval;
+            if Instant::now() >= stop_at {
+                break;
+            }
+        }
+        let (arch, primitive) = keys[dist.sample(&mut rng)];
+        request_id += 1;
+        let line = format!(
+            "{{\"op\":\"measure\",\"arch\":\"{arch}\",\"primitive\":\"{}\",\"id\":{request_id}}}",
+            primitive.tag()
+        );
+        let sent = Instant::now();
+        writeln!(writer, "{line}")?;
+        writer.flush()?;
+        let mut reply = String::new();
+        if reader.read_line(&mut reply)? == 0 {
+            break; // server hung up (shutdown or backpressure)
+        }
+        let elapsed_us = sent.elapsed().as_micros() as u64;
+        if reply.contains("\"ok\":true") {
+            result.oks += 1;
+            result.latencies_us.push(elapsed_us);
+        } else {
+            result.errors += 1;
+        }
+    }
+    Ok(result)
+}
+
+/// Issue one out-of-band `stats` query on a fresh connection.
+fn query_stats(addr: &str) -> std::io::Result<CacheCounters> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(10)))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    writeln!(writer, "{{\"op\":\"stats\"}}")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    reader.read_line(&mut reply)?;
+    Ok(CacheCounters {
+        hits: extract_counter(&reply, "cache_hits"),
+        misses: extract_counter(&reply, "cache_misses"),
+        coalesced: extract_counter(&reply, "cache_coalesced"),
+    })
+}
+
+/// Scrape one named counter value out of a `stats` reply. The counters
+/// array is the deterministic `counters_json` format, so a plain
+/// substring scan is reliable without a JSON parser.
+fn extract_counter(reply: &str, name: &str) -> u64 {
+    let needle = format!("\"name\":\"{name}\",\"value\":");
+    reply
+        .find(&needle)
+        .and_then(|at| {
+            let digits: String = reply[at + needle.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// The shared `osarch loadgen` / `osarch-loadgen` front end: parse
+/// `args`, run the workload, write the `BENCH_serve.json` report.
+/// `Err` carries a one-line usage error (exit 2 at the caller).
+pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
+    use std::process::ExitCode;
+    let mut config = LoadgenConfig::default();
+    let mut out = "BENCH_serve.json".to_string();
+    let mut rest = args.iter();
+    let parse = |flag: &str, value: Option<&String>| -> Result<String, String> {
+        value
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--addr" => config.addr = Some(parse("--addr", rest.next())?),
+            "--conns" => {
+                config.conns = parse("--conns", rest.next())?
+                    .parse()
+                    .map_err(|_| "--conns expects a positive integer".to_string())?;
+            }
+            "--secs" => {
+                config.secs = parse("--secs", rest.next())?
+                    .parse()
+                    .map_err(|_| "--secs expects a number of seconds".to_string())?;
+            }
+            "--skew" => config.skew = true,
+            "--rate" => {
+                config.rate = Some(
+                    parse("--rate", rest.next())?
+                        .parse()
+                        .map_err(|_| "--rate expects requests/second".to_string())?,
+                );
+            }
+            "--workers" => {
+                config.workers = parse("--workers", rest.next())?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+            }
+            "--shards" => {
+                config.shards = parse("--shards", rest.next())?
+                    .parse()
+                    .map_err(|_| "--shards expects a positive integer".to_string())?;
+            }
+            "--out" => out = parse("--out", rest.next())?,
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: {prog} [--addr HOST:PORT] [--conns N] \
+                     [--secs S] [--skew] [--rate R] [--workers N] [--shards N] [--out PATH]"
+                ))
+            }
+        }
+    }
+    if config.conns == 0 {
+        return Err("--conns must be at least 1".to_string());
+    }
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("loadgen failed: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let doc = osarch_core::metrics::serve_bench_json(&report);
+    if let Err(offset) = osarch_core::metrics::validate_json(&doc) {
+        eprintln!("internal error: bench JSON invalid at byte {offset}");
+        return Ok(ExitCode::FAILURE);
+    }
+    if out == "-" {
+        print!("{doc}");
+    } else {
+        if let Err(err) = std::fs::write(&out, &doc) {
+            eprintln!("cannot write {out}: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!(
+            "wrote {out}: {} requests in {:.2}s ({:.0} req/s, p50 {} us, p99 {} us, \
+             {} hits / {} misses / {} coalesced)",
+            report.requests,
+            report.secs,
+            report.throughput_rps,
+            report.latency.p50,
+            report.latency.p99,
+            report.hits,
+            report.misses,
+            report.coalesced
+        );
+    }
+    if report.requests == 0 {
+        eprintln!("no requests completed: the server made no progress");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn key_space_covers_every_pair() {
+        let keys = key_space();
+        assert_eq!(keys.len(), 28);
+        let mut unique = keys.clone();
+        unique.sort_by_key(|(a, p)| (a.index(), p.tag()));
+        unique.dedup();
+        assert_eq!(unique.len(), 28);
+    }
+
+    #[test]
+    fn counter_extraction_reads_the_stats_shape() {
+        let reply = "{\"counters\":[{\"arch\":\"serve\",\"primitive\":\"request\",\
+                     \"phase\":\"total\",\"name\":\"cache_hits\",\"value\":41},\
+                     {\"name\":\"cache_misses\",\"value\":7}]}";
+        assert_eq!(extract_counter(reply, "cache_hits"), 41);
+        assert_eq!(extract_counter(reply, "cache_misses"), 7);
+        assert_eq!(extract_counter(reply, "absent"), 0);
+    }
+}

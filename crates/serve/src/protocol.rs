@@ -1,0 +1,523 @@
+//! The line-delimited JSON protocol (`osarch-serve/1`).
+//!
+//! One request per line, one response per line. A request is a **flat**
+//! JSON object:
+//!
+//! ```text
+//! {"op":"measure","arch":"R3000","primitive":"syscall","id":1}
+//! ```
+//!
+//! with fields:
+//!
+//! * `op` — `ping`, `measure`, `table`, `lint`, `trace`, `counters`,
+//!   `stats`, `spans`, or `shutdown` (required);
+//! * `arch` — an architecture name (required for `measure`/`trace`,
+//!   optional for `lint`/`counters`; the `mips-r2000`/`mips-r3000`
+//!   aliases are accepted, exactly as on the CLI);
+//! * `primitive` — a primitive name (required for `measure`/`trace`);
+//! * `table` — a report-registry name (required for `table`);
+//! * `id` — any JSON scalar, echoed verbatim in the response.
+//!
+//! A response is one line:
+//!
+//! ```text
+//! {"schema":"osarch-serve/1","id":1,"ok":true,"cached":false,"micros":812,"result":{…}}
+//! {"schema":"osarch-serve/1","id":null,"ok":false,"error":"unknown architecture …"}
+//! ```
+//!
+//! Responses reuse the `core/metrics` emitters for their payloads, so a
+//! served table/lint/trace/counters document is byte-identical to the one
+//! the corresponding CLI subcommand prints.
+
+use osarch_core::{metrics, names, session};
+use osarch_cpu::Arch;
+use osarch_kernel::{trace_all, trace_primitive, Primitive};
+use osarch_trace::CounterRegistry;
+
+/// The largest request line the server will read before answering with an
+/// error envelope and dropping the connection.
+pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// One parsed query.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Query {
+    /// Liveness probe; answers immediately.
+    Ping,
+    /// One (architecture, primitive) measurement.
+    Measure {
+        /// Architecture to price.
+        arch: Arch,
+        /// Primitive to price.
+        primitive: Primitive,
+    },
+    /// One report-registry table.
+    Table {
+        /// Registry name (`table1` … `ablations`).
+        name: String,
+    },
+    /// Static handler verification for one architecture, or all.
+    Lint {
+        /// `None` checks every architecture.
+        arch: Option<Arch>,
+    },
+    /// Chrome-trace document for one primitive run.
+    Trace {
+        /// Architecture to trace.
+        arch: Arch,
+        /// Primitive to trace.
+        primitive: Primitive,
+    },
+    /// Performance counters aggregated over every primitive of one
+    /// architecture, or of all architectures.
+    Counters {
+        /// `None` aggregates every architecture.
+        arch: Option<Arch>,
+    },
+    /// Serving counters and latency percentiles.
+    Stats,
+    /// Recent per-request spans.
+    Spans,
+    /// Graceful shutdown control command.
+    Shutdown,
+}
+
+impl Query {
+    /// The canonical cache key, or `None` for control/introspection
+    /// queries that must never be cached.
+    #[must_use]
+    pub fn cache_key(&self) -> Option<String> {
+        match self {
+            Query::Measure { arch, primitive } => {
+                Some(format!("measure/{arch}/{}", primitive.tag()))
+            }
+            Query::Table { name } => Some(format!("table/{name}")),
+            Query::Lint { arch } => Some(format!(
+                "lint/{}",
+                arch.map_or_else(|| "all".to_string(), |a| a.to_string())
+            )),
+            Query::Trace { arch, primitive } => Some(format!("trace/{arch}/{}", primitive.tag())),
+            Query::Counters { arch } => Some(format!(
+                "counters/{}",
+                arch.map_or_else(|| "all".to_string(), |a| a.to_string())
+            )),
+            Query::Ping | Query::Stats | Query::Spans | Query::Shutdown => None,
+        }
+    }
+
+    /// Evaluate a cacheable query to its JSON payload. Pure: the payload
+    /// is a deterministic function of the key, priced through the shared
+    /// measurement session.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a non-cacheable query (`ping`, `stats`,
+    /// `spans`, `shutdown`) — the server answers those directly.
+    #[must_use]
+    pub fn compute(&self) -> String {
+        match self {
+            Query::Measure { arch, primitive } => metrics::measure_json(*arch, *primitive),
+            Query::Table { name } => {
+                let spec = session::report_by_name(name).expect("table name validated at parse");
+                metrics::table_json(&(spec.build)())
+            }
+            Query::Lint { arch } => {
+                let analyzer = osarch_core::Analyzer::new();
+                let report = match arch {
+                    Some(arch) => analyzer.analyze_arch(*arch),
+                    None => analyzer.analyze_all(),
+                };
+                metrics::lint_json(&report).trim_end().to_string()
+            }
+            Query::Trace { arch, primitive } => {
+                metrics::chrome_trace_json(&trace_primitive(*arch, *primitive))
+                    .trim_end()
+                    .to_string()
+            }
+            Query::Counters { arch } => {
+                let archs: Vec<Arch> = match arch {
+                    Some(arch) => vec![*arch],
+                    None => Arch::all().to_vec(),
+                };
+                let mut merged = CounterRegistry::new();
+                for arch in archs {
+                    for trace in trace_all(arch) {
+                        for (key, value) in trace.counters.iter() {
+                            merged.add(&key.arch, &key.primitive, &key.phase, &key.name, value);
+                        }
+                    }
+                }
+                metrics::counters_json(&merged).trim_end().to_string()
+            }
+            Query::Ping | Query::Stats | Query::Spans | Query::Shutdown => {
+                unreachable!("non-cacheable query answered by the server, not computed")
+            }
+        }
+    }
+}
+
+/// One parsed request: the query plus the raw `id` token to echo.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Request {
+    /// The `id` field as a raw JSON token (`null` when absent).
+    pub id: String,
+    /// The query to answer.
+    pub query: Query,
+}
+
+/// A scalar field value from the flat request object.
+#[derive(Debug, Clone, PartialEq, Eq)]
+enum Scalar {
+    Str(String),
+    /// Number / `true` / `false` / `null`, kept as the raw token.
+    Token(String),
+}
+
+impl Scalar {
+    fn as_raw_token(&self) -> String {
+        match self {
+            Scalar::Str(s) => format!("\"{}\"", metrics::json_escape(s)),
+            Scalar::Token(t) => t.clone(),
+        }
+    }
+}
+
+/// Parse one request line. Errors are one-line human-readable messages
+/// destined for the `error` field of the response envelope; the second
+/// tuple element is the echoed `id` token if one could be recovered.
+pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
+    let fields = parse_flat_object(line).map_err(|e| (e, "null".to_string()))?;
+    let id = fields
+        .iter()
+        .find(|(k, _)| k == "id")
+        .map_or_else(|| "null".to_string(), |(_, v)| v.as_raw_token());
+    let get_str = |key: &str| -> Result<Option<String>, (String, String)> {
+        match fields.iter().find(|(k, _)| k == key) {
+            None => Ok(None),
+            Some((_, Scalar::Str(s))) => Ok(Some(s.clone())),
+            Some((_, Scalar::Token(t))) => Err((
+                format!("field {key:?} must be a string, got {t}"),
+                id.clone(),
+            )),
+        }
+    };
+    let op =
+        get_str("op")?.ok_or_else(|| ("missing required field \"op\"".to_string(), id.clone()))?;
+    let arch = |required: bool| -> Result<Option<Arch>, (String, String)> {
+        match get_str("arch")? {
+            Some(name) => names::parse_arch(&name)
+                .map(Some)
+                .ok_or_else(|| (names::unknown_arch(&name), id.clone())),
+            None if required => Err(("missing required field \"arch\"".to_string(), id.clone())),
+            None => Ok(None),
+        }
+    };
+    let primitive = || -> Result<Primitive, (String, String)> {
+        match get_str("primitive")? {
+            Some(name) => names::parse_primitive(&name)
+                .ok_or_else(|| (names::unknown_primitive(&name), id.clone())),
+            None => Err((
+                "missing required field \"primitive\"".to_string(),
+                id.clone(),
+            )),
+        }
+    };
+    let query = match op.as_str() {
+        "ping" => Query::Ping,
+        "measure" => Query::Measure {
+            arch: arch(true)?.expect("required"),
+            primitive: primitive()?,
+        },
+        "table" => {
+            let name = get_str("table")?
+                .ok_or_else(|| ("missing required field \"table\"".to_string(), id.clone()))?;
+            if session::report_by_name(&name).is_none() {
+                return Err((names::unknown_report(&name), id));
+            }
+            Query::Table { name }
+        }
+        "lint" => Query::Lint { arch: arch(false)? },
+        "trace" => Query::Trace {
+            arch: arch(true)?.expect("required"),
+            primitive: primitive()?,
+        },
+        "counters" => Query::Counters { arch: arch(false)? },
+        "stats" => Query::Stats,
+        "spans" => Query::Spans,
+        "shutdown" => Query::Shutdown,
+        other => {
+            return Err((
+                format!(
+                    "unknown op {other:?}; valid ops: ping, measure, table, lint, trace, \
+                     counters, stats, spans, shutdown"
+                ),
+                id,
+            ))
+        }
+    };
+    Ok(Request { id, query })
+}
+
+/// A success envelope: the payload (already-valid JSON) under `result`.
+#[must_use]
+pub fn ok_envelope(id: &str, cached: bool, micros: u64, payload: &str) -> String {
+    format!(
+        "{{\"schema\":\"{}\",\"id\":{id},\"ok\":true,\"cached\":{cached},\
+         \"micros\":{micros},\"result\":{payload}}}",
+        metrics::SERVE_SCHEMA
+    )
+}
+
+/// An error envelope. Always well-formed regardless of the message text.
+#[must_use]
+pub fn err_envelope(id: &str, message: &str) -> String {
+    format!(
+        "{{\"schema\":\"{}\",\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
+        metrics::SERVE_SCHEMA,
+        metrics::json_escape(message)
+    )
+}
+
+// ---------------------------------------------------------------------------
+// Flat-object JSON reader
+// ---------------------------------------------------------------------------
+
+/// Parse `line` as one flat JSON object of scalar fields. Nested objects
+/// and arrays are rejected: every request field is a scalar by design,
+/// and a flat grammar keeps the reader small enough to audit.
+fn parse_flat_object(line: &str) -> Result<Vec<(String, Scalar)>, String> {
+    if metrics::validate_json(line).is_err() {
+        return Err("request is not well-formed JSON".to_string());
+    }
+    let bytes = line.as_bytes();
+    let mut pos = 0usize;
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) != Some(&b'{') {
+        return Err("request must be a JSON object".to_string());
+    }
+    pos += 1;
+    let mut fields = Vec::new();
+    skip_ws(bytes, &mut pos);
+    if bytes.get(pos) == Some(&b'}') {
+        return Ok(fields);
+    }
+    loop {
+        skip_ws(bytes, &mut pos);
+        let key = read_string(line, &mut pos)?;
+        skip_ws(bytes, &mut pos);
+        pos += 1; // ':' — guaranteed by the validator
+        skip_ws(bytes, &mut pos);
+        let value = match bytes.get(pos) {
+            Some(b'"') => Scalar::Str(read_string(line, &mut pos)?),
+            Some(b'{' | b'[') => {
+                return Err(format!(
+                    "field {key:?} must be a scalar, not a nested value"
+                ))
+            }
+            Some(_) => {
+                let start = pos;
+                while bytes
+                    .get(pos)
+                    .is_some_and(|b| !matches!(b, b',' | b'}' | b' ' | b'\t' | b'\n' | b'\r'))
+                {
+                    pos += 1;
+                }
+                Scalar::Token(line[start..pos].to_string())
+            }
+            None => return Err("truncated request".to_string()),
+        };
+        fields.push((key, value));
+        skip_ws(bytes, &mut pos);
+        match bytes.get(pos) {
+            Some(b',') => pos += 1,
+            _ => return Ok(fields), // '}' — guaranteed by the validator
+        }
+    }
+}
+
+fn skip_ws(bytes: &[u8], pos: &mut usize) {
+    while bytes
+        .get(*pos)
+        .is_some_and(|b| matches!(b, b' ' | b'\t' | b'\n' | b'\r'))
+    {
+        *pos += 1;
+    }
+}
+
+/// Read a JSON string literal starting at `pos`, decoding escapes.
+fn read_string(line: &str, pos: &mut usize) -> Result<String, String> {
+    let bytes = line.as_bytes();
+    debug_assert_eq!(bytes.get(*pos), Some(&b'"'));
+    *pos += 1;
+    let mut out = String::new();
+    loop {
+        let rest = &line[*pos..];
+        let mut chars = rest.char_indices();
+        match chars.next() {
+            None => return Err("unterminated string".to_string()),
+            Some((_, '"')) => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some((_, '\\')) => {
+                *pos += 1;
+                match bytes.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'b') => out.push('\u{8}'),
+                    Some(b'f') => out.push('\u{c}'),
+                    Some(b'u') => {
+                        let hex = line
+                            .get(*pos + 1..*pos + 5)
+                            .ok_or_else(|| "truncated \\u escape".to_string())?;
+                        let code = u32::from_str_radix(hex, 16)
+                            .map_err(|_| "invalid \\u escape".to_string())?;
+                        out.push(char::from_u32(code).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err("invalid escape".to_string()),
+                }
+                *pos += 1;
+            }
+            Some((i, c)) => {
+                out.push(c);
+                *pos += i + c.len_utf8();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn every_query_kind_parses() {
+        let cases: [(&str, Query); 9] = [
+            ("{\"op\":\"ping\"}", Query::Ping),
+            (
+                "{\"op\":\"measure\",\"arch\":\"mips-r3000\",\"primitive\":\"syscall\"}",
+                Query::Measure {
+                    arch: Arch::R3000,
+                    primitive: Primitive::NullSyscall,
+                },
+            ),
+            (
+                "{\"op\":\"table\",\"table\":\"table1\"}",
+                Query::Table {
+                    name: "table1".to_string(),
+                },
+            ),
+            (
+                "{\"op\":\"lint\",\"arch\":\"SPARC\"}",
+                Query::Lint {
+                    arch: Some(Arch::Sparc),
+                },
+            ),
+            ("{\"op\":\"lint\"}", Query::Lint { arch: None }),
+            (
+                "{\"op\":\"trace\",\"arch\":\"CVAX\",\"primitive\":\"ctxsw\"}",
+                Query::Trace {
+                    arch: Arch::Cvax,
+                    primitive: Primitive::ContextSwitch,
+                },
+            ),
+            ("{\"op\":\"counters\"}", Query::Counters { arch: None }),
+            ("{\"op\":\"stats\"}", Query::Stats),
+            ("{\"op\":\"shutdown\"}", Query::Shutdown),
+        ];
+        for (line, expected) in cases {
+            let request = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+            assert_eq!(request.query, expected, "{line}");
+            assert_eq!(request.id, "null", "{line}");
+        }
+    }
+
+    #[test]
+    fn id_tokens_echo_verbatim() {
+        let r = parse_request("{\"op\":\"ping\",\"id\":42}").unwrap();
+        assert_eq!(r.id, "42");
+        let r = parse_request("{\"op\":\"ping\",\"id\":\"a\\\"b\"}").unwrap();
+        assert_eq!(r.id, "\"a\\\"b\"");
+        let r = parse_request("{\"id\":true,\"op\":\"ping\"}").unwrap();
+        assert_eq!(r.id, "true");
+    }
+
+    #[test]
+    fn bad_requests_fail_with_one_line_errors() {
+        for (line, needle) in [
+            ("not json", "not well-formed"),
+            ("[1,2]", "must be a JSON object"),
+            ("{\"op\":\"warp\"}", "unknown op"),
+            ("{\"op\":\"measure\",\"arch\":\"R3000\"}", "\"primitive\""),
+            (
+                "{\"op\":\"measure\",\"arch\":\"vax\",\"primitive\":\"trap\"}",
+                "mips-r3000",
+            ),
+            ("{\"op\":\"table\",\"table\":\"table99\"}", "table1"),
+            ("{\"op\":1}", "must be a string"),
+            ("{\"op\":{\"nested\":1}}", "scalar"),
+            ("{}", "missing required field \"op\""),
+        ] {
+            let (err, _) = parse_request(line).expect_err(line);
+            assert!(err.contains(needle), "{line}: {err}");
+            assert!(!err.contains('\n'), "{line}: {err}");
+        }
+    }
+
+    #[test]
+    fn bad_request_still_recovers_the_id() {
+        let (_, id) = parse_request("{\"op\":\"warp\",\"id\":7}").expect_err("unknown op");
+        assert_eq!(id, "7");
+    }
+
+    #[test]
+    fn envelopes_are_valid_json() {
+        use osarch_core::metrics::validate_json;
+        let ok = ok_envelope("17", true, 42, "{\"x\":1}");
+        assert_eq!(validate_json(&ok), Ok(()), "{ok}");
+        assert!(ok.contains("\"cached\":true"));
+        let err = err_envelope("null", "boom \"quoted\"\nline");
+        assert_eq!(validate_json(&err), Ok(()), "{err}");
+        assert!(!err.contains('\n'));
+    }
+
+    #[test]
+    fn cache_keys_are_canonical_and_control_ops_uncached() {
+        let q = Query::Measure {
+            arch: Arch::R3000,
+            primitive: Primitive::Trap,
+        };
+        assert_eq!(q.cache_key().as_deref(), Some("measure/R3000/trap"));
+        assert_eq!(Query::Stats.cache_key(), None);
+        assert_eq!(Query::Shutdown.cache_key(), None);
+        assert_eq!(Query::Ping.cache_key(), None);
+    }
+
+    #[test]
+    fn computed_payloads_are_valid_single_line_json() {
+        use osarch_core::metrics::validate_json;
+        for query in [
+            Query::Measure {
+                arch: Arch::Sparc,
+                primitive: Primitive::Trap,
+            },
+            Query::Table {
+                name: "table6".to_string(),
+            },
+            Query::Lint {
+                arch: Some(Arch::R2000),
+            },
+        ] {
+            let payload = query.compute();
+            assert_eq!(validate_json(&payload), Ok(()), "{query:?}");
+            assert!(
+                !payload.contains('\n'),
+                "{query:?} payload must be one line"
+            );
+        }
+    }
+}

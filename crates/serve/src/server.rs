@@ -1,0 +1,337 @@
+//! The concurrent query server.
+//!
+//! A [`Server`] is a `std::net::TcpListener` accept loop feeding a
+//! bounded connection queue drained by a fixed pool of worker threads.
+//! Workers answer line-JSON requests (see [`crate::protocol`]) from the
+//! sharded single-flight cache, time every request against a service
+//! deadline, and record counters/latencies/spans in [`ServeStats`].
+//!
+//! Shutdown is cooperative: a `shutdown` request (or
+//! [`ServerHandle::shutdown`]) flips the shutdown flag, closes the queue
+//! so idle workers exit, and pokes the accept loop awake with a loopback
+//! connection. In-flight connections finish their current request.
+
+use crate::cache::ShardedCache;
+use crate::protocol::{self, Query, MAX_REQUEST_BYTES};
+use crate::stats::ServeStats;
+use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Listen address (`127.0.0.1:0` picks an ephemeral port).
+    pub addr: String,
+    /// Worker threads draining the connection queue.
+    pub workers: usize,
+    /// Cache shards.
+    pub shards: usize,
+    /// Bounded connection-queue depth; connections beyond it are answered
+    /// with a `busy` error envelope and dropped (backpressure).
+    pub queue_depth: usize,
+    /// Per-request service deadline; a request that takes longer is
+    /// answered with a `deadline exceeded` error envelope.
+    pub deadline: Duration,
+    /// Idle read timeout per connection; a silent client is disconnected.
+    pub idle_timeout: Duration,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            shards: 16,
+            queue_depth: 64,
+            deadline: Duration::from_secs(30),
+            idle_timeout: Duration::from_secs(30),
+        }
+    }
+}
+
+/// State shared by the accept loop, the workers and the handle.
+struct Shared {
+    cache: ShardedCache,
+    stats: ServeStats,
+    queue: crate::queue::BoundedQueue<TcpStream>,
+    shutdown: AtomicBool,
+    deadline: Duration,
+    idle_timeout: Duration,
+    workers: usize,
+    started: Instant,
+    /// The bound address, for the shutdown poke that wakes the accept loop.
+    addr: SocketAddr,
+}
+
+/// The server factory. See [`Server::start`].
+pub struct Server;
+
+impl Server {
+    /// Bind `config.addr`, spawn the accept loop and worker pool, and
+    /// return a handle. Serving begins immediately.
+    pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let shared = Arc::new(Shared {
+            cache: ShardedCache::new(config.shards),
+            stats: ServeStats::new(),
+            queue: crate::queue::BoundedQueue::new(config.queue_depth),
+            shutdown: AtomicBool::new(false),
+            deadline: config.deadline,
+            idle_timeout: config.idle_timeout,
+            workers: config.workers.max(1),
+            started: Instant::now(),
+            addr,
+        });
+        let mut threads = Vec::with_capacity(shared.workers + 1);
+        for worker in 0..shared.workers {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-worker-{worker}"))
+                    .spawn(move || worker_loop(&shared))?,
+            );
+        }
+        {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-accept".to_string())
+                    .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        Ok(ServerHandle {
+            addr,
+            shared,
+            threads,
+        })
+    }
+}
+
+/// A running server: its bound address plus shutdown/join control.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    shared: Arc<Shared>,
+    threads: Vec<std::thread::JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The bound address (with the real port when `:0` was requested).
+    #[must_use]
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// (hits, misses, coalesced) of the response cache.
+    #[must_use]
+    pub fn cache_stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.cache.hits(),
+            self.shared.cache.misses(),
+            self.shared.cache.coalesced(),
+        )
+    }
+
+    /// (ok requests, error requests, rejected connections).
+    #[must_use]
+    pub fn request_stats(&self) -> (u64, u64, u64) {
+        (
+            self.shared.stats.requests(),
+            self.shared.stats.errors(),
+            self.shared.stats.rejected(),
+        )
+    }
+
+    /// Begin a graceful shutdown (idempotent): stop accepting, let
+    /// drained workers exit, finish in-flight connections.
+    pub fn shutdown(&self) {
+        initiate_shutdown(&self.shared);
+    }
+
+    /// Block until every server thread has exited. Call
+    /// [`ServerHandle::shutdown`] first (or send a `shutdown` request).
+    pub fn wait(self) {
+        for thread in self.threads {
+            let _ = thread.join();
+        }
+    }
+
+    /// Shut down and join, in one call.
+    pub fn stop(self) {
+        self.shutdown();
+        self.wait();
+    }
+}
+
+fn initiate_shutdown(shared: &Shared) {
+    if shared.shutdown.swap(true, Ordering::SeqCst) {
+        return; // already shutting down
+    }
+    shared.queue.close();
+    // Poke the accept loop awake; it re-checks the flag after accept.
+    let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+}
+
+fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the poke connection (or a straggler) — drop it
+        }
+        if let Err(stream) = shared.queue.try_push(stream) {
+            // Backpressure: answer busy and hang up rather than queueing
+            // unbounded work.
+            shared.stats.record_rejected();
+            let mut stream = stream;
+            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+            let _ = writeln!(
+                stream,
+                "{}",
+                protocol::err_envelope("null", "server busy: connection queue full")
+            );
+        }
+    }
+}
+
+fn worker_loop(shared: &Shared) {
+    // A client that goes away mid-exchange surfaces as an io::Error here;
+    // the worker just moves on to the next queued connection. The loop
+    // ends when the queue is closed and drained.
+    while let Some(stream) = shared.queue.pop() {
+        let _ = serve_connection(shared, stream);
+    }
+}
+
+/// Answer requests on one connection until EOF, error or shutdown.
+fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(shared.idle_timeout))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    loop {
+        let mut line = Vec::new();
+        let n = (&mut reader)
+            .take(MAX_REQUEST_BYTES as u64 + 1)
+            .read_until(b'\n', &mut line)?;
+        if n == 0 {
+            return Ok(()); // clean EOF
+        }
+        if line.len() > MAX_REQUEST_BYTES {
+            shared.stats.record_error();
+            writeln!(
+                writer,
+                "{}",
+                protocol::err_envelope(
+                    "null",
+                    &format!("request too large (limit {MAX_REQUEST_BYTES} bytes)")
+                )
+            )?;
+            writer.flush()?;
+            return Ok(()); // the rest of the oversized line is unframed — hang up
+        }
+        let text = String::from_utf8_lossy(&line);
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let shutting_down = answer(shared, text, &mut writer)?;
+        writer.flush()?;
+        if shutting_down || shared.shutdown.load(Ordering::SeqCst) {
+            return Ok(());
+        }
+    }
+}
+
+/// Answer one request line. Returns `true` when the request asked for
+/// shutdown.
+fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Result<bool> {
+    let start = Instant::now();
+    let start_us = shared.started.elapsed().as_micros() as u64;
+    let request = match protocol::parse_request(line) {
+        Ok(request) => request,
+        Err((message, id)) => {
+            shared.stats.record_error();
+            writeln!(writer, "{}", protocol::err_envelope(&id, &message))?;
+            return Ok(false);
+        }
+    };
+    let id = request.id;
+    let (op, payload, cached) = match &request.query {
+        Query::Ping => ("ping", "{\"pong\":true}".to_string(), false),
+        Query::Stats => {
+            let (hits, misses, coalesced) = (
+                shared.cache.hits(),
+                shared.cache.misses(),
+                shared.cache.coalesced(),
+            );
+            (
+                "stats",
+                shared.stats.stats_payload(
+                    hits,
+                    misses,
+                    coalesced,
+                    shared.workers,
+                    shared.cache.shard_count(),
+                ),
+                false,
+            )
+        }
+        Query::Spans => ("spans", shared.stats.spans_payload(), false),
+        Query::Shutdown => {
+            // Initiate before replying: shutdown must happen even when the
+            // client hangs up without reading the acknowledgement.
+            initiate_shutdown(shared);
+            ("shutdown", "{\"shutting_down\":true}".to_string(), false)
+        }
+        query => {
+            let key = query.cache_key().expect("data queries are cacheable");
+            let (payload, cached) = shared.cache.get_or_compute(&key, || query.compute());
+            let op: &'static str = match query {
+                Query::Measure { .. } => "measure",
+                Query::Table { .. } => "table",
+                Query::Lint { .. } => "lint",
+                Query::Trace { .. } => "trace",
+                Query::Counters { .. } => "counters",
+                _ => unreachable!("control queries handled above"),
+            };
+            (op, payload.to_string(), cached)
+        }
+    };
+    let service = start.elapsed();
+    let service_us = service.as_micros() as u64;
+    if service > shared.deadline {
+        shared.stats.record_deadline_exceeded();
+        shared.stats.record_error();
+        writeln!(
+            writer,
+            "{}",
+            protocol::err_envelope(
+                &id,
+                &format!(
+                    "deadline exceeded: served in {service_us} us, deadline {} us",
+                    shared.deadline.as_micros()
+                )
+            )
+        )?;
+        return Ok(false);
+    }
+    shared
+        .stats
+        .record_request(op, start_us, service_us, cached);
+    writeln!(
+        writer,
+        "{}",
+        protocol::ok_envelope(&id, cached, service_us, &payload)
+    )?;
+    Ok(matches!(request.query, Query::Shutdown))
+}

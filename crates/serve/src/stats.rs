@@ -1,0 +1,209 @@
+//! Serving-side observability: monotonic counters, a bounded latency
+//! reservoir, and the recent-request span ring.
+//!
+//! The `/stats` query snapshots this state through the same
+//! [`CounterRegistry`] + `counters_json` machinery the tracing subsystem
+//! uses, so consumers read one counter schema everywhere; request spans
+//! are [`osarch_trace::Event`]s under [`Category::Serve`].
+
+use osarch_core::metrics::{self, json_number};
+use osarch_core::stats::LatencySummary;
+use osarch_trace::{Category, CounterRegistry, Event};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// How many latency samples the reservoir keeps (newest kept; the
+/// reservoir is large enough that a smoke run never wraps).
+const LATENCY_RESERVOIR: usize = 1 << 16;
+
+/// How many recent request spans the `spans` query can return.
+const SPAN_RING: usize = 256;
+
+/// Monotonic serving counters plus the latency reservoir.
+#[derive(Debug, Default)]
+pub struct ServeStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    rejected: AtomicU64,
+    deadline_exceeded: AtomicU64,
+    latencies_us: Mutex<Vec<u64>>,
+    spans: Mutex<Vec<Event>>,
+}
+
+impl ServeStats {
+    /// Fresh, all-zero stats.
+    #[must_use]
+    pub fn new() -> ServeStats {
+        ServeStats::default()
+    }
+
+    /// Record one served request: its span (timestamped in µs since the
+    /// server started) and its service time.
+    pub fn record_request(&self, op: &'static str, start_us: u64, service_us: u64, cached: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        let mut latencies = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if latencies.len() < LATENCY_RESERVOIR {
+            latencies.push(service_us);
+        }
+        drop(latencies);
+        let event = Event::complete(op, Category::Serve, start_us, service_us)
+            .with_arg("cached", u64::from(cached));
+        let mut spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if spans.len() >= SPAN_RING {
+            spans.remove(0);
+        }
+        spans.push(event);
+    }
+
+    /// Record a request answered with an error envelope.
+    pub fn record_error(&self) {
+        self.errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a connection rejected by queue backpressure.
+    pub fn record_rejected(&self) {
+        self.rejected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a request that blew its service deadline.
+    pub fn record_deadline_exceeded(&self) {
+        self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Requests answered with an `ok` envelope.
+    #[must_use]
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Requests answered with an error envelope.
+    #[must_use]
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Connections rejected by backpressure.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Summary of the recorded service times (µs).
+    #[must_use]
+    pub fn latency_summary(&self) -> LatencySummary {
+        let latencies = self
+            .latencies_us
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        LatencySummary::from_unsorted(&latencies)
+    }
+
+    /// The `stats` payload: serving counters (through a
+    /// [`CounterRegistry`], exported with the standard `counters_json`
+    /// emitter) plus latency percentiles.
+    #[must_use]
+    pub fn stats_payload(
+        &self,
+        cache_hits: u64,
+        cache_misses: u64,
+        cache_coalesced: u64,
+        workers: usize,
+        shards: usize,
+    ) -> String {
+        let mut registry = CounterRegistry::new();
+        let mut serve_counter = |name: &str, value: u64| {
+            registry.add("serve", "request", "total", name, value);
+        };
+        serve_counter("requests", self.requests());
+        serve_counter("errors", self.errors());
+        serve_counter("rejected", self.rejected());
+        serve_counter(
+            "deadline_exceeded",
+            self.deadline_exceeded.load(Ordering::Relaxed),
+        );
+        serve_counter("cache_hits", cache_hits);
+        serve_counter("cache_misses", cache_misses);
+        serve_counter("cache_coalesced", cache_coalesced);
+        let latency = self.latency_summary();
+        format!(
+            concat!(
+                "{{\"workers\":{},\"shards\":{},",
+                "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
+                "\"max\":{},\"mean\":{}}},\"counters\":{}}}"
+            ),
+            workers,
+            shards,
+            latency.count,
+            latency.p50,
+            latency.p90,
+            latency.p99,
+            latency.max,
+            json_number(latency.mean),
+            metrics::counters_json(&registry).trim_end(),
+        )
+    }
+
+    /// The `spans` payload: the most recent request spans, oldest first.
+    #[must_use]
+    pub fn spans_payload(&self) -> String {
+        let spans = self
+            .spans
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let items: Vec<String> = spans
+            .iter()
+            .map(|event| {
+                format!(
+                    "{{\"name\":\"{}\",\"cat\":\"{}\",\"ts\":{},\"dur\":{},\"cached\":{}}}",
+                    metrics::json_escape(&event.name),
+                    event.cat.label(),
+                    event.ts,
+                    event.dur,
+                    event.arg("cached").unwrap_or(0)
+                )
+            })
+            .collect();
+        format!("{{\"spans\":[{}]}}", items.join(","))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use osarch_core::metrics::validate_json;
+
+    #[test]
+    fn payloads_are_valid_json_and_count() {
+        let stats = ServeStats::new();
+        stats.record_request("measure", 0, 120, false);
+        stats.record_request("measure", 200, 10, true);
+        stats.record_error();
+        let payload = stats.stats_payload(5, 2, 1, 4, 16);
+        assert_eq!(validate_json(&payload), Ok(()), "{payload}");
+        assert!(payload.contains("\"name\":\"requests\",\"value\":2"));
+        assert!(payload.contains("\"name\":\"cache_hits\",\"value\":5"));
+        assert!(payload.contains("\"p50\":"));
+        let spans = stats.spans_payload();
+        assert_eq!(validate_json(&spans), Ok(()), "{spans}");
+        assert_eq!(spans.matches("\"cat\":\"serve\"").count(), 2);
+    }
+
+    #[test]
+    fn span_ring_is_bounded() {
+        let stats = ServeStats::new();
+        for i in 0..(SPAN_RING as u64 + 10) {
+            stats.record_request("ping", i, 1, true);
+        }
+        let spans = stats.spans_payload();
+        assert_eq!(spans.matches("\"name\":").count(), SPAN_RING);
+        // The oldest spans were evicted: ts 0..9 are gone, ts 10 survives.
+        assert!(!spans.contains("\"ts\":9,"));
+        assert!(spans.contains("\"ts\":10,"));
+    }
+}

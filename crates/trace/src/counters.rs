@@ -151,7 +151,7 @@ impl CounterRegistry {
                     };
                     self.add(arch, primitive, phase, name, 1);
                 }
-                Category::Phase | Category::Primitive | Category::Mach => {}
+                Category::Phase | Category::Primitive | Category::Mach | Category::Serve => {}
             }
         }
     }

@@ -29,6 +29,9 @@ pub enum Category {
     /// The discrete-event small-kernel simulation (RPCs, syscalls,
     /// address-space switches per process).
     Mach,
+    /// One request served by the `osarch-serve` query service (timestamps
+    /// in microseconds since the server started).
+    Serve,
 }
 
 impl Category {
@@ -44,6 +47,7 @@ impl Category {
             Category::WriteBuffer => "mem.wb",
             Category::Trap => "trap",
             Category::Mach => "mach",
+            Category::Serve => "serve",
         }
     }
 
@@ -224,6 +228,7 @@ mod tests {
             Category::WriteBuffer,
             Category::Trap,
             Category::Mach,
+            Category::Serve,
         ];
         let mut labels: Vec<&str> = cats.iter().map(|c| c.label()).collect();
         labels.sort_unstable();

@@ -20,3 +20,6 @@
 #![forbid(unsafe_code)]
 
 pub use osarch_core::*;
+
+/// The serving layer: concurrent query server + load generator.
+pub use osarch_serve as serve;

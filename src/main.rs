@@ -14,30 +14,38 @@
 //! ```
 
 use osarch::kernel::{HandlerSet, Machine};
-use osarch::{measure, metrics, session, trace_primitive, Analyzer, Arch, Primitive};
+use osarch::{measure, metrics, names, serve, session, trace_primitive, Analyzer, Arch, Primitive};
 use std::process::ExitCode;
 
-fn parse_arch(name: &str) -> Option<Arch> {
-    // Vendor-prefixed spellings for the MIPS machines are accepted too.
-    let name = match name.to_ascii_lowercase().as_str() {
-        "mips-r2000" => "R2000",
-        "mips-r3000" => "R3000",
-        other => {
-            return Arch::all()
-                .into_iter()
-                .find(|a| a.to_string().eq_ignore_ascii_case(other))
-        }
-    };
-    Arch::all().into_iter().find(|a| a.to_string() == name)
+/// Exit loudly on a bad name: one line on stderr listing every valid
+/// spelling (including the `mips-r2000`/`mips-r3000` aliases), exit 2.
+fn bad_name(message: String) -> ExitCode {
+    eprintln!("{message}");
+    ExitCode::from(2)
 }
 
-fn parse_primitive(name: &str) -> Option<Primitive> {
-    match name.to_ascii_lowercase().as_str() {
-        "syscall" | "null-syscall" => Some(Primitive::NullSyscall),
-        "trap" => Some(Primitive::Trap),
-        "pte" | "pte-change" => Some(Primitive::PteChange),
-        "ctxsw" | "context-switch" => Some(Primitive::ContextSwitch),
-        _ => None,
+/// Parse a required architecture argument, distinguishing "missing" from
+/// "unknown" — both are fatal, both list the valid names.
+fn require_arch(arg: Option<&String>) -> Result<Arch, ExitCode> {
+    match arg {
+        None => Err(bad_name(format!(
+            "missing architecture; valid names: {}",
+            names::arch_names()
+        ))),
+        Some(name) => names::parse_arch(name).ok_or_else(|| bad_name(names::unknown_arch(name))),
+    }
+}
+
+/// Parse a required primitive argument, same discipline as [`require_arch`].
+fn require_primitive(arg: Option<&String>) -> Result<Primitive, ExitCode> {
+    match arg {
+        None => Err(bad_name(format!(
+            "missing primitive; valid names: {}",
+            names::primitive_names()
+        ))),
+        Some(name) => {
+            names::parse_primitive(name).ok_or_else(|| bad_name(names::unknown_primitive(name)))
+        }
     }
 }
 
@@ -58,6 +66,12 @@ fn usage() -> ExitCode {
          \x20 trace ARCH OP [--out PATH] [--counters]\n\
          \x20                         cycle-level trace of one primitive: phase profile\n\
          \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
+         \x20 serve [--addr A] [--workers N] [--shards N] [--queue N] [--deadline-ms N]\n\
+         \x20                         run the concurrent measurement-query service\n\
+         \x20 loadgen [--addr A] [--conns N] [--secs S] [--skew] [--rate R]\n\
+         \x20         [--workers N] [--shards N] [--out PATH]\n\
+         \x20                         drive a server (self-hosted without --addr) and\n\
+         \x20                         write BENCH_serve.json\n\
          \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
@@ -95,8 +109,7 @@ fn main() -> ExitCode {
                 }
             }
             let Some(reports) = session::resolve_reports(selector) else {
-                eprintln!("unknown table {:?}", selector.unwrap_or_default());
-                return usage();
+                return bad_name(names::unknown_report(selector.unwrap_or_default()));
             };
             if json {
                 print!("{}", metrics::tables_json(&reports));
@@ -131,9 +144,9 @@ fn main() -> ExitCode {
             }
         }
         Some("measure") => {
-            let Some(arch) = args.get(1).and_then(|n| parse_arch(n)) else {
-                eprintln!("expected an architecture (see `osarch archs`)");
-                return usage();
+            let arch = match require_arch(args.get(1)) {
+                Ok(arch) => arch,
+                Err(code) => return code,
             };
             let m = measure(arch);
             let times = m.times_us();
@@ -154,25 +167,20 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("listing") => {
-            let (Some(arch), Some(primitive)) = (
-                args.get(1).and_then(|n| parse_arch(n)),
-                args.get(2).and_then(|n| parse_primitive(n)),
-            ) else {
-                eprintln!("expected: listing ARCH syscall|trap|pte|ctxsw");
-                return usage();
-            };
+            let (arch, primitive) =
+                match (require_arch(args.get(1)), require_primitive(args.get(2))) {
+                    (Ok(arch), Ok(primitive)) => (arch, primitive),
+                    (Err(code), _) | (_, Err(code)) => return code,
+                };
             let machine = Machine::new(arch);
             let handlers = HandlerSet::generate(machine.spec(), machine.layout());
             print!("{}", handlers.program(primitive).listing());
             ExitCode::SUCCESS
         }
         Some("compare") => {
-            let (Some(a), Some(b)) = (
-                args.get(1).and_then(|n| parse_arch(n)),
-                args.get(2).and_then(|n| parse_arch(n)),
-            ) else {
-                eprintln!("expected: compare ARCH ARCH");
-                return usage();
+            let (a, b) = match (require_arch(args.get(1)), require_arch(args.get(2))) {
+                (Ok(a), Ok(b)) => (a, b),
+                (Err(code), _) | (_, Err(code)) => return code,
             };
             let (ma, mb) = (measure(a), measure(b));
             println!(
@@ -209,13 +217,14 @@ fn main() -> ExitCode {
                 match arg.as_str() {
                     "--json" => json = true,
                     "--deny-warnings" => deny_warnings = true,
-                    name => match parse_arch(name) {
-                        Some(parsed) if arch.is_none() => arch = Some(parsed),
-                        _ => {
-                            eprintln!("unexpected argument {name:?}");
-                            return usage();
-                        }
+                    name if arch.is_none() => match names::parse_arch(name) {
+                        Some(parsed) => arch = Some(parsed),
+                        None => return bad_name(names::unknown_arch(name)),
                     },
+                    other => {
+                        eprintln!("unexpected argument {other:?}");
+                        return usage();
+                    }
                 }
             }
             let analyzer = Analyzer::new();
@@ -240,13 +249,11 @@ fn main() -> ExitCode {
             }
         }
         Some("trace") => {
-            let (Some(arch), Some(primitive)) = (
-                args.get(1).and_then(|n| parse_arch(n)),
-                args.get(2).and_then(|n| parse_primitive(n)),
-            ) else {
-                eprintln!("expected: trace ARCH syscall|trap|pte|ctxsw [--out PATH] [--counters]");
-                return usage();
-            };
+            let (arch, primitive) =
+                match (require_arch(args.get(1)), require_primitive(args.get(2))) {
+                    (Ok(arch), Ok(primitive)) => (arch, primitive),
+                    (Err(code), _) | (_, Err(code)) => return code,
+                };
             let mut out: Option<&str> = None;
             let mut counters = false;
             let mut rest = args[3..].iter();
@@ -307,6 +314,82 @@ fn main() -> ExitCode {
             }
             ExitCode::SUCCESS
         }
+        Some("serve") => {
+            let mut config = serve::ServerConfig::default();
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                let value = |flag: &str, value: Option<&String>| -> Result<String, ExitCode> {
+                    value.cloned().ok_or_else(|| {
+                        eprintln!("{flag} requires a value");
+                        ExitCode::from(2)
+                    })
+                };
+                match arg.as_str() {
+                    "--addr" => match value("--addr", rest.next()) {
+                        Ok(addr) => config.addr = addr,
+                        Err(code) => return code,
+                    },
+                    "--workers" => match value("--workers", rest.next())
+                        .and_then(|v| v.parse().map_err(|_| bad_flag("--workers")))
+                    {
+                        Ok(workers) => config.workers = workers,
+                        Err(code) => return code,
+                    },
+                    "--shards" => match value("--shards", rest.next())
+                        .and_then(|v| v.parse().map_err(|_| bad_flag("--shards")))
+                    {
+                        Ok(shards) => config.shards = shards,
+                        Err(code) => return code,
+                    },
+                    "--queue" => match value("--queue", rest.next())
+                        .and_then(|v| v.parse().map_err(|_| bad_flag("--queue")))
+                    {
+                        Ok(depth) => config.queue_depth = depth,
+                        Err(code) => return code,
+                    },
+                    "--deadline-ms" => match value("--deadline-ms", rest.next())
+                        .and_then(|v| v.parse::<u64>().map_err(|_| bad_flag("--deadline-ms")))
+                    {
+                        Ok(ms) => config.deadline = std::time::Duration::from_millis(ms),
+                        Err(code) => return code,
+                    },
+                    other => {
+                        eprintln!("unexpected argument {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            let handle = match serve::Server::start(&config) {
+                Ok(handle) => handle,
+                Err(err) => {
+                    eprintln!("cannot bind {}: {err}", config.addr);
+                    return ExitCode::FAILURE;
+                }
+            };
+            println!(
+                "osarch-serve listening on {} ({} workers, {} shards); \
+                 send {{\"op\":\"shutdown\"}} to stop",
+                handle.addr(),
+                config.workers,
+                config.shards
+            );
+            handle.wait();
+            println!("osarch-serve: shut down cleanly");
+            ExitCode::SUCCESS
+        }
+        Some("loadgen") => match serve::loadgen::cli(&args[1..], "osarch loadgen") {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::from(2)
+            }
+        },
         _ => usage(),
     }
+}
+
+/// Exit-code error for a malformed numeric flag value.
+fn bad_flag(flag: &str) -> ExitCode {
+    eprintln!("{flag} expects a positive integer");
+    ExitCode::from(2)
 }
