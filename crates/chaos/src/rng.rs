@@ -1,0 +1,129 @@
+//! The seeded, allocation-free PRNG behind every chaos decision.
+//!
+//! SplitMix64 (Steele, Lea & Flood 2014): a 64-bit state marched by a
+//! Weyl sequence and finalized with an avalanche mix. It is not
+//! cryptographic — it is *replayable*, which is the property chaos
+//! testing needs: the same seed always yields the same stream, on every
+//! platform, with no global state and no wall clock.
+
+/// The SplitMix64 finalizer: a full-avalanche 64-bit mix.
+///
+/// Exposed on its own because the [`crate::ChaosController`] derives
+/// stateless per-`(seed, failpoint, index)` decisions from it — a keyed
+/// hash rather than a marched stream, so concurrent draws need no shared
+/// mutable state.
+#[must_use]
+pub fn mix64(value: u64) -> u64 {
+    let mut z = value.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+/// A sequential SplitMix64 stream, for consumers that want ordered draws
+/// (backoff jitter, key selection) rather than indexed decisions.
+#[derive(Debug, Clone)]
+pub struct ChaosRng {
+    state: u64,
+}
+
+impl ChaosRng {
+    /// A stream seeded with `seed`. Equal seeds yield equal streams.
+    #[must_use]
+    pub fn new(seed: u64) -> ChaosRng {
+        ChaosRng { state: seed }
+    }
+
+    /// A derived, statistically independent stream: stream `lane` of this
+    /// generator's seed. Lets one run seed give every connection its own
+    /// deterministic stream.
+    #[must_use]
+    pub fn fork(&self, lane: u64) -> ChaosRng {
+        ChaosRng {
+            state: mix64(self.state ^ mix64(lane.wrapping_add(1))),
+        }
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        mix64(self.state)
+    }
+
+    /// Uniform draw in `[0, bound)`; 0 when `bound` is 0.
+    pub fn range(&mut self, bound: u64) -> u64 {
+        if bound == 0 {
+            return 0;
+        }
+        // Multiply-shift reduction (Lemire): unbiased enough for fault
+        // scheduling, and branch-free.
+        ((u128::from(self.next_u64()) * u128::from(bound)) >> 64) as u64
+    }
+
+    /// Uniform draw in `[0, 1)` with 53 bits of precision.
+    pub fn next_f64(&mut self) -> f64 {
+        (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+
+    /// Bernoulli draw: `true` with probability `p` (clamped to `[0, 1]`).
+    pub fn chance(&mut self, p: f64) -> bool {
+        self.next_f64() < p.clamp(0.0, 1.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_seeds_replay_bit_identically() {
+        let mut a = ChaosRng::new(42);
+        let mut b = ChaosRng::new(42);
+        for _ in 0..1000 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn different_seeds_diverge() {
+        let mut a = ChaosRng::new(1);
+        let mut b = ChaosRng::new(2);
+        assert_ne!(
+            (0..8).map(|_| a.next_u64()).collect::<Vec<_>>(),
+            (0..8).map(|_| b.next_u64()).collect::<Vec<_>>()
+        );
+    }
+
+    #[test]
+    fn forked_lanes_are_deterministic_and_distinct() {
+        let root = ChaosRng::new(7);
+        let mut lane_a = root.fork(0);
+        let mut lane_a2 = root.fork(0);
+        let mut lane_b = root.fork(1);
+        let a: Vec<u64> = (0..8).map(|_| lane_a.next_u64()).collect();
+        let a2: Vec<u64> = (0..8).map(|_| lane_a2.next_u64()).collect();
+        let b: Vec<u64> = (0..8).map(|_| lane_b.next_u64()).collect();
+        assert_eq!(a, a2);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn range_and_f64_stay_in_bounds() {
+        let mut rng = ChaosRng::new(99);
+        for _ in 0..2000 {
+            assert!(rng.range(10) < 10);
+            let f = rng.next_f64();
+            assert!((0.0..1.0).contains(&f));
+        }
+        assert_eq!(rng.range(0), 0);
+    }
+
+    #[test]
+    fn chance_tracks_probability_roughly() {
+        let mut rng = ChaosRng::new(0xC0FFEE);
+        let hits = (0..10_000).filter(|_| rng.chance(0.2)).count();
+        assert!((1_600..2_400).contains(&hits), "p=0.2 gave {hits}/10000");
+        assert!(!ChaosRng::new(1).chance(0.0));
+        assert!(ChaosRng::new(1).chance(1.0));
+    }
+}

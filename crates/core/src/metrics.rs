@@ -181,6 +181,35 @@ pub struct ServeBenchReport {
     pub misses: u64,
     /// Requests that coalesced onto another request's computation.
     pub coalesced: u64,
+    /// Client-side resilience tallies (retries, giveups, breaker
+    /// transitions, per-error-class counts).
+    pub resilience: ResilienceCounters,
+}
+
+/// Client-side resilience tallies for one load-generator run: how often
+/// the resilient client retried, gave up, tripped its circuit breaker,
+/// and what failure class each failed attempt fell into.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ResilienceCounters {
+    /// Retry attempts beyond each call's first try.
+    pub retries: u64,
+    /// Calls abandoned after exhausting every attempt.
+    pub giveups: u64,
+    /// Times a client breaker transitioned closed → open.
+    pub breaker_opens: u64,
+    /// Replies flagged `"degraded":true` (stale-on-error).
+    pub degraded: u64,
+    /// Attempts that hit the per-attempt deadline.
+    pub timeouts: u64,
+    /// Attempts that lost the connection or read a torn reply.
+    pub conn_resets: u64,
+    /// Attempts answered with an error envelope.
+    pub server_errors: u64,
+    /// Calls shed without touching the network (breaker open).
+    pub breaker_open: u64,
+    /// Replies that failed verification (bad JSON or id mismatch).
+    /// Anything nonzero is client-visible corruption.
+    pub corrupt: u64,
 }
 
 /// A load-generator report as an `osarch-serve-bench/1` JSON document.
@@ -193,7 +222,11 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
             "\"requests\":{},\"errors\":{},\"throughput_rps\":{},",
             "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
             "\"max\":{},\"mean\":{}}},",
-            "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{}}}}}\n"
+            "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{}}},",
+            "\"resilience\":{{\"retries\":{},\"giveups\":{},\"breaker_opens\":{},",
+            "\"degraded\":{},\"corrupt\":{},",
+            "\"error_classes\":{{\"timeout\":{},\"conn_reset\":{},",
+            "\"server_error\":{},\"breaker_open\":{}}}}}}}\n"
         ),
         SERVE_BENCH_SCHEMA,
         json_escape(&report.workload),
@@ -214,7 +247,62 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
         report.hits,
         report.misses,
         report.coalesced,
+        report.resilience.retries,
+        report.resilience.giveups,
+        report.resilience.breaker_opens,
+        report.resilience.degraded,
+        report.resilience.corrupt,
+        report.resilience.timeouts,
+        report.resilience.conn_resets,
+        report.resilience.server_errors,
+        report.resilience.breaker_open,
     )
+}
+
+/// Every key an `osarch-serve-bench/1` document must carry. The loadgen
+/// validates its own output against this list before writing it, so a
+/// report missing a column fails at the producer, not in a consumer.
+pub const SERVE_BENCH_REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "workload",
+    "mode",
+    "conns",
+    "workers",
+    "shards",
+    "secs",
+    "requests",
+    "errors",
+    "throughput_rps",
+    "latency_us",
+    "cache",
+    "resilience",
+    "retries",
+    "giveups",
+    "breaker_opens",
+    "degraded",
+    "corrupt",
+    "error_classes",
+    "timeout",
+    "conn_reset",
+    "server_error",
+    "breaker_open",
+];
+
+/// Validate an `osarch-serve-bench/1` document: well-formed JSON *and*
+/// every required key present. Returns the first missing key on failure.
+pub fn validate_serve_bench(doc: &str) -> Result<(), String> {
+    if let Err(offset) = validate_json(doc) {
+        return Err(format!("invalid JSON at byte {offset}"));
+    }
+    if !doc.contains(&format!("\"schema\":\"{SERVE_BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema {SERVE_BENCH_SCHEMA:?}"));
+    }
+    for key in SERVE_BENCH_REQUIRED_KEYS {
+        if !doc.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    Ok(())
 }
 
 /// A static-analysis report as a JSON document (`osarch lint --json`).
@@ -702,12 +790,29 @@ mod tests {
             hits: 1172,
             misses: 28,
             coalesced: 3,
+            resilience: ResilienceCounters {
+                retries: 5,
+                giveups: 1,
+                breaker_opens: 1,
+                degraded: 2,
+                timeouts: 3,
+                conn_resets: 2,
+                server_errors: 1,
+                breaker_open: 4,
+                corrupt: 0,
+            },
         };
         let doc = serve_bench_json(&report);
         assert_eq!(validate_json(&doc), Ok(()));
+        assert_eq!(validate_serve_bench(&doc), Ok(()));
         assert!(doc.contains(&format!("\"schema\":\"{SERVE_BENCH_SCHEMA}\"")));
         assert!(doc.contains("\"throughput_rps\":400"));
         assert!(doc.contains("\"p99\":300"));
+        assert!(doc.contains("\"resilience\":{\"retries\":5,\"giveups\":1"));
+        assert!(doc.contains("\"error_classes\":{\"timeout\":3,\"conn_reset\":2"));
+        // The extended validator rejects a document missing a column.
+        let truncated = doc.replace("\"giveups\":1,", "");
+        assert!(validate_serve_bench(&truncated).is_err());
         // Non-finite throughput (a zero-second run) must degrade to null.
         let mut broken = report;
         broken.throughput_rps = f64::INFINITY;

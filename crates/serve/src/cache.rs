@@ -12,14 +12,23 @@
 //!   in-flight slot and computes *outside* every lock; concurrent
 //!   requesters for the same key park on the slot's condvar and share the
 //!   one result when it lands (a "coalesced wait").
+//! * **Failure isolation** — a leader whose computation panics wakes
+//!   every parked waiter with an error (nobody hangs) and *removes* the
+//!   key's flight, so the next requester retries instead of hitting a
+//!   poisoned slot forever.
+//! * **Stale-on-error degradation** — the last good value per key is kept
+//!   aside; when a recomputation fails, requesters get the stale value
+//!   explicitly marked degraded rather than a hard error.
 //!
 //! This is the serving-layer analogue of the paper's argument about fixed
 //! per-operation overheads: the expensive part of a request is a fixed
 //! per-key simulation cost, so amortizing it across requests is the whole
-//! ballgame.
+//! ballgame — and a transiently failing computation must not turn an
+//! amortized cost back into a per-request outage.
 
 use std::collections::HashMap;
 use std::hash::{BuildHasher, Hasher, RandomState};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 
@@ -27,8 +36,11 @@ use std::sync::{Arc, Condvar, Mutex};
 enum Flight {
     /// Someone is computing; park on the condvar.
     Pending,
-    /// The computation landed (or failed); share the result.
+    /// The computation landed; share the result.
     Done(Arc<str>),
+    /// The computation failed; share the error. The key has already been
+    /// removed from the shard map, so a fresh request retries.
+    Failed(Arc<str>),
 }
 
 /// One key's slot: flight state plus the condvar latecomers park on.
@@ -37,35 +49,36 @@ struct Slot {
     landed: Condvar,
 }
 
-/// Clears a pending slot if the computing closure panics, so parked
-/// waiters receive an error result instead of waiting forever.
-struct FlightGuard<'a> {
-    slot: &'a Slot,
-    armed: bool,
+/// How a value came out of [`ShardedCache::get_or_compute_resilient`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Fetched {
+    /// This caller was the leader and computed the value fresh.
+    Computed(Arc<str>),
+    /// Served from an already-landed result (a hit or a coalesced wait).
+    Cached(Arc<str>),
+    /// The computation failed, but a previous good value exists: the
+    /// stale value, plus the failure message. Explicitly degraded.
+    Degraded(Arc<str>, String),
+    /// The computation failed and no previous good value exists.
+    Failed(String),
 }
 
-impl Drop for FlightGuard<'_> {
-    fn drop(&mut self) {
-        if self.armed {
-            let mut state = self
-                .slot
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            *state = Flight::Done(Arc::from("{\"ok\":false,\"error\":\"computation failed\"}"));
-            self.slot.landed.notify_all();
-        }
-    }
+/// One shard: the flight map plus the last-good sidecar for degradation.
+struct Shard {
+    flights: Mutex<HashMap<String, Arc<Slot>>>,
+    last_good: Mutex<HashMap<String, Arc<str>>>,
 }
 
 /// A sharded, single-flight memo cache from string keys to immutable
 /// string results.
 pub struct ShardedCache {
-    shards: Vec<Mutex<HashMap<String, Arc<Slot>>>>,
+    shards: Vec<Shard>,
     hasher: RandomState,
     hits: AtomicU64,
     misses: AtomicU64,
     coalesced: AtomicU64,
+    failed: AtomicU64,
+    degraded: AtomicU64,
 }
 
 impl std::fmt::Debug for ShardedCache {
@@ -75,6 +88,8 @@ impl std::fmt::Debug for ShardedCache {
             .field("hits", &self.hits())
             .field("misses", &self.misses())
             .field("coalesced", &self.coalesced())
+            .field("failed", &self.failed())
+            .field("degraded", &self.degraded())
             .finish()
     }
 }
@@ -85,11 +100,18 @@ impl ShardedCache {
     pub fn new(shards: usize) -> ShardedCache {
         let shards = shards.max(1);
         ShardedCache {
-            shards: (0..shards).map(|_| Mutex::new(HashMap::new())).collect(),
+            shards: (0..shards)
+                .map(|_| Shard {
+                    flights: Mutex::new(HashMap::new()),
+                    last_good: Mutex::new(HashMap::new()),
+                })
+                .collect(),
             hasher: RandomState::new(),
             hits: AtomicU64::new(0),
             misses: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
+            failed: AtomicU64::new(0),
+            degraded: AtomicU64::new(0),
         }
     }
 
@@ -99,60 +121,70 @@ impl ShardedCache {
         self.shards.len()
     }
 
-    fn shard_for(&self, key: &str) -> &Mutex<HashMap<String, Arc<Slot>>> {
+    fn shard_for(&self, key: &str) -> &Shard {
         let mut hasher = self.hasher.build_hasher();
         hasher.write(key.as_bytes());
         let index = (hasher.finish() as usize) % self.shards.len();
         &self.shards[index]
     }
 
-    /// The cached result for `key`, computing it with `compute` on first
-    /// request. Exactly one caller per key runs `compute`; everyone else
-    /// either hits the finished result or parks until the in-flight
-    /// computation lands. Returns the result and whether it was served
-    /// from cache (a hit or a coalesced wait).
+    /// Infallible compatibility wrapper over
+    /// [`ShardedCache::get_or_compute_resilient`] for computations that
+    /// cannot fail. Returns the result and whether it was served from
+    /// cache (a hit or a coalesced wait).
     pub fn get_or_compute<F>(&self, key: &str, compute: F) -> (Arc<str>, bool)
     where
         F: FnOnce() -> String,
     {
+        match self.get_or_compute_resilient(key, compute) {
+            Fetched::Computed(value) => (value, false),
+            Fetched::Cached(value) | Fetched::Degraded(value, _) => (value, true),
+            Fetched::Failed(error) => (
+                Arc::from(
+                    format!(
+                        "{{\"ok\":false,\"error\":\"{}\"}}",
+                        osarch_core::metrics::json_escape(&error)
+                    )
+                    .as_str(),
+                ),
+                false,
+            ),
+        }
+    }
+
+    /// The cached result for `key`, computing it with `compute` on first
+    /// request. Exactly one caller per key runs `compute`; everyone else
+    /// either hits the finished result or parks until the in-flight
+    /// computation lands.
+    ///
+    /// `compute` may panic: the panic is contained here, every parked
+    /// waiter wakes with the failure, the key's flight is removed so a
+    /// later request retries, and callers fall back to the last good
+    /// value ([`Fetched::Degraded`]) when one exists.
+    pub fn get_or_compute_resilient<F>(&self, key: &str, compute: F) -> Fetched
+    where
+        F: FnOnce() -> String,
+    {
+        let shard = self.shard_for(key);
         let (slot, leader) = {
-            let mut shard = self
-                .shard_for(key)
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            match shard.get(key) {
+            let mut flights = lock(&shard.flights);
+            match flights.get(key) {
                 Some(slot) => (Arc::clone(slot), false),
                 None => {
                     let slot = Arc::new(Slot {
                         state: Mutex::new(Flight::Pending),
                         landed: Condvar::new(),
                     });
-                    shard.insert(key.to_string(), Arc::clone(&slot));
+                    flights.insert(key.to_string(), Arc::clone(&slot));
                     (slot, true)
                 }
             }
         };
         if leader {
             self.misses.fetch_add(1, Ordering::Relaxed);
-            let mut guard = FlightGuard {
-                slot: &slot,
-                armed: true,
-            };
-            let result: Arc<str> = Arc::from(compute());
-            guard.armed = false;
-            let mut state = slot
-                .state
-                .lock()
-                .unwrap_or_else(std::sync::PoisonError::into_inner);
-            *state = Flight::Done(Arc::clone(&result));
-            drop(state);
-            slot.landed.notify_all();
-            return (result, false);
+            return self.lead(shard, key, &slot, compute);
         }
-        let mut state = slot
-            .state
-            .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        let mut state = lock(&slot.state);
         if matches!(*state, Flight::Pending) {
             self.coalesced.fetch_add(1, Ordering::Relaxed);
             while matches!(*state, Flight::Pending) {
@@ -165,8 +197,63 @@ impl ShardedCache {
             self.hits.fetch_add(1, Ordering::Relaxed);
         }
         match &*state {
-            Flight::Done(result) => (Arc::clone(result), true),
+            Flight::Done(result) => Fetched::Cached(Arc::clone(result)),
+            Flight::Failed(error) => {
+                let error = error.to_string();
+                drop(state);
+                self.degrade(shard, key, error)
+            }
             Flight::Pending => unreachable!("left the wait loop with the flight pending"),
+        }
+    }
+
+    /// Run the computation as the key's flight leader. Contains panics:
+    /// on failure the flight is removed, waiters wake with the error, and
+    /// the caller degrades to the last good value when one exists.
+    fn lead<F>(&self, shard: &Shard, key: &str, slot: &Arc<Slot>, compute: F) -> Fetched
+    where
+        F: FnOnce() -> String,
+    {
+        // A backstop against this method itself unwinding between the
+        // catch below and the state update: waiters must never be left
+        // parked on a Pending flight.
+        let mut guard = FlightGuard {
+            shard,
+            key,
+            slot,
+            armed: true,
+        };
+        let outcome = std::panic::catch_unwind(AssertUnwindSafe(compute));
+        match outcome {
+            Ok(result) => {
+                guard.armed = false;
+                let result: Arc<str> = Arc::from(result);
+                lock(&shard.last_good).insert(key.to_string(), Arc::clone(&result));
+                let mut state = lock(&slot.state);
+                *state = Flight::Done(Arc::clone(&result));
+                drop(state);
+                slot.landed.notify_all();
+                Fetched::Computed(result)
+            }
+            Err(panic) => {
+                guard.armed = false;
+                let error = format!("computation panicked: {}", panic_message(&*panic));
+                settle_failed(shard, key, slot, &error);
+                self.degrade(shard, key, error)
+            }
+        }
+    }
+
+    /// Resolve a failed computation for a caller: serve the last good
+    /// value as degraded when one exists, a hard failure otherwise.
+    fn degrade(&self, shard: &Shard, key: &str, error: String) -> Fetched {
+        self.failed.fetch_add(1, Ordering::Relaxed);
+        match lock(&shard.last_good).get(key) {
+            Some(stale) => {
+                self.degraded.fetch_add(1, Ordering::Relaxed);
+                Fetched::Degraded(Arc::clone(stale), error)
+            }
+            None => Fetched::Failed(error),
         }
     }
 
@@ -176,7 +263,7 @@ impl ShardedCache {
         self.hits.load(Ordering::Relaxed)
     }
 
-    /// Requests that ran the computation.
+    /// Requests that ran the computation (as the flight leader).
     #[must_use]
     pub fn misses(&self) -> u64 {
         self.misses.load(Ordering::Relaxed)
@@ -186,6 +273,82 @@ impl ShardedCache {
     #[must_use]
     pub fn coalesced(&self) -> u64 {
         self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Requests whose computation failed (leader and waiters alike).
+    #[must_use]
+    pub fn failed(&self) -> u64 {
+        self.failed.load(Ordering::Relaxed)
+    }
+
+    /// Failed requests that were served a stale last-good value.
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Total lookups: every call lands in exactly one of hit / miss /
+    /// coalesced, so the single-flight accounting identity
+    /// `lookups == hits + misses + coalesced` is exact by construction
+    /// and checked by the chaos soak.
+    #[must_use]
+    pub fn lookups(&self) -> u64 {
+        self.hits() + self.misses() + self.coalesced()
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+/// Mark a flight failed: remove the key (so later requests retry), then
+/// wake every parked waiter with the error.
+fn settle_failed(shard: &Shard, key: &str, slot: &Arc<Slot>, error: &str) {
+    {
+        let mut flights = lock(&shard.flights);
+        // Only remove the flight we own: a waiter that already saw the
+        // failure may have raced a fresh leader into the map.
+        if flights
+            .get(key)
+            .is_some_and(|current| Arc::ptr_eq(current, slot))
+        {
+            flights.remove(key);
+        }
+    }
+    let mut state = lock(&slot.state);
+    *state = Flight::Failed(Arc::from(error));
+    drop(state);
+    slot.landed.notify_all();
+}
+
+/// Best-effort panic payload extraction for error messages.
+fn panic_message(panic: &(dyn std::any::Any + Send)) -> &str {
+    if let Some(message) = panic.downcast_ref::<&'static str>() {
+        message
+    } else if let Some(message) = panic.downcast_ref::<String>() {
+        message
+    } else {
+        "opaque panic payload"
+    }
+}
+
+/// Clears a pending slot if the leader unwinds before settling it, so
+/// parked waiters receive an error result instead of waiting forever and
+/// the key does not stay permanently in flight.
+struct FlightGuard<'a> {
+    shard: &'a Shard,
+    key: &'a str,
+    slot: &'a Arc<Slot>,
+    armed: bool,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        if self.armed {
+            settle_failed(self.shard, self.key, self.slot, "computation failed");
+        }
     }
 }
 
@@ -201,6 +364,7 @@ mod tests {
         assert_eq!((&*a, cached_a), ("v", false));
         assert_eq!((&*b, cached_b), ("v", true));
         assert_eq!((cache.misses(), cache.hits(), cache.coalesced()), (1, 1, 0));
+        assert_eq!(cache.lookups(), 2);
     }
 
     #[test]
@@ -244,5 +408,49 @@ mod tests {
     fn shard_count_is_clamped() {
         assert_eq!(ShardedCache::new(0).shard_count(), 1);
         assert_eq!(ShardedCache::new(16).shard_count(), 16);
+    }
+
+    #[test]
+    fn leader_panic_fails_cleanly_then_retries() {
+        let cache = ShardedCache::new(4);
+        let fetched = cache.get_or_compute_resilient("k", || panic!("injected"));
+        match fetched {
+            Fetched::Failed(error) => assert!(error.contains("injected"), "{error}"),
+            other => panic!("expected Failed, got {other:?}"),
+        }
+        // The key is not poisoned: the next request recomputes.
+        let fetched = cache.get_or_compute_resilient("k", || "fresh".to_string());
+        assert_eq!(fetched, Fetched::Computed(Arc::from("fresh")));
+        assert_eq!(cache.misses(), 2, "the failed flight was retried");
+        assert_eq!(cache.failed(), 1);
+        assert_eq!(cache.degraded(), 0);
+    }
+
+    #[test]
+    fn failure_after_success_degrades_to_the_stale_value() {
+        let cache = ShardedCache::new(4);
+        let first = cache.get_or_compute_resilient("k", || "good".to_string());
+        assert_eq!(first, Fetched::Computed(Arc::from("good")));
+        // A cached key never recomputes, so fail a *fresh* flight: the
+        // failure path consults last_good and degrades.
+        let fetched = cache.get_or_compute_resilient("other", || panic!("down"));
+        assert!(matches!(fetched, Fetched::Failed(_)));
+        // Simulate invalidation by failing the same key through a new
+        // flight (the slot for "k" is Done, so force a failing flight via
+        // a distinct cache with seeded last_good).
+        let fetched = {
+            let shard = cache.shard_for("k");
+            // Remove the landed flight so the next request recomputes.
+            lock(&shard.flights).remove("k");
+            cache.get_or_compute_resilient("k", || panic!("recompute down"))
+        };
+        match fetched {
+            Fetched::Degraded(stale, error) => {
+                assert_eq!(&*stale, "good");
+                assert!(error.contains("recompute down"), "{error}");
+            }
+            other => panic!("expected Degraded, got {other:?}"),
+        }
+        assert_eq!(cache.degraded(), 1);
     }
 }

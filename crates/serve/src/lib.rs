@@ -22,7 +22,18 @@
 //!   shutdown, and a `/stats` query with monotonic counters and latency
 //!   percentiles;
 //! * [`loadgen`] — open-/closed-loop workload driver emitting
-//!   `BENCH_serve.json` (`osarch-serve-bench/1`).
+//!   `BENCH_serve.json` (`osarch-serve-bench/1`);
+//! * [`client`] — the resilient protocol client: per-attempt timeouts,
+//!   bounded retries with deterministic backoff jitter, and a
+//!   closed/open/half-open circuit breaker;
+//! * [`soak`] — the chaos soak (`osarch chaos`): loadgen against a
+//!   fault-injected in-process server, asserting the resilience
+//!   invariants (no corruption, no deadlock, no leaked workers, degraded
+//!   replies flagged, single-flight accounting exact).
+//!
+//! Fault injection comes from the `osarch-chaos` crate: every failpoint
+//! decision is a pure function of `(seed, failpoint, draw index)`, so a
+//! fault schedule replays bit-identically from its seed.
 //!
 //! Everything is `std`-only: no new external dependencies.
 //!
@@ -45,14 +56,18 @@
 #![warn(missing_docs)]
 
 pub mod cache;
+pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
 pub mod server;
+pub mod soak;
 pub mod stats;
 
-pub use cache::ShardedCache;
+pub use cache::{Fetched, ShardedCache};
+pub use client::{ClientConfig, ErrorClass, ResilientClient};
 pub use loadgen::{run as run_loadgen, LoadgenConfig};
 pub use protocol::{Query, Request, MAX_REQUEST_BYTES};
 pub use server::{Server, ServerConfig, ServerHandle};
+pub use soak::{run as run_soak, SoakConfig, SoakReport};
 pub use stats::ServeStats;

@@ -13,12 +13,21 @@
 //!   out immediately afterwards, so sustained overload shows up as rising
 //!   latency rather than reduced offered load.
 //!
+//! Every connection drives a [`ResilientClient`], so the report also
+//! carries the resilience columns: retries, giveups, breaker transitions,
+//! and per-error-class counts (timeout / conn_reset / server_error /
+//! breaker_open). With `--faults P` the run self-hosts a fault-injected
+//! server *and* injects client-side faults from the same deterministic
+//! schedule — the harness half of the chaos soak.
+//!
 //! The skewed draw makes the single-flight cache's case: most requests
 //! pile onto a few hot keys, so hit/coalesce counters dominate and
 //! serving cost is the fixed per-request envelope, not the simulation.
 
+use crate::client::{ClientConfig, ErrorClass, ResilientClient};
 use crate::server::{Server, ServerConfig, ServerHandle};
-use osarch_core::metrics::ServeBenchReport;
+use osarch_chaos::{ChaosConfig, ChaosController};
+use osarch_core::metrics::{ResilienceCounters, ServeBenchReport};
 use osarch_core::stats::LatencySummary;
 use osarch_cpu::Arch;
 use osarch_kernel::Primitive;
@@ -27,6 +36,7 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, Write};
 use std::net::TcpStream;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// Load-generator knobs.
@@ -47,8 +57,13 @@ pub struct LoadgenConfig {
     pub workers: usize,
     /// Cache shards for the self-hosted server.
     pub shards: usize,
-    /// RNG seed; every connection derives its own deterministic stream.
+    /// RNG seed; every connection derives its own deterministic stream,
+    /// and the fault schedule (when `faults > 0`) derives from it too.
     pub seed: u64,
+    /// Fault-injection probability per failpoint draw (0 disables).
+    /// Requires self-hosting (`addr: None`) for the server-side half;
+    /// client-side faults apply either way.
+    pub faults: f64,
 }
 
 impl Default for LoadgenConfig {
@@ -62,6 +77,7 @@ impl Default for LoadgenConfig {
             workers: 4,
             shards: 16,
             seed: 0x05a1c,
+            faults: 0.0,
         }
     }
 }
@@ -84,6 +100,7 @@ struct ConnResult {
     oks: u64,
     errors: u64,
     latencies_us: Vec<u64>,
+    resilience: ResilienceCounters,
 }
 
 /// Counter values scraped from a `stats` reply.
@@ -95,8 +112,21 @@ struct CacheCounters {
 }
 
 /// Run the workload and report. Self-hosts a server when `config.addr`
-/// is `None` (and shuts it down afterwards).
+/// is `None` (and shuts it down afterwards); with `config.faults > 0`
+/// the self-hosted server runs under a deterministic fault schedule.
 pub fn run(config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
+    let chaos = (config.faults > 0.0).then(|| {
+        Arc::new(ChaosController::new(ChaosConfig {
+            seed: config.seed,
+            rate: config.faults,
+            ..ChaosConfig::default()
+        }))
+    });
+    // Injected panics are the faults working as intended — keep their
+    // backtraces off stderr for the duration of a faulted run.
+    let _quiet = chaos
+        .as_ref()
+        .map(|_| osarch_chaos::QuietChaosPanics::install());
     let mut hosted: Option<ServerHandle> = None;
     let addr = match &config.addr {
         Some(addr) => addr.clone(),
@@ -106,6 +136,7 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
                 shards: config.shards,
                 // The queue must absorb every loadgen connection at once.
                 queue_depth: (config.conns as usize * 2).max(64),
+                chaos: chaos.clone(),
                 ..ServerConfig::default()
             })?;
             let addr = handle.addr().to_string();
@@ -113,14 +144,18 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
             addr
         }
     };
-    let result = drive(&addr, config);
+    let result = drive(&addr, config, chaos.as_ref());
     if let Some(handle) = hosted {
         handle.stop();
     }
     result
 }
 
-fn drive(addr: &str, config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
+fn drive(
+    addr: &str,
+    config: &LoadgenConfig,
+    chaos: Option<&Arc<ChaosController>>,
+) -> std::io::Result<ServeBenchReport> {
     let before = query_stats(addr)?;
     let duration = Duration::from_secs_f64(config.secs.max(0.1));
     let keys = key_space();
@@ -137,11 +172,12 @@ fn drive(addr: &str, config: &LoadgenConfig) -> std::io::Result<ServeBenchReport
         WeightedIndex::new(weights.iter().copied()).expect("weights are positive by construction");
 
     let started = Instant::now();
-    let results: Vec<std::io::Result<ConnResult>> = std::thread::scope(|scope| {
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
         let handles: Vec<_> = (0..config.conns)
             .map(|conn| {
                 let dist = &dist;
                 let keys = &keys;
+                let chaos = chaos.cloned();
                 scope.spawn(move || {
                     drive_connection(
                         addr,
@@ -150,6 +186,7 @@ fn drive(addr: &str, config: &LoadgenConfig) -> std::io::Result<ServeBenchReport
                         keys,
                         started + duration,
                         config.rate,
+                        chaos,
                     )
                 })
             })
@@ -164,18 +201,13 @@ fn drive(addr: &str, config: &LoadgenConfig) -> std::io::Result<ServeBenchReport
 
     let mut oks = 0u64;
     let mut errors = 0u64;
+    let mut resilience = ResilienceCounters::default();
     let mut latencies: Vec<u64> = Vec::new();
-    for result in results {
-        // A connection refused by backpressure contributes nothing but
-        // does not sink the run; a connect failure on the first
-        // connection would already have failed `query_stats`.
-        if let Ok(conn) = result {
-            oks += conn.oks;
-            errors += conn.errors;
-            latencies.extend(conn.latencies_us);
-        } else {
-            errors += 1;
-        }
+    for conn in results {
+        oks += conn.oks;
+        errors += conn.errors;
+        merge_resilience(&mut resilience, conn.resilience);
+        latencies.extend(conn.latencies_us);
     }
     latencies.sort_unstable();
     Ok(ServeBenchReport {
@@ -197,10 +229,23 @@ fn drive(addr: &str, config: &LoadgenConfig) -> std::io::Result<ServeBenchReport
         hits: after.hits.saturating_sub(before.hits),
         misses: after.misses.saturating_sub(before.misses),
         coalesced: after.coalesced.saturating_sub(before.coalesced),
+        resilience,
     })
 }
 
-/// One connection's request loop.
+fn merge_resilience(total: &mut ResilienceCounters, conn: ResilienceCounters) {
+    total.retries += conn.retries;
+    total.giveups += conn.giveups;
+    total.breaker_opens += conn.breaker_opens;
+    total.degraded += conn.degraded;
+    total.timeouts += conn.timeouts;
+    total.conn_resets += conn.conn_resets;
+    total.server_errors += conn.server_errors;
+    total.breaker_open += conn.breaker_open;
+    total.corrupt += conn.corrupt;
+}
+
+/// One connection's request loop, through the resilient client.
 fn drive_connection(
     addr: &str,
     seed: u64,
@@ -208,11 +253,27 @@ fn drive_connection(
     keys: &[(Arch, Primitive)],
     stop_at: Instant,
     rate: Option<f64>,
-) -> std::io::Result<ConnResult> {
-    let stream = TcpStream::connect(addr)?;
-    stream.set_read_timeout(Some(Duration::from_secs(30)))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
+    chaos: Option<Arc<ChaosController>>,
+) -> ConnResult {
+    let faulty = chaos.is_some();
+    let mut client = ResilientClient::new(
+        addr,
+        ClientConfig {
+            seed,
+            // Full JSON validation per reply only under fault injection;
+            // the clean benchmark path stays cheap.
+            validate_replies: faulty,
+            attempt_timeout: if faulty {
+                Duration::from_millis(500)
+            } else {
+                Duration::from_secs(30)
+            },
+            ..ClientConfig::default()
+        },
+    );
+    if let Some(chaos) = chaos {
+        client = client.with_chaos(chaos);
+    }
     let mut rng = StdRng::seed_from_u64(seed);
     let mut result = ConnResult::default();
     let interval = rate.map(|r| Duration::from_secs_f64(1.0 / r.max(0.001)));
@@ -233,26 +294,40 @@ fn drive_connection(
         }
         let (arch, primitive) = keys[dist.sample(&mut rng)];
         request_id += 1;
+        let id_token = request_id.to_string();
         let line = format!(
-            "{{\"op\":\"measure\",\"arch\":\"{arch}\",\"primitive\":\"{}\",\"id\":{request_id}}}",
+            "{{\"op\":\"measure\",\"arch\":\"{arch}\",\"primitive\":\"{}\",\"id\":{id_token}}}",
             primitive.tag()
         );
         let sent = Instant::now();
-        writeln!(writer, "{line}")?;
-        writer.flush()?;
-        let mut reply = String::new();
-        if reader.read_line(&mut reply)? == 0 {
-            break; // server hung up (shutdown or backpressure)
-        }
-        let elapsed_us = sent.elapsed().as_micros() as u64;
-        if reply.contains("\"ok\":true") {
-            result.oks += 1;
-            result.latencies_us.push(elapsed_us);
-        } else {
-            result.errors += 1;
+        match client.call(&line, &id_token) {
+            Ok(_) => {
+                result.oks += 1;
+                result.latencies_us.push(sent.elapsed().as_micros() as u64);
+            }
+            Err(error) => {
+                result.errors += 1;
+                // Without faults, a clean shutdown or backpressure close
+                // reads as conn_reset: stop instead of hammering retries.
+                if !faulty && error.class != ErrorClass::ServerError {
+                    break;
+                }
+            }
         }
     }
-    Ok(result)
+    let c = client.counters();
+    result.resilience = ResilienceCounters {
+        retries: c.retries,
+        giveups: c.giveups,
+        breaker_opens: c.breaker_opens,
+        degraded: c.degraded,
+        timeouts: c.timeouts,
+        conn_resets: c.conn_resets,
+        server_errors: c.server_errors,
+        breaker_open: c.breaker_shed,
+        corrupt: c.corrupt,
+    };
+    result
 }
 
 /// Issue one out-of-band `stats` query on a fresh connection.
@@ -333,11 +408,25 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                     .parse()
                     .map_err(|_| "--shards expects a positive integer".to_string())?;
             }
+            "--seed" => {
+                config.seed = parse("--seed", rest.next())?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--faults" => {
+                config.faults = parse("--faults", rest.next())?
+                    .parse()
+                    .map_err(|_| "--faults expects a probability in [0,1]".to_string())?;
+                if !(0.0..=1.0).contains(&config.faults) {
+                    return Err("--faults expects a probability in [0,1]".to_string());
+                }
+            }
             "--out" => out = parse("--out", rest.next())?,
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: {prog} [--addr HOST:PORT] [--conns N] \
-                     [--secs S] [--skew] [--rate R] [--workers N] [--shards N] [--out PATH]"
+                     [--secs S] [--skew] [--rate R] [--workers N] [--shards N] [--seed N] \
+                     [--faults P] [--out PATH]"
                 ))
             }
         }
@@ -353,8 +442,8 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
         }
     };
     let doc = osarch_core::metrics::serve_bench_json(&report);
-    if let Err(offset) = osarch_core::metrics::validate_json(&doc) {
-        eprintln!("internal error: bench JSON invalid at byte {offset}");
+    if let Err(reason) = osarch_core::metrics::validate_serve_bench(&doc) {
+        eprintln!("internal error: bench JSON rejected: {reason}");
         return Ok(ExitCode::FAILURE);
     }
     if out == "-" {
@@ -376,6 +465,28 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
             report.misses,
             report.coalesced
         );
+        if config.faults > 0.0 {
+            let r = &report.resilience;
+            eprintln!(
+                "resilience: {} retries, {} giveups, {} breaker opens, {} degraded, \
+                 classes timeout={} conn_reset={} server_error={} breaker_open={}",
+                r.retries,
+                r.giveups,
+                r.breaker_opens,
+                r.degraded,
+                r.timeouts,
+                r.conn_resets,
+                r.server_errors,
+                r.breaker_open
+            );
+        }
+    }
+    if report.resilience.corrupt > 0 {
+        eprintln!(
+            "CORRUPTION: {} replies failed verification",
+            report.resilience.corrupt
+        );
+        return Ok(ExitCode::FAILURE);
     }
     if report.requests == 0 {
         eprintln!("no requests completed: the server made no progress");

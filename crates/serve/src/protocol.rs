@@ -10,7 +10,7 @@
 //! with fields:
 //!
 //! * `op` — `ping`, `measure`, `table`, `lint`, `trace`, `counters`,
-//!   `stats`, `spans`, or `shutdown` (required);
+//!   `stats`, `spans`, `health`, or `shutdown` (required);
 //! * `arch` — an architecture name (required for `measure`/`trace`,
 //!   optional for `lint`/`counters`; the `mips-r2000`/`mips-r3000`
 //!   aliases are accepted, exactly as on the CLI);
@@ -77,6 +77,9 @@ pub enum Query {
     Stats,
     /// Recent per-request spans.
     Spans,
+    /// One-line liveness probe: queue depth, worker liveness, and
+    /// resilience counters (panics, degraded replies, respawns).
+    Health,
     /// Graceful shutdown control command.
     Shutdown,
 }
@@ -100,7 +103,7 @@ impl Query {
                 "counters/{}",
                 arch.map_or_else(|| "all".to_string(), |a| a.to_string())
             )),
-            Query::Ping | Query::Stats | Query::Spans | Query::Shutdown => None,
+            Query::Ping | Query::Stats | Query::Spans | Query::Health | Query::Shutdown => None,
         }
     }
 
@@ -148,7 +151,7 @@ impl Query {
                 }
                 metrics::counters_json(&merged).trim_end().to_string()
             }
-            Query::Ping | Query::Stats | Query::Spans | Query::Shutdown => {
+            Query::Ping | Query::Stats | Query::Spans | Query::Health | Query::Shutdown => {
                 unreachable!("non-cacheable query answered by the server, not computed")
             }
         }
@@ -243,12 +246,13 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         "counters" => Query::Counters { arch: arch(false)? },
         "stats" => Query::Stats,
         "spans" => Query::Spans,
+        "health" => Query::Health,
         "shutdown" => Query::Shutdown,
         other => {
             return Err((
                 format!(
                     "unknown op {other:?}; valid ops: ping, measure, table, lint, trace, \
-                     counters, stats, spans, shutdown"
+                     counters, stats, spans, health, shutdown"
                 ),
                 id,
             ))
@@ -264,6 +268,21 @@ pub fn ok_envelope(id: &str, cached: bool, micros: u64, payload: &str) -> String
         "{{\"schema\":\"{}\",\"id\":{id},\"ok\":true,\"cached\":{cached},\
          \"micros\":{micros},\"result\":{payload}}}",
         metrics::SERVE_SCHEMA
+    )
+}
+
+/// A degraded-success envelope: the stale last-good payload under
+/// `result`, explicitly flagged `"degraded":true` with the failure that
+/// forced the fallback. Degraded replies are always marked `cached` —
+/// the payload is by definition a previously landed value.
+#[must_use]
+pub fn degraded_envelope(id: &str, micros: u64, payload: &str, error: &str) -> String {
+    format!(
+        "{{\"schema\":\"{}\",\"id\":{id},\"ok\":true,\"cached\":true,\
+         \"degraded\":true,\"degraded_reason\":\"{}\",\
+         \"micros\":{micros},\"result\":{payload}}}",
+        metrics::SERVE_SCHEMA,
+        metrics::json_escape(error)
     )
 }
 
@@ -396,7 +415,7 @@ mod tests {
 
     #[test]
     fn every_query_kind_parses() {
-        let cases: [(&str, Query); 9] = [
+        let cases: [(&str, Query); 10] = [
             ("{\"op\":\"ping\"}", Query::Ping),
             (
                 "{\"op\":\"measure\",\"arch\":\"mips-r3000\",\"primitive\":\"syscall\"}",
@@ -427,6 +446,7 @@ mod tests {
             ),
             ("{\"op\":\"counters\"}", Query::Counters { arch: None }),
             ("{\"op\":\"stats\"}", Query::Stats),
+            ("{\"op\":\"health\"}", Query::Health),
             ("{\"op\":\"shutdown\"}", Query::Shutdown),
         ];
         for (line, expected) in cases {
@@ -483,6 +503,11 @@ mod tests {
         let err = err_envelope("null", "boom \"quoted\"\nline");
         assert_eq!(validate_json(&err), Ok(()), "{err}");
         assert!(!err.contains('\n'));
+        let degraded = degraded_envelope("3", 17, "{\"x\":1}", "panicked: \"boom\"");
+        assert_eq!(validate_json(&degraded), Ok(()), "{degraded}");
+        assert!(degraded.contains("\"degraded\":true"));
+        assert!(degraded.contains("\"cached\":true"));
+        assert!(!degraded.contains('\n'));
     }
 
     #[test]
@@ -495,6 +520,7 @@ mod tests {
         assert_eq!(Query::Stats.cache_key(), None);
         assert_eq!(Query::Shutdown.cache_key(), None);
         assert_eq!(Query::Ping.cache_key(), None);
+        assert_eq!(Query::Health.cache_key(), None);
     }
 
     #[test]

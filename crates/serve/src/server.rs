@@ -6,16 +6,36 @@
 //! sharded single-flight cache, time every request against a service
 //! deadline, and record counters/latencies/spans in [`ServeStats`].
 //!
+//! The server is built to survive misbehaviour, injected or real:
+//!
+//! * every request is answered under `catch_unwind` — a panicking
+//!   computation produces an error envelope (or a degraded stale reply),
+//!   never a dead worker;
+//! * a worker that *does* die (a panic outside the per-request guard)
+//!   respawns in place, keeping the pool at full strength;
+//! * writes carry a deadline (`SO_SNDTIMEO`), so a stalled client cannot
+//!   wedge a worker — or block shutdown — by never draining its socket;
+//! * a failed recomputation degrades to the last good cached value,
+//!   explicitly flagged, rather than failing the request outright;
+//! * the `health` op reports queue depth, worker liveness and the
+//!   panic/degraded/respawn counters in one line.
+//!
+//! Fault injection ([`osarch_chaos::ChaosController`]) threads through
+//! the accept loop, the compute path, the response writer and the worker
+//! pool; with no controller configured every hook is a single branch.
+//!
 //! Shutdown is cooperative: a `shutdown` request (or
 //! [`ServerHandle::shutdown`]) flips the shutdown flag, closes the queue
 //! so idle workers exit, and pokes the accept loop awake with a loopback
 //! connection. In-flight connections finish their current request.
 
-use crate::cache::ShardedCache;
+use crate::cache::{Fetched, ShardedCache};
 use crate::protocol::{self, Query, MAX_REQUEST_BYTES};
 use crate::stats::ServeStats;
+use osarch_chaos::{ChaosController, Failpoint};
 use std::io::{BufRead, BufReader, BufWriter, Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -37,6 +57,12 @@ pub struct ServerConfig {
     pub deadline: Duration,
     /// Idle read timeout per connection; a silent client is disconnected.
     pub idle_timeout: Duration,
+    /// Write deadline per connection; a client that stops draining its
+    /// socket is disconnected instead of wedging the worker (and, with
+    /// it, shutdown).
+    pub write_timeout: Duration,
+    /// Fault-injection schedule; `None` serves faithfully.
+    pub chaos: Option<Arc<ChaosController>>,
 }
 
 impl Default for ServerConfig {
@@ -48,6 +74,8 @@ impl Default for ServerConfig {
             queue_depth: 64,
             deadline: Duration::from_secs(30),
             idle_timeout: Duration::from_secs(30),
+            write_timeout: Duration::from_secs(5),
+            chaos: None,
         }
     }
 }
@@ -55,15 +83,45 @@ impl Default for ServerConfig {
 /// State shared by the accept loop, the workers and the handle.
 struct Shared {
     cache: ShardedCache,
-    stats: ServeStats,
+    stats: Arc<ServeStats>,
     queue: crate::queue::BoundedQueue<TcpStream>,
     shutdown: AtomicBool,
     deadline: Duration,
     idle_timeout: Duration,
+    write_timeout: Duration,
     workers: usize,
     started: Instant,
+    chaos: Option<Arc<ChaosController>>,
     /// The bound address, for the shutdown poke that wakes the accept loop.
     addr: SocketAddr,
+}
+
+impl Shared {
+    /// Take a chaos decision at `fp`; `false` whenever no controller is
+    /// configured. Injections are counted in the serve stats so `health`
+    /// can report them without reaching into the controller.
+    fn inject(&self, fp: Failpoint) -> bool {
+        let hit = self
+            .chaos
+            .as_ref()
+            .is_some_and(|chaos| chaos.should_inject(fp));
+        if hit {
+            self.stats.record_fault_injected();
+        }
+        hit
+    }
+
+    /// Take a chaos delay decision at `fp` with a deterministic duration.
+    fn inject_delay(&self, fp: Failpoint, min: Duration, max: Duration) -> Option<Duration> {
+        let delay = self
+            .chaos
+            .as_ref()
+            .and_then(|chaos| chaos.inject_delay(fp, min, max));
+        if delay.is_some() {
+            self.stats.record_fault_injected();
+        }
+        delay
+    }
 }
 
 /// The server factory. See [`Server::start`].
@@ -77,13 +135,15 @@ impl Server {
         let addr = listener.local_addr()?;
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.shards),
-            stats: ServeStats::new(),
+            stats: Arc::new(ServeStats::new()),
             queue: crate::queue::BoundedQueue::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
             deadline: config.deadline,
             idle_timeout: config.idle_timeout,
+            write_timeout: config.write_timeout,
             workers: config.workers.max(1),
             started: Instant::now(),
+            chaos: config.chaos.clone(),
             addr,
         });
         let mut threads = Vec::with_capacity(shared.workers + 1);
@@ -92,7 +152,7 @@ impl Server {
             threads.push(
                 std::thread::Builder::new()
                     .name(format!("serve-worker-{worker}"))
-                    .spawn(move || worker_loop(&shared))?,
+                    .spawn(move || worker_main(&shared))?,
             );
         }
         {
@@ -135,6 +195,19 @@ impl ServerHandle {
         )
     }
 
+    /// (failed computations, degraded replies) of the response cache.
+    #[must_use]
+    pub fn cache_failure_stats(&self) -> (u64, u64) {
+        (self.shared.cache.failed(), self.shared.cache.degraded())
+    }
+
+    /// Total cache lookups. The single-flight accounting invariant is
+    /// `lookups == hits + misses + coalesced`, exactly.
+    #[must_use]
+    pub fn cache_lookups(&self) -> u64 {
+        self.shared.cache.lookups()
+    }
+
     /// (ok requests, error requests, rejected connections).
     #[must_use]
     pub fn request_stats(&self) -> (u64, u64, u64) {
@@ -143,6 +216,13 @@ impl ServerHandle {
             self.shared.stats.errors(),
             self.shared.stats.rejected(),
         )
+    }
+
+    /// A shareable view of the serving counters that outlives the handle
+    /// — the chaos soak reads worker liveness *after* [`ServerHandle::stop`].
+    #[must_use]
+    pub fn stats(&self) -> Arc<ServeStats> {
+        Arc::clone(&self.shared.stats)
     }
 
     /// Begin a graceful shutdown (idempotent): stop accepting, let
@@ -189,6 +269,12 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
         if shared.shutdown.load(Ordering::SeqCst) {
             return; // the poke connection (or a straggler) — drop it
         }
+        if shared.inject(Failpoint::AcceptDrop) {
+            // Chaos: the listener sheds this connection without a word;
+            // the peer sees an immediate close.
+            drop(stream);
+            continue;
+        }
         if let Err(stream) = shared.queue.try_push(stream) {
             // Backpressure: answer busy and hang up rather than queueing
             // unbounded work.
@@ -204,25 +290,63 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
     }
 }
 
+/// One worker thread: serve until the queue closes, reincarnating after
+/// any escape of the per-request panic isolation (including injected
+/// worker deaths). The liveness gauge brackets the whole tenure, so
+/// `health` sees a respawning worker as continuously live.
+fn worker_main(shared: &Shared) {
+    shared.stats.worker_started();
+    loop {
+        let exit = std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(shared)));
+        match exit {
+            Ok(()) => break, // queue closed and drained — clean exit
+            Err(_) => {
+                // The worker died mid-tenure; respawn in place rather
+                // than shrinking the pool.
+                shared.stats.record_worker_respawn();
+            }
+        }
+    }
+    shared.stats.worker_stopped();
+}
+
 fn worker_loop(shared: &Shared) {
     // A client that goes away mid-exchange surfaces as an io::Error here;
     // the worker just moves on to the next queued connection. The loop
     // ends when the queue is closed and drained.
     while let Some(stream) = shared.queue.pop() {
         let _ = serve_connection(shared, stream);
+        if shared.inject(Failpoint::WorkerDeath) {
+            // Chaos: kill the worker between connections. worker_main
+            // catches the unwind and respawns.
+            panic!("chaos: injected worker death");
+        }
     }
 }
 
+/// How often a worker blocked on an idle connection wakes to re-check
+/// the shutdown flag. Reads poll at this grain (accumulating toward the
+/// idle timeout), so shutdown never waits behind a silent client.
+const READ_POLL: Duration = Duration::from_millis(100);
+
 /// Answer requests on one connection until EOF, error or shutdown.
 fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(shared.idle_timeout))?;
+    // Reads wake every `READ_POLL` so shutdown is never held hostage by
+    // an idle connection; `read_request_line` accumulates the polls into
+    // the real idle timeout.
+    stream.set_read_timeout(Some(READ_POLL.min(shared.idle_timeout)))?;
+    // The write deadline is what keeps a stalled client from wedging this
+    // worker: a blocked send errors out instead of blocking forever, so
+    // the worker returns to the queue — and shutdown can complete.
+    stream.set_write_timeout(Some(shared.write_timeout))?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     loop {
         let mut line = Vec::new();
-        let n = (&mut reader)
-            .take(MAX_REQUEST_BYTES as u64 + 1)
-            .read_until(b'\n', &mut line)?;
+        let n = match read_request_line(shared, &mut reader, &mut line)? {
+            Some(n) => n,
+            None => return Ok(()), // shutdown while the connection was idle
+        };
         if n == 0 {
             return Ok(()); // clean EOF
         }
@@ -244,10 +368,77 @@ fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
         if text.is_empty() {
             continue;
         }
-        let shutting_down = answer(shared, text, &mut writer)?;
+        // Per-request panic isolation: whatever the request path does,
+        // this worker answers (or hangs up) and lives to serve the next
+        // connection. Computation panics are already contained inside the
+        // cache; this guard catches everything else.
+        let answered =
+            std::panic::catch_unwind(AssertUnwindSafe(|| answer(shared, text, &mut writer)));
+        let shutting_down = match answered {
+            Ok(result) => result?,
+            Err(_) => {
+                shared.stats.record_panic();
+                shared.stats.record_error();
+                let _ = writeln!(
+                    writer,
+                    "{}",
+                    protocol::err_envelope("null", "internal error: request handler panicked")
+                );
+                let _ = writer.flush();
+                // The connection state is unknown after a panic — hang up.
+                return Ok(());
+            }
+        };
         writer.flush()?;
         if shutting_down || shared.shutdown.load(Ordering::SeqCst) {
             return Ok(());
+        }
+    }
+}
+
+/// Read one newline-terminated request (up to the framing limit),
+/// tolerating arbitrary segmentation: the line may arrive one byte per
+/// segment, or glued to the next request in one segment (`BufReader`
+/// holds the surplus for the next call). Returns `Ok(None)` when
+/// shutdown was flagged while waiting, `Ok(Some(0))` on clean EOF, and
+/// `Ok(Some(n))` with the (possibly oversized) line otherwise. A client
+/// silent for the full idle timeout yields the underlying timeout error.
+fn read_request_line(
+    shared: &Shared,
+    reader: &mut BufReader<TcpStream>,
+    line: &mut Vec<u8>,
+) -> std::io::Result<Option<usize>> {
+    let waiting_since = Instant::now();
+    loop {
+        let remaining = (MAX_REQUEST_BYTES as u64 + 1).saturating_sub(line.len() as u64);
+        match (&mut *reader).take(remaining).read_until(b'\n', line) {
+            // EOF — with a partial unterminated line when `line` is
+            // non-empty; the caller parses whatever arrived.
+            Ok(0) => return Ok(Some(line.len())),
+            Ok(_) => {
+                if line.ends_with(b"\n") || line.len() > MAX_REQUEST_BYTES {
+                    return Ok(Some(line.len()));
+                }
+                // The take-limit boundary landed mid-line: keep reading.
+            }
+            Err(error)
+                if matches!(
+                    error.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ) =>
+            {
+                // A poll expired with no data. Partial bytes read before
+                // the stall stay in `line` (a mid-request pause is not a
+                // framing error). Check shutdown, then the idle budget.
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return Ok(None);
+                }
+                if waiting_since.elapsed() >= shared.idle_timeout {
+                    return Err(error);
+                }
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(error) => return Err(error),
         }
     }
 }
@@ -266,8 +457,8 @@ fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Resu
         }
     };
     let id = request.id;
-    let (op, payload, cached) = match &request.query {
-        Query::Ping => ("ping", "{\"pong\":true}".to_string(), false),
+    let (op, payload, cached, degraded) = match &request.query {
+        Query::Ping => ("ping", "{\"pong\":true}".to_string(), false, None),
         Query::Stats => {
             let (hits, misses, coalesced) = (
                 shared.cache.hits(),
@@ -284,18 +475,49 @@ fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Resu
                     shared.cache.shard_count(),
                 ),
                 false,
+                None,
             )
         }
-        Query::Spans => ("spans", shared.stats.spans_payload(), false),
+        Query::Spans => ("spans", shared.stats.spans_payload(), false, None),
+        Query::Health => (
+            "health",
+            shared.stats.health_payload(
+                shared.queue.len(),
+                shared.workers,
+                shared.shutdown.load(Ordering::SeqCst),
+            ),
+            false,
+            None,
+        ),
         Query::Shutdown => {
             // Initiate before replying: shutdown must happen even when the
             // client hangs up without reading the acknowledgement.
             initiate_shutdown(shared);
-            ("shutdown", "{\"shutting_down\":true}".to_string(), false)
+            (
+                "shutdown",
+                "{\"shutting_down\":true}".to_string(),
+                false,
+                None,
+            )
         }
         query => {
             let key = query.cache_key().expect("data queries are cacheable");
-            let (payload, cached) = shared.cache.get_or_compute(&key, || query.compute());
+            let fetched = shared.cache.get_or_compute_resilient(&key, || {
+                if let Some(delay) = shared.inject_delay(
+                    Failpoint::ComputeDelay,
+                    COMPUTE_DELAY_MIN,
+                    COMPUTE_DELAY_MAX,
+                ) {
+                    // Chaos: stall the computation (typically past the
+                    // service deadline).
+                    std::thread::sleep(delay);
+                }
+                if shared.inject(Failpoint::ComputePanic) {
+                    // Chaos: the single-flight leader dies mid-compute.
+                    panic!("chaos: injected computation panic");
+                }
+                query.compute()
+            });
             let op: &'static str = match query {
                 Query::Measure { .. } => "measure",
                 Query::Table { .. } => "table",
@@ -304,7 +526,25 @@ fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Resu
                 Query::Counters { .. } => "counters",
                 _ => unreachable!("control queries handled above"),
             };
-            (op, payload.to_string(), cached)
+            match fetched {
+                Fetched::Computed(payload) => (op, payload.to_string(), false, None),
+                Fetched::Cached(payload) => (op, payload.to_string(), true, None),
+                Fetched::Degraded(payload, error) => {
+                    shared.stats.record_panic();
+                    shared.stats.record_degraded();
+                    (op, payload.to_string(), true, Some(error))
+                }
+                Fetched::Failed(error) => {
+                    shared.stats.record_panic();
+                    shared.stats.record_error();
+                    writeln!(
+                        writer,
+                        "{}",
+                        protocol::err_envelope(&id, &format!("{op} failed: {error}"))
+                    )?;
+                    return Ok(false);
+                }
+            }
         }
     };
     let service = start.elapsed();
@@ -328,10 +568,37 @@ fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Resu
     shared
         .stats
         .record_request(op, start_us, service_us, cached);
-    writeln!(
-        writer,
-        "{}",
-        protocol::ok_envelope(&id, cached, service_us, &payload)
-    )?;
+    let envelope = match &degraded {
+        Some(error) => protocol::degraded_envelope(&id, service_us, &payload, error),
+        None => protocol::ok_envelope(&id, cached, service_us, &payload),
+    };
+    if let Some(delay) =
+        shared.inject_delay(Failpoint::WriteStall, WRITE_STALL_MIN, WRITE_STALL_MAX)
+    {
+        // Chaos: sit on the finished response (drives client timeouts).
+        std::thread::sleep(delay);
+    }
+    if shared.inject(Failpoint::WritePartial) {
+        // Chaos: emit a torn response — a prefix with no newline — then
+        // fail the connection. Clients must never parse this as a reply.
+        let bytes = envelope.as_bytes();
+        writer.write_all(&bytes[..bytes.len() / 2])?;
+        writer.flush()?;
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::ConnectionAborted,
+            "chaos: injected partial write",
+        ));
+    }
+    writeln!(writer, "{envelope}")?;
     Ok(matches!(request.query, Query::Shutdown))
 }
+
+/// Injected computation stalls: long enough to blow tight deadlines,
+/// short enough to keep soak throughput alive.
+const COMPUTE_DELAY_MIN: Duration = Duration::from_millis(20);
+const COMPUTE_DELAY_MAX: Duration = Duration::from_millis(120);
+
+/// Injected response stalls: sized to straddle typical client
+/// per-attempt timeouts.
+const WRITE_STALL_MIN: Duration = Duration::from_millis(50);
+const WRITE_STALL_MAX: Duration = Duration::from_millis(400);

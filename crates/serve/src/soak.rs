@@ -1,0 +1,440 @@
+//! The chaos soak harness (`osarch chaos`).
+//!
+//! Runs the load generator against an in-process, fault-injected server
+//! — both sides drawing their faults from one deterministic
+//! [`ChaosController`] schedule — and checks the resilience invariants
+//! that must hold *no matter what the schedule does*:
+//!
+//! 1. **no client-visible corruption** — every reply that reaches a
+//!    client parses as JSON and echoes its request id (`corrupt == 0`);
+//! 2. **no deadlock** — every client thread reports back before the
+//!    watchdog deadline; a waiter stuck on a poisoned cache flight or a
+//!    worker wedged on a dead socket would trip it;
+//! 3. **no leaked workers** — worker deaths respawn in place
+//!    (`workers_live == workers` while serving, `0` after shutdown);
+//! 4. **degraded replies are flagged** — the client never sees a stale
+//!    value without `"degraded":true` (counted both sides and compared);
+//! 5. **single-flight accounting stays exact** — cache
+//!    `lookups == hits + misses + coalesced` even with leaders panicking
+//!    mid-flight.
+//!
+//! The *schedule* is the reproducible artifact: planned event counts per
+//! failpoint are a pure function of the seed (see
+//! [`ChaosController::schedule_events`]), so two soaks with one seed
+//! assert bit-identical schedules even though thread interleaving makes
+//! the injected counts differ run to run.
+
+use crate::client::{ClientConfig, ClientCounters, ResilientClient};
+use crate::loadgen::key_space;
+use crate::server::{Server, ServerConfig};
+use osarch_chaos::{ChaosConfig, ChaosController, ChaosRng, Failpoint};
+use osarch_core::metrics::ResilienceCounters;
+use std::sync::mpsc;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// Chaos soak knobs.
+#[derive(Debug, Clone)]
+pub struct SoakConfig {
+    /// Seed for the fault schedule and every client's jitter stream.
+    pub seed: u64,
+    /// Fault probability per failpoint draw.
+    pub rate: f64,
+    /// Soak duration in seconds.
+    pub secs: f64,
+    /// Concurrent client connections.
+    pub conns: u32,
+    /// Server worker threads.
+    pub workers: usize,
+    /// Cache shards.
+    pub shards: usize,
+}
+
+impl Default for SoakConfig {
+    fn default() -> SoakConfig {
+        SoakConfig {
+            seed: 42,
+            rate: 0.2,
+            secs: 3.0,
+            conns: 8,
+            workers: 4,
+            shards: 16,
+        }
+    }
+}
+
+/// One failpoint's planned schedule entry.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScheduleEntry {
+    /// The failpoint label (e.g. `compute/panic`).
+    pub label: &'static str,
+    /// Planned injections over the schedule horizon — a pure function of
+    /// the seed, identical across same-seed runs.
+    pub planned: u64,
+}
+
+/// Everything a soak run observed.
+#[derive(Debug, Clone)]
+pub struct SoakReport {
+    /// The deterministic fault schedule, one entry per failpoint.
+    pub schedule: Vec<ScheduleEntry>,
+    /// Sum of planned injections over the horizon.
+    pub schedule_total: u64,
+    /// Faults actually injected this run (interleaving-dependent).
+    pub injected_total: u64,
+    /// Calls that completed with a verified `ok` reply.
+    pub oks: u64,
+    /// Calls that failed after retries (gave up or shed).
+    pub failures: u64,
+    /// Merged client resilience tallies.
+    pub resilience: ResilienceCounters,
+    /// Server-side panics contained by per-request isolation.
+    pub server_panics: u64,
+    /// Server-side degraded (stale-on-error) replies.
+    pub server_degraded: u64,
+    /// Workers respawned after an injected death.
+    pub worker_respawns: u64,
+    /// Cache counters: (lookups, hits, misses, coalesced, failed).
+    pub cache: (u64, u64, u64, u64, u64),
+    /// Invariant violations; empty means the soak passed.
+    pub violations: Vec<String>,
+}
+
+impl SoakReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Run one chaos soak and check every invariant. The report's
+/// `violations` list is the verdict; I/O errors are only returned for
+/// harness failures (e.g. the listener socket itself).
+pub fn run(config: &SoakConfig) -> std::io::Result<SoakReport> {
+    // Injected panics are expected: keep them off stderr, but let any
+    // *unexpected* panic through. The guard also serializes concurrent
+    // fault-injected harnesses (the hook is process-global).
+    let _quiet = osarch_chaos::QuietChaosPanics::install();
+
+    let chaos = Arc::new(ChaosController::new(ChaosConfig {
+        seed: config.seed,
+        rate: config.rate,
+        ..ChaosConfig::default()
+    }));
+
+    // The schedule is computed before any thread starts: it depends only
+    // on the seed, never on the run.
+    let schedule: Vec<ScheduleEntry> = Failpoint::ALL
+        .iter()
+        .map(|&fp| ScheduleEntry {
+            label: fp.label(),
+            planned: chaos.schedule_events(fp),
+        })
+        .collect();
+    let schedule_total = chaos.schedule_total();
+
+    soak_chaos_run(config, &chaos, schedule, schedule_total)
+}
+
+fn soak_chaos_run(
+    config: &SoakConfig,
+    chaos: &Arc<ChaosController>,
+    schedule: Vec<ScheduleEntry>,
+    schedule_total: u64,
+) -> std::io::Result<SoakReport> {
+    let handle = Server::start(&ServerConfig {
+        workers: config.workers,
+        shards: config.shards,
+        queue_depth: (config.conns as usize * 2).max(64),
+        // Tight deadline: injected compute delays (20–120 ms) overrun it,
+        // exercising the deadline-exceeded error path under chaos.
+        deadline: Duration::from_millis(50),
+        write_timeout: Duration::from_millis(500),
+        chaos: Some(Arc::clone(chaos)),
+        ..ServerConfig::default()
+    })?;
+    let addr = handle.addr().to_string();
+    let stats = handle.stats();
+    let mut violations: Vec<String> = Vec::new();
+
+    // Drive the clients. Each reports its tallies over a channel; the
+    // watchdog receive below is the deadlock detector.
+    let duration = Duration::from_secs_f64(config.secs.max(0.5));
+    let stop_at = Instant::now() + duration;
+    let (tx, rx) = mpsc::channel::<(u32, u64, u64, ClientCounters)>();
+    let mut threads = Vec::new();
+    for conn in 0..config.conns {
+        let tx = tx.clone();
+        let addr = addr.clone();
+        let chaos = Arc::clone(chaos);
+        let seed = config.seed ^ (u64::from(conn) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+        threads.push(std::thread::spawn(move || {
+            let (oks, failures, counters) = soak_client(&addr, seed, stop_at, &chaos);
+            // A dropped receiver means the watchdog already gave up.
+            let _ = tx.send((conn, oks, failures, counters));
+        }));
+    }
+    drop(tx);
+
+    let mut oks = 0u64;
+    let mut failures = 0u64;
+    let mut resilience = ResilienceCounters::default();
+    let watchdog = duration + Duration::from_secs(30);
+    for _ in 0..config.conns {
+        match rx.recv_timeout(watchdog) {
+            Ok((_, conn_oks, conn_failures, counters)) => {
+                oks += conn_oks;
+                failures += conn_failures;
+                merge(&mut resilience, counters);
+            }
+            Err(_) => {
+                violations.push(format!(
+                    "DEADLOCK: a client thread failed to report within {watchdog:?}"
+                ));
+                break;
+            }
+        }
+    }
+    // Only join what finished; a deadlocked thread would block forever.
+    if violations.is_empty() {
+        for thread in threads {
+            let _ = thread.join();
+        }
+    }
+
+    // Invariant 3 (first half): every worker alive (deaths respawned).
+    let live_during = stats.workers_live();
+    if live_during != config.workers as u64 {
+        violations.push(format!(
+            "LEAKED WORKER: {live_during} of {} workers live before shutdown",
+            config.workers
+        ));
+    }
+
+    let (hits, misses, coalesced) = handle.cache_stats();
+    let (cache_failed, cache_degraded) = handle.cache_failure_stats();
+    let lookups = handle.cache_lookups();
+    let server_panics = stats.panics();
+    let server_degraded = stats.degraded();
+    let worker_respawns = stats.worker_respawns();
+    let injected_total = chaos.injected_total();
+    handle.stop();
+
+    // Invariant 1: zero client-visible corruption.
+    if resilience.corrupt > 0 {
+        violations.push(format!(
+            "CORRUPTION: {} replies failed verification",
+            resilience.corrupt
+        ));
+    }
+    // Invariant 3 (second half): shutdown reaps every worker.
+    let live_after = stats.workers_live();
+    if live_after != 0 {
+        violations.push(format!("LEAKED WORKER: {live_after} live after stop"));
+    }
+    // Invariant 4: every stale reply the client saw was flagged, and the
+    // server flagged at least as many as the clients observed (some are
+    // torn in flight by write faults and never reach a client).
+    if resilience.degraded > server_degraded {
+        violations.push(format!(
+            "UNFLAGGED DEGRADATION: clients saw {} degraded replies, server served {}",
+            resilience.degraded, server_degraded
+        ));
+    }
+    if server_degraded > cache_degraded {
+        violations.push(format!(
+            "DEGRADED MISCOUNT: server {server_degraded} > cache {cache_degraded}"
+        ));
+    }
+    // Invariant 5: single-flight accounting is exact.
+    if lookups != hits + misses + coalesced {
+        violations.push(format!(
+            "SINGLE-FLIGHT ACCOUNTING: {lookups} lookups != {hits} hits + \
+             {misses} misses + {coalesced} coalesced"
+        ));
+    }
+    // Sanity: the soak must have actually exercised the system.
+    if oks == 0 {
+        violations.push("NO PROGRESS: zero successful requests".to_string());
+    }
+
+    Ok(SoakReport {
+        schedule,
+        schedule_total,
+        injected_total,
+        oks,
+        failures,
+        resilience,
+        server_panics,
+        server_degraded,
+        worker_respawns,
+        cache: (lookups, hits, misses, coalesced, cache_failed),
+        violations,
+    })
+}
+
+/// One soak client: closed-loop requests over the measure key space with
+/// a fault-injecting resilient client, until the stop time.
+fn soak_client(
+    addr: &str,
+    seed: u64,
+    stop_at: Instant,
+    chaos: &Arc<ChaosController>,
+) -> (u64, u64, ClientCounters) {
+    let mut client = ResilientClient::new(
+        addr,
+        ClientConfig {
+            seed,
+            attempts: 3,
+            attempt_timeout: Duration::from_millis(800),
+            backoff_base: Duration::from_micros(200),
+            backoff_max: Duration::from_millis(10),
+            breaker_threshold: 8,
+            breaker_cooldown: 4,
+            validate_replies: true,
+        },
+    )
+    .with_chaos(Arc::clone(chaos));
+    let keys = key_space();
+    let mut rng = ChaosRng::new(seed ^ 0x0050_414b);
+    let mut oks = 0u64;
+    let mut failures = 0u64;
+    let mut request_id = 0u64;
+    while Instant::now() < stop_at {
+        let (arch, primitive) = keys[rng.range(keys.len() as u64) as usize];
+        request_id += 1;
+        let id_token = request_id.to_string();
+        let line = format!(
+            "{{\"op\":\"measure\",\"arch\":\"{arch}\",\"primitive\":\"{}\",\"id\":{id_token}}}",
+            primitive.tag()
+        );
+        match client.call(&line, &id_token) {
+            Ok(_) => oks += 1,
+            Err(_) => failures += 1,
+        }
+    }
+    (oks, failures, client.counters())
+}
+
+fn merge(total: &mut ResilienceCounters, c: ClientCounters) {
+    total.retries += c.retries;
+    total.giveups += c.giveups;
+    total.breaker_opens += c.breaker_opens;
+    total.degraded += c.degraded;
+    total.timeouts += c.timeouts;
+    total.conn_resets += c.conn_resets;
+    total.server_errors += c.server_errors;
+    total.breaker_open += c.breaker_shed;
+    total.corrupt += c.corrupt;
+}
+
+/// The `osarch chaos` front end: parse `args`, run the soak, print the
+/// verdict. `Err` carries a one-line usage error (exit 2 at the caller).
+pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
+    use std::process::ExitCode;
+    let mut config = SoakConfig::default();
+    let mut rest = args.iter();
+    let parse = |flag: &str, value: Option<&String>| -> Result<String, String> {
+        value
+            .cloned()
+            .ok_or_else(|| format!("{flag} requires a value"))
+    };
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--seed" => {
+                config.seed = parse("--seed", rest.next())?
+                    .parse()
+                    .map_err(|_| "--seed expects an integer".to_string())?;
+            }
+            "--rate" => {
+                config.rate = parse("--rate", rest.next())?
+                    .parse()
+                    .map_err(|_| "--rate expects a probability in [0,1]".to_string())?;
+                if !(0.0..=1.0).contains(&config.rate) {
+                    return Err("--rate expects a probability in [0,1]".to_string());
+                }
+            }
+            "--duration" => {
+                config.secs = parse("--duration", rest.next())?
+                    .parse()
+                    .map_err(|_| "--duration expects seconds".to_string())?;
+            }
+            "--conns" => {
+                config.conns = parse("--conns", rest.next())?
+                    .parse()
+                    .map_err(|_| "--conns expects a positive integer".to_string())?;
+            }
+            "--workers" => {
+                config.workers = parse("--workers", rest.next())?
+                    .parse()
+                    .map_err(|_| "--workers expects a positive integer".to_string())?;
+            }
+            other => {
+                return Err(format!(
+                    "unknown argument {other:?}\nusage: {prog} [--seed N] [--rate P] \
+                     [--duration S] [--conns N] [--workers N]"
+                ))
+            }
+        }
+    }
+    if config.conns == 0 {
+        return Err("--conns must be at least 1".to_string());
+    }
+    let report = match run(&config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("chaos soak failed to start: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    println!(
+        "chaos soak: seed {} rate {} for {:.1}s ({} conns, {} workers)",
+        config.seed, config.rate, config.secs, config.conns, config.workers
+    );
+    println!(
+        "schedule ({} planned events over the horizon):",
+        report.schedule_total
+    );
+    for entry in &report.schedule {
+        println!("  {:<18} {}", entry.label, entry.planned);
+    }
+    let r = &report.resilience;
+    println!(
+        "traffic: {} ok, {} failed | {} injected | retries {} giveups {} \
+         breaker_opens {} degraded {}",
+        report.oks,
+        report.failures,
+        report.injected_total,
+        r.retries,
+        r.giveups,
+        r.breaker_opens,
+        r.degraded
+    );
+    println!(
+        "error classes: timeout={} conn_reset={} server_error={} breaker_open={}",
+        r.timeouts, r.conn_resets, r.server_errors, r.breaker_open
+    );
+    let (lookups, hits, misses, coalesced, failed) = report.cache;
+    println!(
+        "server: {} panics contained, {} degraded, {} worker respawns | \
+         cache {} lookups = {} hits + {} misses + {} coalesced ({} failed)",
+        report.server_panics,
+        report.server_degraded,
+        report.worker_respawns,
+        lookups,
+        hits,
+        misses,
+        coalesced,
+        failed
+    );
+    if report.passed() {
+        println!("PASS: all invariants held");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for violation in &report.violations {
+            eprintln!("FAIL: {violation}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}

@@ -26,6 +26,11 @@ pub struct ServeStats {
     errors: AtomicU64,
     rejected: AtomicU64,
     deadline_exceeded: AtomicU64,
+    panics: AtomicU64,
+    degraded: AtomicU64,
+    worker_respawns: AtomicU64,
+    workers_live: AtomicU64,
+    faults_injected: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     spans: Mutex<Vec<Event>>,
 }
@@ -76,6 +81,37 @@ impl ServeStats {
         self.deadline_exceeded.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a panic contained by per-request isolation (`serve/panic/total`).
+    pub fn record_panic(&self) {
+        self.panics.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a reply served from the stale last-good value because the
+    /// recomputation failed (`serve/degraded/total`).
+    pub fn record_degraded(&self) {
+        self.degraded.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record a worker that died and was respawned in place.
+    pub fn record_worker_respawn(&self) {
+        self.worker_respawns.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Record an injected chaos fault observed server-side.
+    pub fn record_fault_injected(&self) {
+        self.faults_injected.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A worker thread entered its serving loop.
+    pub fn worker_started(&self) {
+        self.workers_live.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// A worker thread left its serving loop for good.
+    pub fn worker_stopped(&self) {
+        self.workers_live.fetch_sub(1, Ordering::SeqCst);
+    }
+
     /// Requests answered with an `ok` envelope.
     #[must_use]
     pub fn requests(&self) -> u64 {
@@ -92,6 +128,36 @@ impl ServeStats {
     #[must_use]
     pub fn rejected(&self) -> u64 {
         self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Panics contained by per-request isolation.
+    #[must_use]
+    pub fn panics(&self) -> u64 {
+        self.panics.load(Ordering::Relaxed)
+    }
+
+    /// Replies served degraded (stale last-good value).
+    #[must_use]
+    pub fn degraded(&self) -> u64 {
+        self.degraded.load(Ordering::Relaxed)
+    }
+
+    /// Workers respawned after dying.
+    #[must_use]
+    pub fn worker_respawns(&self) -> u64 {
+        self.worker_respawns.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently inside their serving loop.
+    #[must_use]
+    pub fn workers_live(&self) -> u64 {
+        self.workers_live.load(Ordering::SeqCst)
+    }
+
+    /// Chaos faults injected server-side.
+    #[must_use]
+    pub fn faults_injected(&self) -> u64 {
+        self.faults_injected.load(Ordering::Relaxed)
     }
 
     /// Summary of the recorded service times (µs).
@@ -127,6 +193,10 @@ impl ServeStats {
             "deadline_exceeded",
             self.deadline_exceeded.load(Ordering::Relaxed),
         );
+        serve_counter("panics", self.panics());
+        serve_counter("degraded", self.degraded());
+        serve_counter("worker_respawns", self.worker_respawns());
+        serve_counter("faults_injected", self.faults_injected());
         serve_counter("cache_hits", cache_hits);
         serve_counter("cache_misses", cache_misses);
         serve_counter("cache_coalesced", cache_coalesced);
@@ -146,6 +216,50 @@ impl ServeStats {
             latency.max,
             json_number(latency.mean),
             metrics::counters_json(&registry).trim_end(),
+        )
+    }
+
+    /// The `health` payload: liveness in one line. `queue_depth` is the
+    /// instantaneous connection backlog; `workers_live` counts workers
+    /// inside their serving loop (respawns keep it at `workers`); the
+    /// resilience counters let a prober distinguish "healthy", "degraded
+    /// but serving", and "shedding load" without scraping full stats.
+    #[must_use]
+    pub fn health_payload(
+        &self,
+        queue_depth: usize,
+        workers: usize,
+        shutting_down: bool,
+    ) -> String {
+        let live = self.workers_live();
+        let status = if shutting_down {
+            "shutting_down"
+        } else if live < workers as u64 {
+            "impaired"
+        } else if self.degraded() > 0 || self.panics() > 0 {
+            "degraded"
+        } else {
+            "ok"
+        };
+        format!(
+            concat!(
+                "{{\"status\":\"{}\",\"workers\":{},\"workers_live\":{},",
+                "\"queue_depth\":{},\"shutting_down\":{},",
+                "\"panics\":{},\"degraded\":{},\"worker_respawns\":{},",
+                "\"faults_injected\":{},\"requests\":{},\"errors\":{},\"rejected\":{}}}"
+            ),
+            status,
+            workers,
+            live,
+            queue_depth,
+            shutting_down,
+            self.panics(),
+            self.degraded(),
+            self.worker_respawns(),
+            self.faults_injected(),
+            self.requests(),
+            self.errors(),
+            self.rejected(),
         )
     }
 
@@ -192,6 +306,31 @@ mod tests {
         let spans = stats.spans_payload();
         assert_eq!(validate_json(&spans), Ok(()), "{spans}");
         assert_eq!(spans.matches("\"cat\":\"serve\"").count(), 2);
+    }
+
+    #[test]
+    fn health_payload_reflects_liveness_and_degradation() {
+        let stats = ServeStats::new();
+        stats.worker_started();
+        stats.worker_started();
+        let healthy = stats.health_payload(3, 2, false);
+        assert_eq!(validate_json(&healthy), Ok(()), "{healthy}");
+        assert!(healthy.contains("\"status\":\"ok\""), "{healthy}");
+        assert!(healthy.contains("\"workers_live\":2"), "{healthy}");
+        assert!(healthy.contains("\"queue_depth\":3"), "{healthy}");
+
+        stats.record_degraded();
+        assert!(stats
+            .health_payload(0, 2, false)
+            .contains("\"status\":\"degraded\""));
+
+        stats.worker_stopped();
+        assert!(stats
+            .health_payload(0, 2, false)
+            .contains("\"status\":\"impaired\""));
+        assert!(stats
+            .health_payload(0, 2, true)
+            .contains("\"status\":\"shutting_down\""));
     }
 
     #[test]

@@ -69,9 +69,12 @@ fn usage() -> ExitCode {
          \x20 serve [--addr A] [--workers N] [--shards N] [--queue N] [--deadline-ms N]\n\
          \x20                         run the concurrent measurement-query service\n\
          \x20 loadgen [--addr A] [--conns N] [--secs S] [--skew] [--rate R]\n\
-         \x20         [--workers N] [--shards N] [--out PATH]\n\
+         \x20         [--workers N] [--shards N] [--seed N] [--faults P] [--out PATH]\n\
          \x20                         drive a server (self-hosted without --addr) and\n\
          \x20                         write BENCH_serve.json\n\
+         \x20 chaos [--seed N] [--rate P] [--duration S] [--conns N] [--workers N]\n\
+         \x20                         deterministic fault-injection soak: loadgen vs a\n\
+         \x20                         chaos server, asserting resilience invariants\n\
          \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
@@ -378,6 +381,13 @@ fn main() -> ExitCode {
             ExitCode::SUCCESS
         }
         Some("loadgen") => match serve::loadgen::cli(&args[1..], "osarch loadgen") {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::from(2)
+            }
+        },
+        Some("chaos") => match serve::soak::cli(&args[1..], "osarch chaos") {
             Ok(code) => code,
             Err(message) => {
                 eprintln!("{message}");
