@@ -161,6 +161,13 @@ pub struct ServeBenchReport {
     pub mode: String,
     /// Concurrent client connections.
     pub conns: u32,
+    /// Requests kept in flight per connection (`1` = strict
+    /// request/reply; `>1` exercises server-side pipelining).
+    pub pipeline_depth: u32,
+    /// Client driver threads multiplexing the connections. Equal to
+    /// `conns` in the thread-per-connection driver; far smaller in the
+    /// multiplexed driver used at connection scale.
+    pub driver_threads: u32,
     /// Server worker threads.
     pub workers: u32,
     /// Cache shards.
@@ -218,7 +225,8 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
     format!(
         concat!(
             "{{\"schema\":\"{}\",\"workload\":\"{}\",\"mode\":\"{}\",",
-            "\"conns\":{},\"workers\":{},\"shards\":{},\"secs\":{},",
+            "\"conns\":{},\"pipeline_depth\":{},\"driver_threads\":{},",
+            "\"workers\":{},\"shards\":{},\"secs\":{},",
             "\"requests\":{},\"errors\":{},\"throughput_rps\":{},",
             "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
             "\"max\":{},\"mean\":{}}},",
@@ -232,6 +240,8 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
         json_escape(&report.workload),
         json_escape(&report.mode),
         report.conns,
+        report.pipeline_depth,
+        report.driver_threads,
         report.workers,
         report.shards,
         json_number(report.secs),
@@ -267,6 +277,8 @@ pub const SERVE_BENCH_REQUIRED_KEYS: &[&str] = &[
     "workload",
     "mode",
     "conns",
+    "pipeline_depth",
+    "driver_threads",
     "workers",
     "shards",
     "secs",
@@ -780,6 +792,8 @@ mod tests {
             workload: "skewed".to_string(),
             mode: "closed".to_string(),
             conns: 8,
+            pipeline_depth: 4,
+            driver_threads: 8,
             workers: 4,
             shards: 16,
             secs: 3.0,
@@ -807,6 +821,7 @@ mod tests {
         assert_eq!(validate_serve_bench(&doc), Ok(()));
         assert!(doc.contains(&format!("\"schema\":\"{SERVE_BENCH_SCHEMA}\"")));
         assert!(doc.contains("\"throughput_rps\":400"));
+        assert!(doc.contains("\"pipeline_depth\":4,\"driver_threads\":8"));
         assert!(doc.contains("\"p99\":300"));
         assert!(doc.contains("\"resilience\":{\"retries\":5,\"giveups\":1"));
         assert!(doc.contains("\"error_classes\":{\"timeout\":3,\"conn_reset\":2"));

@@ -99,8 +99,8 @@ impl MeasurementSession {
     }
 }
 
-// The `osarch-serve` worker pool holds one session behind an `Arc` and
-// reads it from every worker; keep the shareability a compile-time fact.
+// The `osarch-serve` compute pool holds one session behind an `Arc` and
+// reads it from every thread; keep the shareability a compile-time fact.
 const _: () = {
     const fn assert_send_sync<T: Send + Sync>() {}
     assert_send_sync::<MeasurementSession>();

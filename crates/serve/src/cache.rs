@@ -152,6 +152,32 @@ impl ShardedCache {
         }
     }
 
+    /// Non-blocking lookup for event loops: the landed value for `key`,
+    /// or `None` when the key is absent, still in flight, or failed —
+    /// every `None` case must be offloaded to a thread that can afford
+    /// the blocking [`ShardedCache::get_or_compute_resilient`] path.
+    ///
+    /// Counts a hit only when a value is returned; the offloaded path
+    /// does its own miss/coalesced accounting, so each request still
+    /// lands in exactly one bucket and the single-flight identity
+    /// `lookups == hits + misses + coalesced` stays exact.
+    #[must_use]
+    pub fn try_get(&self, key: &str) -> Option<Arc<str>> {
+        let shard = self.shard_for(key);
+        let slot = Arc::clone(lock(&shard.flights).get(key)?);
+        // The state lock is only ever held for moments (computation runs
+        // outside it; waiters release it while parked), so this cannot
+        // stall the event loop.
+        let state = lock(&slot.state);
+        match &*state {
+            Flight::Done(result) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(Arc::clone(result))
+            }
+            Flight::Pending | Flight::Failed(_) => None,
+        }
+    }
+
     /// The cached result for `key`, computing it with `compute` on first
     /// request. Exactly one caller per key runs `compute`; everyone else
     /// either hits the finished result or parks until the in-flight
@@ -402,6 +428,33 @@ mod tests {
         assert_eq!(computations.load(Ordering::Relaxed), 1);
         assert_eq!(cache.misses(), 1);
         assert_eq!(cache.hits() + cache.coalesced(), 7);
+    }
+
+    #[test]
+    fn try_get_is_nonblocking_and_counts_hits_exactly() {
+        let cache = ShardedCache::new(4);
+        assert_eq!(cache.try_get("k"), None, "absent key");
+        assert_eq!(cache.lookups(), 0, "a miss on try_get is not a lookup");
+        let (value, _) = cache.get_or_compute("k", || "v".to_string());
+        assert_eq!(&*value, "v");
+        let hit = cache.try_get("k").expect("landed value");
+        assert_eq!(&*hit, "v");
+        assert_eq!((cache.misses(), cache.hits()), (1, 1));
+        assert_eq!(cache.lookups(), 2);
+        // An in-flight key is invisible to try_get: the leader parks a
+        // flight as Pending, and try_get must refuse to wait on it.
+        let barrier = std::sync::Barrier::new(2);
+        std::thread::scope(|scope| {
+            scope.spawn(|| {
+                cache.get_or_compute("slow", || {
+                    barrier.wait();
+                    std::thread::sleep(std::time::Duration::from_millis(50));
+                    "late".to_string()
+                });
+            });
+            barrier.wait();
+            assert_eq!(cache.try_get("slow"), None, "pending flight");
+        });
     }
 
     #[test]

@@ -16,13 +16,21 @@
 //!   concurrent requests for one key coalesce onto one computation;
 //! * [`protocol`] — the `osarch-serve/1` line-delimited JSON protocol
 //!   over the full result surface (measure / table / lint / trace /
-//!   counters), reusing the `core/metrics` emitters byte-for-byte;
-//! * [`server`] — `std::net` listener, fixed worker pool, bounded
-//!   connection queue with backpressure, per-request deadlines, graceful
-//!   shutdown, and a `/stats` query with monotonic counters and latency
-//!   percentiles;
-//! * [`loadgen`] — open-/closed-loop workload driver emitting
-//!   `BENCH_serve.json` (`osarch-serve-bench/1`);
+//!   counters), reusing the `core/metrics` emitters byte-for-byte, with
+//!   an incremental framer ([`protocol::FrameBuf`]) that reassembles
+//!   requests from arbitrary read fragments and resynchronizes after an
+//!   oversized line;
+//! * [`server`] — the event-driven core: one nonblocking event loop per
+//!   worker over the `osarch-poll` readiness shim (epoll on Linux),
+//!   pipelined requests with strictly ordered replies, per-loop buffer
+//!   arenas, a compute-offload pool for cache misses, a global
+//!   open-connection budget with backpressure, progress-based idle and
+//!   write timeouts, per-request deadlines, graceful shutdown, and a
+//!   `/stats` query with monotonic counters and latency percentiles;
+//! * [`loadgen`] — open-/closed-loop and multiplexed-pipelined workload
+//!   driver emitting `BENCH_serve.json` (`osarch-serve-bench/1`) — the
+//!   pipelined driver holds 10 000 connections from a handful of client
+//!   threads;
 //! * [`client`] — the resilient protocol client: per-attempt timeouts,
 //!   bounded retries with deterministic backoff jitter, and a
 //!   closed/open/half-open circuit breaker;
@@ -35,7 +43,11 @@
 //! decision is a pure function of `(seed, failpoint, draw index)`, so a
 //! fault schedule replays bit-identically from its seed.
 //!
-//! Everything is `std`-only: no new external dependencies.
+//! Everything is `std`-only: no new external dependencies. The readiness
+//! shim lives in the sibling `osarch-poll` crate, which carries the
+//! workspace's only `unsafe` (four audited `epoll` FFI calls) and falls
+//! back to a portable poller where epoll is unavailable — this crate
+//! itself stays `#![forbid(unsafe_code)]`.
 //!
 //! # Quickstart
 //!
@@ -67,7 +79,7 @@ pub mod stats;
 pub use cache::{Fetched, ShardedCache};
 pub use client::{ClientConfig, ErrorClass, ResilientClient};
 pub use loadgen::{run as run_loadgen, LoadgenConfig};
-pub use protocol::{Query, Request, MAX_REQUEST_BYTES};
+pub use protocol::{Frame, FrameBuf, Query, Request, MAX_REQUEST_BYTES};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use soak::{run as run_soak, SoakConfig, SoakReport};
 pub use stats::ServeStats;

@@ -12,6 +12,12 @@
 //!   (`rate` requests/second); when a reply is late the next request goes
 //!   out immediately afterwards, so sustained overload shows up as rising
 //!   latency rather than reduced offered load.
+//! * **pipelined** — selected automatically at connection scale (or with
+//!   `--pipeline N > 1`): a small pool of driver threads multiplexes
+//!   *all* the connections, batching `pipeline` requests per write and
+//!   verifying the replies echo their ids back **in order**. This is the
+//!   only way one client machine holds 10 000 connections against the
+//!   event-driven server without 10 000 client threads.
 //!
 //! Every connection drives a [`ResilientClient`], so the report also
 //! carries the resilience columns: retries, giveups, breaker transitions,
@@ -46,6 +52,11 @@ pub struct LoadgenConfig {
     pub addr: Option<String>,
     /// Concurrent connections.
     pub conns: u32,
+    /// Requests kept in flight per connection. `1` is strict
+    /// request/reply; `>1` selects the multiplexed pipelined driver
+    /// (as does a large `conns`), which batches this many requests per
+    /// write and verifies the replies come back in order.
+    pub pipeline: u32,
     /// Run duration in seconds.
     pub secs: f64,
     /// Hot-key-skewed draw instead of uniform.
@@ -71,6 +82,7 @@ impl Default for LoadgenConfig {
         LoadgenConfig {
             addr: None,
             conns: 4,
+            pipeline: 1,
             secs: 3.0,
             skew: false,
             rate: None,
@@ -171,31 +183,67 @@ fn drive(
     let dist =
         WeightedIndex::new(weights.iter().copied()).expect("weights are positive by construction");
 
+    let mux = config.pipeline > 1 || config.conns > MUX_THRESHOLD_CONNS;
     let started = Instant::now();
-    let results: Vec<ConnResult> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.conns)
-            .map(|conn| {
-                let dist = &dist;
-                let keys = &keys;
-                let chaos = chaos.cloned();
-                scope.spawn(move || {
-                    drive_connection(
-                        addr,
-                        config.seed ^ (u64::from(conn) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
-                        dist,
-                        keys,
-                        started + duration,
-                        config.rate,
-                        chaos,
-                    )
+    let results: Vec<ConnResult>;
+    let driver_threads: u32;
+    if mux {
+        let pipeline = config.pipeline.max(1) as usize;
+        let threads = std::thread::available_parallelism()
+            .map_or(1, std::num::NonZeroUsize::get)
+            .min(MUX_MAX_THREADS)
+            .min(config.conns as usize)
+            .max(1);
+        driver_threads = threads as u32;
+        // Deal connections out across the driver threads; the remainder
+        // lands on the first few.
+        let base = config.conns as usize / threads;
+        let extra = config.conns as usize % threads;
+        results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|thread| {
+                    let dist = &dist;
+                    let keys = &keys;
+                    let conns = base + usize::from(thread < extra);
+                    let seed =
+                        config.seed ^ (thread as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                    scope.spawn(move || {
+                        drive_mux_chunk(addr, seed, dist, keys, conns, pipeline, started + duration)
+                    })
                 })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("loadgen connection thread panicked"))
-            .collect()
-    });
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen driver thread panicked"))
+                .collect()
+        });
+    } else {
+        driver_threads = config.conns;
+        results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..config.conns)
+                .map(|conn| {
+                    let dist = &dist;
+                    let keys = &keys;
+                    let chaos = chaos.cloned();
+                    scope.spawn(move || {
+                        drive_connection(
+                            addr,
+                            config.seed ^ (u64::from(conn) + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15),
+                            dist,
+                            keys,
+                            started + duration,
+                            config.rate,
+                            chaos,
+                        )
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("loadgen connection thread panicked"))
+                .collect()
+        });
+    }
     let secs = started.elapsed().as_secs_f64();
     let after = query_stats(addr)?;
 
@@ -212,13 +260,17 @@ fn drive(
     latencies.sort_unstable();
     Ok(ServeBenchReport {
         workload: if config.skew { "skewed" } else { "uniform" }.to_string(),
-        mode: if config.rate.is_some() {
+        mode: if mux {
+            "pipelined"
+        } else if config.rate.is_some() {
             "open"
         } else {
             "closed"
         }
         .to_string(),
         conns: config.conns,
+        pipeline_depth: config.pipeline.max(1),
+        driver_threads,
         workers: config.workers as u32,
         shards: config.shards as u32,
         secs,
@@ -243,6 +295,137 @@ fn merge_resilience(total: &mut ResilienceCounters, conn: ResilienceCounters) {
     total.server_errors += conn.server_errors;
     total.breaker_open += conn.breaker_open;
     total.corrupt += conn.corrupt;
+}
+
+/// Above this many connections the thread-per-connection driver would
+/// need an absurd thread count; the multiplexed driver takes over.
+const MUX_THRESHOLD_CONNS: u32 = 256;
+
+/// Driver-thread ceiling for the multiplexed driver.
+const MUX_MAX_THREADS: usize = 32;
+
+/// One multiplexed connection: a buffered reader over the socket (writes
+/// go straight through `get_mut`) plus its id counter.
+struct MuxConn {
+    reader: BufReader<TcpStream>,
+    next_id: u64,
+}
+
+/// Connect with retries until `deadline`: a connection storm overflows
+/// the listener backlog, and the kernel answers some SYNs late or with a
+/// reset — retrying is part of holding N connections open, not cheating.
+fn connect_with_retry(addr: &str, deadline: Instant) -> Option<MuxConn> {
+    loop {
+        match TcpStream::connect(addr) {
+            Ok(stream) => {
+                let _ = stream.set_nodelay(true);
+                let _ = stream.set_read_timeout(Some(Duration::from_secs(10)));
+                return Some(MuxConn {
+                    reader: BufReader::new(stream),
+                    next_id: 0,
+                });
+            }
+            Err(_) if Instant::now() < deadline => {
+                std::thread::sleep(Duration::from_millis(2));
+            }
+            Err(_) => return None,
+        }
+    }
+}
+
+/// One driver thread's multiplexed loop over `conns` sockets: each round
+/// writes a batch of `pipeline` requests to *every* socket (so the whole
+/// chunk is in flight at once), then reads each socket's replies back
+/// and checks the ids echo **in order** — a reply out of order or
+/// unparseable counts as client-visible corruption. Latency is recorded
+/// per reply at batch granularity: the round-trip of the batch it rode
+/// in, which is the figure a pipelining client actually experiences.
+fn drive_mux_chunk(
+    addr: &str,
+    seed: u64,
+    dist: &WeightedIndex<u64>,
+    keys: &[(Arch, Primitive)],
+    conns: usize,
+    pipeline: usize,
+    stop_at: Instant,
+) -> ConnResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut result = ConnResult::default();
+    let connect_deadline = Instant::now() + Duration::from_secs(30);
+    let mut socks: Vec<Option<MuxConn>> = (0..conns)
+        .map(|_| connect_with_retry(addr, connect_deadline.min(stop_at)))
+        .collect();
+    let mut line = String::new();
+    let mut batch = String::new();
+    let mut sent: Vec<(u64, Instant)> = Vec::with_capacity(conns);
+    while Instant::now() < stop_at {
+        // Write phase: put a batch in flight on every live socket.
+        sent.clear();
+        for sock in &mut socks {
+            let Some(conn) = sock else {
+                sent.push((0, Instant::now()));
+                continue;
+            };
+            batch.clear();
+            let first_id = conn.next_id + 1;
+            for _ in 0..pipeline {
+                conn.next_id += 1;
+                let (arch, primitive) = keys[dist.sample(&mut rng)];
+                batch.push_str(&format!(
+                    "{{\"op\":\"measure\",\"arch\":\"{arch}\",\"primitive\":\"{}\",\"id\":{}}}\n",
+                    primitive.tag(),
+                    conn.next_id
+                ));
+            }
+            let when = Instant::now();
+            if conn.reader.get_mut().write_all(batch.as_bytes()).is_err() {
+                result.errors += 1;
+                *sock = None;
+            }
+            sent.push((first_id, when));
+        }
+        // Read phase: collect every batch, verifying order as we go.
+        for (index, sock) in socks.iter_mut().enumerate() {
+            let Some(conn) = sock.as_mut() else { continue };
+            let (first_id, when) = sent[index];
+            for offset in 0..pipeline {
+                line.clear();
+                match conn.reader.read_line(&mut line) {
+                    Ok(0) | Err(_) => {
+                        result.errors += 1;
+                        *sock = None;
+                        break;
+                    }
+                    Ok(_) => {
+                        let id_token = format!("\"id\":{},", first_id + offset as u64);
+                        if !line.contains(&id_token) {
+                            result.resilience.corrupt += 1;
+                            result.errors += 1;
+                            *sock = None;
+                            break;
+                        }
+                        if line.contains("\"ok\":true") {
+                            result.oks += 1;
+                            result.latencies_us.push(when.elapsed().as_micros() as u64);
+                        } else {
+                            result.errors += 1;
+                            result.resilience.server_errors += 1;
+                        }
+                    }
+                }
+            }
+        }
+        // A socket lost mid-run is re-dialed once per round, so a
+        // transient reset does not silently thin the connection count.
+        if Instant::now() < stop_at {
+            for sock in &mut socks {
+                if sock.is_none() {
+                    *sock = connect_with_retry(addr, Instant::now());
+                }
+            }
+        }
+    }
+    result
 }
 
 /// One connection's request loop, through the resilient client.
@@ -385,6 +568,14 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                     .parse()
                     .map_err(|_| "--conns expects a positive integer".to_string())?;
             }
+            "--pipeline" => {
+                config.pipeline = parse("--pipeline", rest.next())?
+                    .parse()
+                    .map_err(|_| "--pipeline expects a positive integer".to_string())?;
+                if config.pipeline == 0 {
+                    return Err("--pipeline must be at least 1".to_string());
+                }
+            }
             "--secs" => {
                 config.secs = parse("--secs", rest.next())?
                     .parse()
@@ -425,8 +616,8 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: {prog} [--addr HOST:PORT] [--conns N] \
-                     [--secs S] [--skew] [--rate R] [--workers N] [--shards N] [--seed N] \
-                     [--faults P] [--out PATH]"
+                     [--pipeline N] [--secs S] [--skew] [--rate R] [--workers N] [--shards N] \
+                     [--seed N] [--faults P] [--out PATH]"
                 ))
             }
         }

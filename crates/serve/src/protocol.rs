@@ -34,9 +34,15 @@ use osarch_cpu::Arch;
 use osarch_kernel::{trace_all, trace_primitive, Primitive};
 use osarch_trace::CounterRegistry;
 
-/// The largest request line the server will read before answering with an
-/// error envelope and dropping the connection.
+/// The largest request line the server will accept. An oversized line is
+/// answered with an error envelope; the connection is then resynchronized
+/// at the next newline ([`FrameBuf`] discards the oversized bytes as they
+/// stream past) and keeps serving.
 pub const MAX_REQUEST_BYTES: usize = 64 * 1024;
+
+/// Smallest read window [`FrameBuf::spare`] guarantees per call; also the
+/// growth quantum and the slack allowed beyond [`MAX_REQUEST_BYTES`].
+const MIN_SPARE: usize = 4096;
 
 /// One parsed query.
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -297,6 +303,215 @@ pub fn err_envelope(id: &str, message: &str) -> String {
 }
 
 // ---------------------------------------------------------------------------
+// Incremental line framing
+// ---------------------------------------------------------------------------
+
+/// One framing step from [`FrameBuf::next_frame`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frame {
+    /// No complete line buffered yet; read more bytes.
+    None,
+    /// A complete line (newline excluded), addressed as a byte range for
+    /// [`FrameBuf::bytes`]. Valid until the next `spare`/`next_frame`.
+    Line {
+        /// First byte of the line.
+        start: usize,
+        /// One past the last byte of the line.
+        end: usize,
+    },
+    /// A line exceeded [`MAX_REQUEST_BYTES`]. The oversized bytes are
+    /// consumed (streamed to the trash until the terminating newline);
+    /// the caller should answer "request too large" and keep framing —
+    /// the connection stays synchronized.
+    Oversized,
+}
+
+/// Incremental, allocation-recycling line framer for nonblocking reads.
+///
+/// The event loop reads whatever the socket has into [`spare`], commits
+/// the byte count, then drains complete lines with [`next_frame`] — many
+/// pipelined requests per read land as many `Line` frames, no per-request
+/// allocation. The buffer grows only for lines beyond its baseline and
+/// releases that capacity as soon as the backlog drains (an oversized
+/// request must not inflate the arena forever).
+///
+/// [`spare`]: FrameBuf::spare
+/// [`next_frame`]: FrameBuf::next_frame
+#[derive(Debug)]
+pub struct FrameBuf {
+    buf: Vec<u8>,
+    /// First unconsumed byte.
+    start: usize,
+    /// One past the last committed byte.
+    end: usize,
+    /// Resume the newline scan here (`start <= scan <= end`), so bytes
+    /// are scanned once no matter how fragmented the arrivals are.
+    scan: usize,
+    baseline: usize,
+    /// Inside an oversized line: throw bytes away until a newline.
+    discarding: bool,
+}
+
+impl FrameBuf {
+    /// A framer whose buffer rests at `baseline` bytes (clamped to at
+    /// least [`MIN_SPARE`]).
+    #[must_use]
+    pub fn new(baseline: usize) -> FrameBuf {
+        let baseline = baseline.max(MIN_SPARE);
+        FrameBuf {
+            buf: vec![0; baseline],
+            start: 0,
+            end: 0,
+            scan: 0,
+            baseline,
+            discarding: false,
+        }
+    }
+
+    /// The writable tail of the buffer — always at least [`MIN_SPARE`]
+    /// bytes. Read into it, then [`commit`](FrameBuf::commit) the count.
+    pub fn spare(&mut self) -> &mut [u8] {
+        if self.discarding {
+            // Scanned bytes of a discarded line never need to be kept.
+            self.start = self.scan;
+        }
+        if self.start == self.end {
+            self.start = 0;
+            self.end = 0;
+            self.scan = 0;
+            self.release_excess();
+        } else if self.buf.len() - self.end < MIN_SPARE && self.start > 0 {
+            self.buf.copy_within(self.start..self.end, 0);
+            self.end -= self.start;
+            self.scan -= self.start;
+            self.start = 0;
+        }
+        if self.buf.len() - self.end < MIN_SPARE {
+            let target = (self.buf.len() * 2)
+                .min(MAX_REQUEST_BYTES + 2 * MIN_SPARE)
+                .max(self.end + MIN_SPARE);
+            self.buf.resize(target, 0);
+        }
+        &mut self.buf[self.end..]
+    }
+
+    /// Record that `count` bytes were read into the slice returned by
+    /// the last [`spare`](FrameBuf::spare) call.
+    pub fn commit(&mut self, count: usize) {
+        self.end += count;
+        debug_assert!(self.end <= self.buf.len());
+    }
+
+    /// Extract the next complete line, if any.
+    pub fn next_frame(&mut self) -> Frame {
+        loop {
+            if let Some(offset) = self.buf[self.scan..self.end]
+                .iter()
+                .position(|&byte| byte == b'\n')
+            {
+                let newline = self.scan + offset;
+                if self.discarding {
+                    // Oversized line fully consumed: resynchronized.
+                    self.start = newline + 1;
+                    self.scan = newline + 1;
+                    self.discarding = false;
+                    self.release_excess();
+                    continue;
+                }
+                let (line_start, line_end) = (self.start, newline);
+                self.start = newline + 1;
+                self.scan = newline + 1;
+                if line_end - line_start > MAX_REQUEST_BYTES {
+                    // The whole line arrived in one gulp, newline and
+                    // all — consumed above, so no discard phase needed.
+                    return Frame::Oversized;
+                }
+                return Frame::Line {
+                    start: line_start,
+                    end: line_end,
+                };
+            }
+            self.scan = self.end;
+            if !self.discarding && self.end - self.start > MAX_REQUEST_BYTES {
+                // Partial line already too big: report once, then eat
+                // everything until the newline shows up.
+                self.discarding = true;
+                self.start = self.end;
+                return Frame::Oversized;
+            }
+            return Frame::None;
+        }
+    }
+
+    /// The bytes of a [`Frame::Line`] range.
+    #[must_use]
+    pub fn bytes(&self, start: usize, end: usize) -> &[u8] {
+        &self.buf[start..end]
+    }
+
+    /// At EOF, surface a trailing unterminated line (a client that sent
+    /// its last request without the newline and half-closed). `None` if
+    /// nothing is buffered, or the tail is oversized/being discarded.
+    pub fn take_eof_line(&mut self) -> Option<(usize, usize)> {
+        if self.discarding || self.start == self.end {
+            return None;
+        }
+        let range = (self.start, self.end);
+        self.start = self.end;
+        self.scan = self.end;
+        if range.1 - range.0 > MAX_REQUEST_BYTES {
+            return None;
+        }
+        Some(range)
+    }
+
+    /// Unconsumed bytes currently buffered.
+    #[must_use]
+    pub fn buffered(&self) -> usize {
+        self.end - self.start
+    }
+
+    /// Whether nothing is buffered (a mid-line partial counts as data).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.start == self.end && !self.discarding
+    }
+
+    /// Current allocation size, for arena accounting.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Forget all state and shed grown capacity: called when a framer is
+    /// returned to the connection arena for reuse.
+    pub fn reset(&mut self) {
+        self.start = 0;
+        self.end = 0;
+        self.scan = 0;
+        self.discarding = false;
+        self.release_excess();
+    }
+
+    /// Drop capacity grown past the baseline once the backlog fits again.
+    fn release_excess(&mut self) {
+        if self.buf.len() <= self.baseline {
+            return;
+        }
+        let buffered = self.end - self.start;
+        if buffered > self.baseline {
+            return;
+        }
+        self.buf.copy_within(self.start..self.end, 0);
+        self.scan -= self.start;
+        self.end = buffered;
+        self.start = 0;
+        self.buf.truncate(self.baseline);
+        self.buf.shrink_to_fit();
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Flat-object JSON reader
 // ---------------------------------------------------------------------------
 
@@ -545,5 +760,117 @@ mod tests {
                 "{query:?} payload must be one line"
             );
         }
+    }
+
+    /// Feed a framer from a byte slice in `chunk`-sized commits,
+    /// collecting every frame as an owned string (or `"<oversized>"`).
+    fn frames_from(frame_buf: &mut FrameBuf, data: &[u8], chunk: usize) -> Vec<String> {
+        let mut out = Vec::new();
+        let mut offset = 0;
+        while offset < data.len() {
+            let take = chunk.min(data.len() - offset);
+            let spare = frame_buf.spare();
+            assert!(spare.len() >= MIN_SPARE, "spare window shrank");
+            let take = take.min(spare.len());
+            spare[..take].copy_from_slice(&data[offset..offset + take]);
+            frame_buf.commit(take);
+            offset += take;
+            loop {
+                match frame_buf.next_frame() {
+                    Frame::None => break,
+                    Frame::Oversized => out.push("<oversized>".to_string()),
+                    Frame::Line { start, end } => {
+                        out.push(String::from_utf8_lossy(frame_buf.bytes(start, end)).into_owned());
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn framer_reassembles_one_byte_arrivals() {
+        let mut frame_buf = FrameBuf::new(64);
+        let frames = frames_from(&mut frame_buf, b"{\"op\":\"ping\"}\n", 1);
+        assert_eq!(frames, vec!["{\"op\":\"ping\"}".to_string()]);
+        assert!(frame_buf.is_empty());
+    }
+
+    #[test]
+    fn framer_splits_pipelined_burst_in_order() {
+        let mut frame_buf = FrameBuf::new(64);
+        let burst = b"{\"id\":1}\n{\"id\":2}\n{\"id\":3}\npartial";
+        let frames = frames_from(&mut frame_buf, burst, burst.len());
+        assert_eq!(frames, vec!["{\"id\":1}", "{\"id\":2}", "{\"id\":3}"]);
+        assert_eq!(frame_buf.buffered(), "partial".len());
+        let (start, end) = frame_buf.take_eof_line().expect("trailing partial");
+        assert_eq!(frame_buf.bytes(start, end), b"partial");
+    }
+
+    #[test]
+    fn framer_eof_line_surfaces_unterminated_tail() {
+        let mut frame_buf = FrameBuf::new(64);
+        let frames = frames_from(&mut frame_buf, b"{\"op\":\"ping\"}", 5);
+        assert!(frames.is_empty());
+        let (start, end) = frame_buf.take_eof_line().expect("tail line");
+        assert_eq!(frame_buf.bytes(start, end), b"{\"op\":\"ping\"}");
+        assert!(frame_buf.take_eof_line().is_none(), "tail consumed");
+    }
+
+    #[test]
+    fn framer_resyncs_after_oversized_line_and_releases_capacity() {
+        let baseline = MIN_SPARE;
+        let mut frame_buf = FrameBuf::new(baseline);
+        let mut stream = vec![b'x'; MAX_REQUEST_BYTES + 9000];
+        stream.push(b'\n');
+        stream.extend_from_slice(b"{\"op\":\"ping\",\"id\":7}\n");
+        let frames = frames_from(&mut frame_buf, &stream, 8 * 1024);
+        assert_eq!(
+            frames,
+            vec![
+                "<oversized>".to_string(),
+                "{\"op\":\"ping\",\"id\":7}".to_string()
+            ],
+            "exactly one error per oversized line, then resynced"
+        );
+        assert!(
+            frame_buf.capacity() <= MAX_REQUEST_BYTES + 2 * MIN_SPARE,
+            "discard mode must not grow the buffer unboundedly: {}",
+            frame_buf.capacity()
+        );
+        frame_buf.reset();
+        assert_eq!(
+            frame_buf.capacity(),
+            baseline,
+            "reset must shed capacity grown past the baseline"
+        );
+    }
+
+    #[test]
+    fn framer_flags_oversized_line_that_arrives_whole() {
+        let mut frame_buf = FrameBuf::new(64);
+        let mut stream = vec![b'y'; MAX_REQUEST_BYTES + 1];
+        stream.push(b'\n');
+        stream.extend_from_slice(b"{}\n");
+        // One giant commit: line + newline land together.
+        let spare_needed = stream.len();
+        let mut offset = 0;
+        let mut frames = Vec::new();
+        while offset < spare_needed {
+            let spare = frame_buf.spare();
+            let take = spare.len().min(spare_needed - offset);
+            spare[..take].copy_from_slice(&stream[offset..offset + take]);
+            frame_buf.commit(take);
+            offset += take;
+            loop {
+                match frame_buf.next_frame() {
+                    Frame::None => break,
+                    Frame::Oversized => frames.push("<oversized>".to_string()),
+                    Frame::Line { start, end } => frames
+                        .push(String::from_utf8_lossy(frame_buf.bytes(start, end)).into_owned()),
+                }
+            }
+        }
+        assert_eq!(frames, vec!["<oversized>", "{}"]);
     }
 }

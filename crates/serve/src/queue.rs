@@ -1,10 +1,14 @@
 //! A bounded MPMC queue with explicit backpressure and shutdown.
 //!
-//! The accept loop `try_push`es connections; when the queue is full the
-//! push fails *immediately* and the server answers "busy" instead of
-//! letting unbounded work pile up — bounded queues are the serving-layer
-//! version of the paper's point that unmanaged fixed overheads swamp a
-//! system under load. Workers `pop`, blocking until work or close.
+//! In the event-driven core this queue plays two roles: the accept
+//! thread `try_push`es admitted connections into a per-loop *handoff*
+//! (drained nonblockingly with [`BoundedQueue::try_pop`] after a waker
+//! nudge), and data-query misses travel through the bounded compute
+//! *job queue* that the offload pool `pop`s (blocking until work or
+//! close). In both roles a full queue fails the push *immediately* and
+//! the server answers "busy" instead of letting unbounded work pile up
+//! — bounded queues are the serving-layer version of the paper's point
+//! that unmanaged fixed overheads swamp a system under load.
 
 use std::collections::VecDeque;
 use std::sync::{Condvar, Mutex};
@@ -73,6 +77,17 @@ impl<T> BoundedQueue<T> {
         }
     }
 
+    /// Pop without blocking: `None` when the queue is currently empty,
+    /// whether or not it is closed. Event loops drain their handoff
+    /// with this after a waker nudge — they must never block here.
+    pub fn try_pop(&self) -> Option<T> {
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .items
+            .pop_front()
+    }
+
     /// Close the queue: pending items still drain, new pushes fail, and
     /// every blocked `pop` wakes.
     pub fn close(&self) {
@@ -114,6 +129,17 @@ mod tests {
         assert_eq!(q.try_push(3), Err(3));
         assert_eq!(q.pop(), Some(1));
         assert!(q.try_push(3).is_ok());
+    }
+
+    #[test]
+    fn try_pop_never_blocks() {
+        let q = BoundedQueue::new(2);
+        assert_eq!(q.try_pop(), None::<i32>);
+        q.try_push(7).unwrap();
+        assert_eq!(q.try_pop(), Some(7));
+        assert_eq!(q.try_pop(), None);
+        q.close();
+        assert_eq!(q.try_pop(), None, "closed and empty is still just None");
     }
 
     #[test]

@@ -1,43 +1,68 @@
-//! The concurrent query server.
+//! The event-driven query server core.
 //!
-//! A [`Server`] is a `std::net::TcpListener` accept loop feeding a
-//! bounded connection queue drained by a fixed pool of worker threads.
-//! Workers answer line-JSON requests (see [`crate::protocol`]) from the
-//! sharded single-flight cache, time every request against a service
-//! deadline, and record counters/latencies/spans in [`ServeStats`].
+//! A [`Server`] is a `std::net::TcpListener` accept thread feeding a set
+//! of sharded event loops — one per configured worker — over per-loop
+//! handoff queues. Each loop drives its connections with nonblocking
+//! sockets and the `osarch-poll` readiness shim (epoll on Linux, a
+//! portable tick fallback elsewhere): requests are line-JSON (see
+//! [`crate::protocol`]), framed incrementally so a connection can keep
+//! **many pipelined requests in flight** and replies are batched into a
+//! single write per readiness pass. Per-connection read/write buffers
+//! come from a per-loop arena and are recycled on disconnect — the hot
+//! path allocates for reply strings, never for framing.
+//!
+//! The loops never block on anything but the poller:
+//!
+//! * control queries (`ping`, `stats`, `spans`, `health`, `shutdown`)
+//!   and already-landed cache entries ([`ShardedCache::try_get`]) are
+//!   answered inline on the loop;
+//! * a data-query miss is offloaded to a small compute pool through the
+//!   bounded job queue; the pool runs the blocking single-flight path
+//!   (coalescing concurrent misses), then posts a completion to the
+//!   owning loop's mailbox and nudges its waker. Ordered reply *tickets*
+//!   per connection keep pipelined responses in request order even when
+//!   computations finish out of order.
 //!
 //! The server is built to survive misbehaviour, injected or real:
 //!
-//! * every request is answered under `catch_unwind` — a panicking
-//!   computation produces an error envelope (or a degraded stale reply),
-//!   never a dead worker;
-//! * a worker that *does* die (a panic outside the per-request guard)
-//!   respawns in place, keeping the pool at full strength;
-//! * writes carry a deadline (`SO_SNDTIMEO`), so a stalled client cannot
-//!   wedge a worker — or block shutdown — by never draining its socket;
+//! * request handling runs under `catch_unwind` — a panicking handler
+//!   produces an error envelope, never a dead loop;
+//! * a loop that *does* die respawns in place with a fresh poller; a
+//!   per-loop generation counter keeps late completions from being
+//!   misdelivered to a recycled connection slot;
+//! * progress-based timers: any byte read resets the idle clock (only a
+//!   truly silent connection is disconnected at `idle_timeout`), and a
+//!   client that stops draining its socket is disconnected after
+//!   `write_timeout` without write progress — so a stalled client can
+//!   neither wedge a loop nor block shutdown;
+//! * an oversized request line gets an error envelope and the connection
+//!   is *resynchronized* at the next newline, buffer capacity released;
 //! * a failed recomputation degrades to the last good cached value,
 //!   explicitly flagged, rather than failing the request outright;
-//! * the `health` op reports queue depth, worker liveness and the
-//!   panic/degraded/respawn counters in one line.
+//! * admission control bounds open connections (`queue_depth` is the
+//!   global connection budget); the surplus is answered `busy`.
 //!
 //! Fault injection ([`osarch_chaos::ChaosController`]) threads through
-//! the accept loop, the compute path, the response writer and the worker
-//! pool; with no controller configured every hook is a single branch.
+//! the accept path, the compute pool, the response writer and the loop
+//! lifecycle; with no controller configured every hook is one branch.
 //!
 //! Shutdown is cooperative: a `shutdown` request (or
-//! [`ServerHandle::shutdown`]) flips the shutdown flag, closes the queue
-//! so idle workers exit, and pokes the accept loop awake with a loopback
-//! connection. In-flight connections finish their current request.
+//! [`ServerHandle::shutdown`]) flips the flag, closes the job queue and
+//! the handoffs, wakes every loop, and pokes the accept thread with a
+//! loopback connection. Loops flush completed replies and exit.
 
 use crate::cache::{Fetched, ShardedCache};
-use crate::protocol::{self, Query, MAX_REQUEST_BYTES};
+use crate::protocol::{self, Frame, FrameBuf, Query};
+use crate::queue::BoundedQueue;
 use crate::stats::ServeStats;
 use osarch_chaos::{ChaosController, Failpoint};
-use std::io::{BufRead, BufReader, BufWriter, Read, Write};
+use osarch_poll::{fd_of, new_poller, Event, Interest, Readiness, Token, WakeRx, Waker};
+use std::collections::VecDeque;
+use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::panic::AssertUnwindSafe;
-use std::sync::atomic::{AtomicBool, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
@@ -45,22 +70,29 @@ use std::time::{Duration, Instant};
 pub struct ServerConfig {
     /// Listen address (`127.0.0.1:0` picks an ephemeral port).
     pub addr: String,
-    /// Worker threads draining the connection queue.
+    /// Event loops (one poller + connection set each).
     pub workers: usize,
     /// Cache shards.
     pub shards: usize,
-    /// Bounded connection-queue depth; connections beyond it are answered
-    /// with a `busy` error envelope and dropped (backpressure).
+    /// Global open-connection budget; connections beyond it are answered
+    /// with a `busy` error envelope and dropped (backpressure). Kept
+    /// under its historical name: in the thread-per-connection core this
+    /// bounded the handoff queue, which was the same admission decision.
     pub queue_depth: usize,
     /// Per-request service deadline; a request that takes longer is
     /// answered with a `deadline exceeded` error envelope.
     pub deadline: Duration,
-    /// Idle read timeout per connection; a silent client is disconnected.
+    /// Idle timeout per connection, measured from the **last byte
+    /// read**: a client making byte-level progress mid-request is never
+    /// idle, only a truly silent connection is disconnected.
     pub idle_timeout: Duration,
-    /// Write deadline per connection; a client that stops draining its
-    /// socket is disconnected instead of wedging the worker (and, with
-    /// it, shutdown).
+    /// Write-progress deadline per connection; a client that stops
+    /// draining its socket is disconnected instead of wedging the loop
+    /// (and, with it, shutdown).
     pub write_timeout: Duration,
+    /// Compute-pool threads for offloaded data queries (`0` = one per
+    /// event loop).
+    pub compute_threads: usize,
     /// Fault-injection schedule; `None` serves faithfully.
     pub chaos: Option<Arc<ChaosController>>,
 }
@@ -75,16 +107,137 @@ impl Default for ServerConfig {
             deadline: Duration::from_secs(30),
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
+            compute_threads: 0,
             chaos: None,
         }
     }
 }
 
-/// State shared by the accept loop, the workers and the handle.
+/// The poll tick: the longest a loop sleeps before re-checking its
+/// mailbox, timers and the shutdown flag.
+const TICK: Duration = Duration::from_millis(100);
+
+/// Waker registration token; connection tokens start above it.
+const WAKER_TOKEN: Token = 0;
+const TOKEN_BASE: usize = 1;
+
+/// Resting capacity of an arena read framer.
+const READ_BASELINE: usize = 8 * 1024;
+
+/// Resting capacity of an arena write buffer; buffers grown well past it
+/// are shrunk back when they drain or retire.
+const WRITE_BASELINE: usize = 16 * 1024;
+
+/// Stop parsing new requests from a connection whose un-flushed reply
+/// backlog exceeds this (resume when it drains): per-connection flow
+/// control so a slow reader cannot balloon the server.
+const WRITE_HIGH_WATER: usize = 256 * 1024;
+
+/// Retired buffer pairs kept per loop for reuse.
+const ARENA_MAX: usize = 1024;
+
+/// Safety net for a compute job whose completion never arrives (the
+/// pool posts an error completion even on panic, so this should be
+/// unreachable): convert the ticket to an error after deadline + grace.
+const LOST_JOB_GRACE: Duration = Duration::from_secs(60);
+
+/// One reply slot in a connection's ordered pipeline.
+enum Ticket {
+    /// Rendered envelope, ready to batch into the write buffer. Replies
+    /// the old core exposed to write-path chaos (successful envelopes)
+    /// set `chaos`; error envelopes are always delivered faithfully.
+    Done { envelope: String, chaos: bool },
+    /// Waiting on an offloaded computation.
+    Waiting {
+        seq: u64,
+        id: String,
+        queued_at: Instant,
+    },
+}
+
+/// One served connection, owned by exactly one event loop.
+struct Conn {
+    stream: TcpStream,
+    token: Token,
+    /// Loop-generation stamp: completions carry it so a recycled slot
+    /// can never receive a predecessor's reply.
+    gen: u64,
+    frames: FrameBuf,
+    write_buf: Vec<u8>,
+    write_pos: usize,
+    pending: VecDeque<Ticket>,
+    next_seq: u64,
+    last_read: Instant,
+    last_write: Instant,
+    interest: Interest,
+    read_closed: bool,
+    /// Handler panicked: answer, flush, hang up.
+    poisoned: bool,
+    /// Chaos tore the response: flush the prefix, hang up.
+    torn: bool,
+    /// Hard I/O error: drop immediately.
+    dead: bool,
+    /// Chaos write stall: no flush attempts until this instant.
+    stalled_until: Option<Instant>,
+    _permit: Permit,
+}
+
+impl Conn {
+    fn write_backlog(&self) -> usize {
+        self.write_buf.len() - self.write_pos
+    }
+}
+
+/// Releases one unit of the open-connection budget on drop, wherever the
+/// connection dies — handoff, event loop, or an unwinding loop thread.
+struct Permit(Arc<AtomicUsize>);
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.0.fetch_sub(1, Ordering::SeqCst);
+    }
+}
+
+/// One offloaded data-query computation.
+struct Job {
+    loop_index: usize,
+    token: Token,
+    gen: u64,
+    seq: u64,
+    key: String,
+    query: Query,
+    id: String,
+    op: &'static str,
+    started: Instant,
+    start_us: u64,
+}
+
+/// A finished computation on its way back to the owning loop.
+struct Completion {
+    token: Token,
+    gen: u64,
+    seq: u64,
+    id: String,
+    op: &'static str,
+    started: Instant,
+    start_us: u64,
+    fetched: Fetched,
+}
+
+/// Per-loop shared state: the accept handoff, the completion mailbox,
+/// and the waker that interrupts the loop's poll wait.
+struct LoopShared {
+    handoff: BoundedQueue<(TcpStream, Permit)>,
+    completions: Mutex<Vec<Completion>>,
+    waker: Waker,
+    /// Monotonic across respawns, so stale completions can't misroute.
+    gen: AtomicU64,
+}
+
+/// State shared by the accept thread, the loops, the pool and the handle.
 struct Shared {
     cache: ShardedCache,
     stats: Arc<ServeStats>,
-    queue: crate::queue::BoundedQueue<TcpStream>,
     shutdown: AtomicBool,
     deadline: Duration,
     idle_timeout: Duration,
@@ -94,6 +247,10 @@ struct Shared {
     chaos: Option<Arc<ChaosController>>,
     /// The bound address, for the shutdown poke that wakes the accept loop.
     addr: SocketAddr,
+    conn_budget: usize,
+    open_conns: Arc<AtomicUsize>,
+    jobs: BoundedQueue<Job>,
+    loops: Vec<LoopShared>,
 }
 
 impl Shared {
@@ -122,37 +279,78 @@ impl Shared {
         }
         delay
     }
+
+    fn open_conns(&self) -> usize {
+        self.open_conns.load(Ordering::SeqCst)
+    }
+}
+
+fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
+    mutex
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner)
 }
 
 /// The server factory. See [`Server::start`].
 pub struct Server;
 
 impl Server {
-    /// Bind `config.addr`, spawn the accept loop and worker pool, and
-    /// return a handle. Serving begins immediately.
+    /// Bind `config.addr`, spawn the accept thread, the event loops and
+    /// the compute pool, and return a handle. Serving begins immediately.
     pub fn start(config: &ServerConfig) -> std::io::Result<ServerHandle> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        let workers = config.workers.max(1);
+        let conn_budget = config.queue_depth.max(1);
+        let open_conns = Arc::new(AtomicUsize::new(0));
+        let mut wake_rxs = Vec::with_capacity(workers);
+        let mut loops = Vec::with_capacity(workers);
+        for _ in 0..workers {
+            let (waker, wake_rx) = osarch_poll::waker()?;
+            wake_rxs.push(wake_rx);
+            loops.push(LoopShared {
+                handoff: BoundedQueue::new(conn_budget.max(64)),
+                completions: Mutex::new(Vec::new()),
+                waker,
+                gen: AtomicU64::new(0),
+            });
+        }
+        let compute_threads = if config.compute_threads == 0 {
+            workers
+        } else {
+            config.compute_threads
+        };
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.shards),
             stats: Arc::new(ServeStats::new()),
-            queue: crate::queue::BoundedQueue::new(config.queue_depth),
             shutdown: AtomicBool::new(false),
             deadline: config.deadline,
             idle_timeout: config.idle_timeout,
             write_timeout: config.write_timeout,
-            workers: config.workers.max(1),
+            workers,
             started: Instant::now(),
             chaos: config.chaos.clone(),
             addr,
+            conn_budget,
+            open_conns,
+            jobs: BoundedQueue::new((conn_budget * 4).max(1024)),
+            loops,
         });
-        let mut threads = Vec::with_capacity(shared.workers + 1);
-        for worker in 0..shared.workers {
+        let mut threads = Vec::with_capacity(workers + compute_threads + 1);
+        for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             threads.push(
                 std::thread::Builder::new()
-                    .name(format!("serve-worker-{worker}"))
-                    .spawn(move || worker_main(&shared))?,
+                    .name(format!("serve-loop-{index}"))
+                    .spawn(move || loop_main(&shared, index, &wake_rx))?,
+            );
+        }
+        for index in 0..compute_threads {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name(format!("serve-compute-{index}"))
+                    .spawn(move || pool_main(&shared))?,
             );
         }
         {
@@ -218,6 +416,12 @@ impl ServerHandle {
         )
     }
 
+    /// Connections currently admitted against the budget.
+    #[must_use]
+    pub fn open_connections(&self) -> usize {
+        self.shared.open_conns()
+    }
+
     /// A shareable view of the serving counters that outlives the handle
     /// — the chaos soak reads worker liveness *after* [`ServerHandle::stop`].
     #[must_use]
@@ -225,8 +429,8 @@ impl ServerHandle {
         Arc::clone(&self.shared.stats)
     }
 
-    /// Begin a graceful shutdown (idempotent): stop accepting, let
-    /// drained workers exit, finish in-flight connections.
+    /// Begin a graceful shutdown (idempotent): stop accepting, wake and
+    /// drain every loop, let the compute pool run dry.
     pub fn shutdown(&self) {
         initiate_shutdown(&self.shared);
     }
@@ -250,12 +454,21 @@ fn initiate_shutdown(shared: &Shared) {
     if shared.shutdown.swap(true, Ordering::SeqCst) {
         return; // already shutting down
     }
-    shared.queue.close();
+    shared.jobs.close();
+    for loop_shared in &shared.loops {
+        loop_shared.handoff.close();
+        loop_shared.waker.wake();
+    }
     // Poke the accept loop awake; it re-checks the flag after accept.
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
 }
 
+// ---------------------------------------------------------------------------
+// Accept thread: admission control + round-robin handoff
+// ---------------------------------------------------------------------------
+
 fn accept_loop(listener: &TcpListener, shared: &Shared) {
+    let mut next_loop = 0usize;
     loop {
         let stream = match listener.accept() {
             Ok((stream, _)) => stream,
@@ -275,34 +488,118 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             drop(stream);
             continue;
         }
-        if let Err(stream) = shared.queue.try_push(stream) {
-            // Backpressure: answer busy and hang up rather than queueing
-            // unbounded work.
-            shared.stats.record_rejected();
-            let mut stream = stream;
-            let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
-            let _ = writeln!(
-                stream,
-                "{}",
-                protocol::err_envelope("null", "server busy: connection queue full")
-            );
+        // Admission: reserve a budget slot optimistically, back out on
+        // overflow. The Permit returns the slot wherever the connection
+        // ends up dying.
+        let open = shared.open_conns.fetch_add(1, Ordering::SeqCst);
+        if open >= shared.conn_budget {
+            shared.open_conns.fetch_sub(1, Ordering::SeqCst);
+            reject_busy(shared, stream);
+            continue;
+        }
+        shared.stats.record_conn_opened();
+        let mut item = Some((stream, Permit(Arc::clone(&shared.open_conns))));
+        for _ in 0..shared.loops.len() {
+            let index = next_loop % shared.loops.len();
+            next_loop = next_loop.wrapping_add(1);
+            match shared.loops[index]
+                .handoff
+                .try_push(item.take().expect("unplaced"))
+            {
+                Ok(()) => {
+                    shared.loops[index].waker.wake();
+                    break;
+                }
+                Err(returned) => item = Some(returned),
+            }
+        }
+        if let Some((stream, permit)) = item {
+            // Every handoff is full (or closed): shed the connection.
+            drop(permit);
+            reject_busy(shared, stream);
         }
     }
 }
 
-/// One worker thread: serve until the queue closes, reincarnating after
-/// any escape of the per-request panic isolation (including injected
-/// worker deaths). The liveness gauge brackets the whole tenure, so
-/// `health` sees a respawning worker as continuously live.
-fn worker_main(shared: &Shared) {
+/// Backpressure: answer busy and hang up rather than queueing unbounded
+/// work. The message keeps its historical wording — the budget *is* the
+/// connection queue of the old core.
+fn reject_busy(shared: &Shared, mut stream: TcpStream) {
+    shared.stats.record_rejected();
+    let _ = stream.set_write_timeout(Some(Duration::from_millis(200)));
+    let _ = writeln!(
+        stream,
+        "{}",
+        protocol::err_envelope("null", "server busy: connection queue full")
+    );
+}
+
+// ---------------------------------------------------------------------------
+// Compute pool: the only place the blocking cache path runs
+// ---------------------------------------------------------------------------
+
+fn pool_main(shared: &Shared) {
+    while let Some(job) = shared.jobs.pop() {
+        // The cache contains computation panics itself; this outer guard
+        // is for everything unexpected, so a completion is *always*
+        // posted and no ticket waits forever.
+        let fetched = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            compute_job(shared, &job.key, &job.query)
+        }))
+        .unwrap_or_else(|_| Fetched::Failed("internal error: compute worker panicked".to_string()));
+        let target = &shared.loops[job.loop_index];
+        lock(&target.completions).push(Completion {
+            token: job.token,
+            gen: job.gen,
+            seq: job.seq,
+            id: job.id,
+            op: job.op,
+            started: job.started,
+            start_us: job.start_us,
+            fetched,
+        });
+        target.waker.wake();
+    }
+}
+
+fn compute_job(shared: &Shared, key: &str, query: &Query) -> Fetched {
+    shared.cache.get_or_compute_resilient(key, || {
+        if let Some(delay) = shared.inject_delay(
+            Failpoint::ComputeDelay,
+            COMPUTE_DELAY_MIN,
+            COMPUTE_DELAY_MAX,
+        ) {
+            // Chaos: stall the computation (typically past the service
+            // deadline).
+            std::thread::sleep(delay);
+        }
+        if shared.inject(Failpoint::ComputePanic) {
+            // Chaos: the single-flight leader dies mid-compute.
+            panic!("chaos: injected computation panic");
+        }
+        query.compute()
+    })
+}
+
+// ---------------------------------------------------------------------------
+// Event loops
+// ---------------------------------------------------------------------------
+
+/// One event-loop thread: serve until shutdown, reincarnating after any
+/// escape of the per-request panic isolation (including injected worker
+/// deaths). The liveness gauge brackets the whole tenure, so `health`
+/// sees a respawning loop as continuously live.
+fn loop_main(shared: &Shared, index: usize, wake_rx: &WakeRx) {
     shared.stats.worker_started();
     loop {
-        let exit = std::panic::catch_unwind(AssertUnwindSafe(|| worker_loop(shared)));
+        let exit =
+            std::panic::catch_unwind(AssertUnwindSafe(|| event_loop(shared, index, wake_rx)));
         match exit {
-            Ok(()) => break, // queue closed and drained — clean exit
+            Ok(()) => break, // shutdown — clean exit
             Err(_) => {
-                // The worker died mid-tenure; respawn in place rather
-                // than shrinking the pool.
+                // The loop died mid-tenure (its connections die with it;
+                // their permits release on unwind). Respawn in place
+                // with a fresh poller rather than shrinking the pool.
                 shared.stats.record_worker_respawn();
             }
         }
@@ -310,155 +607,425 @@ fn worker_main(shared: &Shared) {
     shared.stats.worker_stopped();
 }
 
-fn worker_loop(shared: &Shared) {
-    // A client that goes away mid-exchange surfaces as an io::Error here;
-    // the worker just moves on to the next queued connection. The loop
-    // ends when the queue is closed and drained.
-    while let Some(stream) = shared.queue.pop() {
-        let _ = serve_connection(shared, stream);
-        if shared.inject(Failpoint::WorkerDeath) {
-            // Chaos: kill the worker between connections. worker_main
-            // catches the unwind and respawns.
-            panic!("chaos: injected worker death");
-        }
-    }
-}
+fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
+    let me = &shared.loops[index];
+    let mut poller = new_poller();
+    let _ = poller.register(wake_rx.fd(), WAKER_TOKEN, Interest::READ);
+    let mut conns: Vec<Option<Conn>> = Vec::new();
+    let mut free_slots: Vec<usize> = Vec::new();
+    let mut arena: Vec<(FrameBuf, Vec<u8>)> = Vec::new();
+    let mut events: Vec<Event> = Vec::new();
+    let mut last_sweep = Instant::now();
 
-/// How often a worker blocked on an idle connection wakes to re-check
-/// the shutdown flag. Reads poll at this grain (accumulating toward the
-/// idle timeout), so shutdown never waits behind a silent client.
-const READ_POLL: Duration = Duration::from_millis(100);
-
-/// Answer requests on one connection until EOF, error or shutdown.
-fn serve_connection(shared: &Shared, stream: TcpStream) -> std::io::Result<()> {
-    // Reads wake every `READ_POLL` so shutdown is never held hostage by
-    // an idle connection; `read_request_line` accumulates the polls into
-    // the real idle timeout.
-    stream.set_read_timeout(Some(READ_POLL.min(shared.idle_timeout)))?;
-    // The write deadline is what keeps a stalled client from wedging this
-    // worker: a blocked send errors out instead of blocking forever, so
-    // the worker returns to the queue — and shutdown can complete.
-    stream.set_write_timeout(Some(shared.write_timeout))?;
-    let mut reader = BufReader::new(stream.try_clone()?);
-    let mut writer = BufWriter::new(stream);
     loop {
-        let mut line = Vec::new();
-        let n = match read_request_line(shared, &mut reader, &mut line)? {
-            Some(n) => n,
-            None => return Ok(()), // shutdown while the connection was idle
-        };
-        if n == 0 {
-            return Ok(()); // clean EOF
+        let _ = poller.wait(&mut events, Some(TICK));
+        wake_rx.drain();
+
+        // Adopt handed-off connections.
+        while let Some((stream, permit)) = me.handoff.try_pop() {
+            adopt(
+                shared,
+                me,
+                poller.as_mut(),
+                &mut conns,
+                &mut free_slots,
+                &mut arena,
+                stream,
+                permit,
+            );
         }
-        if line.len() > MAX_REQUEST_BYTES {
-            shared.stats.record_error();
-            writeln!(
-                writer,
-                "{}",
-                protocol::err_envelope(
-                    "null",
-                    &format!("request too large (limit {MAX_REQUEST_BYTES} bytes)")
-                )
-            )?;
-            writer.flush()?;
-            return Ok(()); // the rest of the oversized line is unframed — hang up
+
+        // Deliver compute completions into their tickets.
+        let completions = std::mem::take(&mut *lock(&me.completions));
+        for completion in completions {
+            let Some(slot) = completion.token.checked_sub(TOKEN_BASE) else {
+                continue;
+            };
+            let Some(mut conn) = conns.get_mut(slot).and_then(Option::take) else {
+                continue;
+            };
+            if conn.gen == completion.gen {
+                settle_ticket(shared, &mut conn, &completion);
+            }
+            service_conn(shared, poller.as_mut(), &mut conn);
+            park_or_retire(
+                shared,
+                poller.as_mut(),
+                &mut conns,
+                &mut free_slots,
+                &mut arena,
+                slot,
+                conn,
+            );
         }
-        let text = String::from_utf8_lossy(&line);
-        let text = text.trim();
-        if text.is_empty() {
-            continue;
+
+        // Readiness events.
+        for event in events.iter().copied() {
+            if event.token == WAKER_TOKEN {
+                continue;
+            }
+            let slot = event.token - TOKEN_BASE;
+            let Some(mut conn) = conns.get_mut(slot).and_then(Option::take) else {
+                continue;
+            };
+            if event.readable {
+                on_readable(shared, index, &mut conn);
+            }
+            service_conn(shared, poller.as_mut(), &mut conn);
+            park_or_retire(
+                shared,
+                poller.as_mut(),
+                &mut conns,
+                &mut free_slots,
+                &mut arena,
+                slot,
+                conn,
+            );
         }
-        // Per-request panic isolation: whatever the request path does,
-        // this worker answers (or hangs up) and lives to serve the next
-        // connection. Computation panics are already contained inside the
-        // cache; this guard catches everything else.
-        let answered =
-            std::panic::catch_unwind(AssertUnwindSafe(|| answer(shared, text, &mut writer)));
-        let shutting_down = match answered {
-            Ok(result) => result?,
-            Err(_) => {
-                shared.stats.record_panic();
-                shared.stats.record_error();
-                let _ = writeln!(
-                    writer,
-                    "{}",
-                    protocol::err_envelope("null", "internal error: request handler panicked")
+
+        if shared.shutdown.load(Ordering::SeqCst) {
+            // Courtesy pass: flush whatever is already complete (the
+            // in-band shutdown acknowledgement most importantly), then
+            // drop everything. Permits release as connections drop.
+            for parked in &mut conns {
+                if let Some(mut conn) = parked.take() {
+                    conn.stalled_until = None;
+                    service_conn(shared, poller.as_mut(), &mut conn);
+                }
+            }
+            return;
+        }
+
+        // Housekeeping sweep: expired write stalls, progress-based idle
+        // and write timeouts, lost-completion safety net.
+        let now = Instant::now();
+        if now.duration_since(last_sweep) >= TICK {
+            last_sweep = now;
+            for slot in 0..conns.len() {
+                let Some(mut conn) = conns.get_mut(slot).and_then(Option::take) else {
+                    continue;
+                };
+                sweep_conn(shared, &mut conn, now);
+                service_conn(shared, poller.as_mut(), &mut conn);
+                park_or_retire(
+                    shared,
+                    poller.as_mut(),
+                    &mut conns,
+                    &mut free_slots,
+                    &mut arena,
+                    slot,
+                    conn,
                 );
-                let _ = writer.flush();
-                // The connection state is unknown after a panic — hang up.
-                return Ok(());
             }
-        };
-        writer.flush()?;
-        if shutting_down || shared.shutdown.load(Ordering::SeqCst) {
-            return Ok(());
         }
     }
 }
 
-/// Read one newline-terminated request (up to the framing limit),
-/// tolerating arbitrary segmentation: the line may arrive one byte per
-/// segment, or glued to the next request in one segment (`BufReader`
-/// holds the surplus for the next call). Returns `Ok(None)` when
-/// shutdown was flagged while waiting, `Ok(Some(0))` on clean EOF, and
-/// `Ok(Some(n))` with the (possibly oversized) line otherwise. A client
-/// silent for the full idle timeout yields the underlying timeout error.
-fn read_request_line(
+/// Per-tick connection timers. Idle accounting is progress-based: the
+/// clock runs from the last byte *read*, so a client trickling a request
+/// one byte at a time is never "idle" — only true silence disconnects.
+fn sweep_conn(shared: &Shared, conn: &mut Conn, now: Instant) {
+    // A connection with nothing owed to it and no bytes for the idle
+    // window is disconnected (a mid-request partial counts as silence —
+    // the *clock* still only runs from the last byte received).
+    let awaiting_input =
+        conn.pending.is_empty() && conn.write_backlog() == 0 && !conn.read_closed && !conn.torn;
+    if awaiting_input && now.duration_since(conn.last_read) >= shared.idle_timeout {
+        conn.dead = true;
+        return;
+    }
+    // Write-progress deadline: a stalled client stops draining, the
+    // backlog freezes, and the connection is cut — shutdown never waits
+    // behind it. An injected write stall suspends the clock.
+    if conn.write_backlog() > 0
+        && conn.stalled_until.is_none()
+        && now.duration_since(conn.last_write) >= shared.write_timeout
+    {
+        conn.dead = true;
+        return;
+    }
+    // Lost-completion safety net (normally unreachable: the pool always
+    // posts a completion, even for panics).
+    if let Some(Ticket::Waiting { queued_at, id, .. }) = conn.pending.front() {
+        if now.duration_since(*queued_at) >= shared.deadline + LOST_JOB_GRACE {
+            shared.stats.record_error();
+            let envelope = protocol::err_envelope(id, "internal error: compute result lost");
+            conn.pending[0] = Ticket::Done {
+                envelope,
+                chaos: false,
+            };
+        }
+    }
+}
+
+/// Put the connection back in its slot, or retire it if finished.
+#[allow(clippy::too_many_arguments)]
+fn park_or_retire(
     shared: &Shared,
-    reader: &mut BufReader<TcpStream>,
-    line: &mut Vec<u8>,
-) -> std::io::Result<Option<usize>> {
-    let waiting_since = Instant::now();
+    poller: &mut dyn Readiness,
+    conns: &mut [Option<Conn>],
+    free_slots: &mut Vec<usize>,
+    arena: &mut Vec<(FrameBuf, Vec<u8>)>,
+    slot: usize,
+    conn: Conn,
+) {
+    let flushed = conn.write_backlog() == 0;
+    let finished = conn.dead
+        || ((conn.torn || conn.poisoned) && flushed)
+        || (conn.read_closed && conn.pending.is_empty() && flushed);
+    if finished {
+        retire_conn(shared, poller, free_slots, arena, slot, conn);
+    } else {
+        conns[slot] = Some(conn);
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn adopt(
+    shared: &Shared,
+    me: &LoopShared,
+    poller: &mut dyn Readiness,
+    conns: &mut Vec<Option<Conn>>,
+    free_slots: &mut Vec<usize>,
+    arena: &mut Vec<(FrameBuf, Vec<u8>)>,
+    stream: TcpStream,
+    permit: Permit,
+) {
+    if stream.set_nonblocking(true).is_err() {
+        return; // permit drops, budget released
+    }
+    // Replies are batched already; never let Nagle delay the batch.
+    let _ = stream.set_nodelay(true);
+    let slot = free_slots.pop().unwrap_or_else(|| {
+        conns.push(None);
+        conns.len() - 1
+    });
+    let token = slot + TOKEN_BASE;
+    let gen = me.gen.fetch_add(1, Ordering::Relaxed) + 1;
+    let (frames, write_buf) = arena.pop().unwrap_or_else(|| {
+        (
+            FrameBuf::new(READ_BASELINE),
+            Vec::with_capacity(WRITE_BASELINE),
+        )
+    });
+    let now = Instant::now();
+    let conn = Conn {
+        stream,
+        token,
+        gen,
+        frames,
+        write_buf,
+        write_pos: 0,
+        pending: VecDeque::new(),
+        next_seq: 0,
+        last_read: now,
+        last_write: now,
+        interest: Interest::READ,
+        read_closed: false,
+        poisoned: false,
+        torn: false,
+        dead: false,
+        stalled_until: None,
+        _permit: permit,
+    };
+    if poller
+        .register(fd_of(&conn.stream), token, Interest::READ)
+        .is_err()
+    {
+        free_slots.push(slot);
+        shared.stats.record_rejected();
+        return; // conn drops, permit releases
+    }
+    conns[slot] = Some(conn);
+}
+
+fn retire_conn(
+    shared: &Shared,
+    poller: &mut dyn Readiness,
+    free_slots: &mut Vec<usize>,
+    arena: &mut Vec<(FrameBuf, Vec<u8>)>,
+    slot: usize,
+    conn: Conn,
+) {
+    let Conn {
+        stream,
+        mut frames,
+        mut write_buf,
+        _permit,
+        ..
+    } = conn;
+    let _ = poller.deregister(fd_of(&stream));
+    drop(stream);
+    drop(_permit);
+    // Recycle the buffers: framing state cleared, grown capacity shed.
+    frames.reset();
+    write_buf.clear();
+    if write_buf.capacity() > WRITE_BASELINE * 4 {
+        write_buf.shrink_to(WRITE_BASELINE);
+    }
+    if arena.len() < ARENA_MAX {
+        arena.push((frames, write_buf));
+    }
+    free_slots.push(slot);
+    if shared.inject(Failpoint::WorkerDeath) {
+        // Chaos: kill the loop on connection retirement. loop_main
+        // catches the unwind and respawns it with a fresh poller.
+        panic!("chaos: injected worker death");
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The read path: nonblocking reads → incremental frames → tickets
+// ---------------------------------------------------------------------------
+
+fn on_readable(shared: &Shared, loop_index: usize, conn: &mut Conn) {
+    if conn.read_closed || conn.poisoned || conn.torn || conn.dead {
+        return;
+    }
     loop {
-        let remaining = (MAX_REQUEST_BYTES as u64 + 1).saturating_sub(line.len() as u64);
-        match (&mut *reader).take(remaining).read_until(b'\n', line) {
-            // EOF — with a partial unterminated line when `line` is
-            // non-empty; the caller parses whatever arrived.
-            Ok(0) => return Ok(Some(line.len())),
-            Ok(_) => {
-                if line.ends_with(b"\n") || line.len() > MAX_REQUEST_BYTES {
-                    return Ok(Some(line.len()));
+        if conn.write_backlog() > WRITE_HIGH_WATER {
+            return; // flow control: resume when the backlog drains
+        }
+        let spare = conn.frames.spare();
+        let window = spare.len();
+        match conn.stream.read(spare) {
+            Ok(0) => {
+                conn.read_closed = true;
+                // A final request sent without its newline still gets
+                // answered (the write half may outlive the read half).
+                if let Some((start, end)) = conn.frames.take_eof_line() {
+                    dispatch_line(shared, loop_index, conn, start, end);
                 }
-                // The take-limit boundary landed mid-line: keep reading.
+                return;
             }
-            Err(error)
-                if matches!(
-                    error.kind(),
-                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
-                ) =>
-            {
-                // A poll expired with no data. Partial bytes read before
-                // the stall stay in `line` (a mid-request pause is not a
-                // framing error). Check shutdown, then the idle budget.
-                if shared.shutdown.load(Ordering::SeqCst) {
-                    return Ok(None);
+            Ok(count) => {
+                conn.frames.commit(count);
+                conn.last_read = Instant::now();
+                process_frames(shared, loop_index, conn);
+                if conn.poisoned || conn.dead {
+                    return;
                 }
-                if waiting_since.elapsed() >= shared.idle_timeout {
-                    return Err(error);
+                if count < window {
+                    return; // likely drained; level-triggering re-reports
                 }
             }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => return,
             Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
-            Err(error) => return Err(error),
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
         }
     }
 }
 
-/// Answer one request line. Returns `true` when the request asked for
-/// shutdown.
-fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Result<bool> {
-    let start = Instant::now();
+fn process_frames(shared: &Shared, loop_index: usize, conn: &mut Conn) {
+    loop {
+        match conn.frames.next_frame() {
+            Frame::None => return,
+            Frame::Oversized => {
+                shared.stats.record_error();
+                let envelope = protocol::err_envelope(
+                    "null",
+                    &format!(
+                        "request too large (limit {} bytes)",
+                        protocol::MAX_REQUEST_BYTES
+                    ),
+                );
+                conn.pending.push_back(Ticket::Done {
+                    envelope,
+                    chaos: false,
+                });
+            }
+            Frame::Line { start, end } => {
+                dispatch_line(shared, loop_index, conn, start, end);
+                if conn.poisoned {
+                    return;
+                }
+            }
+        }
+    }
+}
+
+/// Parse and answer one framed line, under per-request panic isolation:
+/// whatever the request path does, this loop answers (or hangs up after
+/// flushing) and lives to serve its other connections.
+fn dispatch_line(shared: &Shared, loop_index: usize, conn: &mut Conn, start: usize, end: usize) {
+    let token = conn.token;
+    let gen = conn.gen;
+    let text = String::from_utf8_lossy(conn.frames.bytes(start, end));
+    let line = text.trim();
+    if line.is_empty() {
+        return;
+    }
+    let outcome = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        handle_request(
+            shared,
+            loop_index,
+            token,
+            gen,
+            &mut conn.next_seq,
+            &mut conn.pending,
+            line,
+        );
+    }));
+    if outcome.is_err() {
+        shared.stats.record_panic();
+        shared.stats.record_error();
+        conn.pending.push_back(Ticket::Done {
+            envelope: protocol::err_envelope("null", "internal error: request handler panicked"),
+            chaos: false,
+        });
+        // The connection state is unknown after a panic — answer, flush,
+        // hang up.
+        conn.poisoned = true;
+    }
+}
+
+fn op_name(query: &Query) -> &'static str {
+    match query {
+        Query::Ping => "ping",
+        Query::Measure { .. } => "measure",
+        Query::Table { .. } => "table",
+        Query::Lint { .. } => "lint",
+        Query::Trace { .. } => "trace",
+        Query::Counters { .. } => "counters",
+        Query::Stats => "stats",
+        Query::Spans => "spans",
+        Query::Health => "health",
+        Query::Shutdown => "shutdown",
+    }
+}
+
+/// Answer one request line: control queries and landed cache entries
+/// resolve inline on the loop; data-query misses become compute-pool
+/// jobs behind an ordered `Waiting` ticket.
+fn handle_request(
+    shared: &Shared,
+    loop_index: usize,
+    token: Token,
+    gen: u64,
+    next_seq: &mut u64,
+    pending: &mut VecDeque<Ticket>,
+    line: &str,
+) {
+    let started = Instant::now();
     let start_us = shared.started.elapsed().as_micros() as u64;
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
         Err((message, id)) => {
             shared.stats.record_error();
-            writeln!(writer, "{}", protocol::err_envelope(&id, &message))?;
-            return Ok(false);
+            pending.push_back(Ticket::Done {
+                envelope: protocol::err_envelope(&id, &message),
+                chaos: false,
+            });
+            return;
         }
     };
     let id = request.id;
-    let (op, payload, cached, degraded) = match &request.query {
-        Query::Ping => ("ping", "{\"pong\":true}".to_string(), false, None),
+    let op = op_name(&request.query);
+    let (payload, cached) = match &request.query {
+        Query::Ping => ("{\"pong\":true}".to_string(), false),
         Query::Stats => {
             let (hits, misses, coalesced) = (
                 shared.cache.hits(),
@@ -466,131 +1033,294 @@ fn answer(shared: &Shared, line: &str, writer: &mut impl Write) -> std::io::Resu
                 shared.cache.coalesced(),
             );
             (
-                "stats",
                 shared.stats.stats_payload(
                     hits,
                     misses,
                     coalesced,
                     shared.workers,
                     shared.cache.shard_count(),
+                    shared.open_conns(),
                 ),
                 false,
-                None,
             )
         }
-        Query::Spans => ("spans", shared.stats.spans_payload(), false, None),
+        Query::Spans => (shared.stats.spans_payload(), false),
         Query::Health => (
-            "health",
             shared.stats.health_payload(
-                shared.queue.len(),
+                shared.jobs.len(),
+                shared.open_conns(),
                 shared.workers,
                 shared.shutdown.load(Ordering::SeqCst),
             ),
             false,
-            None,
         ),
         Query::Shutdown => {
-            // Initiate before replying: shutdown must happen even when the
-            // client hangs up without reading the acknowledgement.
+            // Initiate before replying: shutdown must happen even when
+            // the client hangs up without reading the acknowledgement.
             initiate_shutdown(shared);
-            (
-                "shutdown",
-                "{\"shutting_down\":true}".to_string(),
-                false,
-                None,
-            )
+            ("{\"shutting_down\":true}".to_string(), false)
         }
         query => {
-            let key = query.cache_key().expect("data queries are cacheable");
-            let fetched = shared.cache.get_or_compute_resilient(&key, || {
-                if let Some(delay) = shared.inject_delay(
-                    Failpoint::ComputeDelay,
-                    COMPUTE_DELAY_MIN,
-                    COMPUTE_DELAY_MAX,
-                ) {
-                    // Chaos: stall the computation (typically past the
-                    // service deadline).
-                    std::thread::sleep(delay);
-                }
-                if shared.inject(Failpoint::ComputePanic) {
-                    // Chaos: the single-flight leader dies mid-compute.
-                    panic!("chaos: injected computation panic");
-                }
-                query.compute()
-            });
-            let op: &'static str = match query {
-                Query::Measure { .. } => "measure",
-                Query::Table { .. } => "table",
-                Query::Lint { .. } => "lint",
-                Query::Trace { .. } => "trace",
-                Query::Counters { .. } => "counters",
-                _ => unreachable!("control queries handled above"),
+            // Data query. A query kind with no cache key would once have
+            // panicked the worker here; now it is a clean error envelope.
+            let Some(key) = query.cache_key() else {
+                shared.stats.record_error();
+                pending.push_back(Ticket::Done {
+                    envelope: protocol::err_envelope(
+                        &id,
+                        &format!("internal error: {op} query has no cache key"),
+                    ),
+                    chaos: false,
+                });
+                return;
             };
-            match fetched {
-                Fetched::Computed(payload) => (op, payload.to_string(), false, None),
-                Fetched::Cached(payload) => (op, payload.to_string(), true, None),
-                Fetched::Degraded(payload, error) => {
-                    shared.stats.record_panic();
-                    shared.stats.record_degraded();
-                    (op, payload.to_string(), true, Some(error))
-                }
-                Fetched::Failed(error) => {
-                    shared.stats.record_panic();
-                    shared.stats.record_error();
-                    writeln!(
-                        writer,
-                        "{}",
-                        protocol::err_envelope(&id, &format!("{op} failed: {error}"))
-                    )?;
-                    return Ok(false);
+            match shared.cache.try_get(&key) {
+                Some(hit) => (hit.to_string(), true),
+                None => {
+                    // Miss (or in flight): offload. The bounded job queue
+                    // is the compute-side backpressure valve.
+                    let seq = *next_seq;
+                    *next_seq += 1;
+                    let job = Job {
+                        loop_index,
+                        token,
+                        gen,
+                        seq,
+                        key,
+                        query: query.clone(),
+                        id: id.clone(),
+                        op,
+                        started,
+                        start_us,
+                    };
+                    if shared.jobs.try_push(job).is_err() {
+                        shared.stats.record_error();
+                        pending.push_back(Ticket::Done {
+                            envelope: protocol::err_envelope(
+                                &id,
+                                "server busy: compute queue full",
+                            ),
+                            chaos: false,
+                        });
+                    } else {
+                        pending.push_back(Ticket::Waiting {
+                            seq,
+                            id,
+                            queued_at: started,
+                        });
+                    }
+                    return;
                 }
             }
         }
     };
-    let service = start.elapsed();
+    pending.push_back(finish_now(
+        shared, &id, op, &payload, cached, started, start_us,
+    ));
+}
+
+/// Render an inline (non-offloaded) reply, deadline-checked and counted
+/// exactly as the old blocking core did.
+fn finish_now(
+    shared: &Shared,
+    id: &str,
+    op: &'static str,
+    payload: &str,
+    cached: bool,
+    started: Instant,
+    start_us: u64,
+) -> Ticket {
+    let service = started.elapsed();
     let service_us = service.as_micros() as u64;
     if service > shared.deadline {
         shared.stats.record_deadline_exceeded();
         shared.stats.record_error();
-        writeln!(
-            writer,
-            "{}",
-            protocol::err_envelope(
-                &id,
+        return Ticket::Done {
+            envelope: protocol::err_envelope(
+                id,
                 &format!(
                     "deadline exceeded: served in {service_us} us, deadline {} us",
                     shared.deadline.as_micros()
-                )
-            )
-        )?;
-        return Ok(false);
+                ),
+            ),
+            chaos: false,
+        };
     }
     shared
         .stats
         .record_request(op, start_us, service_us, cached);
-    let envelope = match &degraded {
-        Some(error) => protocol::degraded_envelope(&id, service_us, &payload, error),
-        None => protocol::ok_envelope(&id, cached, service_us, &payload),
+    Ticket::Done {
+        envelope: protocol::ok_envelope(id, cached, service_us, payload),
+        chaos: true,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Completions and the write path
+// ---------------------------------------------------------------------------
+
+/// Resolve the `Waiting` ticket a completion belongs to. Tickets settle
+/// in any order; replies still leave in request order.
+fn settle_ticket(shared: &Shared, conn: &mut Conn, completion: &Completion) {
+    let Some(position) = conn
+        .pending
+        .iter()
+        .position(|ticket| matches!(ticket, Ticket::Waiting { seq, .. } if *seq == completion.seq))
+    else {
+        return;
     };
-    if let Some(delay) =
-        shared.inject_delay(Failpoint::WriteStall, WRITE_STALL_MIN, WRITE_STALL_MAX)
+    conn.pending[position] = render_completion(shared, completion);
+}
+
+fn render_completion(shared: &Shared, completion: &Completion) -> Ticket {
+    let (payload, cached, degraded) = match &completion.fetched {
+        Fetched::Computed(payload) => (payload, false, None),
+        Fetched::Cached(payload) => (payload, true, None),
+        Fetched::Degraded(payload, error) => {
+            shared.stats.record_panic();
+            shared.stats.record_degraded();
+            (payload, true, Some(error.clone()))
+        }
+        Fetched::Failed(error) => {
+            shared.stats.record_panic();
+            shared.stats.record_error();
+            return Ticket::Done {
+                envelope: protocol::err_envelope(
+                    &completion.id,
+                    &format!("{} failed: {error}", completion.op),
+                ),
+                chaos: false,
+            };
+        }
+    };
+    let service = completion.started.elapsed();
+    let service_us = service.as_micros() as u64;
+    if service > shared.deadline {
+        shared.stats.record_deadline_exceeded();
+        shared.stats.record_error();
+        return Ticket::Done {
+            envelope: protocol::err_envelope(
+                &completion.id,
+                &format!(
+                    "deadline exceeded: served in {service_us} us, deadline {} us",
+                    shared.deadline.as_micros()
+                ),
+            ),
+            chaos: false,
+        };
+    }
+    shared
+        .stats
+        .record_request(completion.op, completion.start_us, service_us, cached);
+    let envelope = match degraded {
+        Some(error) => protocol::degraded_envelope(&completion.id, service_us, payload, &error),
+        None => protocol::ok_envelope(&completion.id, cached, service_us, payload),
+    };
+    Ticket::Done {
+        envelope,
+        chaos: true,
+    }
+}
+
+/// Move the completed reply prefix into the write buffer (one batched
+/// write per pass), attempt the flush, and reconcile poller interest.
+fn service_conn(shared: &Shared, poller: &mut dyn Readiness, conn: &mut Conn) {
+    while !conn.torn && matches!(conn.pending.front(), Some(Ticket::Done { .. })) {
+        let Some(Ticket::Done { envelope, chaos }) = conn.pending.pop_front() else {
+            unreachable!("front checked above");
+        };
+        if chaos {
+            if let Some(delay) =
+                shared.inject_delay(Failpoint::WriteStall, WRITE_STALL_MIN, WRITE_STALL_MAX)
+            {
+                // Chaos: sit on the finished response (drives client
+                // timeouts) — emulated by a flush embargo, never by
+                // blocking the loop.
+                let until = Instant::now() + delay;
+                conn.stalled_until = Some(conn.stalled_until.map_or(until, |t| t.max(until)));
+            }
+            if shared.inject(Failpoint::WritePartial) {
+                // Chaos: emit a torn response — a prefix with no newline
+                // — then fail the connection. Clients must never parse
+                // this as a reply.
+                let bytes = envelope.as_bytes();
+                if conn.write_buf.is_empty() {
+                    conn.last_write = Instant::now();
+                }
+                conn.write_buf.extend_from_slice(&bytes[..bytes.len() / 2]);
+                conn.torn = true;
+                break;
+            }
+        }
+        if conn.write_buf.is_empty() {
+            conn.last_write = Instant::now();
+        }
+        conn.write_buf.extend_from_slice(envelope.as_bytes());
+        conn.write_buf.push(b'\n');
+    }
+    flush_writes(conn);
+    update_interest(poller, conn);
+}
+
+fn flush_writes(conn: &mut Conn) {
+    if conn.dead {
+        return;
+    }
+    if let Some(until) = conn.stalled_until {
+        if Instant::now() < until {
+            return; // chaos embargo still running
+        }
+        conn.stalled_until = None;
+    }
+    while conn.write_pos < conn.write_buf.len() {
+        match conn.stream.write(&conn.write_buf[conn.write_pos..]) {
+            Ok(0) => {
+                conn.dead = true;
+                return;
+            }
+            Ok(count) => {
+                conn.write_pos += count;
+                conn.last_write = Instant::now();
+            }
+            Err(error) if error.kind() == std::io::ErrorKind::WouldBlock => break,
+            Err(error) if error.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => {
+                conn.dead = true;
+                return;
+            }
+        }
+    }
+    if conn.write_pos >= conn.write_buf.len() {
+        conn.write_buf.clear();
+        conn.write_pos = 0;
+        if conn.write_buf.capacity() > WRITE_BASELINE * 4 {
+            // An oversized burst must not pin its high-water allocation.
+            conn.write_buf.shrink_to(WRITE_BASELINE);
+        }
+    }
+}
+
+/// Reconcile poller interest with connection state: write interest only
+/// while a backlog is draining (and not chaos-stalled), read interest
+/// until the connection stops reading or flow control engages.
+fn update_interest(poller: &mut dyn Readiness, conn: &mut Conn) {
+    if conn.dead {
+        return;
+    }
+    let desired = Interest {
+        readable: !conn.read_closed
+            && !conn.poisoned
+            && !conn.torn
+            && conn.write_backlog() <= WRITE_HIGH_WATER,
+        writable: conn.write_backlog() > 0 && conn.stalled_until.is_none(),
+    };
+    if desired != conn.interest
+        && poller
+            .reregister(fd_of(&conn.stream), conn.token, desired)
+            .is_ok()
     {
-        // Chaos: sit on the finished response (drives client timeouts).
-        std::thread::sleep(delay);
+        conn.interest = desired;
     }
-    if shared.inject(Failpoint::WritePartial) {
-        // Chaos: emit a torn response — a prefix with no newline — then
-        // fail the connection. Clients must never parse this as a reply.
-        let bytes = envelope.as_bytes();
-        writer.write_all(&bytes[..bytes.len() / 2])?;
-        writer.flush()?;
-        return Err(std::io::Error::new(
-            std::io::ErrorKind::ConnectionAborted,
-            "chaos: injected partial write",
-        ));
-    }
-    writeln!(writer, "{envelope}")?;
-    Ok(matches!(request.query, Query::Shutdown))
 }
 
 /// Injected computation stalls: long enough to blow tight deadlines,

@@ -31,6 +31,7 @@ pub struct ServeStats {
     worker_respawns: AtomicU64,
     workers_live: AtomicU64,
     faults_injected: AtomicU64,
+    conns_opened: AtomicU64,
     latencies_us: Mutex<Vec<u64>>,
     spans: Mutex<Vec<Event>>,
 }
@@ -102,6 +103,13 @@ impl ServeStats {
         self.faults_injected.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Record a connection admitted past the open-connection budget
+    /// check (`serve/conn/total`). Monotonic; the instantaneous open
+    /// count is tracked by the server's admission gauge instead.
+    pub fn record_conn_opened(&self) {
+        self.conns_opened.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// A worker thread entered its serving loop.
     pub fn worker_started(&self) {
         self.workers_live.fetch_add(1, Ordering::SeqCst);
@@ -160,6 +168,12 @@ impl ServeStats {
         self.faults_injected.load(Ordering::Relaxed)
     }
 
+    /// Connections admitted over the server's lifetime.
+    #[must_use]
+    pub fn conns_opened(&self) -> u64 {
+        self.conns_opened.load(Ordering::Relaxed)
+    }
+
     /// Summary of the recorded service times (µs).
     #[must_use]
     pub fn latency_summary(&self) -> LatencySummary {
@@ -181,6 +195,7 @@ impl ServeStats {
         cache_coalesced: u64,
         workers: usize,
         shards: usize,
+        conns_open: usize,
     ) -> String {
         let mut registry = CounterRegistry::new();
         let mut serve_counter = |name: &str, value: u64| {
@@ -197,18 +212,20 @@ impl ServeStats {
         serve_counter("degraded", self.degraded());
         serve_counter("worker_respawns", self.worker_respawns());
         serve_counter("faults_injected", self.faults_injected());
+        serve_counter("conns_opened", self.conns_opened());
         serve_counter("cache_hits", cache_hits);
         serve_counter("cache_misses", cache_misses);
         serve_counter("cache_coalesced", cache_coalesced);
         let latency = self.latency_summary();
         format!(
             concat!(
-                "{{\"workers\":{},\"shards\":{},",
+                "{{\"workers\":{},\"shards\":{},\"conns_open\":{},",
                 "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
                 "\"max\":{},\"mean\":{}}},\"counters\":{}}}"
             ),
             workers,
             shards,
+            conns_open,
             latency.count,
             latency.p50,
             latency.p90,
@@ -220,7 +237,8 @@ impl ServeStats {
     }
 
     /// The `health` payload: liveness in one line. `queue_depth` is the
-    /// instantaneous connection backlog; `workers_live` counts workers
+    /// instantaneous compute-offload backlog, `conns_open` the number of
+    /// connections currently admitted; `workers_live` counts event loops
     /// inside their serving loop (respawns keep it at `workers`); the
     /// resilience counters let a prober distinguish "healthy", "degraded
     /// but serving", and "shedding load" without scraping full stats.
@@ -228,6 +246,7 @@ impl ServeStats {
     pub fn health_payload(
         &self,
         queue_depth: usize,
+        conns_open: usize,
         workers: usize,
         shutting_down: bool,
     ) -> String {
@@ -244,7 +263,7 @@ impl ServeStats {
         format!(
             concat!(
                 "{{\"status\":\"{}\",\"workers\":{},\"workers_live\":{},",
-                "\"queue_depth\":{},\"shutting_down\":{},",
+                "\"queue_depth\":{},\"conns_open\":{},\"shutting_down\":{},",
                 "\"panics\":{},\"degraded\":{},\"worker_respawns\":{},",
                 "\"faults_injected\":{},\"requests\":{},\"errors\":{},\"rejected\":{}}}"
             ),
@@ -252,6 +271,7 @@ impl ServeStats {
             workers,
             live,
             queue_depth,
+            conns_open,
             shutting_down,
             self.panics(),
             self.degraded(),
@@ -298,10 +318,13 @@ mod tests {
         stats.record_request("measure", 0, 120, false);
         stats.record_request("measure", 200, 10, true);
         stats.record_error();
-        let payload = stats.stats_payload(5, 2, 1, 4, 16);
+        stats.record_conn_opened();
+        let payload = stats.stats_payload(5, 2, 1, 4, 16, 9);
         assert_eq!(validate_json(&payload), Ok(()), "{payload}");
         assert!(payload.contains("\"name\":\"requests\",\"value\":2"));
         assert!(payload.contains("\"name\":\"cache_hits\",\"value\":5"));
+        assert!(payload.contains("\"name\":\"conns_opened\",\"value\":1"));
+        assert!(payload.contains("\"conns_open\":9"), "{payload}");
         assert!(payload.contains("\"p50\":"));
         let spans = stats.spans_payload();
         assert_eq!(validate_json(&spans), Ok(()), "{spans}");
@@ -313,23 +336,24 @@ mod tests {
         let stats = ServeStats::new();
         stats.worker_started();
         stats.worker_started();
-        let healthy = stats.health_payload(3, 2, false);
+        let healthy = stats.health_payload(3, 5, 2, false);
         assert_eq!(validate_json(&healthy), Ok(()), "{healthy}");
         assert!(healthy.contains("\"status\":\"ok\""), "{healthy}");
         assert!(healthy.contains("\"workers_live\":2"), "{healthy}");
         assert!(healthy.contains("\"queue_depth\":3"), "{healthy}");
+        assert!(healthy.contains("\"conns_open\":5"), "{healthy}");
 
         stats.record_degraded();
         assert!(stats
-            .health_payload(0, 2, false)
+            .health_payload(0, 0, 2, false)
             .contains("\"status\":\"degraded\""));
 
         stats.worker_stopped();
         assert!(stats
-            .health_payload(0, 2, false)
+            .health_payload(0, 0, 2, false)
             .contains("\"status\":\"impaired\""));
         assert!(stats
-            .health_payload(0, 2, true)
+            .health_payload(0, 0, 2, true)
             .contains("\"status\":\"shutting_down\""));
     }
 

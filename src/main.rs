@@ -67,11 +67,13 @@ fn usage() -> ExitCode {
          \x20                         cycle-level trace of one primitive: phase profile\n\
          \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
          \x20 serve [--addr A] [--workers N] [--shards N] [--queue N] [--deadline-ms N]\n\
-         \x20                         run the concurrent measurement-query service\n\
-         \x20 loadgen [--addr A] [--conns N] [--secs S] [--skew] [--rate R]\n\
+         \x20                         run the event-driven measurement-query service\n\
+         \x20                         (one poll loop per worker; --queue bounds open conns)\n\
+         \x20 loadgen [--addr A] [--conns N] [--pipeline N] [--secs S] [--skew] [--rate R]\n\
          \x20         [--workers N] [--shards N] [--seed N] [--faults P] [--out PATH]\n\
          \x20                         drive a server (self-hosted without --addr) and\n\
-         \x20                         write BENCH_serve.json\n\
+         \x20                         write BENCH_serve.json; large --conns or --pipeline\n\
+         \x20                         engage the multiplexed pipelined driver\n\
          \x20 chaos [--seed N] [--rate P] [--duration S] [--conns N] [--workers N]\n\
          \x20                         deterministic fault-injection soak: loadgen vs a\n\
          \x20                         chaos server, asserting resilience invariants\n\
