@@ -35,11 +35,39 @@ fn diag(
 }
 
 /// Statically check one assembled program. `name` labels the diagnostics
-/// (the assembler does not name programs).
+/// (the assembler does not name programs). Assumes an interlocked pipeline
+/// (no delay slots); use [`check_isa_program_for`] when the target
+/// architecture exposes its pipeline.
 #[must_use]
 pub fn check_isa_program(program: &IsaProgram, name: &str) -> Vec<Diagnostic> {
+    check_isa_program_for(program, name, false)
+}
+
+/// Statically check one assembled program for a pipeline discipline.
+///
+/// When `has_delay_slots` is set (the target's
+/// `ArchSpec::has_delay_slots`), the instruction after a control transfer
+/// executes in the transfer's shadow — the same ownership rule as
+/// `MicroOp::has_delay_slot`. A single trailing instruction sitting in the
+/// delay slot of a final *unconditional* transfer (`j`/`jr`) is therefore
+/// reached only in that shadow and does not fall off the end. A final
+/// `beq`-style branch still falls off: its not-taken path runs past the
+/// slot.
+#[must_use]
+pub fn check_isa_program_for(
+    program: &IsaProgram,
+    name: &str,
+    has_delay_slots: bool,
+) -> Vec<Diagnostic> {
     let instrs = program.instrs();
     let mut out = Vec::new();
+    let trailing_delay_slot = has_delay_slots
+        && instrs.len() >= 2
+        && !instrs[instrs.len() - 1].is_control_transfer()
+        && {
+            let prev = &instrs[instrs.len() - 2];
+            prev.is_control_transfer() && !prev.falls_through()
+        };
     match instrs.last() {
         None => out.push(diag(
             FALLS_OFF_END,
@@ -49,6 +77,7 @@ pub fn check_isa_program(program: &IsaProgram, name: &str) -> Vec<Diagnostic> {
             "empty program: nothing to execute, nothing to halt",
         )),
         Some(Instr::Halt | Instr::Jump { .. } | Instr::Jr { .. }) => {}
+        Some(_) if trailing_delay_slot => {}
         Some(_) => out.push(diag(
             FALLS_OFF_END,
             Severity::Error,
@@ -139,6 +168,44 @@ mod tests {
         assert_eq!(diags.len(), 1);
         assert_eq!(diags[0].code, TARGET_OUT_OF_RANGE);
         assert_eq!(diags[0].op_index, Some(0));
+    }
+
+    #[test]
+    fn trailing_delay_slot_after_final_jump_is_legal_on_exposed_pipelines() {
+        // On a delayed-branch machine the `addi` executes in the shadow of
+        // the `j loop`; control never reaches past it.
+        let program = assemble(
+            "loop:   lw   r1, 0(r2)
+                     j    loop
+                     addi r2, r2, 4",
+        )
+        .expect("assembles");
+        let exposed = check_isa_program_for(&program, "spin", true);
+        assert!(
+            exposed.is_empty(),
+            "delay slot after a final jump must not be OA101: {exposed:?}"
+        );
+        // An interlocked pipeline has no delay slot: the addi is reachable
+        // fall-off-the-end code there, and the legacy entry point agrees.
+        let interlocked = check_isa_program(&program, "spin");
+        assert_eq!(interlocked.len(), 1);
+        assert_eq!(interlocked[0].code, FALLS_OFF_END);
+    }
+
+    #[test]
+    fn trailing_slot_after_a_conditional_branch_still_falls_off() {
+        // `bne` falls through when not taken, so its delay slot is the
+        // last reachable instruction and control runs past it.
+        let program = assemble(
+            "loop:   addi r1, r1, -1
+                     bne  r1, r0, loop
+                     add  r3, r1, r1",
+        )
+        .expect("assembles");
+        let diags = check_isa_program_for(&program, "cond", true);
+        assert_eq!(diags.len(), 1);
+        assert_eq!(diags[0].code, FALLS_OFF_END);
+        assert_eq!(diags[0].op_index, Some(2));
     }
 
     #[test]

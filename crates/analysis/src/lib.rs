@@ -28,6 +28,35 @@
 //! | OA008 | redundant-maintenance | no unnecessary cache/TLB maintenance |
 //! | OA101–OA103 | isa-lint | assembled [`osarch_isa::IsaProgram`] structure |
 //!
+//! # Abstract interpretation
+//!
+//! The pattern rules above scan the op list linearly. The [`absint`]
+//! module goes further: it builds a control-flow graph ([`Cfg`]) over each
+//! program, runs a worklist fixpoint with interval widening over a product
+//! abstract domain ([`AbsState`]: window depth, write-buffer occupancy,
+//! trap depth, saved/restored state words, cache/TLB maintenance residue,
+//! interrupt masking), and evaluates path-sensitive rules whose findings
+//! carry witness paths. Each program earns a machine-checkable
+//! [`ProofArtifact`] (`osarch-absint/1` JSON) with a
+//! `proved | refuted | unknown` verdict per invariant:
+//!
+//! | code  | rule | checks |
+//! |-------|------|--------|
+//! | OA201 | window-overflow-feasible | no path spills past the window file |
+//! | OA202 | window-underflow-or-leak | no unmatched fill; no spill outstanding at exit |
+//! | OA203 | write-buffer-undrained | no path reaches a switch/return with stores buffered |
+//! | OA204 | state-save-incomplete | the sparsest switch path still moves the floor |
+//! | OA205 | loop-unbounded-resource | no loop widens a resource to +∞ |
+//! | OA206 | maintenance-redundant-on-path | no flush already clean on all/some paths |
+//! | OA207 | trap-nesting-unbalanced | no return from an exception never entered |
+//! | OA208 | unreachable-code | every basic block is reachable from entry |
+//!
+//! On straight-line programs OA201–OA204 coincide exactly with
+//! OA002–OA004 (a property test enforces this); on branching or looping
+//! control flow they see paths the linear scan cannot. OA001, OA005–OA008,
+//! and the OA1xx ISA lints are syntactic or spec-level with no dataflow
+//! analog — both rule packs run side by side.
+//!
 //! # Example
 //!
 //! ```
@@ -39,13 +68,22 @@
 //! assert!(report.programs_checked() > 28); // 7 archs x 4 primitives + variants
 //! ```
 
+pub mod absint;
+pub mod cfg;
 pub mod diagnostics;
+pub mod domain;
 pub mod isa_lint;
 pub mod rules;
 
 mod analyzer;
 
+pub use absint::{
+    absint_rule_table, AbsintAnalyzer, AbsintReport, Finding, InvariantResult, ProgramAnalysis,
+    ProofArtifact, Verdict,
+};
 pub use analyzer::{AnalysisReport, Analyzer};
+pub use cfg::Cfg;
 pub use diagnostics::{Diagnostic, Severity};
-pub use isa_lint::check_isa_program;
+pub use domain::{AbsState, Interval, Tri};
+pub use isa_lint::{check_isa_program, check_isa_program_for};
 pub use rules::{default_rules, Rule, RuleContext};

@@ -1,0 +1,511 @@
+//! Integration tests for the abstract-interpretation verifier.
+//!
+//! Four layers of evidence:
+//!
+//! 1. The clean catalog: every generated program across every architecture
+//!    earns `proved` verdicts for all three invariants — zero `unknown`.
+//! 2. Seeded violations: programs built to break each invariant are
+//!    `refuted` with concrete witness paths ending at the offending op.
+//! 3. Synthetic CFGs: joins and loops exercise path sensitivity, widening,
+//!    `unknown` verdicts, and OA205/OA208 — shapes the linear catalog
+//!    cannot produce.
+//! 4. Properties: the fixpoint terminates within a linear-ish visit budget
+//!    on arbitrary random CFGs with back edges, and on linear programs the
+//!    OA2xx findings coincide exactly with the OA002/OA003/OA004 pattern
+//!    findings (the dataflow rules subsume the syntactic ones).
+//!
+//! OA001 (delay slots), OA005 (phase ordering), OA006 (alignment), OA007
+//! (privilege), and OA008 (spec-level maintenance) are syntactic or
+//! spec-level rules with no dataflow analog; both rule packs run side by
+//! side in CI.
+
+use osarch_analysis::{AbsintAnalyzer, Analyzer, Cfg, Severity, Verdict};
+use osarch_cpu::{Arch, ArchSpec, MicroOp, Phase, Program};
+use osarch_kernel::Primitive;
+use osarch_mem::{Asid, VirtAddr};
+use proptest::prelude::*;
+
+fn sparc() -> ArchSpec {
+    Arch::Sparc.spec()
+}
+
+/// Build a single-phase program from a list of ops.
+fn program(name: &str, ops: &[MicroOp]) -> Program {
+    let mut builder = Program::builder(name);
+    for op in ops {
+        builder.phase(Phase::Body).op(*op);
+    }
+    builder.build()
+}
+
+/// The verdict for one invariant out of an analysis.
+fn verdict_of(analysis: &osarch_analysis::ProgramAnalysis, invariant: &str) -> Verdict {
+    analysis
+        .artifact
+        .invariants
+        .iter()
+        .find(|r| r.invariant == invariant)
+        .unwrap_or_else(|| panic!("missing invariant {invariant}"))
+        .verdict
+        .clone()
+}
+
+// ---------------------------------------------------------------------------
+// 1. The clean catalog
+// ---------------------------------------------------------------------------
+
+#[test]
+fn clean_catalog_proves_every_invariant_with_zero_unknowns() {
+    let report = AbsintAnalyzer::new().analyze_all();
+    assert_eq!(report.programs_checked(), 33);
+    assert_eq!(report.architectures(), 7);
+    let (proved, refuted, unknown) = report.verdict_counts();
+    assert_eq!(
+        (refuted, unknown),
+        (0, 0),
+        "the shipped catalog must verify cleanly: {}",
+        report.summary()
+    );
+    assert_eq!(proved, report.programs_checked() * 3);
+    assert_eq!(report.count(Severity::Error), 0);
+    assert_eq!(report.count(Severity::Warn), 0);
+    assert!(
+        report.passes(true),
+        "deny-warnings must hold on the catalog"
+    );
+    // Kernel programs are phase-segment chains: no back edges, no widening.
+    for artifact in report.artifacts() {
+        assert!(!artifact.widened, "{} widened", artifact.program);
+        assert!(artifact.blocks >= 1);
+        assert_eq!(artifact.invariants.len(), 3);
+    }
+    // The only findings are the OA203 TLB-race notes mirroring OA003, and
+    // every witness is a strictly increasing op path ending at the site.
+    for finding in report.findings() {
+        assert_eq!(finding.diag.code, "OA203");
+        assert_eq!(finding.diag.severity, Severity::Info);
+        assert!(!finding.witness.is_empty());
+        assert!(finding.witness.windows(2).all(|w| w[0] < w[1]));
+        assert_eq!(finding.witness.last().copied(), finding.diag.op_index);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// 2. Seeded violations are refuted with witnesses
+// ---------------------------------------------------------------------------
+
+#[test]
+fn window_overflow_is_refuted_with_a_witness_to_the_offending_spill() {
+    // SPARC has 8 windows -> 7 usable frames; the 8th save overflows.
+    let spec = sparc();
+    let ops = vec![MicroOp::SaveWindow(VirtAddr(0x100)); 8];
+    let analysis = AbsintAnalyzer::new().check_program(&spec, None, &program("overflow", &ops));
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA201")
+        .expect("overflow finding");
+    assert_eq!(finding.diag.severity, Severity::Error);
+    assert_eq!(finding.diag.op_index, Some(7));
+    assert_eq!(finding.witness.last(), Some(&7));
+    match verdict_of(&analysis, "window-balance") {
+        Verdict::Refuted(witness) => assert_eq!(witness.last(), Some(&7)),
+        other => panic!("expected refuted, got {other:?}"),
+    }
+}
+
+#[test]
+fn window_underflow_and_unrestored_spills_are_refuted() {
+    let spec = sparc();
+    let analyzer = AbsintAnalyzer::new();
+
+    // A fill with no spill behind it.
+    let analysis = analyzer.check_program(
+        &spec,
+        None,
+        &program("underflow", &[MicroOp::RestoreWindow(VirtAddr(0x100))]),
+    );
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA202")
+        .expect("underflow finding");
+    assert_eq!(finding.diag.op_index, Some(0));
+    assert!(matches!(
+        verdict_of(&analysis, "window-balance"),
+        Verdict::Refuted(_)
+    ));
+
+    // A spill never restored: the exit check fires with no op index.
+    let analysis = analyzer.check_program(
+        &spec,
+        None,
+        &program("leak", &[MicroOp::SaveWindow(VirtAddr(0x100))]),
+    );
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA202")
+        .expect("leak finding");
+    assert_eq!(finding.diag.op_index, None);
+    assert!(finding.diag.message.contains("never restored"));
+    assert!(matches!(
+        verdict_of(&analysis, "window-balance"),
+        Verdict::Refuted(_)
+    ));
+}
+
+#[test]
+fn undrained_switch_is_refuted_and_draining_proves_it() {
+    let spec = sparc();
+    let analyzer = AbsintAnalyzer::new();
+
+    let bad = program(
+        "undrained",
+        &[
+            MicroOp::Store(VirtAddr(0x104)),
+            MicroOp::SwitchAddressSpace(Asid(1), Asid(2)),
+        ],
+    );
+    let analysis = analyzer.check_program(&spec, None, &bad);
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA203" && f.diag.severity == Severity::Error)
+        .expect("undrained-switch finding");
+    assert_eq!(finding.diag.op_index, Some(1));
+    assert!(finding.diag.message.contains("the store at op 0"));
+    match verdict_of(&analysis, "write-buffer-drain") {
+        Verdict::Refuted(witness) => assert_eq!(witness.last(), Some(&1)),
+        other => panic!("expected refuted, got {other:?}"),
+    }
+
+    // Insert the drain the paper's handlers use and the invariant proves.
+    let good = program(
+        "drained",
+        &[
+            MicroOp::Store(VirtAddr(0x104)),
+            MicroOp::DrainWriteBuffer,
+            MicroOp::SwitchAddressSpace(Asid(1), Asid(2)),
+        ],
+    );
+    let analysis = analyzer.check_program(&spec, None, &good);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert_eq!(verdict_of(&analysis, "write-buffer-drain"), Verdict::Proved);
+}
+
+#[test]
+fn incomplete_context_switch_state_save_is_refuted() {
+    // SPARC floor: 12 trap-saved registers + 3 windows x 16 words = 60.
+    let spec = sparc();
+    let skimpy = program(
+        "skimpy-switch",
+        &[
+            MicroOp::Store(VirtAddr(0x100)),
+            MicroOp::Load(VirtAddr(0x100)),
+            MicroOp::DrainWriteBuffer,
+        ],
+    );
+    let analysis =
+        AbsintAnalyzer::new().check_program(&spec, Some(Primitive::ContextSwitch), &skimpy);
+    let oa204: Vec<_> = analysis
+        .findings
+        .iter()
+        .filter(|f| f.diag.code == "OA204")
+        .collect();
+    assert_eq!(oa204.len(), 2, "both save and restore sides fall short");
+    assert!(oa204[0].diag.message.contains("at least 60"));
+    assert!(matches!(
+        verdict_of(&analysis, "state-save-completeness"),
+        Verdict::Refuted(_)
+    ));
+
+    // The same program outside a context switch is vacuously fine.
+    let analysis = AbsintAnalyzer::new().check_program(&spec, None, &skimpy);
+    assert!(analysis.findings.iter().all(|f| f.diag.code != "OA204"));
+    assert_eq!(
+        verdict_of(&analysis, "state-save-completeness"),
+        Verdict::Proved
+    );
+}
+
+// ---------------------------------------------------------------------------
+// 3. Synthetic CFGs: joins, loops, widening, unreachable code
+// ---------------------------------------------------------------------------
+
+#[test]
+fn a_join_where_only_one_arm_drains_still_refutes_the_switch() {
+    // Diamond: store; then either drain or skip; then switch. The skipping
+    // arm reaches the switch with the buffer occupied — a path-sensitive
+    // fact no linear scan of the op list models.
+    let spec = sparc();
+    let ops = [
+        (Phase::Body, MicroOp::Store(VirtAddr(0x104))),
+        (Phase::Body, MicroOp::DrainWriteBuffer),
+        (Phase::Body, MicroOp::Alu),
+        (Phase::Body, MicroOp::SwitchAddressSpace(Asid(1), Asid(2))),
+    ];
+    let cfg = Cfg::synthetic(
+        "diamond",
+        4,
+        &[(0, 1), (1, 2), (2, 3), (3, 4)],
+        &[(0, 1), (0, 2), (1, 3), (2, 3)],
+    );
+    let analysis = AbsintAnalyzer::new().check_cfg(&spec, None, &cfg, &ops);
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA203" && f.diag.severity == Severity::Error)
+        .expect("the undrained arm must surface at the join");
+    assert_eq!(finding.diag.op_index, Some(3));
+    assert!(matches!(
+        verdict_of(&analysis, "write-buffer-drain"),
+        Verdict::Refuted(_)
+    ));
+}
+
+#[test]
+fn a_balanced_loop_widens_without_losing_the_proof() {
+    // Balanced trap enter/return around a back edge: widening fires but
+    // every interval stays exact, so every invariant still proves. (A
+    // save/restore loop would not do: `SaveWindow` is itself a store, so
+    // its buffer occupancy genuinely grows without a drain.)
+    let spec = sparc();
+    let ops = [
+        (Phase::Body, MicroOp::TrapEnter),
+        (Phase::Body, MicroOp::TrapReturn),
+        (Phase::Body, MicroOp::Alu),
+    ];
+    let cfg = Cfg::synthetic("balanced-loop", 3, &[(0, 2), (2, 3)], &[(0, 0), (0, 1)]);
+    let analysis = AbsintAnalyzer::new().check_cfg(&spec, None, &cfg, &ops);
+    assert!(analysis.findings.is_empty(), "{:?}", analysis.findings);
+    assert!(analysis.artifact.widened, "the self edge is a widen point");
+    for invariant in &analysis.artifact.invariants {
+        assert_eq!(
+            invariant.verdict,
+            Verdict::Proved,
+            "{}",
+            invariant.invariant
+        );
+    }
+}
+
+#[test]
+fn a_store_loop_without_a_drain_is_flagged_and_the_verdict_is_unknown() {
+    // The buffer occupancy widens to +inf around the loop: OA205 warns at
+    // the loop head, and with no drain and no synchronization point the
+    // write-buffer invariant is honestly `unknown`, not `proved`.
+    let spec = sparc();
+    let ops = [
+        (Phase::Body, MicroOp::Store(VirtAddr(0x104))),
+        (Phase::Body, MicroOp::Alu),
+    ];
+    let cfg = Cfg::synthetic("store-loop", 2, &[(0, 1), (1, 2)], &[(0, 0), (0, 1)]);
+    let analysis = AbsintAnalyzer::new().check_cfg(&spec, None, &cfg, &ops);
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA205")
+        .expect("unbounded-resource finding");
+    assert_eq!(finding.diag.severity, Severity::Warn);
+    assert_eq!(
+        verdict_of(&analysis, "write-buffer-drain"),
+        Verdict::Unknown
+    );
+    assert!(analysis.artifact.widened);
+}
+
+#[test]
+fn a_spill_loop_is_refuted_not_unknown() {
+    // SaveWindow around a back edge: depth widens to +inf, which both
+    // overflows the window file (OA201, error) and trips the loop-head
+    // check (OA205, error) — a concrete refutation, not precision loss.
+    let spec = sparc();
+    let ops = [
+        (Phase::Body, MicroOp::SaveWindow(VirtAddr(0x200))),
+        (Phase::Body, MicroOp::Alu),
+    ];
+    let cfg = Cfg::synthetic("spill-loop", 2, &[(0, 1), (1, 2)], &[(0, 0), (0, 1)]);
+    let analysis = AbsintAnalyzer::new().check_cfg(&spec, None, &cfg, &ops);
+    let overflow = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA201")
+        .expect("overflow finding");
+    assert!(overflow.diag.message.contains("unboundedly many"));
+    assert!(analysis
+        .findings
+        .iter()
+        .any(|f| f.diag.code == "OA205" && f.diag.severity == Severity::Error));
+    assert!(matches!(
+        verdict_of(&analysis, "window-balance"),
+        Verdict::Refuted(_)
+    ));
+}
+
+#[test]
+fn unreachable_blocks_are_reported_with_an_empty_witness() {
+    let spec = sparc();
+    let ops = [(Phase::Body, MicroOp::Alu), (Phase::Body, MicroOp::Alu)];
+    let cfg = Cfg::synthetic("island", 2, &[(0, 1), (1, 2)], &[]);
+    let analysis = AbsintAnalyzer::new().check_cfg(&spec, None, &cfg, &ops);
+    let finding = analysis
+        .findings
+        .iter()
+        .find(|f| f.diag.code == "OA208")
+        .expect("unreachable finding");
+    assert_eq!(finding.diag.severity, Severity::Warn);
+    assert_eq!(finding.diag.op_index, Some(1));
+    assert!(finding.witness.is_empty(), "no path reaches it, no witness");
+}
+
+// ---------------------------------------------------------------------------
+// 4. Properties
+// ---------------------------------------------------------------------------
+
+/// Decode one `(phase, op)` pair from a pair of small integers — the same
+/// scheme `properties.rs` uses, covering every op the rules inspect.
+fn decode(phase: u8, op: u8) -> (Phase, MicroOp) {
+    let phase = match phase % 5 {
+        0 => Phase::EntryExit,
+        1 => Phase::CallPrep,
+        2 => Phase::CallReturn,
+        3 => Phase::Body,
+        _ => Phase::Other,
+    };
+    let op = match op % 20 {
+        0 => MicroOp::Alu,
+        1 => MicroOp::DelayNop,
+        2 => MicroOp::Load(VirtAddr(0x100)),
+        3 => MicroOp::Store(VirtAddr(0x104)),
+        4 => MicroOp::Branch,
+        5 => MicroOp::Call,
+        6 => MicroOp::Ret,
+        7 => MicroOp::ReadControl,
+        8 => MicroOp::WriteControl,
+        9 => MicroOp::TrapEnter,
+        10 => MicroOp::TrapReturn,
+        11 => MicroOp::SaveWindow(VirtAddr(0x200)),
+        12 => MicroOp::RestoreWindow(VirtAddr(0x200)),
+        13 => MicroOp::AtomicTas(VirtAddr(0x108)),
+        14 => MicroOp::TlbWriteEntry,
+        15 => MicroOp::TlbFlushAll,
+        16 => MicroOp::CacheFlushAll,
+        17 => MicroOp::SwitchAddressSpace(Asid(1), Asid(2)),
+        18 => MicroOp::DrainWriteBuffer,
+        _ => MicroOp::DrainFpu,
+    };
+    (phase, op)
+}
+
+fn build(ops: &[(u8, u8)]) -> Program {
+    let mut builder = Program::builder("generated");
+    for &(phase, op) in ops {
+        let (phase, op) = decode(phase, op);
+        builder.phase(phase).op(op);
+    }
+    builder.build()
+}
+
+/// Project a diagnostic into the (invariant bucket, severity, site) triple
+/// shared by the pattern rules and the dataflow rules.
+fn bucket(code: &str) -> Option<&'static str> {
+    match code {
+        "OA002" | "OA201" | "OA202" => Some("window"),
+        "OA003" | "OA203" => Some("wb"),
+        "OA004" | "OA204" => Some("save"),
+        _ => None,
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The worklist terminates within a generous linear-ish visit budget on
+    /// arbitrary CFGs with arbitrary back edges, and the result is
+    /// deterministic.
+    #[test]
+    fn fixpoint_terminates_within_budget_on_random_cfgs(
+        ops in proptest::collection::vec((0u8..5, 0u8..20), 1..24),
+        raw_edges in proptest::collection::vec((0usize..24, 0usize..24), 0..48),
+    ) {
+        let spec = sparc();
+        let n = ops.len();
+        let decoded: Vec<(Phase, MicroOp)> =
+            ops.iter().map(|&(p, o)| decode(p, o)).collect();
+        // One block per op; random edges (including self loops and back
+        // edges) clipped into range.
+        let ranges: Vec<(usize, usize)> = (0..n).map(|i| (i, i + 1)).collect();
+        let edges: Vec<(usize, usize)> = raw_edges
+            .iter()
+            .map(|&(f, t)| (f % n, t % n))
+            .collect();
+        let cfg = Cfg::synthetic("random", n, &ranges, &edges);
+        let analyzer = AbsintAnalyzer::new();
+        let first = analyzer.check_cfg(&spec, None, &cfg, &decoded);
+        let blocks = cfg.blocks.len();
+        let edge_count = cfg.edge_count();
+        prop_assert!(
+            first.artifact.iterations <= (blocks + 1) * (blocks + edge_count + 1) * 16,
+            "{} visits for {blocks} blocks / {edge_count} edges",
+            first.artifact.iterations
+        );
+        let second = analyzer.check_cfg(&spec, None, &cfg, &decoded);
+        prop_assert_eq!(first, second);
+    }
+
+    /// On linear programs the dataflow rules subsume the pattern rules
+    /// exactly: the OA201/OA202, OA203, and OA204 findings coincide with
+    /// OA002, OA003, and OA004 in site and severity, and the proof verdicts
+    /// agree with the pattern verdicts (never `unknown` — a straight-line
+    /// program never widens).
+    #[test]
+    fn dataflow_findings_subsume_pattern_findings_on_linear_programs(
+        arch_index in 0usize..7,
+        ops in proptest::collection::vec((0u8..5, 0u8..20), 0..40),
+        context_switch in 0u8..2,
+    ) {
+        let arch = Arch::all()[arch_index];
+        let spec = arch.spec();
+        let program = build(&ops);
+        let primitive = (context_switch == 1).then_some(Primitive::ContextSwitch);
+
+        let pattern = Analyzer::new().check_program(&spec, primitive, &program);
+        let analysis = AbsintAnalyzer::new().check_program(&spec, primitive, &program);
+
+        let mut expected: Vec<(&str, Severity, Option<usize>)> = pattern
+            .iter()
+            .filter_map(|d| bucket(d.code).map(|b| (b, d.severity, d.op_index)))
+            .collect();
+        let mut actual: Vec<(&str, Severity, Option<usize>)> = analysis
+            .findings
+            .iter()
+            .filter_map(|f| bucket(f.diag.code).map(|b| (b, f.diag.severity, f.diag.op_index)))
+            .collect();
+        expected.sort_unstable();
+        actual.sort_unstable();
+        prop_assert_eq!(expected, actual, "arch {}", arch);
+
+        // Straight-line chains never widen, so no verdict is `unknown`, and
+        // `refuted` tracks the pattern errors bucket for bucket.
+        prop_assert!(!analysis.artifact.widened);
+        for invariant in &analysis.artifact.invariants {
+            let bucket_name = match invariant.invariant {
+                "window-balance" => "window",
+                "write-buffer-drain" => "wb",
+                _ => "save",
+            };
+            let pattern_error = pattern.iter().any(|d| {
+                d.severity == Severity::Error && bucket(d.code) == Some(bucket_name)
+            });
+            match &invariant.verdict {
+                Verdict::Refuted(witness) => {
+                    prop_assert!(pattern_error, "spurious refutation of {}", invariant.invariant);
+                    prop_assert!(!witness.is_empty() || program.ops().is_empty());
+                }
+                Verdict::Proved => prop_assert!(!pattern_error, "missed {}", invariant.invariant),
+                Verdict::Unknown => prop_assert!(false, "unknown on a linear program"),
+            }
+        }
+    }
+}

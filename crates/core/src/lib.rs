@@ -57,7 +57,9 @@ pub use osarch_trace as trace;
 pub use osarch_workloads as workloads;
 
 // …and the most common items at the crate root.
-pub use osarch_analysis::{AnalysisReport, Analyzer, Diagnostic, Severity};
+pub use osarch_analysis::{
+    AbsintAnalyzer, AbsintReport, AnalysisReport, Analyzer, Diagnostic, Severity, Verdict,
+};
 pub use osarch_cpu::{Arch, ArchSpec, Cpu, ExecStats, MicroOp, Phase, Program};
 pub use osarch_ipc::{lrpc_breakdown, src_rpc_breakdown, LrpcBreakdown, RpcBreakdown, RpcConfig};
 pub use osarch_kernel::{

@@ -8,7 +8,9 @@
 
 use crate::report::Table;
 use crate::session::shared as session;
-use osarch_analysis::{default_rules, AnalysisReport, Severity};
+use osarch_analysis::{
+    absint_rule_table, default_rules, AbsintReport, AnalysisReport, Severity, Verdict,
+};
 use osarch_cpu::{Arch, ExecStats, Phase};
 use osarch_kernel::{Primitive, PrimitiveTrace};
 use osarch_trace::{CounterRegistry, Event, EventKind};
@@ -19,6 +21,10 @@ pub const BENCH_SCHEMA: &str = "osarch-bench/1";
 
 /// The schema tag stamped into every `osarch lint --json` document.
 pub const LINT_SCHEMA: &str = "osarch-lint/1";
+
+/// The schema tag stamped into every `osarch analyze --json` proof
+/// document.
+pub const ABSINT_SCHEMA: &str = "osarch-absint/1";
 
 /// The schema tag stamped into every `osarch trace --counters` document.
 pub const COUNTERS_SCHEMA: &str = "osarch-counters/1";
@@ -367,6 +373,116 @@ pub fn lint_json(report: &AnalysisReport) -> String {
         report.architectures(),
         rules.join(","),
         diagnostics.join(","),
+        report.count(Severity::Error),
+        report.count(Severity::Warn),
+        report.count(Severity::Info),
+    )
+}
+
+/// An abstract-interpretation report as a JSON proof document
+/// (`osarch analyze --json`, schema [`ABSINT_SCHEMA`]).
+///
+/// Every program carries a proof artifact: one verdict per invariant
+/// (`proved` | `refuted` with a witness path | `unknown` when widening cost
+/// the needed precision), plus the fixpoint's iteration count and the CFG
+/// and domain sizes. `findings` lists the OA2xx diagnostics with their
+/// witness paths; `rules` maps the codes to names like `lint_json` does.
+#[must_use]
+pub fn absint_json(report: &AbsintReport) -> String {
+    let rules: Vec<String> = absint_rule_table()
+        .iter()
+        .map(|(code, name, summary)| {
+            format!(
+                "{{\"code\":\"{}\",\"name\":\"{}\",\"summary\":\"{}\"}}",
+                json_escape(code),
+                json_escape(name),
+                json_escape(summary)
+            )
+        })
+        .collect();
+    let witness_json = |witness: &[usize]| -> String {
+        let steps: Vec<String> = witness.iter().map(ToString::to_string).collect();
+        format!("[{}]", steps.join(","))
+    };
+    let artifacts: Vec<String> = report
+        .artifacts()
+        .iter()
+        .map(|a| {
+            let arch = a
+                .arch
+                .map_or_else(|| "null".to_string(), |ar| format!("\"{ar}\""));
+            let invariants: Vec<String> = a
+                .invariants
+                .iter()
+                .map(|inv| {
+                    let witness = match &inv.verdict {
+                        Verdict::Refuted(path) => format!(",\"witness\":{}", witness_json(path)),
+                        Verdict::Proved | Verdict::Unknown => String::new(),
+                    };
+                    format!(
+                        "{{\"invariant\":\"{}\",\"verdict\":\"{}\"{}}}",
+                        json_escape(inv.invariant),
+                        inv.verdict.label(),
+                        witness
+                    )
+                })
+                .collect();
+            format!(
+                "{{\"arch\":{},\"program\":\"{}\",\"invariants\":[{}],\
+                 \"iterations\":{},\"blocks\":{},\"edges\":{},\
+                 \"domain_width\":{},\"widened\":{}}}",
+                arch,
+                json_escape(&a.program),
+                invariants.join(","),
+                a.iterations,
+                a.blocks,
+                a.edges,
+                a.domain_width,
+                a.widened
+            )
+        })
+        .collect();
+    let findings: Vec<String> = report
+        .findings()
+        .iter()
+        .map(|f| {
+            let d = &f.diag;
+            let arch = d
+                .arch
+                .map_or_else(|| "null".to_string(), |a| format!("\"{a}\""));
+            let op = d
+                .op_index
+                .map_or_else(|| "null".to_string(), |i| i.to_string());
+            format!(
+                "{{\"code\":\"{}\",\"severity\":\"{}\",\"arch\":{},\"program\":\"{}\",\
+                 \"op\":{},\"message\":\"{}\",\"witness\":{}}}",
+                json_escape(d.code),
+                d.severity.label(),
+                arch,
+                json_escape(&d.program),
+                op,
+                json_escape(&d.message),
+                witness_json(&f.witness)
+            )
+        })
+        .collect();
+    let (proved, refuted, unknown) = report.verdict_counts();
+    format!(
+        concat!(
+            "{{\"schema\":\"{}\",\"programs_checked\":{},\"architectures\":{},",
+            "\"rules\":[{}],\"artifacts\":[{}],\"findings\":[{}],",
+            "\"verdicts\":{{\"proved\":{},\"refuted\":{},\"unknown\":{}}},",
+            "\"counts\":{{\"error\":{},\"warning\":{},\"info\":{}}}}}\n"
+        ),
+        ABSINT_SCHEMA,
+        report.programs_checked(),
+        report.architectures(),
+        rules.join(","),
+        artifacts.join(","),
+        findings.join(","),
+        proved,
+        refuted,
+        unknown,
         report.count(Severity::Error),
         report.count(Severity::Warn),
         report.count(Severity::Info),
@@ -861,6 +977,28 @@ mod tests {
                 rule.code()
             );
         }
+        assert!(doc.contains("\"counts\":{\"error\":0,\"warning\":0,"));
+    }
+
+    #[test]
+    fn absint_document_is_valid_and_proves_the_clean_catalog() {
+        let report = osarch_analysis::AbsintAnalyzer::new().analyze_all();
+        let doc = absint_json(&report);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains(&format!("\"schema\":\"{ABSINT_SCHEMA}\"")));
+        for (code, _, _) in absint_rule_table() {
+            assert!(doc.contains(&format!("\"code\":\"{code}\"")), "{code}");
+        }
+        for invariant in [
+            "window-balance",
+            "write-buffer-drain",
+            "state-save-completeness",
+        ] {
+            assert!(doc.contains(&format!("\"invariant\":\"{invariant}\"")));
+        }
+        // The shipped catalog proves every invariant on every program: no
+        // refutations, no widening losses, no errors.
+        assert!(doc.contains("\"refuted\":0,\"unknown\":0"));
         assert!(doc.contains("\"counts\":{\"error\":0,\"warning\":0,"));
     }
 

@@ -73,6 +73,20 @@ pub fn report_names() -> String {
     names.join(", ")
 }
 
+/// Every serve-protocol op name, in protocol order. The CLI subcommands of
+/// the same names parse identically, so the one-line unknown-op error is
+/// shared between front ends.
+#[must_use]
+pub fn op_names() -> &'static str {
+    "ping, measure, table, lint, analyze, trace, counters, stats, spans, health, shutdown"
+}
+
+/// One-line error for an unknown serve-protocol op.
+#[must_use]
+pub fn unknown_op(name: &str) -> String {
+    format!("unknown op {name:?}; valid ops: {}", op_names())
+}
+
 /// One-line error for an unknown architecture name.
 #[must_use]
 pub fn unknown_arch(name: &str) -> String {
@@ -126,6 +140,14 @@ mod tests {
             assert_eq!(parse_primitive(name), Some(primitive), "{name}");
         }
         assert_eq!(parse_primitive("fork"), None);
+    }
+
+    #[test]
+    fn op_registry_lists_analyze_between_lint_and_trace() {
+        let ops = op_names();
+        assert!(ops.contains("lint, analyze, trace"), "{ops}");
+        let err = unknown_op("frobnicate");
+        assert!(err.contains("analyze") && !err.contains('\n'), "{err}");
     }
 
     #[test]

@@ -194,6 +194,18 @@ impl MicroOp {
         )
     }
 
+    /// Whether this op owns a delay slot when the architecture exposes its
+    /// pipeline (`ArchSpec::has_delay_slots`): exactly the control
+    /// transfers. On interlocked pipelines no op has a delay slot, whatever
+    /// this returns — the architecture gate belongs to the caller. The ISA
+    /// lint uses the same semantics for assembled code: a single trailing
+    /// instruction after a final unconditional jump is that jump's delay
+    /// slot, not code that falls off the end.
+    #[must_use]
+    pub fn has_delay_slot(&self) -> bool {
+        self.is_control_transfer()
+    }
+
     /// Whether this op writes memory through the normal store path (and so
     /// lands in a write buffer when the machine has one). Window spills and
     /// atomic operations count; microcoded memory traffic is accounted

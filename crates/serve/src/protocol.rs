@@ -66,6 +66,11 @@ pub enum Query {
         /// `None` checks every architecture.
         arch: Option<Arch>,
     },
+    /// Abstract-interpretation proof run for one architecture, or all.
+    Analyze {
+        /// `None` verifies every architecture.
+        arch: Option<Arch>,
+    },
     /// Chrome-trace document for one primitive run.
     Trace {
         /// Architecture to trace.
@@ -104,6 +109,10 @@ impl Query {
                 "lint/{}",
                 arch.map_or_else(|| "all".to_string(), |a| a.to_string())
             )),
+            Query::Analyze { arch } => Some(format!(
+                "analyze/{}",
+                arch.map_or_else(|| "all".to_string(), |a| a.to_string())
+            )),
             Query::Trace { arch, primitive } => Some(format!("trace/{arch}/{}", primitive.tag())),
             Query::Counters { arch } => Some(format!(
                 "counters/{}",
@@ -136,6 +145,14 @@ impl Query {
                     None => analyzer.analyze_all(),
                 };
                 metrics::lint_json(&report).trim_end().to_string()
+            }
+            Query::Analyze { arch } => {
+                let analyzer = osarch_core::AbsintAnalyzer::new();
+                let report = match arch {
+                    Some(arch) => analyzer.analyze_arch(*arch),
+                    None => analyzer.analyze_all(),
+                };
+                metrics::absint_json(&report).trim_end().to_string()
             }
             Query::Trace { arch, primitive } => {
                 metrics::chrome_trace_json(&trace_primitive(*arch, *primitive))
@@ -245,6 +262,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
             Query::Table { name }
         }
         "lint" => Query::Lint { arch: arch(false)? },
+        "analyze" => Query::Analyze { arch: arch(false)? },
         "trace" => Query::Trace {
             arch: arch(true)?.expect("required"),
             primitive: primitive()?,
@@ -254,15 +272,7 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         "spans" => Query::Spans,
         "health" => Query::Health,
         "shutdown" => Query::Shutdown,
-        other => {
-            return Err((
-                format!(
-                    "unknown op {other:?}; valid ops: ping, measure, table, lint, trace, \
-                     counters, stats, spans, health, shutdown"
-                ),
-                id,
-            ))
-        }
+        other => return Err((names::unknown_op(other), id)),
     };
     Ok(Request { id, query })
 }

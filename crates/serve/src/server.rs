@@ -988,6 +988,7 @@ fn op_name(query: &Query) -> &'static str {
         Query::Measure { .. } => "measure",
         Query::Table { .. } => "table",
         Query::Lint { .. } => "lint",
+        Query::Analyze { .. } => "analyze",
         Query::Trace { .. } => "trace",
         Query::Counters { .. } => "counters",
         Query::Stats => "stats",

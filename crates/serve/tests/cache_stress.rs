@@ -5,10 +5,10 @@
 //! returned payload must be bit-identical to what a single-threaded
 //! [`MeasurementSession`] produces for the same key.
 
-use osarch_core::MeasurementSession;
+use osarch_core::{metrics, AbsintAnalyzer, MeasurementSession};
 use osarch_cpu::Arch;
 use osarch_kernel::Primitive;
-use osarch_serve::ShardedCache;
+use osarch_serve::{Query, ShardedCache};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -94,6 +94,71 @@ fn hammering_threads_compute_each_key_exactly_once_and_bit_identical() {
             &*cached,
             payload(&reference, arch, primitive),
             "{key} diverged from the single-threaded session"
+        );
+    }
+}
+
+#[test]
+fn analyze_queries_single_flight_with_byte_identical_replies() {
+    const THREADS: usize = 12;
+    const ROUNDS: usize = 8;
+    // The real serve queries for every per-arch proof run plus the
+    // all-architectures run — the same keys and compute path the server's
+    // data-query arm uses.
+    let queries: Vec<Query> = Arch::all()
+        .into_iter()
+        .map(|arch| Query::Analyze { arch: Some(arch) })
+        .chain(std::iter::once(Query::Analyze { arch: None }))
+        .collect();
+    let cache = ShardedCache::new(8);
+    let computations: Vec<AtomicU64> = queries.iter().map(|_| AtomicU64::new(0)).collect();
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let cache = &cache;
+            let queries = &queries;
+            let computations = &computations;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    for step in 0..queries.len() {
+                        let index = (thread + round + step) % queries.len();
+                        let query = &queries[index];
+                        let key = query.cache_key().expect("analyze is cacheable");
+                        let (value, _) = cache.get_or_compute(&key, || {
+                            computations[index].fetch_add(1, Ordering::SeqCst);
+                            query.compute()
+                        });
+                        assert!(value.starts_with("{\"schema\":\"osarch-absint/1\""));
+                    }
+                }
+            });
+        }
+    });
+
+    for (index, query) in queries.iter().enumerate() {
+        assert_eq!(
+            computations[index].load(Ordering::SeqCst),
+            1,
+            "{:?} computed more than once",
+            query.cache_key()
+        );
+        // Every cached reply is byte-identical to the direct emitter.
+        let key = query.cache_key().expect("cacheable");
+        let (cached, was_cached) = cache.get_or_compute(&key, || unreachable!("{key} is cached"));
+        assert!(was_cached);
+        let analyzer = AbsintAnalyzer::new();
+        let report = match query {
+            Query::Analyze { arch: Some(arch) } => analyzer.analyze_arch(*arch),
+            Query::Analyze { arch: None } => analyzer.analyze_all(),
+            other => unreachable!("{other:?}"),
+        };
+        assert_eq!(
+            &*cached,
+            metrics::absint_json(&report).trim_end(),
+            "{key} diverged from the direct emitter"
         );
     }
 }

@@ -54,10 +54,11 @@ fn every_query_kind_round_trips_with_wellformed_replies() {
         "{\"op\":\"measure\",\"arch\":\"mips-r3000\",\"primitive\":\"syscall\",\"id\":2}",
         "{\"op\":\"table\",\"table\":\"table1\",\"id\":3}",
         "{\"op\":\"lint\",\"arch\":\"SPARC\",\"id\":4}",
-        "{\"op\":\"trace\",\"arch\":\"R2000\",\"primitive\":\"trap\",\"id\":5}",
-        "{\"op\":\"counters\",\"arch\":\"CVAX\",\"id\":6}",
-        "{\"op\":\"stats\",\"id\":7}",
-        "{\"op\":\"spans\",\"id\":8}",
+        "{\"op\":\"analyze\",\"arch\":\"SPARC\",\"id\":5}",
+        "{\"op\":\"trace\",\"arch\":\"R2000\",\"primitive\":\"trap\",\"id\":6}",
+        "{\"op\":\"counters\",\"arch\":\"CVAX\",\"id\":7}",
+        "{\"op\":\"stats\",\"id\":8}",
+        "{\"op\":\"spans\",\"id\":9}",
     ];
     for (index, request) in good.iter().enumerate() {
         let reply = client.round_trip(request);
@@ -94,8 +95,15 @@ fn every_query_kind_round_trips_with_wellformed_replies() {
         "bad-name errors echo the id: {reply}"
     );
 
+    // Unknown ops: the error lists the registry, `analyze` included.
+    let reply = client.round_trip("{\"op\":\"warp\",\"id\":10}");
+    assert!(
+        reply.contains("\"ok\":false") && reply.contains("analyze"),
+        "unknown-op error must list the op registry: {reply}"
+    );
+
     // The connection still works after errors.
-    let reply = client.round_trip("{\"op\":\"ping\",\"id\":10}");
+    let reply = client.round_trip("{\"op\":\"ping\",\"id\":11}");
     assert!(reply.contains("\"pong\":true"));
 
     // Oversized request: error envelope, then the server hangs up cleanly.
@@ -134,6 +142,28 @@ fn cached_replies_are_byte_identical_to_direct_emitter_output() {
         first.split("\"result\":").nth(1),
         second.split("\"result\":").nth(1),
         "cache hit changed the payload"
+    );
+
+    // Proof artifacts too: the served `analyze` payload equals the direct
+    // emitter output byte for byte, and repeats arrive from the cache
+    // unchanged.
+    let expected = {
+        let report = osarch_core::AbsintAnalyzer::new().analyze_arch(Arch::Sparc);
+        metrics::absint_json(&report).trim_end().to_string()
+    };
+    let request = "{\"op\":\"analyze\",\"arch\":\"sparc\",\"id\":3}";
+    let first = client.round_trip(request);
+    assert!(
+        first.contains(&format!("\"result\":{expected}}}")),
+        "served analyze payload diverged:\n{first}\n!=\n{expected}"
+    );
+    assert!(first.contains("\"cached\":false"), "{first}");
+    let second = client.round_trip(request);
+    assert!(second.contains("\"cached\":true"), "{second}");
+    assert_eq!(
+        first.split("\"result\":").nth(1),
+        second.split("\"result\":").nth(1),
+        "analyze cache hit changed the payload"
     );
 
     // Tables too: the served document is the CLI's JSON, byte for byte.

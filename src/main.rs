@@ -8,13 +8,18 @@
 //! osarch compare <A> <B>         compare two machines primitive by primitive
 //! osarch lint [ARCH] [--json] [--deny-warnings]
 //!                                statically verify the generated handlers
+//! osarch analyze [ARCH] [--json] [--deny-warnings] [--out PATH]
+//!                                prove/refute dataflow invariants per program
 //! osarch trace <ARCH> <OP> [--out PATH] [--counters]
 //!                                cycle-level trace of one primitive
 //! osarch archs                   list the modelled architectures
 //! ```
 
 use osarch::kernel::{HandlerSet, Machine};
-use osarch::{measure, metrics, names, serve, session, trace_primitive, Analyzer, Arch, Primitive};
+use osarch::{
+    measure, metrics, names, serve, session, trace_primitive, AbsintAnalyzer, Analyzer, Arch,
+    Primitive,
+};
 use std::process::ExitCode;
 
 /// Exit loudly on a bad name: one line on stderr listing every valid
@@ -63,6 +68,9 @@ fn usage() -> ExitCode {
          \x20 compare ARCH ARCH       compare two machines\n\
          \x20 lint [ARCH] [--json] [--deny-warnings]\n\
          \x20                         statically verify the generated handler programs\n\
+         \x20 analyze [ARCH] [--json] [--deny-warnings] [--out PATH]\n\
+         \x20                         abstract-interpretation verifier: prove or refute\n\
+         \x20                         the dataflow invariants, with proof artifacts\n\
          \x20 trace ARCH OP [--out PATH] [--counters]\n\
          \x20                         cycle-level trace of one primitive: phase profile\n\
          \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
@@ -246,6 +254,75 @@ fn main() -> ExitCode {
                     println!("{diagnostic}");
                 }
                 println!("{}", report.summary());
+            }
+            if report.passes(deny_warnings) {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Some("analyze") => {
+            let mut arch: Option<Arch> = None;
+            let mut json = false;
+            let mut deny_warnings = false;
+            let mut out: Option<&str> = None;
+            let mut rest = args[1..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--json" => json = true,
+                    "--deny-warnings" => deny_warnings = true,
+                    "--out" => match rest.next() {
+                        Some(path) => out = Some(path),
+                        None => {
+                            eprintln!("--out requires a path");
+                            return usage();
+                        }
+                    },
+                    name if !name.starts_with('-') && arch.is_none() => {
+                        match names::parse_arch(name) {
+                            Some(parsed) => arch = Some(parsed),
+                            None => return bad_name(names::unknown_arch(name)),
+                        }
+                    }
+                    other => {
+                        eprintln!("unexpected argument {other:?}");
+                        return usage();
+                    }
+                }
+            }
+            let analyzer = AbsintAnalyzer::new();
+            let report = match arch {
+                Some(arch) => analyzer.analyze_arch(arch),
+                None => analyzer.analyze_all(),
+            };
+            let doc = metrics::absint_json(&report);
+            debug_assert_eq!(metrics::validate_json(&doc), Ok(()));
+            if json {
+                print!("{doc}");
+            } else {
+                for finding in report.findings() {
+                    println!("{finding}");
+                }
+                println!("{}", report.summary());
+            }
+            if let Some(path) = out {
+                // Validate unconditionally: proof artifacts exist to be
+                // consumed by other tools, so never write a malformed file.
+                if let Err(offset) = metrics::validate_json(&doc) {
+                    eprintln!("internal error: analyze JSON invalid at byte {offset}");
+                    return ExitCode::FAILURE;
+                }
+                match std::fs::write(path, &doc) {
+                    Ok(()) => println!(
+                        "wrote {path}: {} programs, {} bytes",
+                        report.programs_checked(),
+                        doc.len()
+                    ),
+                    Err(err) => {
+                        eprintln!("cannot write {path}: {err}");
+                        return ExitCode::FAILURE;
+                    }
+                }
             }
             if report.passes(deny_warnings) {
                 ExitCode::SUCCESS
