@@ -13,7 +13,7 @@ use osarch_analysis::{
 };
 use osarch_cpu::{Arch, ExecStats, Phase};
 use osarch_kernel::{Primitive, PrimitiveTrace};
-use osarch_trace::{CounterRegistry, Event, EventKind};
+use osarch_trace::{Category, CounterRegistry, Event, EventKind};
 use std::fmt::Write as _;
 
 /// The schema tag stamped into every `BENCH_repro.json`.
@@ -37,7 +37,13 @@ pub const TRACE_SCHEMA: &str = "osarch-trace/1";
 pub const SERVE_SCHEMA: &str = "osarch-serve/1";
 
 /// The schema tag stamped into every `BENCH_serve.json` load report.
-pub const SERVE_BENCH_SCHEMA: &str = "osarch-serve-bench/1";
+/// `/2` added tail-fidelity latency fields (`p999`, `samples`,
+/// `sampled`) and the raw `latency_hist` bucket export.
+pub const SERVE_BENCH_SCHEMA: &str = "osarch-serve-bench/2";
+
+/// The schema tag stamped into every telemetry snapshot (the `metrics`
+/// protocol op and the `--metrics-addr` scrape listener's JSON form).
+pub const METRICS_SCHEMA: &str = "osarch-metrics/1";
 
 /// Escape a string for a JSON string literal (quotes not included).
 #[must_use]
@@ -188,6 +194,10 @@ pub struct ServeBenchReport {
     pub throughput_rps: f64,
     /// Client-observed latency distribution (µs).
     pub latency: crate::stats::LatencySummary,
+    /// Sparse latency histogram buckets: `(bucket index, count)` pairs in
+    /// the fixed `osarch-telemetry` log-linear layout, so consumers can
+    /// merge runs or recompute any percentile without the raw samples.
+    pub latency_hist: Vec<(usize, u64)>,
     /// Server cache hits over the run.
     pub hits: u64,
     /// Server cache misses (computations) over the run.
@@ -225,7 +235,36 @@ pub struct ResilienceCounters {
     pub corrupt: u64,
 }
 
-/// A load-generator report as an `osarch-serve-bench/1` JSON document.
+/// A [`crate::stats::LatencySummary`] as a JSON object body.
+fn latency_summary_json(latency: &crate::stats::LatencySummary) -> String {
+    format!(
+        concat!(
+            "{{\"count\":{},\"samples\":{},\"sampled\":{},",
+            "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},",
+            "\"max\":{},\"mean\":{}}}"
+        ),
+        latency.count,
+        latency.samples,
+        latency.sampled,
+        latency.p50,
+        latency.p90,
+        latency.p99,
+        latency.p999,
+        latency.max,
+        json_number(latency.mean),
+    )
+}
+
+/// Sparse histogram buckets as a JSON array of `[index, count]` pairs.
+fn sparse_buckets_json(buckets: &[(usize, u64)]) -> String {
+    let pairs: Vec<String> = buckets
+        .iter()
+        .map(|(index, count)| format!("[{index},{count}]"))
+        .collect();
+    format!("[{}]", pairs.join(","))
+}
+
+/// A load-generator report as an `osarch-serve-bench/2` JSON document.
 #[must_use]
 pub fn serve_bench_json(report: &ServeBenchReport) -> String {
     format!(
@@ -234,8 +273,8 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
             "\"conns\":{},\"pipeline_depth\":{},\"driver_threads\":{},",
             "\"workers\":{},\"shards\":{},\"secs\":{},",
             "\"requests\":{},\"errors\":{},\"throughput_rps\":{},",
-            "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
-            "\"max\":{},\"mean\":{}}},",
+            "\"latency_us\":{},",
+            "\"latency_hist\":{{\"sub_bits\":{},\"max_exp\":{},\"buckets\":{}}},",
             "\"cache\":{{\"hits\":{},\"misses\":{},\"coalesced\":{}}},",
             "\"resilience\":{{\"retries\":{},\"giveups\":{},\"breaker_opens\":{},",
             "\"degraded\":{},\"corrupt\":{},",
@@ -254,12 +293,10 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
         report.requests,
         report.errors,
         json_number(report.throughput_rps),
-        report.latency.count,
-        report.latency.p50,
-        report.latency.p90,
-        report.latency.p99,
-        report.latency.max,
-        json_number(report.latency.mean),
+        latency_summary_json(&report.latency),
+        osarch_telemetry::SUB_BITS,
+        osarch_telemetry::MAX_EXP,
+        sparse_buckets_json(&report.latency_hist),
         report.hits,
         report.misses,
         report.coalesced,
@@ -275,7 +312,7 @@ pub fn serve_bench_json(report: &ServeBenchReport) -> String {
     )
 }
 
-/// Every key an `osarch-serve-bench/1` document must carry. The loadgen
+/// Every key an `osarch-serve-bench/2` document must carry. The loadgen
 /// validates its own output against this list before writing it, so a
 /// report missing a column fails at the producer, not in a consumer.
 pub const SERVE_BENCH_REQUIRED_KEYS: &[&str] = &[
@@ -292,6 +329,13 @@ pub const SERVE_BENCH_REQUIRED_KEYS: &[&str] = &[
     "errors",
     "throughput_rps",
     "latency_us",
+    "samples",
+    "sampled",
+    "p999",
+    "latency_hist",
+    "sub_bits",
+    "max_exp",
+    "buckets",
     "cache",
     "resilience",
     "retries",
@@ -306,7 +350,7 @@ pub const SERVE_BENCH_REQUIRED_KEYS: &[&str] = &[
     "breaker_open",
 ];
 
-/// Validate an `osarch-serve-bench/1` document: well-formed JSON *and*
+/// Validate an `osarch-serve-bench/2` document: well-formed JSON *and*
 /// every required key present. Returns the first missing key on failure.
 pub fn validate_serve_bench(doc: &str) -> Result<(), String> {
     if let Err(offset) = validate_json(doc) {
@@ -321,6 +365,216 @@ pub fn validate_serve_bench(doc: &str) -> Result<(), String> {
         }
     }
     Ok(())
+}
+
+/// One telemetry histogram as a JSON object: precomputed quantiles (so
+/// dashboards need no bucket math) plus the sparse buckets (so anything
+/// else can merge or recompute).
+fn telemetry_hist_json(hist: &osarch_telemetry::Histogram) -> String {
+    format!(
+        concat!(
+            "{{\"count\":{},\"sum\":{},\"min\":{},\"max\":{},",
+            "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},\"mean\":{},",
+            "\"buckets\":{}}}"
+        ),
+        hist.count(),
+        hist.sum(),
+        hist.min(),
+        hist.max(),
+        hist.value_at_percentile(50.0),
+        hist.value_at_percentile(90.0),
+        hist.value_at_percentile(99.0),
+        hist.value_at_percentile(99.9),
+        json_number(hist.mean()),
+        sparse_buckets_json(&hist.sparse()),
+    )
+}
+
+/// A telemetry snapshot as an `osarch-metrics/1` JSON document — the
+/// payload of the `metrics` protocol op and the scrape listener's JSON
+/// endpoint, and the input `osarch top` renders.
+#[must_use]
+pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String {
+    let totals = &snap.totals;
+    let gauges = &snap.gauges;
+    let ops: Vec<String> = snap
+        .ops
+        .iter()
+        .map(|op| {
+            format!(
+                "{{\"op\":\"{}\",\"latency_us\":{}}}",
+                json_escape(op.name),
+                telemetry_hist_json(&op.hist)
+            )
+        })
+        .collect();
+    let window: Vec<String> = osarch_telemetry::COUNTER_NAMES
+        .iter()
+        .zip(snap.window)
+        .map(|(name, value)| format!("\"{name}\":{value}"))
+        .collect();
+    format!(
+        concat!(
+            "{{\"schema\":\"{}\",\"uptime_us\":{},\"retention_s\":{},",
+            "\"sample_every\":{},\"chains_sampled\":{},",
+            "\"hist_meta\":{{\"sub_bits\":{},\"max_exp\":{},\"bucket_count\":{}}},",
+            "\"totals\":{{\"requests\":{},\"errors\":{},\"rejected\":{},",
+            "\"deadline_exceeded\":{},\"panics\":{},\"degraded\":{},",
+            "\"worker_respawns\":{},\"faults_injected\":{},\"conns_opened\":{},",
+            "\"cache_hits\":{},\"cache_misses\":{},\"cache_coalesced\":{},",
+            "\"cache_failed\":{},\"cache_degraded\":{}}},",
+            "\"gauges\":{{\"conns_open\":{},\"conn_budget\":{},\"workers\":{},",
+            "\"workers_live\":{},\"compute_backlog\":{},",
+            "\"oldest_write_backlog_ms\":{},\"cache_hit_ratio\":{},",
+            "\"shutting_down\":{}}},",
+            "\"window\":{{{}}},",
+            "\"ops\":[{}],",
+            "\"loop_lag_us\":{},",
+            "\"offload_queue_depth\":{},",
+            "\"arena_buffers\":{}}}\n"
+        ),
+        METRICS_SCHEMA,
+        snap.uptime_us,
+        snap.retention_s,
+        snap.sample_every,
+        snap.chains_sampled,
+        osarch_telemetry::SUB_BITS,
+        osarch_telemetry::MAX_EXP,
+        osarch_telemetry::BUCKETS,
+        totals.requests,
+        totals.errors,
+        totals.rejected,
+        totals.deadline_exceeded,
+        totals.panics,
+        totals.degraded,
+        totals.worker_respawns,
+        totals.faults_injected,
+        totals.conns_opened,
+        totals.cache_hits,
+        totals.cache_misses,
+        totals.cache_coalesced,
+        totals.cache_failed,
+        totals.cache_degraded,
+        gauges.conns_open,
+        gauges.conn_budget,
+        gauges.workers,
+        gauges.workers_live,
+        gauges.compute_backlog,
+        gauges.oldest_write_backlog_ms,
+        json_number(totals.cache_hit_ratio()),
+        gauges.shutting_down,
+        window.join(","),
+        ops.join(","),
+        telemetry_hist_json(&snap.loop_lag_us),
+        telemetry_hist_json(&snap.queue_depth),
+        telemetry_hist_json(&snap.arena_buffers),
+    )
+}
+
+/// Every key an `osarch-metrics/1` document must carry. Producers
+/// validate before exposing; the CI chaos smoke validates the scrape.
+pub const METRICS_REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "uptime_us",
+    "retention_s",
+    "sample_every",
+    "chains_sampled",
+    "hist_meta",
+    "sub_bits",
+    "max_exp",
+    "totals",
+    "requests",
+    "errors",
+    "deadline_exceeded",
+    "cache_hits",
+    "cache_misses",
+    "gauges",
+    "conns_open",
+    "conn_budget",
+    "workers",
+    "workers_live",
+    "compute_backlog",
+    "oldest_write_backlog_ms",
+    "cache_hit_ratio",
+    "shutting_down",
+    "window",
+    "ops",
+    "loop_lag_us",
+    "offload_queue_depth",
+    "arena_buffers",
+    "p50",
+    "p99",
+    "p999",
+    "buckets",
+];
+
+/// Validate an `osarch-metrics/1` document: well-formed JSON, the schema
+/// tag, and every required key present.
+pub fn validate_metrics_snapshot(doc: &str) -> Result<(), String> {
+    if let Err(offset) = validate_json(doc) {
+        return Err(format!("invalid JSON at byte {offset}"));
+    }
+    if !doc.contains(&format!("\"schema\":\"{METRICS_SCHEMA}\"")) {
+        return Err(format!("missing schema {METRICS_SCHEMA:?}"));
+    }
+    for key in METRICS_REQUIRED_KEYS {
+        if !doc.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Sampled per-request span chains as a Chrome trace-event JSON document
+/// (the `spans` op's `chrome` filter, and the chaos soak's trace
+/// artifact).
+///
+/// Each chain gets its own track (`tid` = chain ordinal + 1) under the
+/// owning loop shard's process (`pid` = loop index), so overlapping
+/// pipelined requests never render as false nesting. Timestamps are
+/// microseconds since the server started; the root span carries the
+/// decode-to-reply-buffered total and the stage spans (decode / queue /
+/// compute / cache / write) sit beneath it on the same track.
+#[must_use]
+pub fn serve_chains_chrome_json(chains: &[osarch_telemetry::SpanChain]) -> String {
+    let mut events = vec![metadata_event_json(
+        "process_name",
+        0,
+        "osarch-serve sampled requests",
+    )];
+    for (index, chain) in chains.iter().enumerate() {
+        let pid = chain.loop_index as u32;
+        let tid = index as u32 + 1;
+        events.push(trace_event_json(
+            &Event::complete(
+                format!("{}#{:016x}", chain.op, chain.trace_id),
+                Category::Serve,
+                chain.start_us,
+                chain.total_us,
+            )
+            .with_arg("trace_id", chain.trace_id)
+            .with_arg("span_id", chain.span_id)
+            .with_arg("loop", chain.loop_index as u64)
+            .on(pid, tid),
+        ));
+        for span in &chain.spans {
+            events.push(trace_event_json(
+                &Event::complete(span.stage, Category::Serve, span.start_us, span.dur_us)
+                    .with_arg("trace_id", chain.trace_id)
+                    .on(pid, tid),
+            ));
+        }
+    }
+    format!(
+        concat!(
+            "{{\"traceEvents\":[{}],\"displayTimeUnit\":\"ms\",",
+            "\"otherData\":{{\"schema\":\"{}\",\"chains\":{},",
+            "\"clock\":\"us_since_server_start\"}}}}\n"
+        ),
+        events.join(","),
+        TRACE_SCHEMA,
+        chains.len(),
+    )
 }
 
 /// A static-analysis report as a JSON document (`osarch lint --json`).
@@ -917,6 +1171,7 @@ mod tests {
             errors: 0,
             throughput_rps: 400.0,
             latency: crate::stats::LatencySummary::from_unsorted(&[100, 200, 300]),
+            latency_hist: osarch_telemetry::Histogram::from_values(&[100, 200, 300]).sparse(),
             hits: 1172,
             misses: 28,
             coalesced: 3,
@@ -938,7 +1193,13 @@ mod tests {
         assert!(doc.contains(&format!("\"schema\":\"{SERVE_BENCH_SCHEMA}\"")));
         assert!(doc.contains("\"throughput_rps\":400"));
         assert!(doc.contains("\"pipeline_depth\":4,\"driver_threads\":8"));
-        assert!(doc.contains("\"p99\":300"));
+        assert!(doc.contains("\"samples\":3,\"sampled\":false"));
+        assert!(doc.contains("\"p999\":"));
+        assert!(doc.contains(&format!(
+            "\"latency_hist\":{{\"sub_bits\":{},\"max_exp\":{},\"buckets\":[[",
+            osarch_telemetry::SUB_BITS,
+            osarch_telemetry::MAX_EXP
+        )));
         assert!(doc.contains("\"resilience\":{\"retries\":5,\"giveups\":1"));
         assert!(doc.contains("\"error_classes\":{\"timeout\":3,\"conn_reset\":2"));
         // The extended validator rejects a document missing a column.
@@ -950,6 +1211,73 @@ mod tests {
         let doc = serve_bench_json(&broken);
         assert_eq!(validate_json(&doc), Ok(()));
         assert!(doc.contains("\"throughput_rps\":null"));
+    }
+
+    #[test]
+    fn metrics_snapshot_document_is_valid() {
+        let hub = osarch_telemetry::TelemetryHub::new(2, &["ping", "measure"], 64, 7);
+        for us in [120u64, 250, 4000] {
+            hub.record_op(0, 1, us, 0);
+        }
+        hub.record_loop_lag(1, 35, 0);
+        hub.record_queue_depth(0, 4, 0);
+        hub.record_arena(0, 9, 0);
+        hub.bump(0, osarch_telemetry::COUNTER_REQUESTS, 3, 0);
+        let snap = hub.snapshot(
+            5_000_000,
+            osarch_telemetry::Gauges {
+                conns_open: 2,
+                conn_budget: 64,
+                workers: 4,
+                workers_live: 4,
+                ..osarch_telemetry::Gauges::default()
+            },
+            osarch_telemetry::Totals {
+                requests: 3,
+                cache_hits: 2,
+                cache_misses: 1,
+                ..osarch_telemetry::Totals::default()
+            },
+        );
+        let doc = metrics_snapshot_json(&snap);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert_eq!(validate_metrics_snapshot(&doc), Ok(()));
+        assert!(doc.contains(&format!("\"schema\":\"{METRICS_SCHEMA}\"")));
+        assert!(doc.contains("\"uptime_us\":5000000"));
+        assert!(doc.contains("\"op\":\"measure\""));
+        assert!(doc.contains("\"requests\":3"));
+        assert!(doc.contains("\"conn_budget\":64"));
+        // hits 2 + coalesced 0 over 3 lookups.
+        assert!(doc.contains("\"cache_hit_ratio\":0.6666"), "{doc}");
+        assert!(doc.ends_with("}\n"));
+        // The validator flags a document missing a required section.
+        let truncated = doc.replace("\"gauges\":", "\"ga_uges\":");
+        assert!(validate_metrics_snapshot(&truncated).is_err());
+    }
+
+    #[test]
+    fn serve_chains_chrome_document_is_valid() {
+        let mut ids = osarch_telemetry::TraceIdGen::new(42, 0);
+        let mut pending = osarch_telemetry::PendingTrace::start(&mut ids, "measure", 1, 1000);
+        pending.stage("decode", 1000, 40);
+        pending.mark(1040);
+        pending.stage_from_mark("queue", 1200);
+        pending.stage_from_mark("compute", 1900);
+        pending.stage_from_mark("write", 2000);
+        let chain = pending.finish(2000);
+        let trace_id = chain.trace_id;
+        let doc = serve_chains_chrome_json(&[chain]);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert!(doc.contains("\"traceEvents\":["));
+        assert!(doc.contains(&format!("\"name\":\"measure#{trace_id:016x}\"")));
+        for stage in ["decode", "queue", "compute", "write"] {
+            assert!(doc.contains(&format!("\"name\":\"{stage}\"")), "{stage}");
+        }
+        // Root + 4 stages, all on the loop's pid and the chain's own tid.
+        assert_eq!(doc.matches("\"pid\":1,\"tid\":1,").count(), 5, "{doc}");
+        assert!(doc.contains("\"chains\":1"));
+        // Empty input still renders a valid (metadata-only) document.
+        assert_eq!(validate_json(&serve_chains_chrome_json(&[])), Ok(()));
     }
 
     #[test]

@@ -3,9 +3,21 @@
 //! The paper's argument is about *fixed per-operation overheads*; the
 //! serving layer makes the same argument at request granularity, so its
 //! benchmark output reports the latency distribution, not just a mean.
-//! These helpers compute nearest-rank percentiles over microsecond
-//! samples — enough for `osarch-serve`'s `/stats` query and the
-//! `BENCH_serve.json` emitter, with no external dependency.
+//!
+//! Two sources feed a [`LatencySummary`]:
+//!
+//! * **exhaustive samples** ([`LatencySummary::from_sorted`]) — exact
+//!   nearest-rank percentiles, but holding every sample gets expensive,
+//!   and a *capped* reservoir silently under-reports the tail once it
+//!   stops admitting samples (the high-volume bug this module's
+//!   `samples`/`sampled` fields now expose);
+//! * **mergeable log-linear histograms**
+//!   ([`LatencySummary::from_histogram`]) — every observation counted,
+//!   ≤ 1/16 relative quantization error, constant memory. The serve
+//!   stack and loadgen report through these; the reservoir survives
+//!   only as a cross-check in tests.
+
+use osarch_telemetry::Histogram;
 
 /// Nearest-rank percentile of a **sorted** sample set.
 ///
@@ -27,18 +39,26 @@ pub fn percentile(sorted: &[u64], q: f64) -> u64 {
     sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
 }
 
-/// Summary of a latency sample set, in the sample unit (microseconds by
-/// convention).
+/// Summary of a latency distribution, in the sample unit (microseconds
+/// by convention).
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LatencySummary {
-    /// Number of samples.
+    /// Observations the summary describes.
     pub count: u64,
+    /// Samples actually retained to compute it. Equal to `count` unless
+    /// the source was a capped reservoir that stopped admitting.
+    pub samples: u64,
+    /// Whether the percentiles come from a subsample (`samples < count`)
+    /// — when true, tail percentiles may under-report.
+    pub sampled: bool,
     /// Median (50th percentile).
     pub p50: u64,
     /// 90th percentile.
     pub p90: u64,
     /// 99th percentile.
     pub p99: u64,
+    /// 99.9th percentile.
+    pub p999: u64,
     /// Largest sample.
     pub max: u64,
     /// Arithmetic mean.
@@ -55,22 +75,54 @@ impl LatencySummary {
         LatencySummary::from_sorted(&sorted)
     }
 
-    /// Summarize an already-sorted sample set without copying.
+    /// Summarize an already-sorted sample set without copying. The set is
+    /// taken as exhaustive (`samples == count`, `sampled: false`); use
+    /// [`LatencySummary::from_reservoir`] when it was capped.
     #[must_use]
     pub fn from_sorted(sorted: &[u64]) -> LatencySummary {
-        let count = sorted.len() as u64;
+        LatencySummary::from_reservoir(sorted, sorted.len() as u64)
+    }
+
+    /// Summarize a capped reservoir: `sorted` holds the retained samples,
+    /// `observed` the true observation count. Marks the summary `sampled`
+    /// when the reservoir dropped observations, so consumers know the
+    /// tail may be under-reported.
+    #[must_use]
+    pub fn from_reservoir(sorted: &[u64], observed: u64) -> LatencySummary {
+        let samples = sorted.len() as u64;
         let mean = if sorted.is_empty() {
             0.0
         } else {
-            sorted.iter().sum::<u64>() as f64 / count as f64
+            sorted.iter().sum::<u64>() as f64 / samples as f64
         };
         LatencySummary {
-            count,
+            count: observed.max(samples),
+            samples,
+            sampled: observed > samples,
             p50: percentile(sorted, 50.0),
             p90: percentile(sorted, 90.0),
             p99: percentile(sorted, 99.0),
+            p999: percentile(sorted, 99.9),
             max: sorted.last().copied().unwrap_or(0),
             mean,
+        }
+    }
+
+    /// Summarize a log-linear histogram: every observation is counted
+    /// (never `sampled`); percentiles carry the bucket quantization
+    /// (≤ 1/16 relative error), and `max` is exact.
+    #[must_use]
+    pub fn from_histogram(hist: &Histogram) -> LatencySummary {
+        LatencySummary {
+            count: hist.count(),
+            samples: hist.count(),
+            sampled: false,
+            p50: hist.value_at_percentile(50.0),
+            p90: hist.value_at_percentile(90.0),
+            p99: hist.value_at_percentile(99.0),
+            p999: hist.value_at_percentile(99.9),
+            max: hist.max(),
+            mean: hist.mean(),
         }
     }
 }
@@ -94,13 +146,59 @@ mod tests {
     fn summary_matches_hand_computation() {
         let s = LatencySummary::from_unsorted(&[5, 1, 3, 2, 4]);
         assert_eq!(s.count, 5);
+        assert_eq!(s.samples, 5);
+        assert!(!s.sampled);
         assert_eq!(s.p50, 3);
         assert_eq!(s.p99, 5);
+        assert_eq!(s.p999, 5);
         assert_eq!(s.max, 5);
         assert!((s.mean - 3.0).abs() < 1e-12);
         let empty = LatencySummary::from_unsorted(&[]);
         assert_eq!((empty.count, empty.p50, empty.max), (0, 0, 0));
         assert_eq!(empty.mean, 0.0);
+        assert!(!empty.sampled);
+    }
+
+    #[test]
+    fn capped_reservoirs_are_flagged_as_sampled() {
+        // A reservoir that stopped admitting at 4 of 10 observations: the
+        // summary must say so instead of silently reporting a clean tail.
+        let retained = [1u64, 2, 3, 4];
+        let s = LatencySummary::from_reservoir(&retained, 10);
+        assert_eq!(s.count, 10);
+        assert_eq!(s.samples, 4);
+        assert!(s.sampled);
+        assert_eq!(s.max, 4);
+    }
+
+    #[test]
+    fn histogram_summary_counts_every_observation() {
+        // The reservoir cross-check the satellite asks for: fill well past
+        // a hypothetical cap; the histogram path sees every value while a
+        // capped reservoir's tail stops dead at the cap boundary.
+        const CAP: usize = 1000;
+        let values: Vec<u64> = (1..=4 * CAP as u64).collect();
+        let reservoir: Vec<u64> = values.iter().copied().take(CAP).collect();
+        let capped = LatencySummary::from_reservoir(&reservoir, values.len() as u64);
+        assert!(capped.sampled);
+        // The capped reservoir reports p999 ~ CAP; the real p999 is ~4x.
+        assert!(capped.p999 <= CAP as u64);
+
+        let hist = Histogram::from_values(&values);
+        let full = LatencySummary::from_histogram(&hist);
+        assert!(!full.sampled);
+        assert_eq!(full.count, values.len() as u64);
+        assert_eq!(full.max, 4 * CAP as u64);
+        let exact = percentile(&values, 99.9);
+        assert!(full.p999 >= exact, "{} < {exact}", full.p999);
+        assert!(
+            (full.p999 - exact) as f64 <= exact as f64 / 16.0 + 1.0,
+            "{} vs {exact}",
+            full.p999
+        );
+        // The histogram mean is exact (sum and count are exact).
+        let true_mean = values.iter().sum::<u64>() as f64 / values.len() as f64;
+        assert!((full.mean - true_mean).abs() < 1e-9);
     }
 
     #[test]

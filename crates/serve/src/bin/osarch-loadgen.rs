@@ -6,7 +6,7 @@
 //! ```
 //!
 //! Without `--addr` a server is self-hosted for the run. The report is
-//! written to `BENCH_serve.json` (schema `osarch-serve-bench/1`);
+//! written to `BENCH_serve.json` (schema `osarch-serve-bench/2`);
 //! `--out -` prints it to stdout instead.
 
 use std::process::ExitCode;

@@ -28,7 +28,7 @@
 //!   write timeouts, per-request deadlines, graceful shutdown, and a
 //!   `/stats` query with monotonic counters and latency percentiles;
 //! * [`loadgen`] — open-/closed-loop and multiplexed-pipelined workload
-//!   driver emitting `BENCH_serve.json` (`osarch-serve-bench/1`) — the
+//!   driver emitting `BENCH_serve.json` (`osarch-serve-bench/2`) — the
 //!   pipelined driver holds 10 000 connections from a handful of client
 //!   threads;
 //! * [`client`] — the resilient protocol client: per-attempt timeouts,
@@ -37,7 +37,20 @@
 //! * [`soak`] — the chaos soak (`osarch chaos`): loadgen against a
 //!   fault-injected in-process server, asserting the resilience
 //!   invariants (no corruption, no deadlock, no leaked workers, degraded
-//!   replies flagged, single-flight accounting exact).
+//!   replies flagged, single-flight accounting exact);
+//! * [`top`] — the live terminal dashboard (`osarch top ADDR`), a 1 Hz
+//!   plain-ANSI view over the `metrics` op's `osarch-metrics/1`
+//!   snapshot: throughput, per-op tail percentiles, loop lag, cache and
+//!   resilience counters.
+//!
+//! Request telemetry threads through all of it (the `osarch-telemetry`
+//! crate): sampled requests carry a deterministic trace id from frame
+//! decode through the ticket queue, compute pool, cache, and write
+//! batch, each stage a span with queue-wait split from service time;
+//! unsampled requests pay one counter increment and a few histogram
+//! records, no allocation. The `metrics` op, the `--metrics-addr`
+//! scrape listener (Prometheus text + JSON), and the `spans` op's
+//! `chrome` filter expose it.
 //!
 //! Fault injection comes from the `osarch-chaos` crate: every failpoint
 //! decision is a pure function of `(seed, failpoint, draw index)`, so a
@@ -75,6 +88,7 @@ pub mod queue;
 pub mod server;
 pub mod soak;
 pub mod stats;
+pub mod top;
 
 pub use cache::{Fetched, ShardedCache};
 pub use client::{ClientConfig, ErrorClass, ResilientClient};
@@ -82,4 +96,4 @@ pub use loadgen::{run as run_loadgen, LoadgenConfig};
 pub use protocol::{Frame, FrameBuf, Query, Request, MAX_REQUEST_BYTES};
 pub use server::{Server, ServerConfig, ServerHandle};
 pub use soak::{run as run_soak, SoakConfig, SoakReport};
-pub use stats::ServeStats;
+pub use stats::{HealthGauges, ServeStats, OP_NAMES};

@@ -4,7 +4,11 @@
 //! concurrent closed- or open-loop connections over the full 7 × 4
 //! architecture × primitive key space, under a uniform or hot-key-skewed
 //! draw, and reports throughput plus client-observed latency percentiles
-//! as an `osarch-serve-bench/1` document (`BENCH_serve.json`).
+//! as an `osarch-serve-bench/2` document (`BENCH_serve.json`). Latency is
+//! tallied into a log-linear [`Histogram`] per connection and merged
+//! exactly, so the tail percentiles (through p99.9) survive any request
+//! count, and the merged sparse buckets ship in the report's
+//! `latency_hist` field for offline re-aggregation.
 //!
 //! * **closed loop** — each connection keeps exactly one request in
 //!   flight: send, wait, repeat. Throughput is bounded by service latency.
@@ -37,6 +41,7 @@ use osarch_core::metrics::{ResilienceCounters, ServeBenchReport};
 use osarch_core::stats::LatencySummary;
 use osarch_cpu::Arch;
 use osarch_kernel::Primitive;
+use osarch_telemetry::Histogram;
 use rand::distributions::{Distribution, WeightedIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -75,6 +80,10 @@ pub struct LoadgenConfig {
     /// Requires self-hosting (`addr: None`) for the server-side half;
     /// client-side faults apply either way.
     pub faults: f64,
+    /// Trace-sampling divisor for the self-hosted server (sample one
+    /// request in `sample`; 0 disables tracing). Only meaningful with
+    /// `addr: None`; used to measure telemetry overhead on vs off.
+    pub sample: u64,
 }
 
 impl Default for LoadgenConfig {
@@ -90,6 +99,7 @@ impl Default for LoadgenConfig {
             shards: 16,
             seed: 0x05a1c,
             faults: 0.0,
+            sample: 0,
         }
     }
 }
@@ -106,12 +116,14 @@ pub fn key_space() -> Vec<(Arch, Primitive)> {
     keys
 }
 
-/// Per-connection tallies, merged after the run.
+/// Per-connection tallies, merged after the run. Latencies go straight
+/// into a log-linear histogram — bucket merge across connections is
+/// exact, so the report's percentiles cover every reply, not a sample.
 #[derive(Debug, Default)]
 struct ConnResult {
     oks: u64,
     errors: u64,
-    latencies_us: Vec<u64>,
+    latency: Histogram,
     resilience: ResilienceCounters,
 }
 
@@ -149,6 +161,8 @@ pub fn run(config: &LoadgenConfig) -> std::io::Result<ServeBenchReport> {
                 // The queue must absorb every loadgen connection at once.
                 queue_depth: (config.conns as usize * 2).max(64),
                 chaos: chaos.clone(),
+                sample_every: config.sample,
+                telemetry_seed: config.seed,
                 ..ServerConfig::default()
             })?;
             let addr = handle.addr().to_string();
@@ -250,14 +264,13 @@ fn drive(
     let mut oks = 0u64;
     let mut errors = 0u64;
     let mut resilience = ResilienceCounters::default();
-    let mut latencies: Vec<u64> = Vec::new();
+    let mut latency = Histogram::new();
     for conn in results {
         oks += conn.oks;
         errors += conn.errors;
         merge_resilience(&mut resilience, conn.resilience);
-        latencies.extend(conn.latencies_us);
+        latency.merge(&conn.latency);
     }
-    latencies.sort_unstable();
     Ok(ServeBenchReport {
         workload: if config.skew { "skewed" } else { "uniform" }.to_string(),
         mode: if mux {
@@ -277,7 +290,8 @@ fn drive(
         requests: oks,
         errors,
         throughput_rps: if secs > 0.0 { oks as f64 / secs } else { 0.0 },
-        latency: LatencySummary::from_sorted(&latencies),
+        latency: LatencySummary::from_histogram(&latency),
+        latency_hist: latency.sparse(),
         hits: after.hits.saturating_sub(before.hits),
         misses: after.misses.saturating_sub(before.misses),
         coalesced: after.coalesced.saturating_sub(before.coalesced),
@@ -406,7 +420,7 @@ fn drive_mux_chunk(
                         }
                         if line.contains("\"ok\":true") {
                             result.oks += 1;
-                            result.latencies_us.push(when.elapsed().as_micros() as u64);
+                            result.latency.record(when.elapsed().as_micros() as u64);
                         } else {
                             result.errors += 1;
                             result.resilience.server_errors += 1;
@@ -486,7 +500,7 @@ fn drive_connection(
         match client.call(&line, &id_token) {
             Ok(_) => {
                 result.oks += 1;
-                result.latencies_us.push(sent.elapsed().as_micros() as u64);
+                result.latency.record(sent.elapsed().as_micros() as u64);
             }
             Err(error) => {
                 result.errors += 1;
@@ -612,12 +626,17 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                     return Err("--faults expects a probability in [0,1]".to_string());
                 }
             }
+            "--sample" => {
+                config.sample = parse("--sample", rest.next())?
+                    .parse()
+                    .map_err(|_| "--sample expects an integer divisor (0 disables)".to_string())?;
+            }
             "--out" => out = parse("--out", rest.next())?,
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: {prog} [--addr HOST:PORT] [--conns N] \
                      [--pipeline N] [--secs S] [--skew] [--rate R] [--workers N] [--shards N] \
-                     [--seed N] [--faults P] [--out PATH]"
+                     [--seed N] [--faults P] [--sample N] [--out PATH]"
                 ))
             }
         }

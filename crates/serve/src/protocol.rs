@@ -10,12 +10,15 @@
 //! with fields:
 //!
 //! * `op` — `ping`, `measure`, `table`, `lint`, `trace`, `counters`,
-//!   `stats`, `spans`, `health`, or `shutdown` (required);
+//!   `stats`, `spans`, `metrics`, `health`, or `shutdown` (required);
 //! * `arch` — an architecture name (required for `measure`/`trace`,
 //!   optional for `lint`/`counters`; the `mips-r2000`/`mips-r3000`
 //!   aliases are accepted, exactly as on the CLI);
 //! * `primitive` — a primitive name (required for `measure`/`trace`);
 //! * `table` — a report-registry name (required for `table`);
+//! * `filter` — for `spans`, the export format: omitted for the span
+//!   ring, `chrome` for the sampled per-request trace chains as a
+//!   Chrome trace-event document;
 //! * `id` — any JSON scalar, echoed verbatim in the response.
 //!
 //! A response is one line:
@@ -87,7 +90,14 @@ pub enum Query {
     /// Serving counters and latency percentiles.
     Stats,
     /// Recent per-request spans.
-    Spans,
+    Spans {
+        /// When set, export the sampled per-request trace chains as a
+        /// Chrome trace-event document instead of the span ring.
+        chrome: bool,
+    },
+    /// Full telemetry snapshot (`osarch-metrics/1`): windowed
+    /// histograms, gauges, and lifetime totals.
+    Metrics,
     /// One-line liveness probe: queue depth, worker liveness, and
     /// resilience counters (panics, degraded replies, respawns).
     Health,
@@ -118,7 +128,12 @@ impl Query {
                 "counters/{}",
                 arch.map_or_else(|| "all".to_string(), |a| a.to_string())
             )),
-            Query::Ping | Query::Stats | Query::Spans | Query::Health | Query::Shutdown => None,
+            Query::Ping
+            | Query::Stats
+            | Query::Spans { .. }
+            | Query::Metrics
+            | Query::Health
+            | Query::Shutdown => None,
         }
     }
 
@@ -174,7 +189,12 @@ impl Query {
                 }
                 metrics::counters_json(&merged).trim_end().to_string()
             }
-            Query::Ping | Query::Stats | Query::Spans | Query::Health | Query::Shutdown => {
+            Query::Ping
+            | Query::Stats
+            | Query::Spans { .. }
+            | Query::Metrics
+            | Query::Health
+            | Query::Shutdown => {
                 unreachable!("non-cacheable query answered by the server, not computed")
             }
         }
@@ -269,7 +289,17 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         },
         "counters" => Query::Counters { arch: arch(false)? },
         "stats" => Query::Stats,
-        "spans" => Query::Spans,
+        "spans" => match get_str("filter")?.as_deref() {
+            None => Query::Spans { chrome: false },
+            Some("chrome") => Query::Spans { chrome: true },
+            Some(other) => {
+                return Err((
+                    format!("unknown spans filter {other:?}; valid filters: chrome"),
+                    id,
+                ))
+            }
+        },
+        "metrics" => Query::Metrics,
         "health" => Query::Health,
         "shutdown" => Query::Shutdown,
         other => return Err((names::unknown_op(other), id)),
@@ -640,7 +670,7 @@ mod tests {
 
     #[test]
     fn every_query_kind_parses() {
-        let cases: [(&str, Query); 10] = [
+        let cases: [(&str, Query); 13] = [
             ("{\"op\":\"ping\"}", Query::Ping),
             (
                 "{\"op\":\"measure\",\"arch\":\"mips-r3000\",\"primitive\":\"syscall\"}",
@@ -671,6 +701,12 @@ mod tests {
             ),
             ("{\"op\":\"counters\"}", Query::Counters { arch: None }),
             ("{\"op\":\"stats\"}", Query::Stats),
+            ("{\"op\":\"spans\"}", Query::Spans { chrome: false }),
+            (
+                "{\"op\":\"spans\",\"filter\":\"chrome\"}",
+                Query::Spans { chrome: true },
+            ),
+            ("{\"op\":\"metrics\"}", Query::Metrics),
             ("{\"op\":\"health\"}", Query::Health),
             ("{\"op\":\"shutdown\"}", Query::Shutdown),
         ];
@@ -703,6 +739,7 @@ mod tests {
                 "mips-r3000",
             ),
             ("{\"op\":\"table\",\"table\":\"table99\"}", "table1"),
+            ("{\"op\":\"spans\",\"filter\":\"perfetto\"}", "chrome"),
             ("{\"op\":1}", "must be a string"),
             ("{\"op\":{\"nested\":1}}", "scalar"),
             ("{}", "missing required field \"op\""),
@@ -743,6 +780,8 @@ mod tests {
         };
         assert_eq!(q.cache_key().as_deref(), Some("measure/R3000/trap"));
         assert_eq!(Query::Stats.cache_key(), None);
+        assert_eq!(Query::Spans { chrome: true }.cache_key(), None);
+        assert_eq!(Query::Metrics.cache_key(), None);
         assert_eq!(Query::Shutdown.cache_key(), None);
         assert_eq!(Query::Ping.cache_key(), None);
         assert_eq!(Query::Health.cache_key(), None);

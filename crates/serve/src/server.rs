@@ -54,9 +54,13 @@
 use crate::cache::{Fetched, ShardedCache};
 use crate::protocol::{self, Frame, FrameBuf, Query};
 use crate::queue::BoundedQueue;
-use crate::stats::ServeStats;
+use crate::stats::{op_slot, HealthGauges, ServeStats, OP_NAMES};
 use osarch_chaos::{ChaosController, Failpoint};
 use osarch_poll::{fd_of, new_poller, Event, Interest, Readiness, Token, WakeRx, Waker};
+use osarch_telemetry::{
+    PendingTrace, TelemetryHub, TraceIdGen, COUNTER_DEGRADED, COUNTER_ERRORS, COUNTER_HITS,
+    COUNTER_MISSES, COUNTER_REQUESTS,
+};
 use std::collections::VecDeque;
 use std::io::{Read, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -93,6 +97,18 @@ pub struct ServerConfig {
     /// Compute-pool threads for offloaded data queries (`0` = one per
     /// event loop).
     pub compute_threads: usize,
+    /// Trace-sampling rate: every Nth request per loop carries a full
+    /// per-stage trace (`0` disables tracing). The decision is a counter
+    /// check made *before* parse, so unsampled requests never allocate
+    /// or read the clock for telemetry.
+    pub sample_every: u64,
+    /// Seed for the deterministic per-loop trace-id generators. Under a
+    /// chaos replay with a fixed seed, trace ids replay bit-identically.
+    pub telemetry_seed: u64,
+    /// When set, bind a plain-HTTP scrape listener here: `GET /metrics`
+    /// answers Prometheus text, any path containing `json` answers the
+    /// `osarch-metrics/1` snapshot document.
+    pub metrics_addr: Option<String>,
     /// Fault-injection schedule; `None` serves faithfully.
     pub chaos: Option<Arc<ChaosController>>,
 }
@@ -108,6 +124,9 @@ impl Default for ServerConfig {
             idle_timeout: Duration::from_secs(30),
             write_timeout: Duration::from_secs(5),
             compute_threads: 0,
+            sample_every: 64,
+            telemetry_seed: 0,
+            metrics_addr: None,
             chaos: None,
         }
     }
@@ -146,7 +165,13 @@ enum Ticket {
     /// Rendered envelope, ready to batch into the write buffer. Replies
     /// the old core exposed to write-path chaos (successful envelopes)
     /// set `chaos`; error envelopes are always delivered faithfully.
-    Done { envelope: String, chaos: bool },
+    /// A sampled request's trace rides along and is finalized (the
+    /// `write` stage) when the envelope is buffered.
+    Done {
+        envelope: String,
+        chaos: bool,
+        trace: Option<Box<PendingTrace>>,
+    },
     /// Waiting on an offloaded computation.
     Waiting {
         seq: u64,
@@ -210,6 +235,9 @@ struct Job {
     op: &'static str,
     started: Instant,
     start_us: u64,
+    /// Sampled request's trace, marked at enqueue time — the pool closes
+    /// the `queue` stage when it pops the job.
+    trace: Option<Box<PendingTrace>>,
 }
 
 /// A finished computation on its way back to the owning loop.
@@ -222,6 +250,7 @@ struct Completion {
     started: Instant,
     start_us: u64,
     fetched: Fetched,
+    trace: Option<Box<PendingTrace>>,
 }
 
 /// Per-loop shared state: the accept handoff, the completion mailbox,
@@ -232,12 +261,37 @@ struct LoopShared {
     waker: Waker,
     /// Monotonic across respawns, so stale completions can't misroute.
     gen: AtomicU64,
+    /// Age of this loop's oldest unflushed reply, in ms; refreshed each
+    /// housekeeping sweep so `health` can report write-backlog age
+    /// without touching loop-owned connection state.
+    backlog_ms: AtomicU64,
+}
+
+/// Per-loop trace state, owned by the loop thread (and surviving loop
+/// respawns, so a reincarnated loop never reissues trace ids): the
+/// deterministic id generator plus the sampling counter.
+struct LoopTrace {
+    ids: TraceIdGen,
+    counter: u64,
+}
+
+impl LoopTrace {
+    /// Count one request; true when this one is sampled. Pure counter
+    /// arithmetic — the unsampled path costs one branch, no clock.
+    fn tick(&mut self, sample_every: u64) -> bool {
+        if sample_every == 0 {
+            return false;
+        }
+        self.counter = self.counter.wrapping_add(1);
+        self.counter.is_multiple_of(sample_every)
+    }
 }
 
 /// State shared by the accept thread, the loops, the pool and the handle.
 struct Shared {
     cache: ShardedCache,
     stats: Arc<ServeStats>,
+    hub: Arc<TelemetryHub>,
     shutdown: AtomicBool,
     deadline: Duration,
     idle_timeout: Duration,
@@ -247,6 +301,8 @@ struct Shared {
     chaos: Option<Arc<ChaosController>>,
     /// The bound address, for the shutdown poke that wakes the accept loop.
     addr: SocketAddr,
+    /// The scrape listener's bound address, for its own shutdown poke.
+    metrics_addr: Option<SocketAddr>,
     conn_budget: usize,
     open_conns: Arc<AtomicUsize>,
     jobs: BoundedQueue<Job>,
@@ -283,6 +339,52 @@ impl Shared {
     fn open_conns(&self) -> usize {
         self.open_conns.load(Ordering::SeqCst)
     }
+
+    /// Microseconds since the server started — every telemetry timestamp
+    /// is relative to this origin, never to the wall clock.
+    fn uptime_us(&self) -> u64 {
+        self.started.elapsed().as_micros() as u64
+    }
+
+    /// Age of the oldest unflushed reply across every loop, in ms.
+    fn oldest_backlog_ms(&self) -> u64 {
+        self.loops
+            .iter()
+            .map(|l| l.backlog_ms.load(Ordering::Relaxed))
+            .max()
+            .unwrap_or(0)
+    }
+
+    /// One consistent-enough telemetry snapshot: windowed histograms
+    /// merged across shards, plus gauges and totals sampled now.
+    fn telemetry_snapshot(&self) -> osarch_telemetry::MetricsSnapshot {
+        let gauges = osarch_telemetry::Gauges {
+            conns_open: self.open_conns() as u64,
+            conn_budget: self.conn_budget as u64,
+            workers: self.workers as u64,
+            workers_live: self.stats.workers_live(),
+            compute_backlog: self.jobs.len() as u64,
+            oldest_write_backlog_ms: self.oldest_backlog_ms(),
+            shutting_down: self.shutdown.load(Ordering::SeqCst),
+        };
+        let totals = osarch_telemetry::Totals {
+            requests: self.stats.requests(),
+            errors: self.stats.errors(),
+            rejected: self.stats.rejected(),
+            deadline_exceeded: self.stats.deadline_exceeded(),
+            panics: self.stats.panics(),
+            degraded: self.stats.degraded(),
+            worker_respawns: self.stats.worker_respawns(),
+            faults_injected: self.stats.faults_injected(),
+            conns_opened: self.stats.conns_opened(),
+            cache_hits: self.cache.hits(),
+            cache_misses: self.cache.misses(),
+            cache_coalesced: self.cache.coalesced(),
+            cache_failed: self.cache.failed(),
+            cache_degraded: self.cache.degraded(),
+        };
+        self.hub.snapshot(self.uptime_us(), gauges, totals)
+    }
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -313,6 +415,7 @@ impl Server {
                 completions: Mutex::new(Vec::new()),
                 waker,
                 gen: AtomicU64::new(0),
+                backlog_ms: AtomicU64::new(0),
             });
         }
         let compute_threads = if config.compute_threads == 0 {
@@ -320,9 +423,23 @@ impl Server {
         } else {
             config.compute_threads
         };
+        let metrics_listener = match &config.metrics_addr {
+            Some(scrape_addr) => Some(TcpListener::bind(scrape_addr)?),
+            None => None,
+        };
+        let metrics_addr = match &metrics_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
         let shared = Arc::new(Shared {
             cache: ShardedCache::new(config.shards),
             stats: Arc::new(ServeStats::new()),
+            hub: Arc::new(TelemetryHub::new(
+                workers,
+                &OP_NAMES,
+                config.sample_every,
+                config.telemetry_seed,
+            )),
             shutdown: AtomicBool::new(false),
             deadline: config.deadline,
             idle_timeout: config.idle_timeout,
@@ -331,12 +448,13 @@ impl Server {
             started: Instant::now(),
             chaos: config.chaos.clone(),
             addr,
+            metrics_addr,
             conn_budget,
             open_conns,
             jobs: BoundedQueue::new((conn_budget * 4).max(1024)),
             loops,
         });
-        let mut threads = Vec::with_capacity(workers + compute_threads + 1);
+        let mut threads = Vec::with_capacity(workers + compute_threads + 2);
         for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
             let shared = Arc::clone(&shared);
             threads.push(
@@ -359,6 +477,14 @@ impl Server {
                 std::thread::Builder::new()
                     .name("serve-accept".to_string())
                     .spawn(move || accept_loop(&listener, &shared))?,
+            );
+        }
+        if let Some(listener) = metrics_listener {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-metrics".to_string())
+                    .spawn(move || metrics_loop(&listener, &shared))?,
             );
         }
         Ok(ServerHandle {
@@ -429,6 +555,27 @@ impl ServerHandle {
         Arc::clone(&self.shared.stats)
     }
 
+    /// The telemetry hub: windowed histograms, sampled span chains, and
+    /// the deterministic trace-id generators. Outlives the handle.
+    #[must_use]
+    pub fn telemetry(&self) -> Arc<TelemetryHub> {
+        Arc::clone(&self.shared.hub)
+    }
+
+    /// The scrape listener's bound address, when `metrics_addr` was
+    /// configured (with the real port when `:0` was requested).
+    #[must_use]
+    pub fn metrics_addr(&self) -> Option<SocketAddr> {
+        self.shared.metrics_addr
+    }
+
+    /// One full `osarch-metrics/1` snapshot document — exactly what the
+    /// `metrics` op and the scrape listener's JSON path emit.
+    #[must_use]
+    pub fn metrics_snapshot_json(&self) -> String {
+        osarch_core::metrics::metrics_snapshot_json(&self.shared.telemetry_snapshot())
+    }
+
     /// Begin a graceful shutdown (idempotent): stop accepting, wake and
     /// drain every loop, let the compute pool run dry.
     pub fn shutdown(&self) {
@@ -461,6 +608,10 @@ fn initiate_shutdown(shared: &Shared) {
     }
     // Poke the accept loop awake; it re-checks the flag after accept.
     let _ = TcpStream::connect_timeout(&shared.addr, Duration::from_millis(200));
+    // Same poke for the scrape listener, when one is running.
+    if let Some(scrape_addr) = shared.metrics_addr {
+        let _ = TcpStream::connect_timeout(&scrape_addr, Duration::from_millis(200));
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -535,18 +686,106 @@ fn reject_busy(shared: &Shared, mut stream: TcpStream) {
 }
 
 // ---------------------------------------------------------------------------
+// Metrics scrape listener: plain HTTP/1.0, one snapshot per connection
+// ---------------------------------------------------------------------------
+
+/// Serve `--metrics-addr` scrapes: a request whose path contains `json`
+/// gets the `osarch-metrics/1` snapshot document, everything else gets
+/// Prometheus text exposition. One short-lived connection per scrape —
+/// scrapes are ~1 Hz, so no event loop is warranted, and a stuck scraper
+/// can at worst wedge this one thread, never the serve path.
+fn metrics_loop(listener: &TcpListener, shared: &Shared) {
+    loop {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(_) => {
+                if shared.shutdown.load(Ordering::SeqCst) {
+                    return;
+                }
+                continue;
+            }
+        };
+        if shared.shutdown.load(Ordering::SeqCst) {
+            return; // the shutdown poke (or a straggler)
+        }
+        serve_scrape(shared, stream);
+    }
+}
+
+fn serve_scrape(shared: &Shared, mut stream: TcpStream) {
+    let _ = stream.set_read_timeout(Some(Duration::from_millis(500)));
+    let _ = stream.set_write_timeout(Some(Duration::from_secs(2)));
+    // Read until the header terminator arrives. A client may deliver the
+    // request line in several small writes; responding and closing after a
+    // partial read would discard unread bytes, which turns the close into a
+    // TCP reset and breaks the scraper mid-request. Bounded by the buffer
+    // size and the read timeout, so a misbehaving scraper cannot wedge us.
+    let mut buf = [0u8; 1024];
+    let mut count = 0;
+    loop {
+        match stream.read(&mut buf[count..]) {
+            Ok(0) | Err(_) => break,
+            Ok(n) => {
+                count += n;
+                if buf[..count].windows(4).any(|w| w == b"\r\n\r\n") || count == buf.len() {
+                    break;
+                }
+            }
+        }
+    }
+    let request = String::from_utf8_lossy(&buf[..count]);
+    let path = request
+        .lines()
+        .next()
+        .and_then(|line| line.split_whitespace().nth(1))
+        .unwrap_or("/metrics");
+    let snap = shared.telemetry_snapshot();
+    let (content_type, body) = if path.contains("json") {
+        (
+            "application/json",
+            osarch_core::metrics::metrics_snapshot_json(&snap),
+        )
+    } else {
+        (
+            "text/plain; version=0.0.4",
+            osarch_telemetry::expose::prometheus_text(&snap),
+        )
+    };
+    let _ = write!(
+        stream,
+        "HTTP/1.0 200 OK\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len(),
+    );
+    let _ = stream.flush();
+}
+
+// ---------------------------------------------------------------------------
 // Compute pool: the only place the blocking cache path runs
 // ---------------------------------------------------------------------------
 
 fn pool_main(shared: &Shared) {
-    while let Some(job) = shared.jobs.pop() {
+    while let Some(mut job) = shared.jobs.pop() {
+        // Queue stage: enqueue (marked by the loop) to pool pickup.
+        if let Some(trace) = job.trace.as_mut() {
+            trace.stage_from_mark("queue", shared.uptime_us());
+        }
         // The cache contains computation panics itself; this outer guard
         // is for everything unexpected, so a completion is *always*
         // posted and no ticket waits forever.
+        let mut compute_span: Option<(u64, u64)> = None;
         let fetched = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            compute_job(shared, &job.key, &job.query)
+            compute_job(shared, &job.key, &job.query, &mut compute_span)
         }))
         .unwrap_or_else(|_| Fetched::Failed("internal error: compute worker panicked".to_string()));
+        if let Some(trace) = job.trace.as_mut() {
+            // Cache stage: the whole single-flight path (including any
+            // wait coalesced onto another flight's computation)…
+            trace.stage_from_mark("cache", shared.uptime_us());
+            // …with the leader's own computation as a nested span.
+            if let Some((start_us, dur_us)) = compute_span {
+                trace.stage("compute", start_us, dur_us);
+            }
+        }
         let target = &shared.loops[job.loop_index];
         lock(&target.completions).push(Completion {
             token: job.token,
@@ -557,13 +796,24 @@ fn pool_main(shared: &Shared) {
             started: job.started,
             start_us: job.start_us,
             fetched,
+            trace: job.trace,
         });
         target.waker.wake();
     }
 }
 
-fn compute_job(shared: &Shared, key: &str, query: &Query) -> Fetched {
+/// Run one offloaded computation through the single-flight cache. When
+/// this thread ends up the flight leader, `compute_span` receives the
+/// inner computation's `(start_us, dur_us)` — coalesced followers leave
+/// it `None`.
+fn compute_job(
+    shared: &Shared,
+    key: &str,
+    query: &Query,
+    compute_span: &mut Option<(u64, u64)>,
+) -> Fetched {
     shared.cache.get_or_compute_resilient(key, || {
+        let compute_start = shared.uptime_us();
         if let Some(delay) = shared.inject_delay(
             Failpoint::ComputeDelay,
             COMPUTE_DELAY_MIN,
@@ -577,7 +827,12 @@ fn compute_job(shared: &Shared, key: &str, query: &Query) -> Fetched {
             // Chaos: the single-flight leader dies mid-compute.
             panic!("chaos: injected computation panic");
         }
-        query.compute()
+        let payload = query.compute();
+        *compute_span = Some((
+            compute_start,
+            shared.uptime_us().saturating_sub(compute_start),
+        ));
+        payload
     })
 }
 
@@ -591,9 +846,16 @@ fn compute_job(shared: &Shared, key: &str, query: &Query) -> Fetched {
 /// sees a respawning loop as continuously live.
 fn loop_main(shared: &Shared, index: usize, wake_rx: &WakeRx) {
     shared.stats.worker_started();
+    // Trace state lives outside the respawn loop: a reincarnated loop
+    // continues its id stream instead of reissuing ids from the start.
+    let mut ltrace = LoopTrace {
+        ids: shared.hub.ids_for(index),
+        counter: 0,
+    };
     loop {
-        let exit =
-            std::panic::catch_unwind(AssertUnwindSafe(|| event_loop(shared, index, wake_rx)));
+        let exit = std::panic::catch_unwind(AssertUnwindSafe(|| {
+            event_loop(shared, index, wake_rx, &mut ltrace);
+        }));
         match exit {
             Ok(()) => break, // shutdown — clean exit
             Err(_) => {
@@ -607,7 +869,7 @@ fn loop_main(shared: &Shared, index: usize, wake_rx: &WakeRx) {
     shared.stats.worker_stopped();
 }
 
-fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
+fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx, ltrace: &mut LoopTrace) {
     let me = &shared.loops[index];
     let mut poller = new_poller();
     let _ = poller.register(wake_rx.fd(), WAKER_TOKEN, Interest::READ);
@@ -620,6 +882,7 @@ fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
     loop {
         let _ = poller.wait(&mut events, Some(TICK));
         wake_rx.drain();
+        let wake_us = shared.uptime_us();
 
         // Adopt handed-off connections.
         while let Some((stream, permit)) = me.handoff.try_pop() {
@@ -645,7 +908,7 @@ fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
                 continue;
             };
             if conn.gen == completion.gen {
-                settle_ticket(shared, &mut conn, &completion);
+                settle_ticket(shared, index, &mut conn, completion);
             }
             service_conn(shared, poller.as_mut(), &mut conn);
             park_or_retire(
@@ -669,7 +932,7 @@ fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
                 continue;
             };
             if event.readable {
-                on_readable(shared, index, &mut conn);
+                on_readable(shared, index, &mut conn, ltrace);
             }
             service_conn(shared, poller.as_mut(), &mut conn);
             park_or_retire(
@@ -697,16 +960,27 @@ fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
         }
 
         // Housekeeping sweep: expired write stalls, progress-based idle
-        // and write timeouts, lost-completion safety net.
+        // and write timeouts, lost-completion safety net. Also the slow
+        // telemetry gauges: offload-queue depth, arena occupancy, and
+        // this loop's oldest write-backlog age.
         let now = Instant::now();
         if now.duration_since(last_sweep) >= TICK {
             last_sweep = now;
+            let now_s = wake_us / 1_000_000;
+            shared
+                .hub
+                .record_queue_depth(index, shared.jobs.len() as u64, now_s);
+            shared.hub.record_arena(index, arena.len() as u64, now_s);
+            let mut oldest_backlog = Duration::ZERO;
             for slot in 0..conns.len() {
                 let Some(mut conn) = conns.get_mut(slot).and_then(Option::take) else {
                     continue;
                 };
                 sweep_conn(shared, &mut conn, now);
                 service_conn(shared, poller.as_mut(), &mut conn);
+                if conn.write_backlog() > 0 && !conn.dead {
+                    oldest_backlog = oldest_backlog.max(now.duration_since(conn.last_write));
+                }
                 park_or_retire(
                     shared,
                     poller.as_mut(),
@@ -717,7 +991,16 @@ fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx) {
                     conn,
                 );
             }
+            me.backlog_ms
+                .store(oldest_backlog.as_millis() as u64, Ordering::Relaxed);
         }
+
+        // Loop lag: how long this wake kept the loop busy before it
+        // could sleep again — the "is the event loop keeping up" signal.
+        let busy_us = shared.uptime_us().saturating_sub(wake_us);
+        shared
+            .hub
+            .record_loop_lag(index, busy_us, wake_us / 1_000_000);
     }
 }
 
@@ -753,6 +1036,7 @@ fn sweep_conn(shared: &Shared, conn: &mut Conn, now: Instant) {
             conn.pending[0] = Ticket::Done {
                 envelope,
                 chaos: false,
+                trace: None,
             };
         }
     }
@@ -878,7 +1162,7 @@ fn retire_conn(
 // The read path: nonblocking reads → incremental frames → tickets
 // ---------------------------------------------------------------------------
 
-fn on_readable(shared: &Shared, loop_index: usize, conn: &mut Conn) {
+fn on_readable(shared: &Shared, loop_index: usize, conn: &mut Conn, ltrace: &mut LoopTrace) {
     if conn.read_closed || conn.poisoned || conn.torn || conn.dead {
         return;
     }
@@ -894,14 +1178,14 @@ fn on_readable(shared: &Shared, loop_index: usize, conn: &mut Conn) {
                 // A final request sent without its newline still gets
                 // answered (the write half may outlive the read half).
                 if let Some((start, end)) = conn.frames.take_eof_line() {
-                    dispatch_line(shared, loop_index, conn, start, end);
+                    dispatch_line(shared, loop_index, conn, ltrace, start, end);
                 }
                 return;
             }
             Ok(count) => {
                 conn.frames.commit(count);
                 conn.last_read = Instant::now();
-                process_frames(shared, loop_index, conn);
+                process_frames(shared, loop_index, conn, ltrace);
                 if conn.poisoned || conn.dead {
                     return;
                 }
@@ -919,12 +1203,16 @@ fn on_readable(shared: &Shared, loop_index: usize, conn: &mut Conn) {
     }
 }
 
-fn process_frames(shared: &Shared, loop_index: usize, conn: &mut Conn) {
+fn process_frames(shared: &Shared, loop_index: usize, conn: &mut Conn, ltrace: &mut LoopTrace) {
     loop {
         match conn.frames.next_frame() {
             Frame::None => return,
             Frame::Oversized => {
                 shared.stats.record_error();
+                let now_us = shared.uptime_us();
+                shared
+                    .hub
+                    .bump(loop_index, COUNTER_ERRORS, 1, now_us / 1_000_000);
                 let envelope = protocol::err_envelope(
                     "null",
                     &format!(
@@ -935,10 +1223,11 @@ fn process_frames(shared: &Shared, loop_index: usize, conn: &mut Conn) {
                 conn.pending.push_back(Ticket::Done {
                     envelope,
                     chaos: false,
+                    trace: None,
                 });
             }
             Frame::Line { start, end } => {
-                dispatch_line(shared, loop_index, conn, start, end);
+                dispatch_line(shared, loop_index, conn, ltrace, start, end);
                 if conn.poisoned {
                     return;
                 }
@@ -950,7 +1239,14 @@ fn process_frames(shared: &Shared, loop_index: usize, conn: &mut Conn) {
 /// Parse and answer one framed line, under per-request panic isolation:
 /// whatever the request path does, this loop answers (or hangs up after
 /// flushing) and lives to serve its other connections.
-fn dispatch_line(shared: &Shared, loop_index: usize, conn: &mut Conn, start: usize, end: usize) {
+fn dispatch_line(
+    shared: &Shared,
+    loop_index: usize,
+    conn: &mut Conn,
+    ltrace: &mut LoopTrace,
+    start: usize,
+    end: usize,
+) {
     let token = conn.token;
     let gen = conn.gen;
     let text = String::from_utf8_lossy(conn.frames.bytes(start, end));
@@ -964,6 +1260,7 @@ fn dispatch_line(shared: &Shared, loop_index: usize, conn: &mut Conn, start: usi
             loop_index,
             token,
             gen,
+            ltrace,
             &mut conn.next_seq,
             &mut conn.pending,
             line,
@@ -972,9 +1269,16 @@ fn dispatch_line(shared: &Shared, loop_index: usize, conn: &mut Conn, start: usi
     if outcome.is_err() {
         shared.stats.record_panic();
         shared.stats.record_error();
+        shared.hub.bump(
+            loop_index,
+            COUNTER_ERRORS,
+            1,
+            shared.uptime_us() / 1_000_000,
+        );
         conn.pending.push_back(Ticket::Done {
             envelope: protocol::err_envelope("null", "internal error: request handler panicked"),
             chaos: false,
+            trace: None,
         });
         // The connection state is unknown after a panic — answer, flush,
         // hang up.
@@ -992,7 +1296,8 @@ fn op_name(query: &Query) -> &'static str {
         Query::Trace { .. } => "trace",
         Query::Counters { .. } => "counters",
         Query::Stats => "stats",
-        Query::Spans => "spans",
+        Query::Spans { .. } => "spans",
+        Query::Metrics => "metrics",
         Query::Health => "health",
         Query::Shutdown => "shutdown",
     }
@@ -1001,30 +1306,58 @@ fn op_name(query: &Query) -> &'static str {
 /// Answer one request line: control queries and landed cache entries
 /// resolve inline on the loop; data-query misses become compute-pool
 /// jobs behind an ordered `Waiting` ticket.
+///
+/// Telemetry rides the same path. The sampling decision is made before
+/// parse from the per-loop counter — an unsampled request takes one
+/// branch and never allocates or reads the clock for tracing; a sampled
+/// one gets a [`PendingTrace`] that follows the request through queue,
+/// pool, cache and write batch.
+#[allow(clippy::too_many_arguments)]
 fn handle_request(
     shared: &Shared,
     loop_index: usize,
     token: Token,
     gen: u64,
+    ltrace: &mut LoopTrace,
     next_seq: &mut u64,
     pending: &mut VecDeque<Ticket>,
     line: &str,
 ) {
     let started = Instant::now();
-    let start_us = shared.started.elapsed().as_micros() as u64;
+    let start_us = shared.uptime_us();
+    let now_s = start_us / 1_000_000;
+    let sampled = ltrace.tick(shared.hub.sample_every());
+    let mut trace = if sampled {
+        Some(PendingTrace::start(
+            &mut ltrace.ids,
+            "unknown",
+            loop_index,
+            start_us,
+        ))
+    } else {
+        None
+    };
     let request = match protocol::parse_request(line) {
         Ok(request) => request,
         Err((message, id)) => {
+            // A line that fails to parse has no op to trace: the sampled
+            // slot is spent (ids stay deterministic), the trace dropped.
             shared.stats.record_error();
+            shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
             pending.push_back(Ticket::Done {
                 envelope: protocol::err_envelope(&id, &message),
                 chaos: false,
+                trace: None,
             });
             return;
         }
     };
     let id = request.id;
     let op = op_name(&request.query);
+    if let Some(trace) = trace.as_mut() {
+        trace.op = op;
+        trace.stage_from_mark("decode", shared.uptime_us());
+    }
     let (payload, cached) = match &request.query {
         Query::Ping => ("{\"pong\":true}".to_string(), false),
         Query::Stats => {
@@ -1045,14 +1378,30 @@ fn handle_request(
                 false,
             )
         }
-        Query::Spans => (shared.stats.spans_payload(), false),
+        Query::Spans { chrome: false } => (shared.stats.spans_payload(), false),
+        Query::Spans { chrome: true } => (
+            osarch_core::metrics::serve_chains_chrome_json(&shared.hub.chains())
+                .trim_end()
+                .to_string(),
+            false,
+        ),
+        Query::Metrics => (
+            osarch_core::metrics::metrics_snapshot_json(&shared.telemetry_snapshot())
+                .trim_end()
+                .to_string(),
+            false,
+        ),
         Query::Health => (
-            shared.stats.health_payload(
-                shared.jobs.len(),
-                shared.open_conns(),
-                shared.workers,
-                shared.shutdown.load(Ordering::SeqCst),
-            ),
+            shared.stats.health_payload(&HealthGauges {
+                queue_depth: shared.jobs.len(),
+                conns_open: shared.open_conns(),
+                conn_budget: shared.conn_budget,
+                workers: shared.workers,
+                cache_hits: shared.cache.hits() + shared.cache.coalesced(),
+                cache_misses: shared.cache.misses(),
+                oldest_write_backlog_ms: shared.oldest_backlog_ms(),
+                shutting_down: shared.shutdown.load(Ordering::SeqCst),
+            }),
             false,
         ),
         Query::Shutdown => {
@@ -1066,22 +1415,34 @@ fn handle_request(
             // panicked the worker here; now it is a clean error envelope.
             let Some(key) = query.cache_key() else {
                 shared.stats.record_error();
+                shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
                 pending.push_back(Ticket::Done {
                     envelope: protocol::err_envelope(
                         &id,
                         &format!("internal error: {op} query has no cache key"),
                     ),
                     chaos: false,
+                    trace: None,
                 });
                 return;
             };
             match shared.cache.try_get(&key) {
-                Some(hit) => (hit.to_string(), true),
+                Some(hit) => {
+                    if let Some(trace) = trace.as_mut() {
+                        // Inline hit: the whole cache stage is the lookup.
+                        trace.stage_from_mark("cache", shared.uptime_us());
+                    }
+                    (hit.to_string(), true)
+                }
                 None => {
                     // Miss (or in flight): offload. The bounded job queue
                     // is the compute-side backpressure valve.
                     let seq = *next_seq;
                     *next_seq += 1;
+                    if let Some(trace) = trace.as_mut() {
+                        // The pool closes this as the `queue` stage.
+                        trace.mark(shared.uptime_us());
+                    }
                     let job = Job {
                         loop_index,
                         token,
@@ -1093,15 +1454,18 @@ fn handle_request(
                         op,
                         started,
                         start_us,
+                        trace,
                     };
                     if shared.jobs.try_push(job).is_err() {
                         shared.stats.record_error();
+                        shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
                         pending.push_back(Ticket::Done {
                             envelope: protocol::err_envelope(
                                 &id,
                                 "server busy: compute queue full",
                             ),
                             chaos: false,
+                            trace: None,
                         });
                     } else {
                         pending.push_back(Ticket::Waiting {
@@ -1116,26 +1480,32 @@ fn handle_request(
         }
     };
     pending.push_back(finish_now(
-        shared, &id, op, &payload, cached, started, start_us,
+        shared, loop_index, &id, op, &payload, cached, started, start_us, trace,
     ));
 }
 
 /// Render an inline (non-offloaded) reply, deadline-checked and counted
-/// exactly as the old blocking core did.
+/// exactly as the old blocking core did. A sampled trace gets its ready
+/// mark set here; the write stage closes when the envelope is batched.
+#[allow(clippy::too_many_arguments)]
 fn finish_now(
     shared: &Shared,
+    loop_index: usize,
     id: &str,
     op: &'static str,
     payload: &str,
     cached: bool,
     started: Instant,
     start_us: u64,
+    mut trace: Option<Box<PendingTrace>>,
 ) -> Ticket {
     let service = started.elapsed();
     let service_us = service.as_micros() as u64;
+    let now_s = start_us / 1_000_000;
     if service > shared.deadline {
         shared.stats.record_deadline_exceeded();
         shared.stats.record_error();
+        shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
         return Ticket::Done {
             envelope: protocol::err_envelope(
                 id,
@@ -1145,14 +1515,27 @@ fn finish_now(
                 ),
             ),
             chaos: false,
+            trace: None,
         };
     }
     shared
         .stats
         .record_request(op, start_us, service_us, cached);
+    shared
+        .hub
+        .record_op(loop_index, op_slot(op), service_us, now_s);
+    shared.hub.bump(loop_index, COUNTER_REQUESTS, 1, now_s);
+    if cached {
+        shared.hub.bump(loop_index, COUNTER_HITS, 1, now_s);
+    }
+    if let Some(trace) = trace.as_mut() {
+        // Response ready: everything from here to batching is `write`.
+        trace.mark(shared.uptime_us());
+    }
     Ticket::Done {
         envelope: protocol::ok_envelope(id, cached, service_us, payload),
         chaos: true,
+        trace,
     }
 }
 
@@ -1162,7 +1545,7 @@ fn finish_now(
 
 /// Resolve the `Waiting` ticket a completion belongs to. Tickets settle
 /// in any order; replies still leave in request order.
-fn settle_ticket(shared: &Shared, conn: &mut Conn, completion: &Completion) {
+fn settle_ticket(shared: &Shared, loop_index: usize, conn: &mut Conn, completion: Completion) {
     let Some(position) = conn
         .pending
         .iter()
@@ -1170,27 +1553,32 @@ fn settle_ticket(shared: &Shared, conn: &mut Conn, completion: &Completion) {
     else {
         return;
     };
-    conn.pending[position] = render_completion(shared, completion);
+    conn.pending[position] = render_completion(shared, loop_index, completion);
 }
 
-fn render_completion(shared: &Shared, completion: &Completion) -> Ticket {
+fn render_completion(shared: &Shared, loop_index: usize, completion: Completion) -> Ticket {
+    let now_s = completion.start_us / 1_000_000;
+    let mut trace = completion.trace;
     let (payload, cached, degraded) = match &completion.fetched {
         Fetched::Computed(payload) => (payload, false, None),
         Fetched::Cached(payload) => (payload, true, None),
         Fetched::Degraded(payload, error) => {
             shared.stats.record_panic();
             shared.stats.record_degraded();
+            shared.hub.bump(loop_index, COUNTER_DEGRADED, 1, now_s);
             (payload, true, Some(error.clone()))
         }
         Fetched::Failed(error) => {
             shared.stats.record_panic();
             shared.stats.record_error();
+            shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
             return Ticket::Done {
                 envelope: protocol::err_envelope(
                     &completion.id,
                     &format!("{} failed: {error}", completion.op),
                 ),
                 chaos: false,
+                trace: None,
             };
         }
     };
@@ -1199,6 +1587,7 @@ fn render_completion(shared: &Shared, completion: &Completion) -> Ticket {
     if service > shared.deadline {
         shared.stats.record_deadline_exceeded();
         shared.stats.record_error();
+        shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
         return Ticket::Done {
             envelope: protocol::err_envelope(
                 &completion.id,
@@ -1208,18 +1597,34 @@ fn render_completion(shared: &Shared, completion: &Completion) -> Ticket {
                 ),
             ),
             chaos: false,
+            trace: None,
         };
     }
     shared
         .stats
         .record_request(completion.op, completion.start_us, service_us, cached);
+    shared
+        .hub
+        .record_op(loop_index, op_slot(completion.op), service_us, now_s);
+    shared.hub.bump(loop_index, COUNTER_REQUESTS, 1, now_s);
+    shared.hub.bump(
+        loop_index,
+        if cached { COUNTER_HITS } else { COUNTER_MISSES },
+        1,
+        now_s,
+    );
     let envelope = match degraded {
         Some(error) => protocol::degraded_envelope(&completion.id, service_us, payload, &error),
         None => protocol::ok_envelope(&completion.id, cached, service_us, payload),
     };
+    if let Some(trace) = trace.as_mut() {
+        // Response ready: everything from here to batching is `write`.
+        trace.mark(shared.uptime_us());
+    }
     Ticket::Done {
         envelope,
         chaos: true,
+        trace,
     }
 }
 
@@ -1227,7 +1632,12 @@ fn render_completion(shared: &Shared, completion: &Completion) -> Ticket {
 /// write per pass), attempt the flush, and reconcile poller interest.
 fn service_conn(shared: &Shared, poller: &mut dyn Readiness, conn: &mut Conn) {
     while !conn.torn && matches!(conn.pending.front(), Some(Ticket::Done { .. })) {
-        let Some(Ticket::Done { envelope, chaos }) = conn.pending.pop_front() else {
+        let Some(Ticket::Done {
+            envelope,
+            chaos,
+            trace,
+        }) = conn.pending.pop_front()
+        else {
             unreachable!("front checked above");
         };
         if chaos {
@@ -1258,6 +1668,14 @@ fn service_conn(shared: &Shared, poller: &mut dyn Readiness, conn: &mut Conn) {
         }
         conn.write_buf.extend_from_slice(envelope.as_bytes());
         conn.write_buf.push(b'\n');
+        if let Some(mut trace) = trace {
+            // The chain closes when the reply lands in the write batch:
+            // past this point delivery is the kernel's problem, and the
+            // flush cost is visible as loop lag rather than per-request.
+            let now_us = shared.uptime_us();
+            trace.stage_from_mark("write", now_us);
+            shared.hub.push_chain(trace.finish(now_us));
+        }
     }
     flush_writes(conn);
     update_interest(poller, conn);

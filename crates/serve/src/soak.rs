@@ -23,12 +23,25 @@
 //! [`ChaosController::schedule_events`]), so two soaks with one seed
 //! assert bit-identical schedules even though thread interleaving makes
 //! the injected counts differ run to run.
+//!
+//! Telemetry soaks under the same discipline. The server runs with
+//! trace sampling on (`sample`, default 1/64) and the soak seed as the
+//! telemetry seed, so every sampled trace id replays from the seed: a
+//! sixth invariant asserts each loop's observed ids form a subsequence
+//! of that loop's pure generator stream — bit-identical across
+//! same-seed runs. Mid-run the harness scrapes `--metrics-addr` (when
+//! configured), validates the `osarch-metrics/1` document with the core
+//! validator (a failed scrape or validation is a violation), and the
+//! report carries the final snapshot plus the sampled Chrome trace for
+//! artifact upload.
 
 use crate::client::{ClientConfig, ClientCounters, ResilientClient};
 use crate::loadgen::key_space;
 use crate::server::{Server, ServerConfig};
 use osarch_chaos::{ChaosConfig, ChaosController, ChaosRng, Failpoint};
 use osarch_core::metrics::ResilienceCounters;
+use std::io::{Read, Write};
+use std::net::{SocketAddr, TcpStream};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -48,6 +61,12 @@ pub struct SoakConfig {
     pub workers: usize,
     /// Cache shards.
     pub shards: usize,
+    /// Trace-sampling divisor (sample one request in `sample`; 0 turns
+    /// tracing off). The soak seed doubles as the telemetry seed.
+    pub sample: u64,
+    /// Bind a metrics scrape listener here and validate a mid-run
+    /// scrape against the `osarch-metrics/1` schema.
+    pub metrics_addr: Option<String>,
 }
 
 impl Default for SoakConfig {
@@ -59,6 +78,8 @@ impl Default for SoakConfig {
             conns: 8,
             workers: 4,
             shards: 16,
+            sample: 64,
+            metrics_addr: None,
         }
     }
 }
@@ -96,6 +117,15 @@ pub struct SoakReport {
     pub worker_respawns: u64,
     /// Cache counters: (lookups, hits, misses, coalesced, failed).
     pub cache: (u64, u64, u64, u64, u64),
+    /// Span chains captured by the trace ring at shutdown.
+    pub chains_sampled: u64,
+    /// Per-loop trace ids of the retained chains, in completion order —
+    /// each list is a subsequence of the loop's deterministic id stream.
+    pub trace_ids_by_loop: Vec<Vec<u64>>,
+    /// The final `osarch-metrics/1` snapshot document.
+    pub metrics_snapshot: String,
+    /// The sampled requests as a Chrome-trace (`osarch-trace/1`) document.
+    pub chrome_trace: String,
     /// Invariant violations; empty means the soak passed.
     pub violations: Vec<String>,
 }
@@ -152,6 +182,9 @@ fn soak_chaos_run(
         deadline: Duration::from_millis(50),
         write_timeout: Duration::from_millis(500),
         chaos: Some(Arc::clone(chaos)),
+        sample_every: config.sample,
+        telemetry_seed: config.seed,
+        metrics_addr: config.metrics_addr.clone(),
         ..ServerConfig::default()
     })?;
     let addr = handle.addr().to_string();
@@ -176,6 +209,21 @@ fn soak_chaos_run(
         }));
     }
     drop(tx);
+
+    // Mid-run scrape: hit the metrics listener while faults are flying
+    // and hold the document to the schema. The clients keep the server
+    // busy on their own threads while this one sleeps to the midpoint.
+    if let Some(scrape_addr) = handle.metrics_addr() {
+        std::thread::sleep(duration / 2);
+        match scrape_metrics_json(scrape_addr) {
+            Ok(body) => {
+                if let Err(reason) = osarch_core::metrics::validate_metrics_snapshot(&body) {
+                    violations.push(format!("METRICS: mid-run snapshot rejected: {reason}"));
+                }
+            }
+            Err(err) => violations.push(format!("METRICS: mid-run scrape failed: {err}")),
+        }
+    }
 
     let mut oks = 0u64;
     let mut failures = 0u64;
@@ -219,6 +267,21 @@ fn soak_chaos_run(
     let server_degraded = stats.degraded();
     let worker_respawns = stats.worker_respawns();
     let injected_total = chaos.injected_total();
+
+    // Telemetry exports, taken while the server is still up: the final
+    // snapshot, the sampled chains as a Chrome trace, and the per-loop
+    // trace-id sequences for the replay invariant.
+    let metrics_snapshot = handle.metrics_snapshot_json();
+    let hub = handle.telemetry();
+    let chains = hub.chains();
+    let chains_sampled = hub.chains_sampled();
+    let chrome_trace = osarch_core::metrics::serve_chains_chrome_json(&chains);
+    let mut trace_ids_by_loop: Vec<Vec<u64>> = vec![Vec::new(); config.workers];
+    for chain in &chains {
+        if let Some(ids) = trace_ids_by_loop.get_mut(chain.loop_index) {
+            ids.push(chain.trace_id);
+        }
+    }
     handle.stop();
 
     // Invariant 1: zero client-visible corruption.
@@ -258,6 +321,21 @@ fn soak_chaos_run(
     if oks == 0 {
         violations.push("NO PROGRESS: zero successful requests".to_string());
     }
+    // Invariant 6: telemetry replays from the seed. Every retained trace
+    // id must appear, in order, in its loop's pure SplitMix64 stream —
+    // the stream a same-seed rerun regenerates bit-identically.
+    for (loop_index, ids) in trace_ids_by_loop.iter().enumerate() {
+        if let Some(missing) = first_id_off_stream(&hub, loop_index, ids) {
+            violations.push(format!(
+                "TRACE REPLAY: loop {loop_index} id {missing:#018x} is not on the \
+                 seeded id stream"
+            ));
+        }
+    }
+    // Mid-run snapshot was validated live; hold the final one too.
+    if let Err(reason) = osarch_core::metrics::validate_metrics_snapshot(&metrics_snapshot) {
+        violations.push(format!("METRICS: final snapshot rejected: {reason}"));
+    }
 
     Ok(SoakReport {
         schedule,
@@ -270,8 +348,56 @@ fn soak_chaos_run(
         server_degraded,
         worker_respawns,
         cache: (lookups, hits, misses, coalesced, cache_failed),
+        chains_sampled,
+        trace_ids_by_loop,
+        metrics_snapshot,
+        chrome_trace,
         violations,
     })
+}
+
+/// Check every observed trace id against one loop's seeded id stream;
+/// returns an id that falls off the stream (`None` means the replay
+/// invariant holds). Membership, not order: chains complete in reply
+/// order, which pipelining decouples from id-draw order. The scan
+/// horizon is generous — two draws per sampled request, bounded far
+/// above any soak's volume.
+fn first_id_off_stream(
+    hub: &osarch_telemetry::TelemetryHub,
+    loop_index: usize,
+    observed: &[u64],
+) -> Option<u64> {
+    const HORIZON: u64 = 4_000_000;
+    let mut pending: std::collections::HashSet<u64> = observed.iter().copied().collect();
+    if pending.is_empty() {
+        return None;
+    }
+    let mut stream = hub.ids_for(loop_index);
+    for _ in 0..HORIZON {
+        pending.remove(&stream.next_id());
+        if pending.is_empty() {
+            return None;
+        }
+    }
+    pending.into_iter().next()
+}
+
+/// One HTTP/1.0 GET against the scrape listener's JSON path, returning
+/// the response body.
+fn scrape_metrics_json(addr: SocketAddr) -> std::io::Result<String> {
+    let mut stream = TcpStream::connect_timeout(&addr, Duration::from_secs(2))?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    stream.write_all(b"GET /metrics/json HTTP/1.0\r\nConnection: close\r\n\r\n")?;
+    let mut response = String::new();
+    stream.read_to_string(&mut response)?;
+    let body = response.split_once("\r\n\r\n").map_or("", |(_, body)| body);
+    if body.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "scrape response carried no body",
+        ));
+    }
+    Ok(body.to_string())
 }
 
 /// One soak client: closed-loop requests over the measure key space with
@@ -334,6 +460,8 @@ fn merge(total: &mut ResilienceCounters, c: ClientCounters) {
 pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
     use std::process::ExitCode;
     let mut config = SoakConfig::default();
+    let mut metrics_out: Option<String> = None;
+    let mut trace_out: Option<String> = None;
     let mut rest = args.iter();
     let parse = |flag: &str, value: Option<&String>| -> Result<String, String> {
         value
@@ -370,10 +498,21 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                     .parse()
                     .map_err(|_| "--workers expects a positive integer".to_string())?;
             }
+            "--sample" => {
+                config.sample = parse("--sample", rest.next())?
+                    .parse()
+                    .map_err(|_| "--sample expects an integer divisor (0 disables)".to_string())?;
+            }
+            "--metrics-addr" => {
+                config.metrics_addr = Some(parse("--metrics-addr", rest.next())?);
+            }
+            "--metrics-out" => metrics_out = Some(parse("--metrics-out", rest.next())?),
+            "--trace-out" => trace_out = Some(parse("--trace-out", rest.next())?),
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: {prog} [--seed N] [--rate P] \
-                     [--duration S] [--conns N] [--workers N]"
+                     [--duration S] [--conns N] [--workers N] [--sample N] \
+                     [--metrics-addr HOST:PORT] [--metrics-out PATH] [--trace-out PATH]"
                 ))
             }
         }
@@ -428,6 +567,31 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
         coalesced,
         failed
     );
+    println!(
+        "telemetry: sampling {} | {} chains sampled ({} retained) across {} loops",
+        if config.sample == 0 {
+            "off".to_string()
+        } else {
+            format!("1/{}", config.sample)
+        },
+        report.chains_sampled,
+        report.trace_ids_by_loop.iter().map(Vec::len).sum::<usize>(),
+        report.trace_ids_by_loop.len()
+    );
+    if let Some(path) = &metrics_out {
+        if let Err(err) = std::fs::write(path, &report.metrics_snapshot) {
+            eprintln!("cannot write {path}: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("wrote {path} (osarch-metrics/1 snapshot)");
+    }
+    if let Some(path) = &trace_out {
+        if let Err(err) = std::fs::write(path, &report.chrome_trace) {
+            eprintln!("cannot write {path}: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+        println!("wrote {path} (osarch-trace/1 Chrome trace)");
+    }
     if report.passed() {
         println!("PASS: all invariants held");
         Ok(ExitCode::SUCCESS)

@@ -1,25 +1,65 @@
-//! Serving-side observability: monotonic counters, a bounded latency
-//! reservoir, and the recent-request span ring.
+//! Serving-side observability: monotonic counters, an exact log-linear
+//! latency histogram, and the recent-request span ring.
 //!
 //! The `/stats` query snapshots this state through the same
 //! [`CounterRegistry`] + `counters_json` machinery the tracing subsystem
 //! uses, so consumers read one counter schema everywhere; request spans
 //! are [`osarch_trace::Event`]s under [`Category::Serve`].
+//!
+//! Latency percentiles come from an [`osarch_telemetry::Histogram`], not
+//! a capped reservoir: every observation is counted at every volume, so
+//! the tail percentiles stay honest on long runs (the old reservoir
+//! silently stopped admitting at its cap and under-reported p99+).
 
 use osarch_core::metrics::{self, json_number};
 use osarch_core::stats::LatencySummary;
+use osarch_telemetry::Histogram;
 use osarch_trace::{Category, CounterRegistry, Event};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
-/// How many latency samples the reservoir keeps (newest kept; the
-/// reservoir is large enough that a smoke run never wraps).
-const LATENCY_RESERVOIR: usize = 1 << 16;
-
 /// How many recent request spans the `spans` query can return.
 const SPAN_RING: usize = 256;
 
-/// Monotonic serving counters plus the latency reservoir.
+/// Every serve-protocol op, in the registry order of
+/// [`osarch_core::names::op_names`]. The telemetry hub keys its per-op
+/// latency windows by index into this table.
+pub const OP_NAMES: [&str; 12] = [
+    "ping", "measure", "table", "lint", "analyze", "trace", "counters", "stats", "spans",
+    "metrics", "health", "shutdown",
+];
+
+/// The [`OP_NAMES`] index of an op label. Unknown labels (only possible
+/// if a new op forgets to register) fold into slot 0 rather than panic.
+#[must_use]
+pub fn op_slot(op: &str) -> usize {
+    OP_NAMES.iter().position(|name| *name == op).unwrap_or(0)
+}
+
+/// The instantaneous gauges the server samples for a `health` reply —
+/// everything the payload needs that is not a [`ServeStats`] counter.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct HealthGauges {
+    /// Compute-offload backlog right now.
+    pub queue_depth: usize,
+    /// Connections currently admitted.
+    pub conns_open: usize,
+    /// Open-connection budget `conns_open` is admitted against.
+    pub conn_budget: usize,
+    /// Event loops configured.
+    pub workers: usize,
+    /// Lifetime cache hits (including coalesced waiters).
+    pub cache_hits: u64,
+    /// Lifetime cache misses.
+    pub cache_misses: u64,
+    /// Age of the oldest connection with unflushed reply bytes, in ms
+    /// (0 when every reply is flushed).
+    pub oldest_write_backlog_ms: u64,
+    /// Whether graceful shutdown has begun.
+    pub shutting_down: bool,
+}
+
+/// Monotonic serving counters plus the exact latency histogram.
 #[derive(Debug, Default)]
 pub struct ServeStats {
     requests: AtomicU64,
@@ -32,7 +72,7 @@ pub struct ServeStats {
     workers_live: AtomicU64,
     faults_injected: AtomicU64,
     conns_opened: AtomicU64,
-    latencies_us: Mutex<Vec<u64>>,
+    latency_hist: Mutex<Histogram>,
     spans: Mutex<Vec<Event>>,
 }
 
@@ -47,14 +87,10 @@ impl ServeStats {
     /// server started) and its service time.
     pub fn record_request(&self, op: &'static str, start_us: u64, service_us: u64, cached: bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
-        let mut latencies = self
-            .latencies_us
+        self.latency_hist
             .lock()
-            .unwrap_or_else(std::sync::PoisonError::into_inner);
-        if latencies.len() < LATENCY_RESERVOIR {
-            latencies.push(service_us);
-        }
-        drop(latencies);
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .record(service_us);
         let event = Event::complete(op, Category::Serve, start_us, service_us)
             .with_arg("cached", u64::from(cached));
         let mut spans = self
@@ -138,6 +174,12 @@ impl ServeStats {
         self.rejected.load(Ordering::Relaxed)
     }
 
+    /// Requests that blew their service deadline.
+    #[must_use]
+    pub fn deadline_exceeded(&self) -> u64 {
+        self.deadline_exceeded.load(Ordering::Relaxed)
+    }
+
     /// Panics contained by per-request isolation.
     #[must_use]
     pub fn panics(&self) -> u64 {
@@ -174,14 +216,15 @@ impl ServeStats {
         self.conns_opened.load(Ordering::Relaxed)
     }
 
-    /// Summary of the recorded service times (µs).
+    /// Summary of the recorded service times (µs). Histogram-backed:
+    /// every observation is counted, so `sampled` is always false.
     #[must_use]
     pub fn latency_summary(&self) -> LatencySummary {
-        let latencies = self
-            .latencies_us
+        let hist = self
+            .latency_hist
             .lock()
             .unwrap_or_else(std::sync::PoisonError::into_inner);
-        LatencySummary::from_unsorted(&latencies)
+        LatencySummary::from_histogram(&hist)
     }
 
     /// The `stats` payload: serving counters (through a
@@ -220,16 +263,20 @@ impl ServeStats {
         format!(
             concat!(
                 "{{\"workers\":{},\"shards\":{},\"conns_open\":{},",
-                "\"latency_us\":{{\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{},",
+                "\"latency_us\":{{\"count\":{},\"samples\":{},\"sampled\":{},",
+                "\"p50\":{},\"p90\":{},\"p99\":{},\"p999\":{},",
                 "\"max\":{},\"mean\":{}}},\"counters\":{}}}"
             ),
             workers,
             shards,
             conns_open,
             latency.count,
+            latency.samples,
+            latency.sampled,
             latency.p50,
             latency.p90,
             latency.p99,
+            latency.p999,
             latency.max,
             json_number(latency.mean),
             metrics::counters_json(&registry).trim_end(),
@@ -238,41 +285,49 @@ impl ServeStats {
 
     /// The `health` payload: liveness in one line. `queue_depth` is the
     /// instantaneous compute-offload backlog, `conns_open` the number of
-    /// connections currently admitted; `workers_live` counts event loops
-    /// inside their serving loop (respawns keep it at `workers`); the
-    /// resilience counters let a prober distinguish "healthy", "degraded
-    /// but serving", and "shedding load" without scraping full stats.
+    /// connections currently admitted (paired with `conn_budget` so a
+    /// prober sees headroom, not just load); `workers_live` counts event
+    /// loops inside their serving loop (respawns keep it at `workers`);
+    /// the derived gauges — cache hit ratio over lifetime lookups and the
+    /// age of the oldest unflushed reply — plus the resilience counters
+    /// let a prober distinguish "healthy", "degraded but serving", and
+    /// "shedding load" without scraping full stats.
     #[must_use]
-    pub fn health_payload(
-        &self,
-        queue_depth: usize,
-        conns_open: usize,
-        workers: usize,
-        shutting_down: bool,
-    ) -> String {
+    pub fn health_payload(&self, g: &HealthGauges) -> String {
         let live = self.workers_live();
-        let status = if shutting_down {
+        let status = if g.shutting_down {
             "shutting_down"
-        } else if live < workers as u64 {
+        } else if live < g.workers as u64 {
             "impaired"
         } else if self.degraded() > 0 || self.panics() > 0 {
             "degraded"
         } else {
             "ok"
         };
+        let lookups = g.cache_hits + g.cache_misses;
+        let hit_ratio = if lookups == 0 {
+            0.0
+        } else {
+            g.cache_hits as f64 / lookups as f64
+        };
         format!(
             concat!(
                 "{{\"status\":\"{}\",\"workers\":{},\"workers_live\":{},",
-                "\"queue_depth\":{},\"conns_open\":{},\"shutting_down\":{},",
+                "\"queue_depth\":{},\"conns_open\":{},\"conn_budget\":{},",
+                "\"cache_hit_ratio\":{},\"oldest_write_backlog_ms\":{},",
+                "\"shutting_down\":{},",
                 "\"panics\":{},\"degraded\":{},\"worker_respawns\":{},",
                 "\"faults_injected\":{},\"requests\":{},\"errors\":{},\"rejected\":{}}}"
             ),
             status,
-            workers,
+            g.workers,
             live,
-            queue_depth,
-            conns_open,
-            shutting_down,
+            g.queue_depth,
+            g.conns_open,
+            g.conn_budget,
+            json_number(hit_ratio),
+            g.oldest_write_backlog_ms,
+            g.shutting_down,
             self.panics(),
             self.degraded(),
             self.worker_respawns(),
@@ -326,6 +381,12 @@ mod tests {
         assert!(payload.contains("\"name\":\"conns_opened\",\"value\":1"));
         assert!(payload.contains("\"conns_open\":9"), "{payload}");
         assert!(payload.contains("\"p50\":"));
+        assert!(payload.contains("\"p999\":"), "{payload}");
+        // Histogram-backed: every observation counted, never subsampled.
+        assert!(
+            payload.contains("\"samples\":2,\"sampled\":false"),
+            "{payload}"
+        );
         let spans = stats.spans_payload();
         assert_eq!(validate_json(&spans), Ok(()), "{spans}");
         assert_eq!(spans.matches("\"cat\":\"serve\"").count(), 2);
@@ -336,25 +397,60 @@ mod tests {
         let stats = ServeStats::new();
         stats.worker_started();
         stats.worker_started();
-        let healthy = stats.health_payload(3, 5, 2, false);
+        let gauges = HealthGauges {
+            queue_depth: 3,
+            conns_open: 5,
+            conn_budget: 64,
+            workers: 2,
+            cache_hits: 3,
+            cache_misses: 1,
+            oldest_write_backlog_ms: 17,
+            shutting_down: false,
+        };
+        let healthy = stats.health_payload(&gauges);
         assert_eq!(validate_json(&healthy), Ok(()), "{healthy}");
         assert!(healthy.contains("\"status\":\"ok\""), "{healthy}");
         assert!(healthy.contains("\"workers_live\":2"), "{healthy}");
         assert!(healthy.contains("\"queue_depth\":3"), "{healthy}");
         assert!(healthy.contains("\"conns_open\":5"), "{healthy}");
+        assert!(healthy.contains("\"conn_budget\":64"), "{healthy}");
+        assert!(healthy.contains("\"cache_hit_ratio\":0.75"), "{healthy}");
+        assert!(
+            healthy.contains("\"oldest_write_backlog_ms\":17"),
+            "{healthy}"
+        );
 
         stats.record_degraded();
-        assert!(stats
-            .health_payload(0, 0, 2, false)
-            .contains("\"status\":\"degraded\""));
+        let idle = HealthGauges {
+            workers: 2,
+            ..HealthGauges::default()
+        };
+        let payload = stats.health_payload(&idle);
+        assert!(payload.contains("\"status\":\"degraded\""));
+        // No lookups yet: the ratio degrades to 0, not NaN.
+        assert!(payload.contains("\"cache_hit_ratio\":0,"), "{payload}");
 
         stats.worker_stopped();
         assert!(stats
-            .health_payload(0, 0, 2, false)
+            .health_payload(&idle)
             .contains("\"status\":\"impaired\""));
+        let stopping = HealthGauges {
+            shutting_down: true,
+            ..idle
+        };
         assert!(stats
-            .health_payload(0, 0, 2, true)
+            .health_payload(&stopping)
             .contains("\"status\":\"shutting_down\""));
+    }
+
+    #[test]
+    fn op_registry_matches_protocol_order() {
+        // Every op in the shared name registry appears in OP_NAMES at the
+        // same position, so hub slots and error messages agree.
+        let listed: Vec<&str> = osarch_core::names::op_names().split(", ").collect();
+        assert_eq!(listed, OP_NAMES.to_vec());
+        assert_eq!(op_slot("metrics"), 9);
+        assert_eq!(op_slot("nonsense"), 0, "unknown ops fold into slot 0");
     }
 
     #[test]

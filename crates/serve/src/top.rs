@@ -1,0 +1,420 @@
+//! `osarch top ADDR` — a live terminal dashboard over the `metrics` op.
+//!
+//! Connects to a running `osarch-serve` instance, issues one
+//! `{"op":"metrics"}` query per refresh (1 Hz by default), and renders
+//! the `osarch-metrics/1` snapshot as a plain-ANSI screen: throughput
+//! (derived from the totals delta between refreshes), per-op tail
+//! percentiles out of the windowed histograms, event-loop lag, cache
+//! hit ratio, and the resilience counters. No TUI dependency — the only
+//! control codes used are cursor-home and clear-screen, so the output
+//! also pipes cleanly with `--once`.
+//!
+//! The snapshot is scraped with the same deterministic substring scans
+//! the loadgen uses on `stats` replies: the emitter in `core/metrics`
+//! writes every key in a fixed order, so a JSON parser would buy
+//! nothing but a dependency.
+
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// One parsed refresh of the `metrics` snapshot — just the fields the
+/// dashboard renders, scraped from the JSON document.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TopSnapshot {
+    /// Server uptime in microseconds.
+    pub uptime_us: u64,
+    /// Trace-sampling divisor (0 = tracing off).
+    pub sample_every: u64,
+    /// Lifetime request total (throughput derives from its delta).
+    pub requests: u64,
+    /// Lifetime error total.
+    pub errors: u64,
+    /// Lifetime degraded-reply total.
+    pub degraded: u64,
+    /// Lifetime worker respawns.
+    pub worker_respawns: u64,
+    /// Lifetime injected faults.
+    pub faults_injected: u64,
+    /// Cache hit ratio over the server lifetime (hits+coalesced / lookups).
+    pub cache_hit_ratio: f64,
+    /// Open connections right now.
+    pub conns_open: u64,
+    /// Open-connection budget.
+    pub conn_budget: u64,
+    /// Configured event loops.
+    pub workers: u64,
+    /// Live event loops.
+    pub workers_live: u64,
+    /// Compute-offload queue depth right now.
+    pub compute_backlog: u64,
+    /// Oldest unflushed write backlog, milliseconds.
+    pub oldest_write_backlog_ms: u64,
+    /// Whether graceful shutdown is in progress.
+    pub shutting_down: bool,
+    /// Event-loop busy-time p99 over the retained window, microseconds.
+    pub loop_lag_p99_us: u64,
+    /// Per-op latency rows over the retained window.
+    pub ops: Vec<OpRow>,
+}
+
+/// One op's windowed latency line.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct OpRow {
+    /// Protocol op name.
+    pub op: String,
+    /// Requests recorded in the retained window.
+    pub count: u64,
+    /// Median latency, microseconds.
+    pub p50: u64,
+    /// 99th percentile latency, microseconds.
+    pub p99: u64,
+    /// 99.9th percentile latency, microseconds.
+    pub p999: u64,
+    /// Worst observed latency, microseconds.
+    pub max: u64,
+}
+
+/// Scrape one unsigned integer that follows `"key":` in `doc`.
+fn num(doc: &str, key: &str) -> u64 {
+    let needle = format!("\"{key}\":");
+    doc.find(&needle)
+        .and_then(|at| {
+            let digits: String = doc[at + needle.len()..]
+                .chars()
+                .take_while(char::is_ascii_digit)
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0)
+}
+
+/// Scrape one decimal number (integer or fractional) after `"key":`.
+fn float(doc: &str, key: &str) -> f64 {
+    let needle = format!("\"{key}\":");
+    doc.find(&needle)
+        .and_then(|at| {
+            let digits: String = doc[at + needle.len()..]
+                .chars()
+                .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-')
+                .collect();
+            digits.parse().ok()
+        })
+        .unwrap_or(0.0)
+}
+
+/// Slice `doc` from the first occurrence of `marker` (empty if absent),
+/// so scans for repeated keys land inside the right object.
+fn section<'doc>(doc: &'doc str, marker: &str) -> &'doc str {
+    doc.find(marker).map_or("", |at| &doc[at..])
+}
+
+/// Parse the dashboard's fields out of a `metrics` snapshot document
+/// (either the raw scrape body or the payload inside a reply envelope).
+#[must_use]
+pub fn parse_snapshot(doc: &str) -> TopSnapshot {
+    let totals = section(doc, "\"totals\":");
+    let gauges = section(doc, "\"gauges\":");
+    let lag = section(doc, "\"loop_lag_us\":");
+    let mut ops = Vec::new();
+    // Each per-op row opens with `{"op":"name",` — fixed emitter order.
+    let mut rest = section(doc, "\"ops\":[");
+    while let Some(at) = rest.find("{\"op\":\"") {
+        rest = &rest[at + 7..];
+        let Some(end) = rest.find('"') else { break };
+        let op = rest[..end].to_string();
+        let row = match rest.find("{\"op\":\"") {
+            Some(next) => &rest[..next],
+            None => rest,
+        };
+        ops.push(OpRow {
+            op,
+            count: num(row, "count"),
+            p50: num(row, "p50"),
+            p99: num(row, "p99"),
+            p999: num(row, "p999"),
+            max: num(row, "max"),
+        });
+    }
+    TopSnapshot {
+        uptime_us: num(doc, "uptime_us"),
+        sample_every: num(doc, "sample_every"),
+        requests: num(totals, "requests"),
+        errors: num(totals, "errors"),
+        degraded: num(totals, "degraded"),
+        worker_respawns: num(totals, "worker_respawns"),
+        faults_injected: num(totals, "faults_injected"),
+        cache_hit_ratio: float(gauges, "cache_hit_ratio"),
+        conns_open: num(gauges, "conns_open"),
+        conn_budget: num(gauges, "conn_budget"),
+        workers: num(gauges, "workers"),
+        workers_live: num(gauges, "workers_live"),
+        compute_backlog: num(gauges, "compute_backlog"),
+        oldest_write_backlog_ms: num(gauges, "oldest_write_backlog_ms"),
+        shutting_down: section(gauges, "\"shutting_down\":").starts_with("\"shutting_down\":true"),
+        loop_lag_p99_us: num(lag, "p99"),
+        ops,
+    }
+}
+
+/// Render one dashboard frame. Pure: `prev` (the previous refresh, if
+/// any) and the elapsed seconds between them yield the throughput line.
+#[must_use]
+pub fn render(addr: &str, prev: Option<&TopSnapshot>, cur: &TopSnapshot, elapsed_s: f64) -> String {
+    let mut out = String::with_capacity(1536);
+    let rps = match prev {
+        Some(prev) if elapsed_s > 0.0 => {
+            cur.requests.saturating_sub(prev.requests) as f64 / elapsed_s
+        }
+        _ => 0.0,
+    };
+    let state = if cur.shutting_down {
+        "SHUTTING DOWN"
+    } else if cur.workers_live < cur.workers {
+        "DEGRADED"
+    } else {
+        "ok"
+    };
+    out.push_str(&format!(
+        "osarch top — {addr}   uptime {:.1}s   [{state}]\n",
+        cur.uptime_us as f64 / 1e6
+    ));
+    out.push_str(&format!(
+        "throughput {rps:>8.0} req/s   requests {}   errors {}   degraded {}\n",
+        cur.requests, cur.errors, cur.degraded
+    ));
+    out.push_str(&format!(
+        "cache hit ratio {:.3}   conns {}/{}   workers {}/{} live   respawns {}   faults {}\n",
+        cur.cache_hit_ratio,
+        cur.conns_open,
+        cur.conn_budget,
+        cur.workers_live,
+        cur.workers,
+        cur.worker_respawns,
+        cur.faults_injected
+    ));
+    out.push_str(&format!(
+        "loop lag p99 {} us   offload queue {}   write backlog {} ms   sampling {}\n",
+        cur.loop_lag_p99_us,
+        cur.compute_backlog,
+        cur.oldest_write_backlog_ms,
+        if cur.sample_every == 0 {
+            "off".to_string()
+        } else {
+            format!("1/{}", cur.sample_every)
+        }
+    ));
+    out.push_str(&format!(
+        "\n{:<10} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+        "op", "count", "p50 us", "p99 us", "p999 us", "max us"
+    ));
+    for row in &cur.ops {
+        if row.count == 0 {
+            continue;
+        }
+        out.push_str(&format!(
+            "{:<10} {:>10} {:>9} {:>9} {:>9} {:>9}\n",
+            row.op, row.count, row.p50, row.p99, row.p999, row.max
+        ));
+    }
+    if cur.ops.iter().all(|row| row.count == 0) {
+        out.push_str("(no requests in the retained window)\n");
+    }
+    out
+}
+
+/// Issue one `metrics` query on a fresh connection and return the reply
+/// line (envelope included — the parser scans through it).
+fn fetch(addr: &str) -> std::io::Result<String> {
+    let stream = TcpStream::connect(addr)?;
+    stream.set_read_timeout(Some(Duration::from_secs(5)))?;
+    let mut writer = stream.try_clone()?;
+    writeln!(writer, "{{\"op\":\"metrics\",\"id\":0}}")?;
+    writer.flush()?;
+    let mut reply = String::new();
+    BufReader::new(stream).read_line(&mut reply)?;
+    if reply.is_empty() {
+        return Err(std::io::Error::new(
+            std::io::ErrorKind::UnexpectedEof,
+            "server closed the connection before replying",
+        ));
+    }
+    Ok(reply)
+}
+
+/// The `osarch top` front end: `top ADDR [--interval-ms N]
+/// [--iterations N] [--once]`. `Err` carries a usage error (exit 2 at
+/// the caller).
+pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
+    use std::process::ExitCode;
+    let usage = format!("usage: {prog} top ADDR [--interval-ms N] [--iterations N] [--once]");
+    let mut addr: Option<String> = None;
+    let mut interval = Duration::from_millis(1000);
+    let mut iterations: Option<u64> = None;
+    let mut rest = args.iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--interval-ms" => {
+                let value = rest
+                    .next()
+                    .ok_or_else(|| format!("--interval-ms requires a value\n{usage}"))?;
+                let ms: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--interval-ms expects milliseconds\n{usage}"))?;
+                interval = Duration::from_millis(ms.max(50));
+            }
+            "--iterations" => {
+                let value = rest
+                    .next()
+                    .ok_or_else(|| format!("--iterations requires a value\n{usage}"))?;
+                iterations = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--iterations expects an integer\n{usage}"))?,
+                );
+            }
+            "--once" => iterations = Some(1),
+            other if addr.is_none() && !other.starts_with("--") => {
+                addr = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument {other:?}\n{usage}")),
+        }
+    }
+    let Some(addr) = addr else {
+        return Err(usage);
+    };
+    let once = iterations == Some(1);
+    let mut prev: Option<TopSnapshot> = None;
+    let mut last_at = std::time::Instant::now();
+    let mut frame = 0u64;
+    loop {
+        let reply = match fetch(&addr) {
+            Ok(reply) => reply,
+            Err(err) => {
+                eprintln!("osarch top: cannot scrape {addr}: {err}");
+                return Ok(ExitCode::FAILURE);
+            }
+        };
+        if !reply.contains("\"ok\":true") {
+            eprintln!(
+                "osarch top: {addr} rejected the metrics query: {}",
+                reply.trim()
+            );
+            return Ok(ExitCode::FAILURE);
+        }
+        let cur = parse_snapshot(&reply);
+        let elapsed = last_at.elapsed().as_secs_f64();
+        last_at = std::time::Instant::now();
+        let screen = render(&addr, prev.as_ref(), &cur, elapsed);
+        if once {
+            print!("{screen}");
+        } else {
+            // Cursor home + clear: the whole frame repaints in place.
+            print!("\x1b[H\x1b[2J{screen}");
+        }
+        let _ = std::io::stdout().flush();
+        prev = Some(cur);
+        frame += 1;
+        if iterations.is_some_and(|n| frame >= n) {
+            return Ok(ExitCode::SUCCESS);
+        }
+        std::thread::sleep(interval);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_doc() -> String {
+        // A real snapshot out of the real emitter, so the scraper and
+        // the producer cannot drift apart silently.
+        let hub = osarch_telemetry::TelemetryHub::new(2, &crate::stats::OP_NAMES, 64, 7);
+        hub.record_op(0, 1, 150, 3);
+        hub.record_op(0, 1, 950, 3);
+        hub.record_op(1, 0, 40, 3);
+        hub.record_loop_lag(0, 90, 3);
+        hub.bump(0, osarch_telemetry::COUNTER_REQUESTS, 3, 3);
+        let snapshot = hub.snapshot(
+            4_500_000,
+            osarch_telemetry::Gauges {
+                conns_open: 5,
+                conn_budget: 1024,
+                workers: 2,
+                workers_live: 2,
+                compute_backlog: 1,
+                oldest_write_backlog_ms: 12,
+                shutting_down: false,
+            },
+            osarch_telemetry::Totals {
+                requests: 300,
+                errors: 4,
+                degraded: 2,
+                cache_hits: 60,
+                cache_misses: 40,
+                ..osarch_telemetry::Totals::default()
+            },
+        );
+        osarch_core::metrics::metrics_snapshot_json(&snapshot)
+    }
+
+    #[test]
+    fn parse_reads_the_real_emitter_shape() {
+        let snap = parse_snapshot(&sample_doc());
+        assert_eq!(snap.uptime_us, 4_500_000);
+        assert_eq!(snap.sample_every, 64);
+        assert_eq!(snap.requests, 300);
+        assert_eq!(snap.errors, 4);
+        assert_eq!(snap.degraded, 2);
+        assert_eq!(snap.conns_open, 5);
+        assert_eq!(snap.conn_budget, 1024);
+        assert_eq!(snap.workers, 2);
+        assert_eq!(snap.workers_live, 2);
+        assert_eq!(snap.compute_backlog, 1);
+        assert_eq!(snap.oldest_write_backlog_ms, 12);
+        assert!(!snap.shutting_down);
+        assert!((snap.cache_hit_ratio - 0.6).abs() < 1e-9);
+        assert_eq!(snap.loop_lag_p99_us, 90);
+        assert_eq!(snap.ops.len(), crate::stats::OP_NAMES.len());
+        let measure = snap.ops.iter().find(|row| row.op == "measure").unwrap();
+        assert_eq!(measure.count, 2);
+        assert!(measure.p50 >= 150 && measure.p50 < 950);
+        assert!(measure.p999 >= 950);
+        let ping = snap.ops.iter().find(|row| row.op == "ping").unwrap();
+        assert_eq!(ping.count, 1);
+    }
+
+    #[test]
+    fn parse_scans_through_a_reply_envelope() {
+        let payload = sample_doc();
+        let envelope = crate::protocol::ok_envelope("7", false, 120, payload.trim_end());
+        let snap = parse_snapshot(&envelope);
+        assert_eq!(snap.requests, 300);
+        assert_eq!(snap.conn_budget, 1024);
+    }
+
+    #[test]
+    fn render_shows_throughput_delta_and_rows() {
+        let mut prev = parse_snapshot(&sample_doc());
+        let mut cur = prev.clone();
+        prev.requests = 100;
+        cur.requests = 350;
+        let screen = render("127.0.0.1:1", Some(&prev), &cur, 1.0);
+        assert!(screen.contains("250 req/s"), "screen: {screen}");
+        assert!(screen.contains("[ok]"));
+        assert!(screen.contains("measure"));
+        assert!(screen.contains("cache hit ratio 0.600"));
+        assert!(!screen.contains('\x1b'), "render itself is ANSI-free");
+        // A dead loop flips the state flag.
+        cur.workers_live = 1;
+        let degraded = render("127.0.0.1:1", None, &cur, 1.0);
+        assert!(degraded.contains("[DEGRADED]"));
+    }
+
+    #[test]
+    fn cli_rejects_missing_addr_and_unknown_flags() {
+        assert!(cli(&[], "osarch").is_err());
+        let args = vec!["127.0.0.1:9".to_string(), "--bogus".to_string()];
+        assert!(cli(&args, "osarch").unwrap_err().contains("--bogus"));
+    }
+}

@@ -1,0 +1,167 @@
+//! Prometheus-style text exposition over a [`MetricsSnapshot`].
+//!
+//! The text format is the scrape-friendly half of the exposition pair
+//! (the JSON half, schema `osarch-metrics/1`, lives in `osarch-core`'s
+//! metrics module next to the other emitters). Counters carry a
+//! `_total` suffix, quantiles use the conventional `quantile` label,
+//! and every family gets `# TYPE` metadata — enough for a real
+//! Prometheus server or `osarch top` to consume.
+
+use crate::window::COUNTER_NAMES;
+use crate::{Histogram, MetricsSnapshot};
+use std::fmt::Write;
+
+/// The quantiles every histogram family exports.
+const QUANTILES: [(f64, &str); 4] = [(50.0, "0.5"), (99.0, "0.99"), (99.9, "0.999"), (100.0, "1")];
+
+fn summary(out: &mut String, family: &str, labels: &str, hist: &Histogram) {
+    let sep = if labels.is_empty() { "" } else { "," };
+    for (q, tag) in QUANTILES {
+        let _ = writeln!(
+            out,
+            "{family}{{{labels}{sep}quantile=\"{tag}\"}} {}",
+            hist.value_at_percentile(q)
+        );
+    }
+    let _ = writeln!(out, "{family}_sum{{{labels}}} {}", hist.sum());
+    let _ = writeln!(out, "{family}_count{{{labels}}} {}", hist.count());
+}
+
+/// Render the snapshot as Prometheus text exposition.
+#[must_use]
+pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
+    let mut out = String::with_capacity(4096);
+    let _ = writeln!(out, "# TYPE osarch_uptime_seconds gauge");
+    let _ = writeln!(out, "osarch_uptime_seconds {}", snap.uptime_us / 1_000_000);
+
+    let _ = writeln!(out, "# TYPE osarch_requests_total counter");
+    let totals = &snap.totals;
+    for (name, value) in [
+        ("requests", totals.requests),
+        ("errors", totals.errors),
+        ("rejected", totals.rejected),
+        ("deadline_exceeded", totals.deadline_exceeded),
+        ("panics", totals.panics),
+        ("degraded", totals.degraded),
+        ("worker_respawns", totals.worker_respawns),
+        ("faults_injected", totals.faults_injected),
+        ("conns_opened", totals.conns_opened),
+        ("cache_hits", totals.cache_hits),
+        ("cache_misses", totals.cache_misses),
+        ("cache_coalesced", totals.cache_coalesced),
+        ("cache_failed", totals.cache_failed),
+        ("cache_degraded", totals.cache_degraded),
+    ] {
+        let _ = writeln!(out, "osarch_{name}_total {value}");
+    }
+
+    let gauges = &snap.gauges;
+    let _ = writeln!(out, "# TYPE osarch_gauge gauge");
+    for (name, value) in [
+        ("conns_open", gauges.conns_open),
+        ("conn_budget", gauges.conn_budget),
+        ("workers", gauges.workers),
+        ("workers_live", gauges.workers_live),
+        ("compute_backlog", gauges.compute_backlog),
+        ("oldest_write_backlog_ms", gauges.oldest_write_backlog_ms),
+        ("shutting_down", u64::from(gauges.shutting_down)),
+        ("trace_sample_every", snap.sample_every),
+        ("trace_chains_sampled", snap.chains_sampled),
+    ] {
+        let _ = writeln!(out, "osarch_{name} {value}");
+    }
+    let _ = writeln!(
+        out,
+        "osarch_cache_hit_ratio {:.6}",
+        totals.cache_hit_ratio()
+    );
+
+    let _ = writeln!(
+        out,
+        "# TYPE osarch_window_total counter\n\
+         # window counters cover the last {} s",
+        snap.retention_s
+    );
+    for (name, value) in COUNTER_NAMES.iter().zip(snap.window) {
+        let _ = writeln!(out, "osarch_window_{name}_total {value}");
+    }
+
+    let _ = writeln!(out, "# TYPE osarch_op_latency_us summary");
+    for op in &snap.ops {
+        if op.hist.is_empty() {
+            continue;
+        }
+        summary(
+            &mut out,
+            "osarch_op_latency_us",
+            &format!("op=\"{}\"", op.name),
+            &op.hist,
+        );
+    }
+    let _ = writeln!(out, "# TYPE osarch_loop_lag_us summary");
+    summary(&mut out, "osarch_loop_lag_us", "", &snap.loop_lag_us);
+    let _ = writeln!(out, "# TYPE osarch_offload_queue_depth summary");
+    summary(
+        &mut out,
+        "osarch_offload_queue_depth",
+        "",
+        &snap.queue_depth,
+    );
+    let _ = writeln!(out, "# TYPE osarch_arena_buffers summary");
+    summary(&mut out, "osarch_arena_buffers", "", &snap.arena_buffers);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{Gauges, TelemetryHub, Totals};
+
+    const OPS: [&str; 2] = ["ping", "measure"];
+
+    #[test]
+    fn exposition_carries_counters_quantiles_and_labels() {
+        let hub = TelemetryHub::new(1, &OPS, 64, 0);
+        for us in [100u64, 200, 300, 4000] {
+            hub.record_op(0, 1, us, 0);
+        }
+        hub.record_loop_lag(0, 50, 0);
+        let snap = hub.snapshot(
+            2_000_000,
+            Gauges {
+                conns_open: 3,
+                conn_budget: 64,
+                ..Gauges::default()
+            },
+            Totals {
+                requests: 4,
+                cache_hits: 3,
+                cache_misses: 1,
+                ..Totals::default()
+            },
+        );
+        let text = prometheus_text(&snap);
+        assert!(text.contains("osarch_uptime_seconds 2"), "{text}");
+        assert!(text.contains("osarch_requests_total 4"), "{text}");
+        assert!(text.contains("osarch_conns_open 3"), "{text}");
+        assert!(text.contains("osarch_cache_hit_ratio 0.75"), "{text}");
+        assert!(
+            text.contains("osarch_op_latency_us{op=\"measure\",quantile=\"0.5\"}"),
+            "{text}"
+        );
+        assert!(
+            text.contains("osarch_op_latency_us_count{op=\"measure\"} 4"),
+            "{text}"
+        );
+        // The op with no records is omitted entirely.
+        assert!(!text.contains("op=\"ping\""), "{text}");
+        assert!(text.contains("osarch_window_requests_total 0"), "{text}");
+        // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+}

@@ -1,0 +1,334 @@
+//! Fixed-boundary log-linear histograms (HDR-style).
+//!
+//! The bucket layout is a pure function of the value, so two histograms
+//! built anywhere (different loop shards, different processes, different
+//! runs) merge by element-wise addition and always agree on boundaries.
+//! The record path is integer-only — no floats, no allocation after
+//! construction — so it is safe on the event-loop hot path.
+//!
+//! Layout: values `0..16` get one exact bucket each (the linear region);
+//! every power-of-two range `[2^e, 2^(e+1))` above that is split into 16
+//! sub-buckets of width `2^(e-4)`, bounding relative quantization error
+//! at 1/16 ≈ 6.25%. Values at or above `2^26` (≈ 67 s in microseconds)
+//! clamp into the top bucket.
+
+/// Sub-bucket resolution: each power-of-two range splits into `2^SUB_BITS`
+/// equal slices.
+pub const SUB_BITS: u32 = 4;
+
+/// Sub-buckets per power-of-two range.
+const SUBS: usize = 1 << SUB_BITS;
+
+/// First exponent with sub-bucketing; values below `2^LINEAR_EXP` are exact.
+const LINEAR_EXP: u32 = SUB_BITS;
+
+/// One past the top exponent: values `>= 2^MAX_EXP` clamp.
+pub const MAX_EXP: u32 = 26;
+
+/// Largest representable value; anything above records here.
+pub const CLAMP_MAX: u64 = (1 << MAX_EXP) - 1;
+
+/// Total bucket count: the exact linear region plus 16 sub-buckets for
+/// each exponent in `LINEAR_EXP..MAX_EXP`.
+pub const BUCKETS: usize = SUBS + (MAX_EXP - LINEAR_EXP) as usize * SUBS;
+
+/// The bucket a value lands in. Total for all `u64` inputs (clamps).
+#[must_use]
+pub fn bucket_index(value: u64) -> usize {
+    let v = value.min(CLAMP_MAX);
+    if v < SUBS as u64 {
+        v as usize
+    } else {
+        let e = 63 - u64::from(v.leading_zeros()); // LINEAR_EXP ..= MAX_EXP-1
+        let sub = ((v >> (e - u64::from(SUB_BITS))) & (SUBS as u64 - 1)) as usize;
+        (e as usize - LINEAR_EXP as usize + 1) * SUBS + sub
+    }
+}
+
+/// Inclusive lower bound of bucket `index`.
+#[must_use]
+pub fn bucket_lower(index: usize) -> u64 {
+    debug_assert!(index < BUCKETS);
+    if index < SUBS {
+        index as u64
+    } else {
+        let group = index / SUBS; // 1..
+        let e = (group - 1) as u32 + LINEAR_EXP;
+        let sub = (index % SUBS) as u64;
+        (1u64 << e) + (sub << (e - SUB_BITS))
+    }
+}
+
+/// Inclusive upper bound of bucket `index`.
+#[must_use]
+pub fn bucket_upper(index: usize) -> u64 {
+    debug_assert!(index < BUCKETS);
+    if index < SUBS {
+        index as u64
+    } else {
+        let group = index / SUBS;
+        let e = (group - 1) as u32 + LINEAR_EXP;
+        bucket_lower(index) + (1u64 << (e - SUB_BITS)) - 1
+    }
+}
+
+/// A mergeable log-linear histogram over `u64` values (microseconds,
+/// depths, byte counts — any nonnegative integer quantity).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Histogram {
+    counts: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Histogram {
+        Histogram::new()
+    }
+}
+
+impl Histogram {
+    /// An empty histogram (one allocation, reused for its lifetime).
+    #[must_use]
+    pub fn new() -> Histogram {
+        Histogram {
+            counts: vec![0; BUCKETS],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Record one value. Integer-only; never allocates.
+    pub fn record(&mut self, value: u64) {
+        self.record_n(value, 1);
+    }
+
+    /// Record a value `n` times.
+    pub fn record_n(&mut self, value: u64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        self.counts[bucket_index(value)] += n;
+        self.count += n;
+        self.sum = self.sum.saturating_add(value.saturating_mul(n));
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Merge another histogram into this one (element-wise; exact).
+    pub fn merge(&mut self, other: &Histogram) {
+        for (mine, theirs) in self.counts.iter_mut().zip(&other.counts) {
+            *mine += theirs;
+        }
+        self.count += other.count;
+        self.sum = self.sum.saturating_add(other.sum);
+        self.min = self.min.min(other.min);
+        self.max = self.max.max(other.max);
+    }
+
+    /// Reset to empty without releasing the bucket allocation.
+    pub fn clear(&mut self) {
+        self.counts.fill(0);
+        self.count = 0;
+        self.sum = 0;
+        self.min = u64::MAX;
+        self.max = 0;
+    }
+
+    /// Total recorded values.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of recorded values (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Smallest recorded value (0 when empty).
+    #[must_use]
+    pub fn min(&self) -> u64 {
+        if self.count == 0 {
+            0
+        } else {
+            self.min
+        }
+    }
+
+    /// Largest recorded value.
+    #[must_use]
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Whether nothing has been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.count == 0
+    }
+
+    /// Arithmetic mean (read path; floats allowed here).
+    #[must_use]
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum as f64 / self.count as f64
+        }
+    }
+
+    /// Nearest-rank quantile estimate: the upper bound of the bucket the
+    /// rank lands in, clamped to the observed maximum (so `p100 == max`
+    /// exactly). `q` is a percentage in `[0, 100]`.
+    #[must_use]
+    pub fn value_at_percentile(&self, q: f64) -> u64 {
+        assert!((0.0..=100.0).contains(&q), "percentile out of range: {q}");
+        if self.count == 0 {
+            return 0;
+        }
+        let target = ((q / 100.0) * self.count as f64).ceil().max(1.0) as u64;
+        let mut cumulative = 0u64;
+        for (index, &n) in self.counts.iter().enumerate() {
+            cumulative += n;
+            if cumulative >= target {
+                return bucket_upper(index).min(self.max);
+            }
+        }
+        self.max
+    }
+
+    /// Sparse export: every `(bucket index, count)` pair with a nonzero
+    /// count, in index order. Merging re-imports are exact.
+    #[must_use]
+    pub fn sparse(&self) -> Vec<(usize, u64)> {
+        self.counts
+            .iter()
+            .enumerate()
+            .filter(|(_, &n)| n > 0)
+            .map(|(i, &n)| (i, n))
+            .collect()
+    }
+
+    /// Build a histogram from recorded values (test/convenience path).
+    #[must_use]
+    pub fn from_values(values: &[u64]) -> Histogram {
+        let mut hist = Histogram::new();
+        for &v in values {
+            hist.record(v);
+        }
+        hist
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn linear_region_is_exact() {
+        for v in 0..16u64 {
+            assert_eq!(bucket_index(v), v as usize);
+            assert_eq!(bucket_lower(v as usize), v);
+            assert_eq!(bucket_upper(v as usize), v);
+        }
+    }
+
+    #[test]
+    fn boundaries_tile_the_domain() {
+        // Every bucket's upper + 1 is the next bucket's lower, and the
+        // index function maps both endpoints back to the bucket.
+        for index in 0..BUCKETS {
+            let (lo, hi) = (bucket_lower(index), bucket_upper(index));
+            assert!(lo <= hi, "bucket {index}");
+            assert_eq!(bucket_index(lo), index, "lower of {index}");
+            assert_eq!(bucket_index(hi), index, "upper of {index}");
+            if index + 1 < BUCKETS {
+                assert_eq!(bucket_lower(index + 1), hi + 1, "tiling at {index}");
+            }
+        }
+        assert_eq!(bucket_upper(BUCKETS - 1), CLAMP_MAX);
+    }
+
+    #[test]
+    fn relative_error_is_bounded() {
+        // Above the linear region the bucket width is lower/16, so the
+        // upper-bound estimate overshoots by at most 1/16.
+        for v in [17u64, 100, 999, 4096, 70_000, 1_000_000, CLAMP_MAX] {
+            let hi = bucket_upper(bucket_index(v));
+            assert!(hi >= v);
+            assert!((hi - v) as f64 <= v as f64 / 16.0 + 1.0, "{v} -> {hi}");
+        }
+    }
+
+    #[test]
+    fn huge_values_clamp_into_the_top_bucket() {
+        assert_eq!(bucket_index(CLAMP_MAX), BUCKETS - 1);
+        assert_eq!(bucket_index(CLAMP_MAX + 1), BUCKETS - 1);
+        assert_eq!(bucket_index(u64::MAX), BUCKETS - 1);
+        let mut hist = Histogram::new();
+        hist.record(u64::MAX);
+        assert_eq!(hist.max(), u64::MAX);
+        assert_eq!(hist.value_at_percentile(50.0), CLAMP_MAX);
+    }
+
+    #[test]
+    fn merge_is_exact() {
+        let a = Histogram::from_values(&[1, 5, 900, 70_000]);
+        let b = Histogram::from_values(&[2, 5, 1_000_000]);
+        let mut merged = a.clone();
+        merged.merge(&b);
+        let direct = Histogram::from_values(&[1, 5, 900, 70_000, 2, 5, 1_000_000]);
+        assert_eq!(merged, direct);
+        assert_eq!(merged.count(), 7);
+        assert_eq!(merged.min(), 1);
+        assert_eq!(merged.max(), 1_000_000);
+    }
+
+    #[test]
+    fn percentiles_track_nearest_rank_within_bucket_error() {
+        let values: Vec<u64> = (1..=1000).collect();
+        let hist = Histogram::from_values(&values);
+        for q in [50.0, 90.0, 99.0, 99.9] {
+            let rank = ((q / 100.0) * values.len() as f64).ceil() as usize;
+            let exact = values[rank - 1];
+            let est = hist.value_at_percentile(q);
+            assert!(est >= exact, "p{q}: {est} < {exact}");
+            assert!(
+                (est - exact) as f64 <= exact as f64 / 16.0 + 1.0,
+                "p{q}: {est} vs {exact}"
+            );
+        }
+        assert_eq!(hist.value_at_percentile(100.0), 1000);
+        assert_eq!(hist.value_at_percentile(0.0), 1);
+    }
+
+    #[test]
+    fn sparse_round_trips() {
+        let hist = Histogram::from_values(&[0, 3, 3, 200, 65_536]);
+        let sparse = hist.sparse();
+        let mut rebuilt = Histogram::new();
+        for (index, n) in sparse {
+            rebuilt.record_n(bucket_lower(index), n);
+        }
+        assert_eq!(rebuilt.count(), hist.count());
+        // Bucket shapes match exactly even though min/sum quantize.
+        assert_eq!(rebuilt.sparse(), hist.sparse());
+    }
+
+    #[test]
+    fn empty_histogram_is_inert() {
+        let hist = Histogram::new();
+        assert!(hist.is_empty());
+        assert_eq!(hist.value_at_percentile(99.0), 0);
+        assert_eq!(hist.min(), 0);
+        assert_eq!(hist.max(), 0);
+        assert_eq!(hist.mean(), 0.0);
+        assert!(hist.sparse().is_empty());
+    }
+}

@@ -75,16 +75,25 @@ fn usage() -> ExitCode {
          \x20                         cycle-level trace of one primitive: phase profile\n\
          \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
          \x20 serve [--addr A] [--workers N] [--shards N] [--queue N] [--deadline-ms N]\n\
+         \x20       [--sample N] [--metrics-addr A]\n\
          \x20                         run the event-driven measurement-query service\n\
-         \x20                         (one poll loop per worker; --queue bounds open conns)\n\
+         \x20                         (one poll loop per worker; --queue bounds open conns;\n\
+         \x20                         --sample traces 1/N requests, --metrics-addr binds a\n\
+         \x20                         Prometheus/JSON scrape listener)\n\
          \x20 loadgen [--addr A] [--conns N] [--pipeline N] [--secs S] [--skew] [--rate R]\n\
-         \x20         [--workers N] [--shards N] [--seed N] [--faults P] [--out PATH]\n\
+         \x20         [--workers N] [--shards N] [--seed N] [--faults P] [--sample N]\n\
+         \x20         [--out PATH]\n\
          \x20                         drive a server (self-hosted without --addr) and\n\
          \x20                         write BENCH_serve.json; large --conns or --pipeline\n\
          \x20                         engage the multiplexed pipelined driver\n\
          \x20 chaos [--seed N] [--rate P] [--duration S] [--conns N] [--workers N]\n\
+         \x20       [--sample N] [--metrics-addr A] [--metrics-out PATH] [--trace-out PATH]\n\
          \x20                         deterministic fault-injection soak: loadgen vs a\n\
          \x20                         chaos server, asserting resilience invariants\n\
+         \x20                         (telemetry on; exports validated metrics + trace)\n\
+         \x20 top ADDR [--interval-ms N] [--iterations N] [--once]\n\
+         \x20                         live dashboard over a running server's metrics op:\n\
+         \x20                         throughput, per-op tails, loop lag, cache counters\n\
          \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
@@ -435,6 +444,16 @@ fn main() -> ExitCode {
                         Ok(ms) => config.deadline = std::time::Duration::from_millis(ms),
                         Err(code) => return code,
                     },
+                    "--sample" => match value("--sample", rest.next())
+                        .and_then(|v| v.parse::<u64>().map_err(|_| bad_flag("--sample")))
+                    {
+                        Ok(sample) => config.sample_every = sample,
+                        Err(code) => return code,
+                    },
+                    "--metrics-addr" => match value("--metrics-addr", rest.next()) {
+                        Ok(addr) => config.metrics_addr = Some(addr),
+                        Err(code) => return code,
+                    },
                     other => {
                         eprintln!("unexpected argument {other:?}");
                         return usage();
@@ -455,6 +474,9 @@ fn main() -> ExitCode {
                 config.workers,
                 config.shards
             );
+            if let Some(scrape) = handle.metrics_addr() {
+                println!("metrics scrape listener on {scrape} (text; /json for the snapshot)");
+            }
             handle.wait();
             println!("osarch-serve: shut down cleanly");
             ExitCode::SUCCESS
@@ -467,6 +489,13 @@ fn main() -> ExitCode {
             }
         },
         Some("chaos") => match serve::soak::cli(&args[1..], "osarch chaos") {
+            Ok(code) => code,
+            Err(message) => {
+                eprintln!("{message}");
+                ExitCode::from(2)
+            }
+        },
+        Some("top") => match serve::top::cli(&args[1..], "osarch") {
             Ok(code) => code,
             Err(message) => {
                 eprintln!("{message}");
