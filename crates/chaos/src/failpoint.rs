@@ -39,11 +39,15 @@ pub enum Failpoint {
     RequestSplit,
     /// Client: pause mid-request between two halves of the line.
     RequestStall,
+    /// Harness: kill a whole cluster node (stop its server process) and
+    /// respawn it later with a bumped incarnation. Fires in the soak
+    /// harness, between requests — neither side of one connection.
+    NodeKill,
 }
 
 impl Failpoint {
     /// Number of failpoints.
-    pub const COUNT: usize = 10;
+    pub const COUNT: usize = 11;
 
     /// Every failpoint, in stable schedule order.
     pub const ALL: [Failpoint; Failpoint::COUNT] = [
@@ -57,6 +61,7 @@ impl Failpoint {
         Failpoint::RequestTruncate,
         Failpoint::RequestSplit,
         Failpoint::RequestStall,
+        Failpoint::NodeKill,
     ];
 
     /// Stable index into per-failpoint counter arrays.
@@ -73,6 +78,7 @@ impl Failpoint {
             Failpoint::RequestTruncate => 7,
             Failpoint::RequestSplit => 8,
             Failpoint::RequestStall => 9,
+            Failpoint::NodeKill => 10,
         }
     }
 
@@ -90,6 +96,7 @@ impl Failpoint {
             Failpoint::RequestTruncate => "request/truncate",
             Failpoint::RequestSplit => "request/split",
             Failpoint::RequestStall => "request/stall",
+            Failpoint::NodeKill => "node/kill",
         }
     }
 
@@ -139,5 +146,6 @@ mod tests {
         assert_eq!(server_side, 6);
         assert!(Failpoint::ComputePanic.is_server_side());
         assert!(!Failpoint::ConnReset.is_server_side());
+        assert!(!Failpoint::NodeKill.is_server_side());
     }
 }

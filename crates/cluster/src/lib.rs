@@ -1,0 +1,38 @@
+//! # osarch-cluster
+//!
+//! The cluster layer under the `osarch-serve` query service: a
+//! consistent-hash ring with virtual nodes over the
+//! arch×primitive×document key space, R-way replica placement, and a
+//! gossip-style membership protocol with per-node incarnation numbers
+//! and suspect/down states.
+//!
+//! The ASPLOS 1991 paper's thesis — fixed per-operation overheads
+//! dominate OS primitive cost and fail to scale with processor speed —
+//! has a cluster-level corollary: one process cannot serve the key
+//! space no matter how fast its event loops get, so scale has to come
+//! from parallel structure. This crate supplies that structure as pure,
+//! deterministic data types; the serve layer wires them to sockets.
+//!
+//! * [`ring::Ring`] — the consistent-hash ring: each node projects
+//!   `vnodes` points onto the 2^64 hash circle, a key is owned by the
+//!   node whose point follows the key's hash, and replicas are the next
+//!   distinct nodes clockwise. Adding or removing one node moves only
+//!   ~1/N of the keys and never changes ownership among survivors.
+//! * [`membership::Membership`] — SWIM-flavoured membership: every node
+//!   carries an incarnation number and an alive/suspect/down status,
+//!   digests ride the existing `health` op as a flat string field, and
+//!   merge is a deterministic join (higher incarnation wins; at equal
+//!   incarnation the worse status wins) so any gossip order converges.
+//!
+//! Everything is `std`-only and allocation-light; nothing here does
+//! I/O, spawns threads, or reads clocks, so the soak harness can replay
+//! a node-kill schedule bit-identically from its seed.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod membership;
+pub mod ring;
+
+pub use membership::{Membership, NodeState, Status, DOWN_AFTER, SUSPECT_AFTER};
+pub use ring::{key_hash, Ring, DEFAULT_VNODES};

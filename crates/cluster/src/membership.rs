@@ -1,0 +1,355 @@
+//! Gossip membership: incarnation numbers, alive/suspect/down states,
+//! and the flat-string digest that rides the serve protocol's `health`
+//! op as anti-entropy.
+//!
+//! The merge rule is a deterministic join, so gossip converges in any
+//! exchange order: for each node, the higher incarnation wins outright;
+//! at equal incarnation the *worse* status wins (down > suspect >
+//! alive). A node refutes rumours about itself by bumping its own
+//! incarnation — the bumped `alive` then dominates every stale
+//! `suspect`/`down` at the old incarnation. Direct probe evidence
+//! (a `health` round trip succeeded or timed out) is applied the same
+//! way: a failed probe marks the peer suspect, then down, at its
+//! current incarnation; a successful probe of a non-alive peer bumps
+//! the peer's incarnation past the rumour, which is safe because only
+//! direct contact produces it.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Probe misses before an alive peer turns suspect.
+pub const SUSPECT_AFTER: u32 = 2;
+/// Probe misses before a suspect peer turns down.
+pub const DOWN_AFTER: u32 = 4;
+
+/// A node's health state, ordered from best to worst.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum Status {
+    /// Responding to probes.
+    Alive,
+    /// Missed probes; rumoured unreachable but not yet written off.
+    Suspect,
+    /// Written off; the ring routes around it until it refutes.
+    Down,
+}
+
+impl Status {
+    /// Stable wire/report label.
+    #[must_use]
+    pub fn label(self) -> &'static str {
+        match self {
+            Status::Alive => "alive",
+            Status::Suspect => "suspect",
+            Status::Down => "down",
+        }
+    }
+
+    fn parse(text: &str) -> Option<Status> {
+        match text {
+            "alive" => Some(Status::Alive),
+            "suspect" => Some(Status::Suspect),
+            "down" => Some(Status::Down),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Status {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.label())
+    }
+}
+
+/// One node's entry in the membership table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NodeState {
+    /// Monotonic per-node epoch; bumped by the node itself on (re)start
+    /// and on refutation.
+    pub incarnation: u64,
+    /// Current health verdict.
+    pub status: Status,
+    /// Consecutive missed probes (local observation, not gossiped).
+    pub misses: u32,
+}
+
+impl NodeState {
+    fn new(incarnation: u64, status: Status) -> Self {
+        Self {
+            incarnation,
+            status,
+            misses: 0,
+        }
+    }
+}
+
+/// The membership table one node maintains about the whole cluster.
+#[derive(Debug, Clone)]
+pub struct Membership {
+    self_addr: String,
+    nodes: BTreeMap<String, NodeState>,
+}
+
+impl Membership {
+    /// Start a table for `self_addr` at `incarnation`, seeding every
+    /// peer as alive at incarnation 0 (first contact corrects it).
+    #[must_use]
+    pub fn new(self_addr: &str, incarnation: u64, peers: &[String]) -> Self {
+        let mut nodes = BTreeMap::new();
+        nodes.insert(
+            self_addr.to_string(),
+            NodeState::new(incarnation, Status::Alive),
+        );
+        for peer in peers {
+            if peer != self_addr {
+                nodes
+                    .entry(peer.clone())
+                    .or_insert_with(|| NodeState::new(0, Status::Alive));
+            }
+        }
+        Self {
+            self_addr: self_addr.to_string(),
+            nodes,
+        }
+    }
+
+    /// This node's address.
+    #[must_use]
+    pub fn self_addr(&self) -> &str {
+        &self.self_addr
+    }
+
+    /// This node's current incarnation.
+    #[must_use]
+    pub fn self_incarnation(&self) -> u64 {
+        self.nodes[&self.self_addr].incarnation
+    }
+
+    /// Every `(addr, state)` pair in address order.
+    #[must_use]
+    pub fn entries(&self) -> Vec<(&str, NodeState)> {
+        self.nodes.iter().map(|(a, s)| (a.as_str(), *s)).collect()
+    }
+
+    /// A node's state, if known.
+    #[must_use]
+    pub fn get(&self, addr: &str) -> Option<NodeState> {
+        self.nodes.get(addr).copied()
+    }
+
+    /// Number of nodes currently believed alive (including self).
+    #[must_use]
+    pub fn alive_count(&self) -> u64 {
+        self.nodes
+            .values()
+            .filter(|s| s.status == Status::Alive)
+            .count() as u64
+    }
+
+    /// Whether a peer is written off.
+    #[must_use]
+    pub fn is_down(&self, addr: &str) -> bool {
+        self.nodes
+            .get(addr)
+            .is_some_and(|s| s.status == Status::Down)
+    }
+
+    /// Record a successful direct probe of `addr`. A non-alive peer is
+    /// revived past the rumour by bumping its incarnation (direct
+    /// contact outranks gossip).
+    pub fn record_success(&mut self, addr: &str) {
+        let entry = self
+            .nodes
+            .entry(addr.to_string())
+            .or_insert_with(|| NodeState::new(0, Status::Alive));
+        entry.misses = 0;
+        if entry.status != Status::Alive {
+            entry.incarnation += 1;
+            entry.status = Status::Alive;
+        }
+    }
+
+    /// Record a failed direct probe of `addr`: suspect after
+    /// [`SUSPECT_AFTER`] consecutive misses, down after [`DOWN_AFTER`].
+    pub fn record_failure(&mut self, addr: &str) {
+        let Some(entry) = self.nodes.get_mut(addr) else {
+            return;
+        };
+        entry.misses = entry.misses.saturating_add(1);
+        if entry.misses >= DOWN_AFTER {
+            entry.status = Status::Down;
+        } else if entry.misses >= SUSPECT_AFTER && entry.status == Status::Alive {
+            entry.status = Status::Suspect;
+        }
+    }
+
+    /// Render the table as the flat digest string that rides the
+    /// `health` op: `addr=incarnation/status` entries joined by `;`,
+    /// in address order. Local probe-miss counts do not travel.
+    #[must_use]
+    pub fn digest(&self) -> String {
+        let mut out = String::with_capacity(self.nodes.len() * 24);
+        for (addr, state) in &self.nodes {
+            if !out.is_empty() {
+                out.push(';');
+            }
+            out.push_str(addr);
+            out.push('=');
+            out.push_str(&state.incarnation.to_string());
+            out.push('/');
+            out.push_str(state.status.label());
+        }
+        out
+    }
+
+    /// Merge a peer's digest. Unparseable entries are skipped (gossip
+    /// must never wedge a node). Returns `true` if anything changed.
+    pub fn merge_digest(&mut self, digest: &str) -> bool {
+        let mut changed = false;
+        for entry in digest.split(';') {
+            let Some((addr, rest)) = entry.split_once('=') else {
+                continue;
+            };
+            let Some((inc, status)) = rest.split_once('/') else {
+                continue;
+            };
+            let (Ok(incarnation), Some(status)) = (inc.parse::<u64>(), Status::parse(status))
+            else {
+                continue;
+            };
+            changed |= self.merge_entry(addr, incarnation, status);
+        }
+        changed
+    }
+
+    fn merge_entry(&mut self, addr: &str, incarnation: u64, status: Status) -> bool {
+        if addr == self.self_addr {
+            // Refute rumours about ourselves: jump past the rumour's
+            // incarnation and re-assert alive.
+            let own = self.nodes.get_mut(&self.self_addr).expect("self entry");
+            if status != Status::Alive && incarnation >= own.incarnation {
+                own.incarnation = incarnation + 1;
+                own.status = Status::Alive;
+                return true;
+            }
+            return false;
+        }
+        let entry = self
+            .nodes
+            .entry(addr.to_string())
+            .or_insert_with(|| NodeState::new(0, Status::Alive));
+        let better = incarnation > entry.incarnation
+            || (incarnation == entry.incarnation && status > entry.status);
+        if better {
+            if incarnation > entry.incarnation {
+                entry.misses = 0;
+            }
+            entry.incarnation = incarnation;
+            entry.status = status;
+        }
+        better
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn peers() -> Vec<String> {
+        vec![
+            "10.0.0.1:4001".to_string(),
+            "10.0.0.2:4002".to_string(),
+            "10.0.0.3:4003".to_string(),
+        ]
+    }
+
+    #[test]
+    fn digest_roundtrips_through_merge() {
+        let a = Membership::new("10.0.0.1:4001", 7, &peers());
+        let mut b = Membership::new("10.0.0.2:4002", 3, &peers());
+        assert!(b.merge_digest(&a.digest()));
+        assert_eq!(b.get("10.0.0.1:4001").unwrap().incarnation, 7);
+        assert_eq!(b.get("10.0.0.1:4001").unwrap().status, Status::Alive);
+        // Merging the same digest again is a no-op: the join is idempotent.
+        assert!(!b.merge_digest(&a.digest()));
+    }
+
+    #[test]
+    fn probe_misses_escalate_and_success_revives() {
+        let mut m = Membership::new("10.0.0.1:4001", 1, &peers());
+        let peer = "10.0.0.2:4002";
+        m.record_failure(peer);
+        assert_eq!(m.get(peer).unwrap().status, Status::Alive);
+        m.record_failure(peer);
+        assert_eq!(m.get(peer).unwrap().status, Status::Suspect);
+        m.record_failure(peer);
+        m.record_failure(peer);
+        assert_eq!(m.get(peer).unwrap().status, Status::Down);
+        assert!(m.is_down(peer));
+        assert_eq!(m.alive_count(), 2);
+
+        let rumoured = m.get(peer).unwrap().incarnation;
+        m.record_success(peer);
+        let revived = m.get(peer).unwrap();
+        assert_eq!(revived.status, Status::Alive);
+        assert!(
+            revived.incarnation > rumoured,
+            "revival outranks the rumour"
+        );
+    }
+
+    #[test]
+    fn self_rumours_are_refuted_by_incarnation_bump() {
+        let mut m = Membership::new("10.0.0.1:4001", 2, &peers());
+        assert!(m.merge_digest("10.0.0.1:4001=5/down"));
+        assert_eq!(m.self_incarnation(), 6);
+        assert_eq!(m.get("10.0.0.1:4001").unwrap().status, Status::Alive);
+        // A stale rumour (lower incarnation) changes nothing.
+        assert!(!m.merge_digest("10.0.0.1:4001=3/suspect"));
+        assert_eq!(m.self_incarnation(), 6);
+    }
+
+    #[test]
+    fn merge_converges_regardless_of_order() {
+        let mut a = Membership::new("10.0.0.1:4001", 4, &peers());
+        let mut b = Membership::new("10.0.0.2:4002", 9, &peers());
+        a.record_failure("10.0.0.3:4003");
+        a.record_failure("10.0.0.3:4003");
+
+        // Exchange in both orders from clones; the tables converge to
+        // the same digest (probe-miss counters are local-only).
+        let mut a2 = a.clone();
+        let mut b2 = b.clone();
+        a.merge_digest(&b2.digest());
+        b2.merge_digest(&a.digest());
+        b.merge_digest(&a2.digest());
+        a2.merge_digest(&b.digest());
+        assert_eq!(a.digest(), b2.digest());
+        assert_eq!(a2.digest(), b.digest());
+        assert_eq!(a.digest(), b.digest());
+        assert!(
+            a.digest().contains("10.0.0.3:4003=0/suspect"),
+            "{}",
+            a.digest()
+        );
+    }
+
+    #[test]
+    fn garbage_digest_entries_are_skipped() {
+        let mut m = Membership::new("10.0.0.1:4001", 1, &peers());
+        let before = m.digest();
+        assert!(!m.merge_digest("nonsense;=;a=b/c;x=9/zombie;y=notanum/alive"));
+        assert_eq!(m.digest(), before);
+    }
+
+    #[test]
+    fn equal_incarnation_prefers_the_worse_status() {
+        let mut m = Membership::new("10.0.0.1:4001", 1, &peers());
+        assert!(m.merge_digest("10.0.0.2:4002=3/suspect"));
+        // Same incarnation, better status: rejected.
+        assert!(!m.merge_digest("10.0.0.2:4002=3/alive"));
+        assert_eq!(m.get("10.0.0.2:4002").unwrap().status, Status::Suspect);
+        // Higher incarnation, better status: accepted.
+        assert!(m.merge_digest("10.0.0.2:4002=4/alive"));
+        assert_eq!(m.get("10.0.0.2:4002").unwrap().status, Status::Alive);
+    }
+}

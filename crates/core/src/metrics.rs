@@ -45,6 +45,14 @@ pub const SERVE_BENCH_SCHEMA: &str = "osarch-serve-bench/2";
 /// protocol op and the `--metrics-addr` scrape listener's JSON form).
 pub const METRICS_SCHEMA: &str = "osarch-metrics/1";
 
+/// The schema tag stamped into every `cluster` op reply: the per-node view
+/// of the consistent-hash ring and the gossip membership table.
+pub const CLUSTER_SCHEMA: &str = "osarch-cluster/1";
+
+/// The schema tag stamped into every `BENCH_cluster.json` load report
+/// (multi-node aggregate throughput vs the single-node baseline).
+pub const CLUSTER_BENCH_SCHEMA: &str = "osarch-cluster-bench/1";
+
 /// Escape a string for a JSON string literal (quotes not included).
 #[must_use]
 pub fn json_escape(s: &str) -> String {
@@ -413,6 +421,26 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
         .zip(snap.window)
         .map(|(name, value)| format!("\"{name}\":{value}"))
         .collect();
+    // Spliced as a pre-rendered fragment so a standalone (non-cluster)
+    // snapshot stays byte-identical to the pre-cluster document.
+    let cluster = match &snap.cluster {
+        Some(c) => format!(
+            concat!(
+                "\"cluster\":{{\"ownership_ppm\":{},\"peers_alive\":{},",
+                "\"peers_total\":{},\"incarnation\":{},\"forwarded\":{},",
+                "\"proxied\":{},\"redirected\":{},\"gossip_rounds\":{}}},"
+            ),
+            c.ownership_ppm,
+            c.peers_alive,
+            c.peers_total,
+            c.incarnation,
+            c.forwarded,
+            c.proxied,
+            c.redirected,
+            c.gossip_rounds,
+        ),
+        None => String::new(),
+    };
     format!(
         concat!(
             "{{\"schema\":\"{}\",\"uptime_us\":{},\"retention_s\":{},",
@@ -427,6 +455,7 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
             "\"workers_live\":{},\"compute_backlog\":{},",
             "\"oldest_write_backlog_ms\":{},\"cache_hit_ratio\":{},",
             "\"shutting_down\":{}}},",
+            "{}",
             "\"window\":{{{}}},",
             "\"ops\":[{}],",
             "\"loop_lag_us\":{},",
@@ -463,6 +492,7 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
         gauges.oldest_write_backlog_ms,
         json_number(totals.cache_hit_ratio()),
         gauges.shutting_down,
+        cluster,
         window.join(","),
         ops.join(","),
         telemetry_hist_json(&snap.loop_lag_us),
@@ -518,6 +548,162 @@ pub fn validate_metrics_snapshot(doc: &str) -> Result<(), String> {
         return Err(format!("missing schema {METRICS_SCHEMA:?}"));
     }
     for key in METRICS_REQUIRED_KEYS {
+        if !doc.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// Every key an `osarch-cluster/1` document (the `cluster` op reply's
+/// payload) must carry.
+pub const CLUSTER_REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "self",
+    "incarnation",
+    "replicas",
+    "vnodes",
+    "proxy",
+    "ownership_ppm",
+    "peers_alive",
+    "peers_total",
+    "forwarded",
+    "proxied",
+    "redirected",
+    "gossip_rounds",
+    "nodes",
+    "addr",
+    "status",
+];
+
+/// Validate an `osarch-cluster/1` document: well-formed JSON, the schema
+/// tag, and every required key present.
+pub fn validate_cluster_status(doc: &str) -> Result<(), String> {
+    if let Err(offset) = validate_json(doc) {
+        return Err(format!("invalid JSON at byte {offset}"));
+    }
+    if !doc.contains(&format!("\"schema\":\"{CLUSTER_SCHEMA}\"")) {
+        return Err(format!("missing schema {CLUSTER_SCHEMA:?}"));
+    }
+    for key in CLUSTER_REQUIRED_KEYS {
+        if !doc.contains(&format!("\"{key}\":")) {
+            return Err(format!("missing required key {key:?}"));
+        }
+    }
+    Ok(())
+}
+
+/// One multi-node load run, ready to serialize as `BENCH_cluster.json`:
+/// the 3-node aggregate throughput next to the single-node baseline it
+/// must beat (the acceptance bar is `speedup >= 2.0` at 3 nodes).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClusterBenchReport {
+    /// Key distribution (`uniform` or `skewed`).
+    pub workload: String,
+    /// Nodes in the ring during the clustered run.
+    pub nodes: u32,
+    /// Replication factor the ring placed each key at.
+    pub replicas: u32,
+    /// Concurrent client connections per node.
+    pub conns_per_node: u32,
+    /// Requests kept in flight per connection.
+    pub pipeline_depth: u32,
+    /// Measured wall-clock seconds of the clustered run.
+    pub secs: f64,
+    /// Requests completed with an `ok` envelope across all nodes.
+    pub requests: u64,
+    /// Requests answered with an error envelope across all nodes.
+    pub errors: u64,
+    /// Replies that failed verification (bad JSON or id mismatch).
+    pub corrupt: u64,
+    /// Aggregate completed requests per second across the cluster.
+    pub throughput_rps: f64,
+    /// Single-node throughput on the same workload and connection count.
+    pub baseline_rps: f64,
+    /// `throughput_rps / baseline_rps`.
+    pub speedup: f64,
+    /// Client-observed latency distribution (µs) for the clustered run.
+    pub latency: crate::stats::LatencySummary,
+    /// Per-node `(addr, requests completed)` in ring order.
+    pub per_node: Vec<(String, u64)>,
+}
+
+/// A cluster load report as an `osarch-cluster-bench/1` JSON document.
+#[must_use]
+pub fn cluster_bench_json(report: &ClusterBenchReport) -> String {
+    let per_node: Vec<String> = report
+        .per_node
+        .iter()
+        .map(|(addr, requests)| {
+            format!(
+                "{{\"addr\":\"{}\",\"requests\":{requests}}}",
+                json_escape(addr)
+            )
+        })
+        .collect();
+    format!(
+        concat!(
+            "{{\"schema\":\"{}\",\"workload\":\"{}\",",
+            "\"nodes\":{},\"replicas\":{},\"conns_per_node\":{},",
+            "\"pipeline_depth\":{},\"secs\":{},",
+            "\"requests\":{},\"errors\":{},\"corrupt\":{},",
+            "\"throughput_rps\":{},\"baseline_rps\":{},\"speedup\":{},",
+            "\"latency_us\":{},",
+            "\"per_node\":[{}]}}\n"
+        ),
+        CLUSTER_BENCH_SCHEMA,
+        json_escape(&report.workload),
+        report.nodes,
+        report.replicas,
+        report.conns_per_node,
+        report.pipeline_depth,
+        json_number(report.secs),
+        report.requests,
+        report.errors,
+        report.corrupt,
+        json_number(report.throughput_rps),
+        json_number(report.baseline_rps),
+        json_number(report.speedup),
+        latency_summary_json(&report.latency),
+        per_node.join(","),
+    )
+}
+
+/// Every key an `osarch-cluster-bench/1` document must carry. As with the
+/// serve bench, the loadgen validates before writing so a missing column
+/// fails at the producer.
+pub const CLUSTER_BENCH_REQUIRED_KEYS: &[&str] = &[
+    "schema",
+    "workload",
+    "nodes",
+    "replicas",
+    "conns_per_node",
+    "pipeline_depth",
+    "secs",
+    "requests",
+    "errors",
+    "corrupt",
+    "throughput_rps",
+    "baseline_rps",
+    "speedup",
+    "latency_us",
+    "p50",
+    "p99",
+    "p999",
+    "per_node",
+    "addr",
+];
+
+/// Validate an `osarch-cluster-bench/1` document: well-formed JSON, the
+/// schema tag, and every required key present.
+pub fn validate_cluster_bench(doc: &str) -> Result<(), String> {
+    if let Err(offset) = validate_json(doc) {
+        return Err(format!("invalid JSON at byte {offset}"));
+    }
+    if !doc.contains(&format!("\"schema\":\"{CLUSTER_BENCH_SCHEMA}\"")) {
+        return Err(format!("missing schema {CLUSTER_BENCH_SCHEMA:?}"));
+    }
+    for key in CLUSTER_BENCH_REQUIRED_KEYS {
         if !doc.contains(&format!("\"{key}\":")) {
             return Err(format!("missing required key {key:?}"));
         }
@@ -1253,6 +1439,104 @@ mod tests {
         // The validator flags a document missing a required section.
         let truncated = doc.replace("\"gauges\":", "\"ga_uges\":");
         assert!(validate_metrics_snapshot(&truncated).is_err());
+    }
+
+    #[test]
+    fn metrics_snapshot_cluster_section_is_optional_and_well_formed() {
+        let hub = osarch_telemetry::TelemetryHub::new(1, &["ping"], 64, 7);
+        let mut snap = hub.snapshot(
+            1_000_000,
+            osarch_telemetry::Gauges::default(),
+            osarch_telemetry::Totals::default(),
+        );
+        let standalone = metrics_snapshot_json(&snap);
+        assert!(!standalone.contains("\"cluster\""), "{standalone}");
+        snap.cluster = Some(osarch_telemetry::ClusterGauges {
+            ownership_ppm: 333_333,
+            peers_alive: 2,
+            peers_total: 3,
+            incarnation: 4,
+            forwarded: 10,
+            proxied: 7,
+            redirected: 1,
+            gossip_rounds: 25,
+        });
+        let doc = metrics_snapshot_json(&snap);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert_eq!(validate_metrics_snapshot(&doc), Ok(()));
+        assert!(
+            doc.contains("\"cluster\":{\"ownership_ppm\":333333,\"peers_alive\":2"),
+            "{doc}"
+        );
+        assert!(doc.contains("\"gossip_rounds\":25"), "{doc}");
+        // The cluster fragment is a pure insertion: removing it restores
+        // the standalone document byte for byte.
+        let stripped = doc.replace(
+            concat!(
+                "\"cluster\":{\"ownership_ppm\":333333,\"peers_alive\":2,",
+                "\"peers_total\":3,\"incarnation\":4,\"forwarded\":10,",
+                "\"proxied\":7,\"redirected\":1,\"gossip_rounds\":25},"
+            ),
+            "",
+        );
+        assert_eq!(stripped, standalone);
+    }
+
+    #[test]
+    fn cluster_status_validator_checks_schema_and_keys() {
+        let doc = format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"self\":\"127.0.0.1:4101\",",
+                "\"incarnation\":3,\"replicas\":2,\"vnodes\":128,\"proxy\":true,",
+                "\"ownership_ppm\":333333,\"peers_alive\":3,\"peers_total\":3,",
+                "\"forwarded\":12,\"proxied\":4,\"redirected\":1,\"gossip_rounds\":88,",
+                "\"nodes\":[{{\"addr\":\"127.0.0.1:4101\",\"incarnation\":3,",
+                "\"status\":\"alive\"}}]}}"
+            ),
+            CLUSTER_SCHEMA
+        );
+        assert_eq!(validate_cluster_status(&doc), Ok(()));
+        let wrong_schema = doc.replace(CLUSTER_SCHEMA, "osarch-cluster/0");
+        assert!(validate_cluster_status(&wrong_schema).is_err());
+        let missing = doc.replace("\"gossip_rounds\":88,", "");
+        assert!(validate_cluster_status(&missing).is_err());
+    }
+
+    #[test]
+    fn cluster_bench_document_is_valid() {
+        let report = ClusterBenchReport {
+            workload: "skewed".to_string(),
+            nodes: 3,
+            replicas: 2,
+            conns_per_node: 8,
+            pipeline_depth: 4,
+            secs: 3.0,
+            requests: 3600,
+            errors: 0,
+            corrupt: 0,
+            throughput_rps: 1200.0,
+            baseline_rps: 400.0,
+            speedup: 3.0,
+            latency: crate::stats::LatencySummary::from_unsorted(&[100, 200, 300]),
+            per_node: vec![
+                ("127.0.0.1:4101".to_string(), 1180),
+                ("127.0.0.1:4102".to_string(), 1240),
+                ("127.0.0.1:4103".to_string(), 1180),
+            ],
+        };
+        let doc = cluster_bench_json(&report);
+        assert_eq!(validate_json(&doc), Ok(()));
+        assert_eq!(validate_cluster_bench(&doc), Ok(()));
+        assert!(doc.contains(&format!("\"schema\":\"{CLUSTER_BENCH_SCHEMA}\"")));
+        assert!(doc.contains("\"nodes\":3,\"replicas\":2"));
+        assert!(doc.contains("\"baseline_rps\":400,\"speedup\":3"));
+        assert!(doc.contains("\"per_node\":[{\"addr\":\"127.0.0.1:4101\",\"requests\":1180}"));
+        assert!(doc.ends_with("}\n"));
+        // Missing column fails at the producer.
+        let truncated = doc.replace("\"baseline_rps\":400,", "");
+        assert!(validate_cluster_bench(&truncated).is_err());
+        // A serve-bench document does not pass as a cluster bench.
+        assert!(validate_cluster_bench("{\"schema\":\"osarch-serve-bench/2\"}").is_err());
     }
 
     #[test]

@@ -524,6 +524,187 @@ fn is_timeout(error: &std::io::Error) -> bool {
     matches!(error.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut)
 }
 
+/// Routing tallies of a [`ClusterClient`], on top of the per-node
+/// resilience counters.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct RouteCounters {
+    /// Calls sent to the key's ring owner on the first try.
+    pub routed_primary: u64,
+    /// Attempts that failed over to a replica (owner breaker open,
+    /// unreachable, or erroring).
+    pub failovers: u64,
+    /// `not_owner` redirects followed to the envelope's stated owner.
+    pub redirects_followed: u64,
+}
+
+/// A shard-map-aware router over one [`ResilientClient`] per node.
+///
+/// Routing mirrors the server side exactly: both ends hash with
+/// [`osarch_cluster::key_hash`] over the same seed list, so a routed
+/// request normally lands on its owner first try. When the owner is
+/// unattractive (breaker open) or fails, the call falls over to the
+/// key's other replicas in ring order; a `not_owner` redirect (topology
+/// drift between client and server views) is re-resolved once by
+/// following the envelope's stated owner.
+pub struct ClusterClient {
+    ring: osarch_cluster::Ring,
+    replicas: usize,
+    clients: Vec<ResilientClient>,
+    routes: RouteCounters,
+}
+
+impl std::fmt::Debug for ClusterClient {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterClient")
+            .field("nodes", &self.ring.nodes())
+            .field("replicas", &self.replicas)
+            .field("routes", &self.routes)
+            .finish()
+    }
+}
+
+impl ClusterClient {
+    /// A router over `addrs` with replication factor `replicas`. Each
+    /// node gets its own client (own breaker, own jitter stream —
+    /// seeded per node so schedules stay deterministic but distinct).
+    #[must_use]
+    pub fn new(addrs: &[String], replicas: usize, config: &ClientConfig) -> ClusterClient {
+        let ring = osarch_cluster::Ring::new(addrs, osarch_cluster::DEFAULT_VNODES);
+        let clients = ring
+            .nodes()
+            .iter()
+            .enumerate()
+            .map(|(index, addr)| {
+                let node_config = ClientConfig {
+                    seed: config.seed.wrapping_add(index as u64),
+                    ..config.clone()
+                };
+                ResilientClient::new(addr, node_config)
+            })
+            .collect();
+        ClusterClient {
+            ring,
+            replicas: replicas.max(1),
+            clients,
+            routes: RouteCounters::default(),
+        }
+    }
+
+    /// The node addresses, in ring order.
+    #[must_use]
+    pub fn nodes(&self) -> &[String] {
+        self.ring.nodes()
+    }
+
+    /// Where a key's owner lives, per this client's ring view.
+    #[must_use]
+    pub fn addr_for(&self, key: &str) -> Option<&str> {
+        self.ring.owner(key)
+    }
+
+    /// The routing tallies.
+    #[must_use]
+    pub fn route_counters(&self) -> RouteCounters {
+        self.routes
+    }
+
+    /// Per-node resilience counters summed over every node client.
+    #[must_use]
+    pub fn counters(&self) -> ClientCounters {
+        let mut total = ClientCounters::default();
+        for client in &self.clients {
+            let c = client.counters();
+            total.oks += c.oks;
+            total.retries += c.retries;
+            total.giveups += c.giveups;
+            total.breaker_opens += c.breaker_opens;
+            total.breaker_shed += c.breaker_shed;
+            total.timeouts += c.timeouts;
+            total.conn_resets += c.conn_resets;
+            total.server_errors += c.server_errors;
+            total.degraded += c.degraded;
+            total.corrupt += c.corrupt;
+        }
+        total
+    }
+
+    /// Issue `line` for `key`: route to the key's replica set in ring
+    /// order, preferring nodes whose breaker is closed, and follow one
+    /// `not_owner` redirect if the server's view disagrees with ours.
+    pub fn call(&mut self, key: &str, line: &str, id_token: &str) -> Result<Reply, CallError> {
+        let targets: Vec<usize> = {
+            let nodes = self.ring.nodes();
+            self.ring
+                .replicas(key, self.replicas)
+                .iter()
+                .filter_map(|addr| nodes.iter().position(|n| n == addr))
+                .collect()
+        };
+        if targets.is_empty() {
+            return Err(CallError {
+                class: ErrorClass::ConnReset,
+                detail: "cluster client has no nodes".to_string(),
+            });
+        }
+        // Replica order: nodes whose breaker is closed first (cheap
+        // health signal), then the breaker-open stragglers — a shed call
+        // against an open breaker still counts down its cooldown.
+        let closed: Vec<usize> = targets
+            .iter()
+            .copied()
+            .filter(|&i| !self.clients[i].breaker_open())
+            .collect();
+        let mut order = closed.clone();
+        order.extend(targets.iter().copied().filter(|i| !closed.contains(i)));
+        let mut last = CallError {
+            class: ErrorClass::BreakerOpen,
+            detail: "every replica's breaker is open".to_string(),
+        };
+        for (rank, index) in order.into_iter().enumerate() {
+            if rank == 0 && index == targets[0] {
+                self.routes.routed_primary += 1;
+            } else {
+                self.routes.failovers += 1;
+            }
+            match self.clients[index].call(line, id_token) {
+                Ok(reply) => return Ok(reply),
+                Err(error) => {
+                    if error.class == ErrorClass::ServerError
+                        && error.detail.contains("\"error\":\"not_owner\"")
+                    {
+                        // Topology drift: the server knows better — follow
+                        // its stated owner once, then fall through to the
+                        // normal failover order.
+                        if let Some(owner) = extract_field(&error.detail, "owner") {
+                            let owner_index = self.ring.nodes().iter().position(|n| n == owner);
+                            if let Some(owner_index) = owner_index {
+                                self.routes.redirects_followed += 1;
+                                match self.clients[owner_index].call(line, id_token) {
+                                    Ok(reply) => return Ok(reply),
+                                    Err(redirect_error) => last = redirect_error,
+                                }
+                                continue;
+                            }
+                        }
+                    }
+                    last = error;
+                }
+            }
+        }
+        Err(last)
+    }
+}
+
+/// Pull a flat string field (`"name":"value"`) out of a raw envelope
+/// without a JSON parser. Addresses and keys never contain quotes or
+/// escapes, so the next `"` ends the value.
+fn extract_field<'a>(raw: &'a str, name: &str) -> Option<&'a str> {
+    let needle = format!("\"{name}\":\"");
+    let start = raw.find(&needle)? + needle.len();
+    let end = raw[start..].find('"')? + start;
+    Some(&raw[start..end])
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -583,6 +764,62 @@ mod tests {
         assert_eq!(ErrorClass::ConnReset.label(), "conn_reset");
         assert_eq!(ErrorClass::ServerError.label(), "server_error");
         assert_eq!(ErrorClass::BreakerOpen.label(), "breaker_open");
+    }
+
+    #[test]
+    fn cluster_client_routes_by_the_same_ring_as_the_server() {
+        let addrs = vec![
+            "127.0.0.1:4101".to_string(),
+            "127.0.0.1:4102".to_string(),
+            "127.0.0.1:4103".to_string(),
+        ];
+        let client = ClusterClient::new(&addrs, 2, &ClientConfig::default());
+        let server_ring = osarch_cluster::Ring::new(&addrs, osarch_cluster::DEFAULT_VNODES);
+        for key in ["measure/R3000/trap", "table/2", "analyze/all", "lint/CVAX"] {
+            assert_eq!(client.addr_for(key), server_ring.owner(key), "{key}");
+        }
+        assert_eq!(client.nodes(), server_ring.nodes());
+    }
+
+    #[test]
+    fn cluster_client_fails_over_across_dead_replicas() {
+        // Ports 1 and 2 on loopback refuse immediately: every replica is
+        // dead, so the call walks the whole replica set and gives up
+        // with the connection class — never a panic, never a hang.
+        let addrs = vec!["127.0.0.1:1".to_string(), "127.0.0.1:2".to_string()];
+        let mut client = ClusterClient::new(
+            &addrs,
+            2,
+            &ClientConfig {
+                attempts: 1,
+                backoff_base: Duration::from_micros(10),
+                backoff_max: Duration::from_micros(50),
+                ..ClientConfig::default()
+            },
+        );
+        let error = client
+            .call("measure/R3000/trap", "{\"op\":\"ping\",\"id\":7}", "7")
+            .unwrap_err();
+        assert_eq!(error.class, ErrorClass::ConnReset, "{}", error.detail);
+        let routes = client.route_counters();
+        assert_eq!(routes.routed_primary, 1);
+        assert_eq!(routes.failovers, 1, "second replica was tried");
+        assert_eq!(client.counters().giveups, 2);
+    }
+
+    #[test]
+    fn not_owner_fields_extract_from_the_raw_envelope() {
+        let raw = "{\"schema\":\"osarch-serve/1\",\"id\":3,\"ok\":false,\
+                   \"error\":\"not_owner\",\"key\":\"table/2\",\
+                   \"owner\":\"127.0.0.1:4102\",\
+                   \"replicas\":\"127.0.0.1:4102,127.0.0.1:4103\"}";
+        assert_eq!(extract_field(raw, "owner"), Some("127.0.0.1:4102"));
+        assert_eq!(extract_field(raw, "key"), Some("table/2"));
+        assert_eq!(
+            extract_field(raw, "replicas"),
+            Some("127.0.0.1:4102,127.0.0.1:4103")
+        );
+        assert_eq!(extract_field(raw, "missing"), None);
     }
 
     #[test]

@@ -38,6 +38,14 @@
 //!   fault-injected in-process server, asserting the resilience
 //!   invariants (no corruption, no deadlock, no leaked workers, degraded
 //!   replies flagged, single-flight accounting exact);
+//! * cluster mode — multiple `osarch serve` nodes form a ring
+//!   (`osarch-cluster`): keys shard by consistent hashing with R-way
+//!   replica placement, a non-owner either proxies the query to a live
+//!   replica or answers a `not_owner` redirect, membership gossip rides
+//!   the `health` op, and the `cluster` op reports ring + membership
+//!   (`osarch-cluster/1`). [`ClusterClient`] is the shard-map-aware
+//!   router: it shares the server's ring, prefers breaker-closed
+//!   replicas, fails over on dead nodes, and follows redirects;
 //! * [`top`] — the live terminal dashboard (`osarch top ADDR`), a 1 Hz
 //!   plain-ANSI view over the `metrics` op's `osarch-metrics/1`
 //!   snapshot: throughput, per-op tail percentiles, loop lag, cache and
@@ -91,9 +99,12 @@ pub mod stats;
 pub mod top;
 
 pub use cache::{Fetched, ShardedCache};
-pub use client::{ClientConfig, ErrorClass, ResilientClient};
-pub use loadgen::{run as run_loadgen, LoadgenConfig};
+pub use client::{ClientConfig, ClusterClient, ErrorClass, ResilientClient, RouteCounters};
+pub use loadgen::{run as run_loadgen, run_cluster_bench, ClusterLoadConfig, LoadgenConfig};
 pub use protocol::{Frame, FrameBuf, Query, Request, MAX_REQUEST_BYTES};
-pub use server::{Server, ServerConfig, ServerHandle};
-pub use soak::{run as run_soak, SoakConfig, SoakReport};
+pub use server::{ClusterConfig, Server, ServerConfig, ServerHandle};
+pub use soak::{
+    run as run_soak, run_cluster as run_cluster_soak, ClusterSoakConfig, ClusterSoakReport,
+    SoakConfig, SoakReport,
+};
 pub use stats::{HealthGauges, ServeStats, OP_NAMES};

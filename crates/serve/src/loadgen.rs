@@ -35,9 +35,9 @@
 //! serving cost is the fixed per-request envelope, not the simulation.
 
 use crate::client::{ClientConfig, ErrorClass, ResilientClient};
-use crate::server::{Server, ServerConfig, ServerHandle};
+use crate::server::{ClusterConfig, Server, ServerConfig, ServerHandle};
 use osarch_chaos::{ChaosConfig, ChaosController};
-use osarch_core::metrics::{ResilienceCounters, ServeBenchReport};
+use osarch_core::metrics::{ClusterBenchReport, ResilienceCounters, ServeBenchReport};
 use osarch_core::stats::LatencySummary;
 use osarch_cpu::Arch;
 use osarch_kernel::Primitive;
@@ -203,11 +203,15 @@ fn drive(
     let driver_threads: u32;
     if mux {
         let pipeline = config.pipeline.max(1) as usize;
-        let threads = std::thread::available_parallelism()
-            .map_or(1, std::num::NonZeroUsize::get)
-            .min(MUX_MAX_THREADS)
-            .min(config.conns as usize)
-            .max(1);
+        // Driver threads are I/O-bound — each one multiplexes hundreds
+        // of blocking sockets — so the count follows the connection
+        // load, not the core count. Sizing by `available_parallelism`
+        // collapses to one thread on a single-core host, and one thread
+        // dialing 10 000 sockets sequentially burns the whole window on
+        // the ramp before a single round runs.
+        let threads = (config.conns as usize)
+            .div_ceil(MUX_CONNS_PER_THREAD)
+            .clamp(1, MUX_MAX_THREADS);
         driver_threads = threads as u32;
         // Deal connections out across the driver threads; the remainder
         // lands on the first few.
@@ -318,6 +322,10 @@ const MUX_THRESHOLD_CONNS: u32 = 256;
 /// Driver-thread ceiling for the multiplexed driver.
 const MUX_MAX_THREADS: usize = 32;
 
+/// Connections one multiplexed driver thread is asked to carry before
+/// another thread is added (up to [`MUX_MAX_THREADS`]).
+const MUX_CONNS_PER_THREAD: usize = 512;
+
 /// One multiplexed connection: a buffered reader over the socket (writes
 /// go straight through `get_mut`) plus its id counter.
 struct MuxConn {
@@ -363,6 +371,26 @@ fn drive_mux_chunk(
     pipeline: usize,
     stop_at: Instant,
 ) -> ConnResult {
+    drive_mux_paced(addr, seed, dist, keys, conns, pipeline, stop_at, None)
+}
+
+/// [`drive_mux_chunk`] with an optional open-loop round schedule: with
+/// `pace = Some(interval)` each round of `conns × pipeline` requests
+/// fires on a fixed arrival clock (late rounds fire immediately, no
+/// schedule reset), so the offered load is a property of the config
+/// rather than of how fast the host happens to be. The cluster bench
+/// uses this for its weak-scaling measurement.
+#[allow(clippy::too_many_arguments)]
+fn drive_mux_paced(
+    addr: &str,
+    seed: u64,
+    dist: &WeightedIndex<u64>,
+    keys: &[(Arch, Primitive)],
+    conns: usize,
+    pipeline: usize,
+    stop_at: Instant,
+    pace: Option<Duration>,
+) -> ConnResult {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut result = ConnResult::default();
     let connect_deadline = Instant::now() + Duration::from_secs(30);
@@ -372,7 +400,18 @@ fn drive_mux_chunk(
     let mut line = String::new();
     let mut batch = String::new();
     let mut sent: Vec<(u64, Instant)> = Vec::with_capacity(conns);
+    let mut next_round = Instant::now();
     while Instant::now() < stop_at {
+        if let Some(interval) = pace {
+            let now = Instant::now();
+            if next_round > now {
+                std::thread::sleep(next_round - now);
+            }
+            next_round += interval;
+            if Instant::now() >= stop_at {
+                break;
+            }
+        }
         // Write phase: put a batch in flight on every live socket.
         sent.clear();
         for sock in &mut socks {
@@ -561,13 +600,349 @@ fn extract_counter(reply: &str, name: &str) -> u64 {
         .unwrap_or(0)
 }
 
+// ---------------------------------------------------------------------------
+// Cluster bench: 3-node aggregate vs single-node baseline
+// ---------------------------------------------------------------------------
+
+/// Cluster bench knobs (`osarch loadgen --cluster`).
+#[derive(Debug, Clone)]
+pub struct ClusterLoadConfig {
+    /// Nodes in the ring.
+    pub nodes: usize,
+    /// Replication factor R.
+    pub replicas: usize,
+    /// Pipelined connections per node (the baseline node gets the same
+    /// per-node count from every driver thread, so the client side is
+    /// identical across the two runs).
+    pub conns_per_node: u32,
+    /// Requests batched per write on each connection.
+    pub pipeline: u32,
+    /// Seconds per run (baseline and clustered each).
+    pub secs: f64,
+    /// Hot-key-skewed draw instead of uniform.
+    pub skew: bool,
+    /// RNG seed for every driver thread's deterministic stream.
+    pub seed: u64,
+    /// Event-loop workers per node — the baseline node gets the same
+    /// count, so the comparison is N nodes vs one node of equal size.
+    pub workers_per_node: usize,
+    /// Cache shards per node.
+    pub shards: usize,
+    /// Offered load per node in requests/second (weak scaling: the
+    /// baseline single node is offered this rate, the N-node ring is
+    /// offered N× it). `0` drops the pacing and lets every driver run
+    /// closed-loop flat out — only meaningful when the host has enough
+    /// cores for N nodes to actually run in parallel.
+    pub node_rate: f64,
+}
+
+impl Default for ClusterLoadConfig {
+    fn default() -> ClusterLoadConfig {
+        ClusterLoadConfig {
+            nodes: 3,
+            replicas: 2,
+            conns_per_node: 16,
+            pipeline: 8,
+            secs: 2.0,
+            skew: false,
+            seed: 0x05a1c,
+            workers_per_node: 1,
+            shards: 16,
+            node_rate: 30_000.0,
+        }
+    }
+}
+
+/// One driver thread's workload: the keys it may draw plus the skew
+/// distribution over them (weights follow each key's *global* rank).
+type KeySlice = (Vec<(Arch, Primitive)>, WeightedIndex<u64>);
+
+/// Harmonic (Zipf-like) weight by *global* key rank, so the hot keys
+/// stay hot whether a driver sees the full key space or one node's
+/// replica slice.
+fn rank_weights(ranks: &[usize], skew: bool) -> Vec<u64> {
+    if skew {
+        ranks.iter().map(|rank| 720 / (*rank as u64 + 1)).collect()
+    } else {
+        vec![1; ranks.len()]
+    }
+}
+
+/// One measurement: `threads` driver threads, each multiplexing
+/// `conns` pipelined sockets against `addr` over its own key slice.
+/// Returns the merged tallies and the measured wall-clock seconds.
+fn mux_fanout(
+    addr: &str,
+    seed: u64,
+    slices: &[KeySlice],
+    conns: usize,
+    pipeline: usize,
+    duration: Duration,
+    pace: Option<Duration>,
+) -> (ConnResult, f64) {
+    let started = Instant::now();
+    let stop_at = started + duration;
+    let results: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = slices
+            .iter()
+            .enumerate()
+            .map(|(thread, (keys, dist))| {
+                let seed = seed ^ (thread as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                scope.spawn(move || {
+                    drive_mux_paced(addr, seed, dist, keys, conns, pipeline, stop_at, pace)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cluster bench driver thread panicked"))
+            .collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    let mut merged = ConnResult::default();
+    for conn in results {
+        merged.oks += conn.oks;
+        merged.errors += conn.errors;
+        merged.latency.merge(&conn.latency);
+        merge_resilience(&mut merged.resilience, conn.resilience);
+    }
+    (merged, secs)
+}
+
+/// Run the cluster benchmark: first a single-node baseline, then an
+/// N-node ring on the same workload, both self-hosted. The clustered
+/// run is shard-routed — each node's drivers draw only keys that node
+/// replicates, the batched equivalent of [`crate::ClusterClient`]
+/// routing — so the aggregate measures N nodes serving locally, which
+/// is what the ring buys over one node of the same size.
+///
+/// The measurement is **weak scaling**: with `node_rate > 0` (the
+/// default) every node is offered a fixed per-node load, so the
+/// baseline single node is offered `node_rate` and the ring is offered
+/// `nodes × node_rate`. `speedup` then reports how much of the N×
+/// offered load the ring actually sustains relative to the single node
+/// — the scale-out claim — and stays meaningful on hosts (CI runners)
+/// without a core per node, where raw closed-loop saturation would
+/// only measure the shared CPU. `node_rate = 0` reverts to closed-loop
+/// saturation on both sides.
+pub fn run_cluster_bench(config: &ClusterLoadConfig) -> std::io::Result<ClusterBenchReport> {
+    let nodes = config.nodes.max(2);
+    let keys = key_space();
+    let duration = Duration::from_secs_f64(config.secs.max(0.5));
+    // One driver thread per node in both runs; a thread's round pace is
+    // its share of the offered load, in rounds of conns × pipeline.
+    let round_requests = config.conns_per_node as f64 * f64::from(config.pipeline.max(1));
+    let pace_per_thread = |threads: f64, offered: f64| -> Option<Duration> {
+        (offered > 0.0).then(|| Duration::from_secs_f64(round_requests * threads / offered))
+    };
+    // Baseline: `nodes` driver threads share one node offered
+    // `node_rate`; clustered: each node's single thread offers
+    // `node_rate` to its own node.
+    let baseline_pace = pace_per_thread(nodes as f64, config.node_rate);
+    let cluster_pace = pace_per_thread(1.0, config.node_rate);
+    let node_config = |addr: Option<(&[String], usize)>| ServerConfig {
+        addr: addr.map_or_else(|| "127.0.0.1:0".to_string(), |(addrs, i)| addrs[i].clone()),
+        workers: config.workers_per_node,
+        shards: config.shards,
+        queue_depth: (config.conns_per_node as usize * 2 * nodes).max(64),
+        cluster: addr.map(|(addrs, i)| ClusterConfig {
+            self_addr: addrs[i].clone(),
+            peers: addrs.to_vec(),
+            replicas: config.replicas,
+            ..ClusterConfig::default()
+        }),
+        ..ServerConfig::default()
+    };
+
+    // Baseline: one node of the same size takes the whole key space
+    // from the same number of driver threads and connections.
+    let baseline_handle = Server::start(&node_config(None))?;
+    let baseline_addr = baseline_handle.addr().to_string();
+    let full_ranks: Vec<usize> = (0..keys.len()).collect();
+    let full_dist = WeightedIndex::new(rank_weights(&full_ranks, config.skew))
+        .expect("weights are positive by construction");
+    let baseline_slices: Vec<KeySlice> = (0..nodes)
+        .map(|_| (keys.clone(), full_dist.clone()))
+        .collect();
+    let (baseline, baseline_secs) = mux_fanout(
+        &baseline_addr,
+        config.seed,
+        &baseline_slices,
+        config.conns_per_node as usize,
+        config.pipeline.max(1) as usize,
+        duration,
+        baseline_pace,
+    );
+    baseline_handle.stop();
+    let baseline_rps = if baseline_secs > 0.0 {
+        baseline.oks as f64 / baseline_secs
+    } else {
+        0.0
+    };
+
+    // Clustered run: reserve every address first (nodes need the full
+    // peer list up front), start the ring, then give each node's driver
+    // thread the slice of keys that node replicates.
+    let addrs = {
+        let listeners: Vec<std::net::TcpListener> = (0..nodes)
+            .map(|_| std::net::TcpListener::bind("127.0.0.1:0"))
+            .collect::<std::io::Result<_>>()?;
+        listeners
+            .iter()
+            .map(|l| Ok(format!("127.0.0.1:{}", l.local_addr()?.port())))
+            .collect::<std::io::Result<Vec<String>>>()?
+    };
+    let handles: Vec<ServerHandle> = (0..nodes)
+        .map(|index| Server::start(&node_config(Some((&addrs, index)))))
+        .collect::<std::io::Result<_>>()?;
+    let ring = osarch_cluster::Ring::new(&addrs, osarch_cluster::DEFAULT_VNODES);
+    let slices: Vec<KeySlice> = addrs
+        .iter()
+        .map(|addr| {
+            let mut ranks = Vec::new();
+            let slice: Vec<(Arch, Primitive)> = keys
+                .iter()
+                .enumerate()
+                .filter(|(rank, (arch, primitive))| {
+                    let key = format!("measure/{arch}/{}", primitive.tag());
+                    let mine = ring
+                        .replicas(&key, config.replicas)
+                        .iter()
+                        .any(|replica| replica == addr);
+                    if mine {
+                        ranks.push(*rank);
+                    }
+                    mine
+                })
+                .map(|(_, pair)| *pair)
+                .collect();
+            let dist = WeightedIndex::new(rank_weights(&ranks, config.skew))
+                .expect("every node replicates at least one key");
+            (slice, dist)
+        })
+        .collect();
+
+    // One driver thread per node; per-node tallies come from the
+    // thread that drove that node.
+    let started = Instant::now();
+    let stop_at = started + duration;
+    let per_thread: Vec<ConnResult> = std::thread::scope(|scope| {
+        let handles: Vec<_> = addrs
+            .iter()
+            .zip(&slices)
+            .enumerate()
+            .map(|(thread, (addr, (slice, dist)))| {
+                let seed = config.seed ^ (thread as u64 + 1).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+                let conns = config.conns_per_node as usize;
+                let pipeline = config.pipeline.max(1) as usize;
+                scope.spawn(move || {
+                    drive_mux_paced(
+                        addr,
+                        seed,
+                        dist,
+                        slice,
+                        conns,
+                        pipeline,
+                        stop_at,
+                        cluster_pace,
+                    )
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("cluster bench driver thread panicked"))
+            .collect()
+    });
+    let secs = started.elapsed().as_secs_f64();
+    for handle in handles {
+        handle.stop();
+    }
+
+    let mut requests = 0u64;
+    let mut errors = 0u64;
+    let mut corrupt = 0u64;
+    let mut latency = Histogram::new();
+    let mut per_node = Vec::with_capacity(nodes);
+    for (addr, result) in addrs.iter().zip(&per_thread) {
+        requests += result.oks;
+        errors += result.errors;
+        corrupt += result.resilience.corrupt;
+        latency.merge(&result.latency);
+        per_node.push((addr.clone(), result.oks));
+    }
+    let throughput_rps = if secs > 0.0 {
+        requests as f64 / secs
+    } else {
+        0.0
+    };
+    Ok(ClusterBenchReport {
+        workload: if config.skew { "skewed" } else { "uniform" }.to_string(),
+        nodes: nodes as u32,
+        replicas: config.replicas as u32,
+        conns_per_node: config.conns_per_node,
+        pipeline_depth: config.pipeline.max(1),
+        secs,
+        requests,
+        errors,
+        corrupt,
+        throughput_rps,
+        baseline_rps,
+        speedup: if baseline_rps > 0.0 {
+            throughput_rps / baseline_rps
+        } else {
+            0.0
+        },
+        latency: LatencySummary::from_histogram(&latency),
+        per_node,
+    })
+}
+
+/// Refuse to clobber a bench artifact whose schema version predates the
+/// current one unless forced: a stale document is evidence of the old
+/// format until someone explicitly chooses to regenerate it.
+fn schema_overwrite_guard(path: &str, schema: &str, force: bool) -> Result<(), String> {
+    if force || path == "-" {
+        return Ok(());
+    }
+    let Some((family, current)) = schema.rsplit_once('/') else {
+        return Ok(());
+    };
+    let Ok(current) = current.parse::<u32>() else {
+        return Ok(());
+    };
+    let Ok(existing) = std::fs::read_to_string(path) else {
+        return Ok(()); // absent or unreadable: nothing to protect
+    };
+    let needle = format!("\"schema\":\"{family}/");
+    let Some(at) = existing.find(&needle) else {
+        return Ok(());
+    };
+    let digits: String = existing[at + needle.len()..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    match digits.parse::<u32>() {
+        Ok(version) if version < current => Err(format!(
+            "{path} holds an older {family}/{version} document (current is /{current}); \
+             pass --force to overwrite it"
+        )),
+        _ => Ok(()),
+    }
+}
+
 /// The shared `osarch loadgen` / `osarch-loadgen` front end: parse
 /// `args`, run the workload, write the `BENCH_serve.json` report.
 /// `Err` carries a one-line usage error (exit 2 at the caller).
 pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
     use std::process::ExitCode;
     let mut config = LoadgenConfig::default();
-    let mut out = "BENCH_serve.json".to_string();
+    let mut out: Option<String> = None;
+    let mut force = false;
+    let mut cluster = false;
+    let mut conns_flag: Option<u32> = None;
+    let mut pipeline_flag: Option<u32> = None;
+    let mut cluster_config = ClusterLoadConfig::default();
     let mut rest = args.iter();
     let parse = |flag: &str, value: Option<&String>| -> Result<String, String> {
         value
@@ -581,6 +956,7 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                 config.conns = parse("--conns", rest.next())?
                     .parse()
                     .map_err(|_| "--conns expects a positive integer".to_string())?;
+                conns_flag = Some(config.conns);
             }
             "--pipeline" => {
                 config.pipeline = parse("--pipeline", rest.next())?
@@ -589,6 +965,7 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                 if config.pipeline == 0 {
                     return Err("--pipeline must be at least 1".to_string());
                 }
+                pipeline_flag = Some(config.pipeline);
             }
             "--secs" => {
                 config.secs = parse("--secs", rest.next())?
@@ -631,18 +1008,65 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
                     .parse()
                     .map_err(|_| "--sample expects an integer divisor (0 disables)".to_string())?;
             }
-            "--out" => out = parse("--out", rest.next())?,
+            "--out" => out = Some(parse("--out", rest.next())?),
+            "--force" => force = true,
+            "--cluster" => cluster = true,
+            "--nodes" => {
+                cluster_config.nodes = parse("--nodes", rest.next())?
+                    .parse()
+                    .map_err(|_| "--nodes expects a positive integer".to_string())?;
+                if cluster_config.nodes < 2 {
+                    return Err("--nodes must be at least 2".to_string());
+                }
+            }
+            "--replicas" => {
+                cluster_config.replicas = parse("--replicas", rest.next())?
+                    .parse()
+                    .map_err(|_| "--replicas expects a positive integer".to_string())?;
+                if cluster_config.replicas == 0 {
+                    return Err("--replicas must be at least 1".to_string());
+                }
+            }
+            "--node-rate" => {
+                cluster_config.node_rate = parse("--node-rate", rest.next())?
+                    .parse()
+                    .map_err(|_| "--node-rate expects requests/second (0 unpaces)".to_string())?;
+                if cluster_config.node_rate < 0.0 {
+                    return Err("--node-rate expects requests/second (0 unpaces)".to_string());
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: {prog} [--addr HOST:PORT] [--conns N] \
                      [--pipeline N] [--secs S] [--skew] [--rate R] [--workers N] [--shards N] \
-                     [--seed N] [--faults P] [--sample N] [--out PATH]"
+                     [--seed N] [--faults P] [--sample N] [--out PATH] [--force] \
+                     [--cluster [--nodes N] [--replicas R] [--node-rate RPS]]"
                 ))
             }
         }
     }
     if config.conns == 0 {
         return Err("--conns must be at least 1".to_string());
+    }
+    if cluster {
+        cluster_config.seed = config.seed;
+        cluster_config.secs = config.secs;
+        cluster_config.skew = config.skew;
+        if let Some(conns) = conns_flag {
+            cluster_config.conns_per_node = conns;
+        }
+        if let Some(pipeline) = pipeline_flag {
+            cluster_config.pipeline = pipeline;
+        }
+        let out = out.unwrap_or_else(|| "BENCH_cluster.json".to_string());
+        return cluster_bench_cli(&cluster_config, &out, force);
+    }
+    let out = out.unwrap_or_else(|| "BENCH_serve.json".to_string());
+    if let Err(reason) =
+        schema_overwrite_guard(&out, osarch_core::metrics::SERVE_BENCH_SCHEMA, force)
+    {
+        eprintln!("{reason}");
+        return Ok(ExitCode::FAILURE);
     }
     let report = match run(&config) {
         Ok(report) => report,
@@ -700,6 +1124,62 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
     }
     if report.requests == 0 {
         eprintln!("no requests completed: the server made no progress");
+        return Ok(ExitCode::FAILURE);
+    }
+    Ok(ExitCode::SUCCESS)
+}
+
+/// The `osarch loadgen --cluster` back half: run the baseline + ring
+/// benchmark, validate and write `BENCH_cluster.json`.
+fn cluster_bench_cli(
+    config: &ClusterLoadConfig,
+    out: &str,
+    force: bool,
+) -> Result<std::process::ExitCode, String> {
+    use std::process::ExitCode;
+    if let Err(reason) =
+        schema_overwrite_guard(out, osarch_core::metrics::CLUSTER_BENCH_SCHEMA, force)
+    {
+        eprintln!("{reason}");
+        return Ok(ExitCode::FAILURE);
+    }
+    let report = match run_cluster_bench(config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cluster bench failed: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    let doc = osarch_core::metrics::cluster_bench_json(&report);
+    if let Err(reason) = osarch_core::metrics::validate_cluster_bench(&doc) {
+        eprintln!("internal error: cluster bench JSON rejected: {reason}");
+        return Ok(ExitCode::FAILURE);
+    }
+    if out == "-" {
+        print!("{doc}");
+    } else {
+        if let Err(err) = std::fs::write(out, &doc) {
+            eprintln!("cannot write {out}: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+        eprintln!(
+            "wrote {out}: {} nodes (R={}) {:.0} req/s aggregate vs {:.0} req/s \
+             single-node baseline — speedup {:.2}x (p50 {} us, p99 {} us)",
+            report.nodes,
+            report.replicas,
+            report.throughput_rps,
+            report.baseline_rps,
+            report.speedup,
+            report.latency.p50,
+            report.latency.p99
+        );
+    }
+    if report.corrupt > 0 {
+        eprintln!("CORRUPTION: {} replies failed verification", report.corrupt);
+        return Ok(ExitCode::FAILURE);
+    }
+    if report.requests == 0 {
+        eprintln!("no requests completed: the cluster made no progress");
         return Ok(ExitCode::FAILURE);
     }
     Ok(ExitCode::SUCCESS)

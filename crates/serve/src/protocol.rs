@@ -10,7 +10,8 @@
 //! with fields:
 //!
 //! * `op` — `ping`, `measure`, `table`, `lint`, `trace`, `counters`,
-//!   `stats`, `spans`, `metrics`, `health`, or `shutdown` (required);
+//!   `stats`, `spans`, `metrics`, `health`, `cluster`, or `shutdown`
+//!   (required);
 //! * `arch` — an architecture name (required for `measure`/`trace`,
 //!   optional for `lint`/`counters`; the `mips-r2000`/`mips-r3000`
 //!   aliases are accepted, exactly as on the CLI);
@@ -19,6 +20,11 @@
 //! * `filter` — for `spans`, the export format: omitted for the span
 //!   ring, `chrome` for the sampled per-request trace chains as a
 //!   Chrome trace-event document;
+//! * `gossip` — for `health`, an optional membership digest string; the
+//!   node merges it and replies with its own digest (the cluster's
+//!   anti-entropy exchange rides the liveness probe);
+//! * `fwd` — set to `"1"` on a request relayed node-to-node inside the
+//!   cluster; a node never re-forwards a marked request (loop guard);
 //! * `id` — any JSON scalar, echoed verbatim in the response.
 //!
 //! A response is one line:
@@ -27,6 +33,16 @@
 //! {"schema":"osarch-serve/1","id":1,"ok":true,"cached":false,"micros":812,"result":{…}}
 //! {"schema":"osarch-serve/1","id":null,"ok":false,"error":"unknown architecture …"}
 //! ```
+//!
+//! In `--cluster` mode a node that neither owns nor proxies a key
+//! answers with the `not_owner` redirect envelope instead:
+//!
+//! ```text
+//! {"schema":"osarch-serve/1","id":1,"ok":false,"error":"not_owner","owner":"host:port","replicas":"host:port,host:port"}
+//! ```
+//!
+//! and the `cluster` op reports the node's ring slice plus its current
+//! membership table (`osarch-cluster/1`).
 //!
 //! Responses reuse the `core/metrics` emitters for their payloads, so a
 //! served table/lint/trace/counters document is byte-identical to the one
@@ -100,7 +116,14 @@ pub enum Query {
     Metrics,
     /// One-line liveness probe: queue depth, worker liveness, and
     /// resilience counters (panics, degraded replies, respawns).
-    Health,
+    Health {
+        /// A peer's membership digest to merge (cluster anti-entropy);
+        /// `None` for a plain liveness probe.
+        gossip: Option<String>,
+    },
+    /// Ring slice + membership table of a cluster node
+    /// (`osarch-cluster/1`; an error outside `--cluster` mode).
+    Cluster,
     /// Graceful shutdown control command.
     Shutdown,
 }
@@ -132,7 +155,8 @@ impl Query {
             | Query::Stats
             | Query::Spans { .. }
             | Query::Metrics
-            | Query::Health
+            | Query::Health { .. }
+            | Query::Cluster
             | Query::Shutdown => None,
         }
     }
@@ -193,7 +217,8 @@ impl Query {
             | Query::Stats
             | Query::Spans { .. }
             | Query::Metrics
-            | Query::Health
+            | Query::Health { .. }
+            | Query::Cluster
             | Query::Shutdown => {
                 unreachable!("non-cacheable query answered by the server, not computed")
             }
@@ -208,6 +233,10 @@ pub struct Request {
     pub id: String,
     /// The query to answer.
     pub query: Query,
+    /// Whether the request carried the `"fwd":"1"` relay marker: it
+    /// already hopped once inside the cluster, so the receiving node
+    /// must answer (or redirect) rather than forward again.
+    pub forwarded: bool,
 }
 
 /// A scalar field value from the flat request object.
@@ -300,11 +329,19 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
             }
         },
         "metrics" => Query::Metrics,
-        "health" => Query::Health,
+        "health" => Query::Health {
+            gossip: get_str("gossip")?,
+        },
+        "cluster" => Query::Cluster,
         "shutdown" => Query::Shutdown,
         other => return Err((names::unknown_op(other), id)),
     };
-    Ok(Request { id, query })
+    let forwarded = get_str("fwd")?.as_deref() == Some("1");
+    Ok(Request {
+        id,
+        query,
+        forwarded,
+    })
 }
 
 /// A success envelope: the payload (already-valid JSON) under `result`.
@@ -339,6 +376,22 @@ pub fn err_envelope(id: &str, message: &str) -> String {
         "{{\"schema\":\"{}\",\"id\":{id},\"ok\":false,\"error\":\"{}\"}}",
         metrics::SERVE_SCHEMA,
         metrics::json_escape(message)
+    )
+}
+
+/// The `not_owner` redirect envelope a cluster node answers with when a
+/// key hashes to another node and relaying is not possible: the routing
+/// client re-resolves against `owner` (first) and `replicas` (fallback,
+/// comma-joined in ring order).
+#[must_use]
+pub fn not_owner_envelope(id: &str, key: &str, owner: &str, replicas: &[&str]) -> String {
+    format!(
+        "{{\"schema\":\"{}\",\"id\":{id},\"ok\":false,\"error\":\"not_owner\",\
+         \"key\":\"{}\",\"owner\":\"{}\",\"replicas\":\"{}\"}}",
+        metrics::SERVE_SCHEMA,
+        metrics::json_escape(key),
+        metrics::json_escape(owner),
+        metrics::json_escape(&replicas.join(","))
     )
 }
 
@@ -670,7 +723,7 @@ mod tests {
 
     #[test]
     fn every_query_kind_parses() {
-        let cases: [(&str, Query); 13] = [
+        let cases: [(&str, Query); 15] = [
             ("{\"op\":\"ping\"}", Query::Ping),
             (
                 "{\"op\":\"measure\",\"arch\":\"mips-r3000\",\"primitive\":\"syscall\"}",
@@ -707,14 +760,32 @@ mod tests {
                 Query::Spans { chrome: true },
             ),
             ("{\"op\":\"metrics\"}", Query::Metrics),
-            ("{\"op\":\"health\"}", Query::Health),
+            ("{\"op\":\"health\"}", Query::Health { gossip: None }),
+            (
+                "{\"op\":\"health\",\"gossip\":\"a:1=3/alive\"}",
+                Query::Health {
+                    gossip: Some("a:1=3/alive".to_string()),
+                },
+            ),
+            ("{\"op\":\"cluster\"}", Query::Cluster),
             ("{\"op\":\"shutdown\"}", Query::Shutdown),
         ];
         for (line, expected) in cases {
             let request = parse_request(line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
             assert_eq!(request.query, expected, "{line}");
             assert_eq!(request.id, "null", "{line}");
+            assert!(!request.forwarded, "{line}");
         }
+    }
+
+    #[test]
+    fn fwd_marker_flags_relayed_requests() {
+        let r = parse_request("{\"op\":\"ping\",\"fwd\":\"1\"}").unwrap();
+        assert!(r.forwarded);
+        let r = parse_request("{\"op\":\"ping\",\"fwd\":\"0\"}").unwrap();
+        assert!(!r.forwarded);
+        let (err, _) = parse_request("{\"op\":\"ping\",\"fwd\":1}").expect_err("non-string fwd");
+        assert!(err.contains("must be a string"), "{err}");
     }
 
     #[test]
@@ -770,6 +841,16 @@ mod tests {
         assert!(degraded.contains("\"degraded\":true"));
         assert!(degraded.contains("\"cached\":true"));
         assert!(!degraded.contains('\n'));
+        let redirect = not_owner_envelope(
+            "9",
+            "measure/R3000/trap",
+            "127.0.0.1:4001",
+            &["127.0.0.1:4001", "127.0.0.1:4002"],
+        );
+        assert_eq!(validate_json(&redirect), Ok(()), "{redirect}");
+        assert!(redirect.contains("\"error\":\"not_owner\""));
+        assert!(redirect.contains("\"owner\":\"127.0.0.1:4001\""));
+        assert!(redirect.contains("\"replicas\":\"127.0.0.1:4001,127.0.0.1:4002\""));
     }
 
     #[test]
@@ -784,7 +865,8 @@ mod tests {
         assert_eq!(Query::Metrics.cache_key(), None);
         assert_eq!(Query::Shutdown.cache_key(), None);
         assert_eq!(Query::Ping.cache_key(), None);
-        assert_eq!(Query::Health.cache_key(), None);
+        assert_eq!(Query::Health { gossip: None }.cache_key(), None);
+        assert_eq!(Query::Cluster.cache_key(), None);
     }
 
     #[test]

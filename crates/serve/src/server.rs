@@ -56,6 +56,7 @@ use crate::protocol::{self, Frame, FrameBuf, Query};
 use crate::queue::BoundedQueue;
 use crate::stats::{op_slot, HealthGauges, ServeStats, OP_NAMES};
 use osarch_chaos::{ChaosController, Failpoint};
+use osarch_cluster::{Membership, Ring};
 use osarch_poll::{fd_of, new_poller, Event, Interest, Readiness, Token, WakeRx, Waker};
 use osarch_telemetry::{
     PendingTrace, TelemetryHub, TraceIdGen, COUNTER_DEGRADED, COUNTER_ERRORS, COUNTER_HITS,
@@ -111,6 +112,56 @@ pub struct ServerConfig {
     pub metrics_addr: Option<String>,
     /// Fault-injection schedule; `None` serves faithfully.
     pub chaos: Option<Arc<ChaosController>>,
+    /// Multi-node cluster mode; `None` serves standalone (the default).
+    pub cluster: Option<ClusterConfig>,
+}
+
+/// Cluster-mode knobs: the static seed list, this node's identity on
+/// it, and the replication/forwarding policy.
+///
+/// Every node builds the same [`Ring`] from the same seed list, so key
+/// placement needs no coordination; liveness is the only gossiped
+/// state. `self_addr` must be the address *peers dial* (the listen
+/// address with a real port, not `:0`) and must appear verbatim in
+/// every node's `peers`-plus-self set.
+#[derive(Debug, Clone)]
+pub struct ClusterConfig {
+    /// This node's dialable address as it appears on the ring.
+    pub self_addr: String,
+    /// Every peer's dialable address (excluding or including self —
+    /// self is always added to the ring).
+    pub peers: Vec<String>,
+    /// Replication factor R: each key is served by the owner plus
+    /// `R - 1` distinct ring successors.
+    pub replicas: usize,
+    /// Virtual nodes per physical node.
+    pub vnodes: usize,
+    /// This node's starting incarnation; a respawned node must come
+    /// back with a *higher* one so gossip revives it over stale `down`
+    /// rumours.
+    pub incarnation: u64,
+    /// When `true` (the default), a request for a key this node does
+    /// not replicate is proxied to a replica and answered in place;
+    /// when `false`, the client is redirected with a `not_owner`
+    /// envelope instead.
+    pub proxy: bool,
+    /// Anti-entropy cadence: how often the gossip thread probes the
+    /// next peer with a `health` + digest exchange.
+    pub gossip_interval: Duration,
+}
+
+impl Default for ClusterConfig {
+    fn default() -> ClusterConfig {
+        ClusterConfig {
+            self_addr: String::new(),
+            peers: Vec::new(),
+            replicas: 2,
+            vnodes: osarch_cluster::DEFAULT_VNODES,
+            incarnation: 0,
+            proxy: true,
+            gossip_interval: Duration::from_millis(250),
+        }
+    }
 }
 
 impl Default for ServerConfig {
@@ -128,6 +179,7 @@ impl Default for ServerConfig {
             telemetry_seed: 0,
             metrics_addr: None,
             chaos: None,
+            cluster: None,
         }
     }
 }
@@ -238,6 +290,26 @@ struct Job {
     /// Sampled request's trace, marked at enqueue time — the pool closes
     /// the `queue` stage when it pops the job.
     trace: Option<Box<PendingTrace>>,
+    /// Cluster relay: forward the original line (with the `fwd` marker)
+    /// to this replica instead of computing locally. On any relay
+    /// failure the pool records the miss against the peer and falls
+    /// back to a local computation — availability over placement.
+    relay: Option<Relay>,
+}
+
+/// A pending cluster relay: the target replica and the re-framed
+/// request line (original flat object plus `"fwd":"1"`).
+struct Relay {
+    target: String,
+    line: String,
+}
+
+/// What the pool produced for a job: a local cache fetch, or a raw
+/// reply envelope relayed verbatim from the owning replica (the remote
+/// answered under the same request id, so it passes through untouched).
+enum Outcome {
+    Fetched(Fetched),
+    Relayed(String),
 }
 
 /// A finished computation on its way back to the owning loop.
@@ -249,7 +321,7 @@ struct Completion {
     op: &'static str,
     started: Instant,
     start_us: u64,
-    fetched: Fetched,
+    outcome: Outcome,
     trace: Option<Box<PendingTrace>>,
 }
 
@@ -307,6 +379,107 @@ struct Shared {
     open_conns: Arc<AtomicUsize>,
     jobs: BoundedQueue<Job>,
     loops: Vec<LoopShared>,
+    cluster: Option<ClusterState>,
+}
+
+/// Live cluster-mode state: the (immutable) ring, the (gossiped)
+/// membership table, and the routing counters.
+struct ClusterState {
+    ring: Ring,
+    membership: Mutex<Membership>,
+    self_addr: String,
+    replicas: usize,
+    proxy: bool,
+    gossip_interval: Duration,
+    /// Requests this node relayed to a replica on the client's behalf.
+    forwarded: AtomicU64,
+    /// Forwarded requests this node answered for a peer.
+    proxied: AtomicU64,
+    /// Requests answered with a `not_owner` redirect.
+    redirected: AtomicU64,
+    /// Completed gossip probe rounds (successful or not).
+    gossip_rounds: AtomicU64,
+}
+
+impl ClusterState {
+    fn from_config(config: &ClusterConfig) -> ClusterState {
+        let mut nodes = config.peers.clone();
+        nodes.push(config.self_addr.clone());
+        ClusterState {
+            ring: Ring::new(&nodes, config.vnodes.max(1)),
+            membership: Mutex::new(Membership::new(
+                &config.self_addr,
+                config.incarnation,
+                &config.peers,
+            )),
+            self_addr: config.self_addr.clone(),
+            replicas: config.replicas.max(1),
+            proxy: config.proxy,
+            gossip_interval: config.gossip_interval,
+            forwarded: AtomicU64::new(0),
+            proxied: AtomicU64::new(0),
+            redirected: AtomicU64::new(0),
+            gossip_rounds: AtomicU64::new(0),
+        }
+    }
+
+    /// The telemetry view: ring ownership, membership liveness, and the
+    /// routing counters, sampled now.
+    fn gauges(&self) -> osarch_telemetry::ClusterGauges {
+        let membership = lock(&self.membership);
+        osarch_telemetry::ClusterGauges {
+            ownership_ppm: (self.ring.ownership(&self.self_addr) * 1_000_000.0).round() as u64,
+            peers_alive: membership.alive_count(),
+            peers_total: self.ring.len() as u64,
+            incarnation: membership.self_incarnation(),
+            forwarded: self.forwarded.load(Ordering::Relaxed),
+            proxied: self.proxied.load(Ordering::Relaxed),
+            redirected: self.redirected.load(Ordering::Relaxed),
+            gossip_rounds: self.gossip_rounds.load(Ordering::Relaxed),
+        }
+    }
+
+    /// The `cluster` op's payload: an `osarch-cluster/1` document with
+    /// this node's ring view and the full membership table.
+    fn status_payload(&self) -> String {
+        let gauges = self.gauges();
+        let membership = lock(&self.membership);
+        let nodes: Vec<String> = membership
+            .entries()
+            .iter()
+            .map(|(addr, state)| {
+                format!(
+                    "{{\"addr\":\"{}\",\"incarnation\":{},\"status\":\"{}\"}}",
+                    osarch_core::metrics::json_escape(addr),
+                    state.incarnation,
+                    state.status.label()
+                )
+            })
+            .collect();
+        format!(
+            concat!(
+                "{{\"schema\":\"{}\",\"self\":\"{}\",\"incarnation\":{},",
+                "\"replicas\":{},\"vnodes\":{},\"proxy\":{},",
+                "\"ownership_ppm\":{},\"peers_alive\":{},\"peers_total\":{},",
+                "\"forwarded\":{},\"proxied\":{},\"redirected\":{},",
+                "\"gossip_rounds\":{},\"nodes\":[{}]}}"
+            ),
+            osarch_core::metrics::CLUSTER_SCHEMA,
+            osarch_core::metrics::json_escape(&self.self_addr),
+            gauges.incarnation,
+            self.replicas,
+            self.ring.vnodes(),
+            self.proxy,
+            gauges.ownership_ppm,
+            gauges.peers_alive,
+            gauges.peers_total,
+            gauges.forwarded,
+            gauges.proxied,
+            gauges.redirected,
+            gauges.gossip_rounds,
+            nodes.join(","),
+        )
+    }
 }
 
 impl Shared {
@@ -383,7 +556,11 @@ impl Shared {
             cache_failed: self.cache.failed(),
             cache_degraded: self.cache.degraded(),
         };
-        self.hub.snapshot(self.uptime_us(), gauges, totals)
+        let mut snap = self.hub.snapshot(self.uptime_us(), gauges, totals);
+        if let Some(cluster) = &self.cluster {
+            snap.cluster = Some(cluster.gauges());
+        }
+        snap
     }
 }
 
@@ -453,6 +630,7 @@ impl Server {
             open_conns,
             jobs: BoundedQueue::new((conn_budget * 4).max(1024)),
             loops,
+            cluster: config.cluster.as_ref().map(ClusterState::from_config),
         });
         let mut threads = Vec::with_capacity(workers + compute_threads + 2);
         for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
@@ -485,6 +663,14 @@ impl Server {
                 std::thread::Builder::new()
                     .name("serve-metrics".to_string())
                     .spawn(move || metrics_loop(&listener, &shared))?,
+            );
+        }
+        if shared.cluster.as_ref().is_some_and(|c| c.ring.len() > 1) {
+            let shared = Arc::clone(&shared);
+            threads.push(
+                std::thread::Builder::new()
+                    .name("serve-gossip".to_string())
+                    .spawn(move || gossip_loop(&shared))?,
             );
         }
         Ok(ServerHandle {
@@ -574,6 +760,41 @@ impl ServerHandle {
     #[must_use]
     pub fn metrics_snapshot_json(&self) -> String {
         osarch_core::metrics::metrics_snapshot_json(&self.shared.telemetry_snapshot())
+    }
+
+    /// The `osarch-cluster/1` status document, when running in cluster
+    /// mode — exactly what the `cluster` op answers.
+    #[must_use]
+    pub fn cluster_status_json(&self) -> Option<String> {
+        self.shared
+            .cluster
+            .as_ref()
+            .map(ClusterState::status_payload)
+    }
+
+    /// `(forwarded, proxied, redirected, gossip_rounds)` routing
+    /// counters, when running in cluster mode.
+    #[must_use]
+    pub fn cluster_counters(&self) -> Option<(u64, u64, u64, u64)> {
+        self.shared.cluster.as_ref().map(|c| {
+            (
+                c.forwarded.load(Ordering::Relaxed),
+                c.proxied.load(Ordering::Relaxed),
+                c.redirected.load(Ordering::Relaxed),
+                c.gossip_rounds.load(Ordering::Relaxed),
+            )
+        })
+    }
+
+    /// This node's current membership digest, when running in cluster
+    /// mode — the soak compares digests across nodes to assert
+    /// convergence.
+    #[must_use]
+    pub fn membership_digest(&self) -> Option<String> {
+        self.shared
+            .cluster
+            .as_ref()
+            .map(|c| lock(&c.membership).digest())
     }
 
     /// Begin a graceful shutdown (idempotent): stop accepting, wake and
@@ -769,23 +990,64 @@ fn pool_main(shared: &Shared) {
         if let Some(trace) = job.trace.as_mut() {
             trace.stage_from_mark("queue", shared.uptime_us());
         }
-        // The cache contains computation panics itself; this outer guard
-        // is for everything unexpected, so a completion is *always*
-        // posted and no ticket waits forever.
-        let mut compute_span: Option<(u64, u64)> = None;
-        let fetched = std::panic::catch_unwind(AssertUnwindSafe(|| {
-            compute_job(shared, &job.key, &job.query, &mut compute_span)
-        }))
-        .unwrap_or_else(|_| Fetched::Failed("internal error: compute worker panicked".to_string()));
-        if let Some(trace) = job.trace.as_mut() {
-            // Cache stage: the whole single-flight path (including any
-            // wait coalesced onto another flight's computation)…
-            trace.stage_from_mark("cache", shared.uptime_us());
-            // …with the leader's own computation as a nested span.
-            if let Some((start_us, dur_us)) = compute_span {
-                trace.stage("compute", start_us, dur_us);
+        // A cluster relay tries the owning replica first; any failure
+        // records the miss against the peer and degrades to the local
+        // compute path below — availability over placement.
+        let mut relayed: Option<String> = None;
+        if let Some(relay) = job.relay.take() {
+            let read_timeout = shared.deadline.min(RELAY_READ_TIMEOUT_CAP);
+            match exchange_line(
+                &relay.target,
+                &relay.line,
+                RELAY_CONNECT_TIMEOUT,
+                read_timeout,
+            ) {
+                Ok(reply) => {
+                    if let Some(cluster) = &shared.cluster {
+                        lock(&cluster.membership).record_success(&relay.target);
+                    }
+                    relayed = Some(reply);
+                }
+                Err(_) => {
+                    if let Some(cluster) = &shared.cluster {
+                        lock(&cluster.membership).record_failure(&relay.target);
+                    }
+                }
             }
         }
+        let outcome = match relayed {
+            Some(reply) => {
+                if let Some(trace) = job.trace.as_mut() {
+                    // The relay round trip stands in for the cache stage.
+                    trace.stage_from_mark("cache", shared.uptime_us());
+                }
+                Outcome::Relayed(reply)
+            }
+            None => {
+                // The cache contains computation panics itself; this
+                // outer guard is for everything unexpected, so a
+                // completion is *always* posted and no ticket waits
+                // forever.
+                let mut compute_span: Option<(u64, u64)> = None;
+                let fetched = std::panic::catch_unwind(AssertUnwindSafe(|| {
+                    compute_job(shared, &job.key, &job.query, &mut compute_span)
+                }))
+                .unwrap_or_else(|_| {
+                    Fetched::Failed("internal error: compute worker panicked".to_string())
+                });
+                if let Some(trace) = job.trace.as_mut() {
+                    // Cache stage: the whole single-flight path (including
+                    // any wait coalesced onto another flight's
+                    // computation)…
+                    trace.stage_from_mark("cache", shared.uptime_us());
+                    // …with the leader's own computation as a nested span.
+                    if let Some((start_us, dur_us)) = compute_span {
+                        trace.stage("compute", start_us, dur_us);
+                    }
+                }
+                Outcome::Fetched(fetched)
+            }
+        };
         let target = &shared.loops[job.loop_index];
         lock(&target.completions).push(Completion {
             token: job.token,
@@ -795,7 +1057,7 @@ fn pool_main(shared: &Shared) {
             op: job.op,
             started: job.started,
             start_us: job.start_us,
-            fetched,
+            outcome,
             trace: job.trace,
         });
         target.waker.wake();
@@ -834,6 +1096,131 @@ fn compute_job(
         ));
         payload
     })
+}
+
+// ---------------------------------------------------------------------------
+// Cluster: relay exchange + gossip probes
+// ---------------------------------------------------------------------------
+
+/// Connect budget for one relay/gossip exchange: short, because the
+/// target is a LAN peer and a dead one should fail fast into the local
+/// fallback (relay) or a recorded miss (gossip).
+const RELAY_CONNECT_TIMEOUT: Duration = Duration::from_millis(500);
+
+/// Relay reads never wait longer than this even under a huge service
+/// deadline — past it the local fallback is strictly better.
+const RELAY_READ_TIMEOUT_CAP: Duration = Duration::from_secs(10);
+
+/// Gossip probes are cheap liveness checks; they time out well inside
+/// one gossip interval's order of magnitude.
+const GOSSIP_TIMEOUT: Duration = Duration::from_millis(300);
+
+/// One blocking request/reply exchange with a peer: dial, send the
+/// line, read exactly one newline-terminated reply. Used by the relay
+/// path (on pool threads) and the gossip prober (on its own thread) —
+/// never by an event loop.
+fn exchange_line(
+    target: &str,
+    line: &str,
+    connect_timeout: Duration,
+    read_timeout: Duration,
+) -> std::io::Result<String> {
+    use std::net::ToSocketAddrs;
+    let addr = target
+        .to_socket_addrs()?
+        .next()
+        .ok_or_else(|| std::io::Error::new(std::io::ErrorKind::InvalidInput, "unresolvable"))?;
+    let mut stream = TcpStream::connect_timeout(&addr, connect_timeout)?;
+    let _ = stream.set_nodelay(true);
+    stream.set_write_timeout(Some(read_timeout))?;
+    stream.set_read_timeout(Some(read_timeout))?;
+    stream.write_all(line.as_bytes())?;
+    stream.write_all(b"\n")?;
+    let mut reply = Vec::with_capacity(1024);
+    let mut chunk = [0u8; 4096];
+    loop {
+        let count = stream.read(&mut chunk)?;
+        if count == 0 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::UnexpectedEof,
+                "peer closed before a full reply",
+            ));
+        }
+        reply.extend_from_slice(&chunk[..count]);
+        if let Some(at) = reply.iter().position(|&b| b == b'\n') {
+            reply.truncate(at);
+            break;
+        }
+        if reply.len() > protocol::MAX_REQUEST_BYTES * 8 {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidData,
+                "peer reply exceeds frame budget",
+            ));
+        }
+    }
+    String::from_utf8(reply)
+        .map_err(|_| std::io::Error::new(std::io::ErrorKind::InvalidData, "non-UTF-8 reply"))
+}
+
+/// Pull the `gossip` digest out of a peer's `health` reply without a
+/// JSON parser: digest strings contain no quotes or escapes by
+/// construction (`addr=inc/status;…`), so the next `"` ends it.
+fn extract_gossip(reply: &str) -> Option<&str> {
+    let start = reply.find("\"gossip\":\"")? + "\"gossip\":\"".len();
+    let end = reply[start..].find('"')? + start;
+    Some(&reply[start..end])
+}
+
+/// The anti-entropy thread: round-robin the peer list, exchange
+/// membership digests over the ordinary `health` op, and fold direct
+/// probe evidence (success/failure) into the table. Every probe is a
+/// full digest swap, so rumours spread O(log N) rounds and a respawned
+/// node's higher incarnation revives it everywhere.
+fn gossip_loop(shared: &Shared) {
+    let Some(cluster) = &shared.cluster else {
+        return;
+    };
+    let peers: Vec<String> = cluster
+        .ring
+        .nodes()
+        .iter()
+        .filter(|addr| **addr != cluster.self_addr)
+        .cloned()
+        .collect();
+    if peers.is_empty() {
+        return;
+    }
+    let mut next = 0usize;
+    while !shared.shutdown.load(Ordering::SeqCst) {
+        let target = &peers[next % peers.len()];
+        next = next.wrapping_add(1);
+        let digest = lock(&cluster.membership).digest();
+        let line = format!(
+            "{{\"op\":\"health\",\"id\":\"gossip\",\"gossip\":\"{}\"}}",
+            osarch_core::metrics::json_escape(&digest)
+        );
+        match exchange_line(target, &line, GOSSIP_TIMEOUT, GOSSIP_TIMEOUT) {
+            Ok(reply) => {
+                let mut membership = lock(&cluster.membership);
+                membership.record_success(target);
+                if let Some(incoming) = extract_gossip(&reply) {
+                    membership.merge_digest(incoming);
+                }
+            }
+            Err(_) => {
+                lock(&cluster.membership).record_failure(target);
+            }
+        }
+        cluster.gossip_rounds.fetch_add(1, Ordering::Relaxed);
+        // Interruptible inter-probe sleep: shutdown never waits a full
+        // gossip interval behind this thread.
+        let mut slept = Duration::ZERO;
+        while slept < cluster.gossip_interval && !shared.shutdown.load(Ordering::SeqCst) {
+            let step = Duration::from_millis(20).min(cluster.gossip_interval - slept);
+            std::thread::sleep(step);
+            slept += step;
+        }
+    }
 }
 
 // ---------------------------------------------------------------------------
@@ -1298,7 +1685,8 @@ fn op_name(query: &Query) -> &'static str {
         Query::Stats => "stats",
         Query::Spans { .. } => "spans",
         Query::Metrics => "metrics",
-        Query::Health => "health",
+        Query::Health { .. } => "health",
+        Query::Cluster => "cluster",
         Query::Shutdown => "shutdown",
     }
 }
@@ -1391,8 +1779,8 @@ fn handle_request(
                 .to_string(),
             false,
         ),
-        Query::Health => (
-            shared.stats.health_payload(&HealthGauges {
+        Query::Health { gossip } => {
+            let mut payload = shared.stats.health_payload(&HealthGauges {
                 queue_depth: shared.jobs.len(),
                 conns_open: shared.open_conns(),
                 conn_budget: shared.conn_budget,
@@ -1401,9 +1789,38 @@ fn handle_request(
                 cache_misses: shared.cache.misses(),
                 oldest_write_backlog_ms: shared.oldest_backlog_ms(),
                 shutting_down: shared.shutdown.load(Ordering::SeqCst),
-            }),
-            false,
-        ),
+            });
+            if let Some(cluster) = &shared.cluster {
+                // Anti-entropy piggybacks on the liveness probe: merge
+                // the caller's digest (if any), answer with ours.
+                let digest = {
+                    let mut membership = lock(&cluster.membership);
+                    if let Some(incoming) = gossip {
+                        membership.merge_digest(incoming);
+                    }
+                    membership.digest()
+                };
+                payload.truncate(payload.len() - 1);
+                payload.push_str(&format!(
+                    ",\"gossip\":\"{}\"}}",
+                    osarch_core::metrics::json_escape(&digest)
+                ));
+            }
+            (payload, false)
+        }
+        Query::Cluster => match &shared.cluster {
+            Some(cluster) => (cluster.status_payload(), false),
+            None => {
+                shared.stats.record_error();
+                shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
+                pending.push_back(Ticket::Done {
+                    envelope: protocol::err_envelope(&id, "cluster: not running in cluster mode"),
+                    chaos: false,
+                    trace: None,
+                });
+                return;
+            }
+        },
         Query::Shutdown => {
             // Initiate before replying: shutdown must happen even when
             // the client hangs up without reading the acknowledgement.
@@ -1426,7 +1843,61 @@ fn handle_request(
                 });
                 return;
             };
-            match shared.cache.try_get(&key) {
+            // Cluster routing: a key this node does not replicate is
+            // relayed to a replica (proxy mode) or answered with a
+            // `not_owner` redirect. A forwarded request is never
+            // re-forwarded (loop guard on the `fwd` marker), and with
+            // every replica written off the key is computed locally —
+            // availability over placement, since any node can compute
+            // any key.
+            let mut relay: Option<Relay> = None;
+            if let Some(cluster) = &shared.cluster {
+                let replicas = cluster.ring.replicas(&key, cluster.replicas);
+                let mine = replicas.iter().any(|addr| *addr == cluster.self_addr);
+                if mine {
+                    if request.forwarded {
+                        cluster.proxied.fetch_add(1, Ordering::Relaxed);
+                    }
+                } else if request.forwarded || !cluster.proxy {
+                    cluster.redirected.fetch_add(1, Ordering::Relaxed);
+                    shared.stats.record_error();
+                    shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
+                    let owner = replicas.first().copied().unwrap_or("");
+                    pending.push_back(Ticket::Done {
+                        envelope: protocol::not_owner_envelope(&id, &key, owner, &replicas),
+                        chaos: false,
+                        trace: None,
+                    });
+                    return;
+                } else {
+                    let target = {
+                        let membership = lock(&cluster.membership);
+                        replicas
+                            .iter()
+                            .find(|addr| !membership.is_down(addr))
+                            .map(|addr| (*addr).to_string())
+                    };
+                    if let Some(target) = target {
+                        cluster.forwarded.fetch_add(1, Ordering::Relaxed);
+                        // Re-frame the original flat line with the relay
+                        // marker; the peer answers under the same id, so
+                        // its envelope passes through verbatim.
+                        let mut fwd_line = line.to_string();
+                        fwd_line.truncate(fwd_line.len() - 1);
+                        fwd_line.push_str(",\"fwd\":\"1\"}");
+                        relay = Some(Relay {
+                            target,
+                            line: fwd_line,
+                        });
+                    }
+                }
+            }
+            let hit = if relay.is_none() {
+                shared.cache.try_get(&key)
+            } else {
+                None
+            };
+            match hit {
                 Some(hit) => {
                     if let Some(trace) = trace.as_mut() {
                         // Inline hit: the whole cache stage is the lookup.
@@ -1435,8 +1906,9 @@ fn handle_request(
                     (hit.to_string(), true)
                 }
                 None => {
-                    // Miss (or in flight): offload. The bounded job queue
-                    // is the compute-side backpressure valve.
+                    // Miss (or in flight, or a relay): offload. The
+                    // bounded job queue is the compute-side backpressure
+                    // valve.
                     let seq = *next_seq;
                     *next_seq += 1;
                     if let Some(trace) = trace.as_mut() {
@@ -1455,6 +1927,7 @@ fn handle_request(
                         started,
                         start_us,
                         trace,
+                        relay,
                     };
                     if shared.jobs.try_push(job).is_err() {
                         shared.stats.record_error();
@@ -1559,7 +2032,48 @@ fn settle_ticket(shared: &Shared, loop_index: usize, conn: &mut Conn, completion
 fn render_completion(shared: &Shared, loop_index: usize, completion: Completion) -> Ticket {
     let now_s = completion.start_us / 1_000_000;
     let mut trace = completion.trace;
-    let (payload, cached, degraded) = match &completion.fetched {
+    let fetched = match completion.outcome {
+        Outcome::Fetched(fetched) => fetched,
+        Outcome::Relayed(envelope) => {
+            // A replica answered on our behalf: its envelope carries the
+            // request's own id, so it passes through verbatim. Counted
+            // as a served request but not as a local cache event.
+            let service = completion.started.elapsed();
+            let service_us = service.as_micros() as u64;
+            if service > shared.deadline {
+                shared.stats.record_deadline_exceeded();
+                shared.stats.record_error();
+                shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
+                return Ticket::Done {
+                    envelope: protocol::err_envelope(
+                        &completion.id,
+                        &format!(
+                            "deadline exceeded: served in {service_us} us, deadline {} us",
+                            shared.deadline.as_micros()
+                        ),
+                    ),
+                    chaos: false,
+                    trace: None,
+                };
+            }
+            shared
+                .stats
+                .record_request(completion.op, completion.start_us, service_us, false);
+            shared
+                .hub
+                .record_op(loop_index, op_slot(completion.op), service_us, now_s);
+            shared.hub.bump(loop_index, COUNTER_REQUESTS, 1, now_s);
+            if let Some(trace) = trace.as_mut() {
+                trace.mark(shared.uptime_us());
+            }
+            return Ticket::Done {
+                envelope,
+                chaos: true,
+                trace,
+            };
+        }
+    };
+    let (payload, cached, degraded) = match &fetched {
         Fetched::Computed(payload) => (payload, false, None),
         Fetched::Cached(payload) => (payload, true, None),
         Fetched::Degraded(payload, error) => {

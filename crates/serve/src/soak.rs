@@ -35,13 +35,13 @@
 //! report carries the final snapshot plus the sampled Chrome trace for
 //! artifact upload.
 
-use crate::client::{ClientConfig, ClientCounters, ResilientClient};
+use crate::client::{ClientConfig, ClientCounters, ClusterClient, ResilientClient};
 use crate::loadgen::key_space;
-use crate::server::{Server, ServerConfig};
+use crate::server::{ClusterConfig, Server, ServerConfig, ServerHandle};
 use osarch_chaos::{ChaosConfig, ChaosController, ChaosRng, Failpoint};
 use osarch_core::metrics::ResilienceCounters;
 use std::io::{Read, Write};
-use std::net::{SocketAddr, TcpStream};
+use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::sync::mpsc;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
@@ -455,6 +455,324 @@ fn merge(total: &mut ResilienceCounters, c: ClientCounters) {
     total.corrupt += c.corrupt;
 }
 
+// ---------------------------------------------------------------------------
+// Cluster soak: deterministic node kill + respawn
+// ---------------------------------------------------------------------------
+
+/// Cluster soak knobs (`osarch chaos --cluster`).
+#[derive(Debug, Clone)]
+pub struct ClusterSoakConfig {
+    /// Seed for the kill schedule and the router's jitter streams. The
+    /// victim choice is a pure function of `(seed, Failpoint::NodeKill)`
+    /// — two runs with one seed kill the same node at the same phase
+    /// boundary.
+    pub seed: u64,
+    /// Soak duration in seconds, split into three phases: healthy
+    /// sweeps, one-node-dead sweeps, post-respawn sweeps.
+    pub secs: f64,
+    /// Cluster size (node processes, each an in-process server).
+    pub nodes: usize,
+    /// Replication factor R.
+    pub replicas: usize,
+    /// Gossip anti-entropy cadence in milliseconds.
+    pub gossip_ms: u64,
+}
+
+impl Default for ClusterSoakConfig {
+    fn default() -> ClusterSoakConfig {
+        ClusterSoakConfig {
+            seed: 42,
+            secs: 3.0,
+            nodes: 3,
+            replicas: 2,
+            gossip_ms: 50,
+        }
+    }
+}
+
+/// Everything a cluster soak observed.
+#[derive(Debug, Clone)]
+pub struct ClusterSoakReport {
+    /// Node addresses, in start order.
+    pub addrs: Vec<String>,
+    /// The seeded kill decision: which node dies at the 1/3 boundary.
+    pub victim: usize,
+    /// Full key-space sweeps completed per phase: healthy, one node
+    /// dead, after respawn.
+    pub sweeps: [u64; 3],
+    /// Calls answered ok across all phases.
+    pub oks: u64,
+    /// Calls that failed after in-call failover and retries.
+    pub failures: u64,
+    /// Replies that failed JSON/id verification (must be zero).
+    pub corrupt: u64,
+    /// Calls answered by the key's primary replica.
+    pub routed_primary: u64,
+    /// Calls answered by a non-primary replica (failover).
+    pub failovers: u64,
+    /// `not_owner` redirects the router followed.
+    pub redirects_followed: u64,
+    /// Whether membership converged before the kill.
+    pub converged_before_kill: bool,
+    /// Whether membership reconverged after the respawn, with the
+    /// victim alive again at a higher incarnation.
+    pub reconverged: bool,
+    /// The victim's incarnation after respawn (must exceed its first).
+    pub respawn_incarnation: u64,
+    /// Invariant violations; empty means the soak passed.
+    pub violations: Vec<String>,
+}
+
+impl ClusterSoakReport {
+    /// Whether every invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.violations.is_empty()
+    }
+}
+
+/// Reserve `n` distinct loopback ports by binding them all at once,
+/// then freeing them: every node needs every peer's dialable address
+/// before any node starts.
+fn reserve_cluster_addrs(n: usize) -> std::io::Result<Vec<String>> {
+    let listeners: Vec<TcpListener> = (0..n)
+        .map(|_| TcpListener::bind("127.0.0.1:0"))
+        .collect::<std::io::Result<_>>()?;
+    listeners
+        .iter()
+        .map(|listener| Ok(format!("127.0.0.1:{}", listener.local_addr()?.port())))
+        .collect()
+}
+
+fn start_cluster_node(
+    addrs: &[String],
+    index: usize,
+    config: &ClusterSoakConfig,
+    incarnation: u64,
+) -> std::io::Result<ServerHandle> {
+    Server::start(&ServerConfig {
+        addr: addrs[index].clone(),
+        workers: 2,
+        compute_threads: 2,
+        cluster: Some(ClusterConfig {
+            self_addr: addrs[index].clone(),
+            peers: addrs.to_vec(),
+            replicas: config.replicas,
+            incarnation,
+            gossip_interval: Duration::from_millis(config.gossip_ms.max(10)),
+            ..ClusterConfig::default()
+        }),
+        ..ServerConfig::default()
+    })
+}
+
+/// All live nodes' digests agree and carry no suspect/down rumours.
+fn cluster_settled(handles: &[Option<ServerHandle>]) -> bool {
+    let digests: Vec<String> = handles
+        .iter()
+        .flatten()
+        .filter_map(ServerHandle::membership_digest)
+        .collect();
+    !digests.is_empty()
+        && digests.windows(2).all(|pair| pair[0] == pair[1])
+        && !digests[0].contains("/suspect")
+        && !digests[0].contains("/down")
+}
+
+fn wait_settled(handles: &[Option<ServerHandle>], patience: Duration) -> bool {
+    let deadline = Instant::now() + patience;
+    while Instant::now() < deadline {
+        if cluster_settled(handles) {
+            return true;
+        }
+        std::thread::sleep(Duration::from_millis(20));
+    }
+    cluster_settled(handles)
+}
+
+/// The victim's incarnation as a survivor sees it, when alive.
+fn victim_incarnation(handles: &[Option<ServerHandle>], victim_addr: &str) -> Option<u64> {
+    let digest = handles.iter().flatten().next()?.membership_digest()?;
+    digest.split(';').find_map(|entry| {
+        let rest = entry.strip_prefix(victim_addr)?.strip_prefix('=')?;
+        let (incarnation, status) = rest.split_once('/')?;
+        (status == "alive").then(|| incarnation.parse().ok())?
+    })
+}
+
+/// One full sweep of the measure key space through the routing client.
+/// Returns `(oks, failures)`; every reply is JSON/id-verified.
+fn cluster_sweep(client: &mut ClusterClient, request_id: &mut u64) -> (u64, u64) {
+    let mut oks = 0u64;
+    let mut failures = 0u64;
+    for (arch, primitive) in key_space() {
+        *request_id += 1;
+        let id_token = request_id.to_string();
+        let line = format!(
+            "{{\"op\":\"measure\",\"arch\":\"{arch}\",\"primitive\":\"{}\",\"id\":{id_token}}}",
+            primitive.tag()
+        );
+        let key = format!("measure/{arch}/{}", primitive.tag());
+        match client.call(&key, &line, &id_token) {
+            Ok(_) => oks += 1,
+            Err(_) => failures += 1,
+        }
+    }
+    (oks, failures)
+}
+
+/// Run one cluster soak: three nodes (by default) under a shard-routing
+/// client, with one seeded whole-node kill at the 1/3 mark and a
+/// respawn (incarnation + 1) at the 2/3 mark. Invariants:
+///
+/// 1. **availability** — with R ≥ 2 and one node dead, *every* key
+///    still answers (the dead-phase sweeps must see zero failures);
+/// 2. **no corruption** — every reply parses and echoes its id;
+/// 3. **reconvergence** — after the respawn, every node's membership
+///    digest agrees again and the victim is alive at a higher
+///    incarnation (stale `down` rumours lose to the bumped epoch);
+/// 4. **determinism** — the victim choice is a pure function of the
+///    seed (drawn through [`Failpoint::NodeKill`]'s salted stream), so
+///    a same-seed rerun kills the same node.
+pub fn run_cluster(config: &ClusterSoakConfig) -> std::io::Result<ClusterSoakReport> {
+    let nodes = config.nodes.max(2);
+    let addrs = reserve_cluster_addrs(nodes)?;
+    let mut handles: Vec<Option<ServerHandle>> = (0..nodes)
+        .map(|index| start_cluster_node(&addrs, index, config, 0).map(Some))
+        .collect::<std::io::Result<_>>()?;
+
+    // The seeded kill decision, salted by the NodeKill failpoint index
+    // the same way the connection-level schedule salts its draws.
+    let salt = (Failpoint::NodeKill.index() as u64).wrapping_mul(0x9e37_79b9_7f4a_7c15);
+    let mut rng = ChaosRng::new(config.seed ^ salt);
+    let victim = rng.range(nodes as u64) as usize;
+
+    let mut violations: Vec<String> = Vec::new();
+    let converged_before_kill = wait_settled(&handles, Duration::from_secs(10));
+    if !converged_before_kill {
+        violations.push("CONVERGENCE: membership never settled before the kill".to_string());
+    }
+
+    let mut client = ClusterClient::new(
+        &addrs,
+        config.replicas,
+        &ClientConfig {
+            seed: config.seed,
+            attempts: 3,
+            attempt_timeout: Duration::from_secs(2),
+            breaker_threshold: 2,
+            breaker_cooldown: 4,
+            validate_replies: true,
+            ..ClientConfig::default()
+        },
+    );
+
+    let duration = Duration::from_secs_f64(config.secs.max(1.5));
+    let started = Instant::now();
+    let kill_at = started + duration / 3;
+    let respawn_at = started + (duration / 3) * 2;
+    let mut request_id = 0u64;
+    let mut oks = 0u64;
+    let mut failures = 0u64;
+    let mut sweeps = [0u64; 3];
+
+    // Phase 1: healthy cluster. At least one sweep, then until the
+    // kill boundary.
+    loop {
+        let (sweep_oks, sweep_failures) = cluster_sweep(&mut client, &mut request_id);
+        oks += sweep_oks;
+        failures += sweep_failures;
+        sweeps[0] += 1;
+        if sweep_failures > 0 {
+            violations.push(format!(
+                "AVAILABILITY: {sweep_failures} keys unanswered with every node up"
+            ));
+        }
+        if Instant::now() >= kill_at {
+            break;
+        }
+    }
+
+    // Phase 2: kill the victim outright — its listener closes and every
+    // in-flight connection drops. R-way replication must keep 100% of
+    // the key space answerable.
+    if let Some(handle) = handles[victim].take() {
+        handle.stop();
+    }
+    loop {
+        let (sweep_oks, sweep_failures) = cluster_sweep(&mut client, &mut request_id);
+        oks += sweep_oks;
+        failures += sweep_failures;
+        sweeps[1] += 1;
+        if sweep_failures > 0 {
+            violations.push(format!(
+                "AVAILABILITY: {sweep_failures} keys unanswered with node {victim} dead"
+            ));
+        }
+        if Instant::now() >= respawn_at {
+            break;
+        }
+    }
+
+    // Phase 3: respawn the victim with a bumped incarnation so gossip
+    // revives it over any `down` rumour, then require reconvergence.
+    let respawn_incarnation = 1;
+    handles[victim] = Some(start_cluster_node(
+        &addrs,
+        victim,
+        config,
+        respawn_incarnation,
+    )?);
+    let reconverged = wait_settled(&handles, Duration::from_secs(20))
+        && victim_incarnation(&handles, &addrs[victim])
+            .is_some_and(|incarnation| incarnation >= respawn_incarnation);
+    if !reconverged {
+        violations.push(format!(
+            "RECONVERGENCE: membership did not re-agree with node {victim} \
+             back at incarnation {respawn_incarnation}"
+        ));
+    }
+    {
+        let (sweep_oks, sweep_failures) = cluster_sweep(&mut client, &mut request_id);
+        oks += sweep_oks;
+        failures += sweep_failures;
+        sweeps[2] += 1;
+        if sweep_failures > 0 {
+            violations.push(format!(
+                "AVAILABILITY: {sweep_failures} keys unanswered after the respawn"
+            ));
+        }
+    }
+
+    let corrupt = client.counters().corrupt;
+    if corrupt > 0 {
+        violations.push(format!("CORRUPTION: {corrupt} replies failed verification"));
+    }
+    if oks == 0 {
+        violations.push("NO PROGRESS: zero successful requests".to_string());
+    }
+    let routes = client.route_counters();
+    for handle in handles.into_iter().flatten() {
+        handle.stop();
+    }
+
+    Ok(ClusterSoakReport {
+        addrs,
+        victim,
+        sweeps,
+        oks,
+        failures,
+        corrupt,
+        routed_primary: routes.routed_primary,
+        failovers: routes.failovers,
+        redirects_followed: routes.redirects_followed,
+        converged_before_kill,
+        reconverged,
+        respawn_incarnation,
+        violations,
+    })
+}
+
 /// The `osarch chaos` front end: parse `args`, run the soak, print the
 /// verdict. `Err` carries a one-line usage error (exit 2 at the caller).
 pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
@@ -462,6 +780,8 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
     let mut config = SoakConfig::default();
     let mut metrics_out: Option<String> = None;
     let mut trace_out: Option<String> = None;
+    let mut cluster = false;
+    let mut cluster_config = ClusterSoakConfig::default();
     let mut rest = args.iter();
     let parse = |flag: &str, value: Option<&String>| -> Result<String, String> {
         value
@@ -508,17 +828,40 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
             }
             "--metrics-out" => metrics_out = Some(parse("--metrics-out", rest.next())?),
             "--trace-out" => trace_out = Some(parse("--trace-out", rest.next())?),
+            "--cluster" => cluster = true,
+            "--nodes" => {
+                cluster_config.nodes = parse("--nodes", rest.next())?
+                    .parse()
+                    .map_err(|_| "--nodes expects a positive integer".to_string())?;
+                if cluster_config.nodes < 2 {
+                    return Err("--nodes must be at least 2".to_string());
+                }
+            }
+            "--replicas" => {
+                cluster_config.replicas = parse("--replicas", rest.next())?
+                    .parse()
+                    .map_err(|_| "--replicas expects a positive integer".to_string())?;
+                if cluster_config.replicas == 0 {
+                    return Err("--replicas must be at least 1".to_string());
+                }
+            }
             other => {
                 return Err(format!(
                     "unknown argument {other:?}\nusage: {prog} [--seed N] [--rate P] \
                      [--duration S] [--conns N] [--workers N] [--sample N] \
-                     [--metrics-addr HOST:PORT] [--metrics-out PATH] [--trace-out PATH]"
+                     [--metrics-addr HOST:PORT] [--metrics-out PATH] [--trace-out PATH] \
+                     [--cluster [--nodes N] [--replicas R]]"
                 ))
             }
         }
     }
     if config.conns == 0 {
         return Err("--conns must be at least 1".to_string());
+    }
+    if cluster {
+        cluster_config.seed = config.seed;
+        cluster_config.secs = config.secs;
+        return cluster_cli(&cluster_config);
     }
     let report = match run(&config) {
         Ok(report) => report,
@@ -592,6 +935,53 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
         }
         println!("wrote {path} (osarch-trace/1 Chrome trace)");
     }
+    if report.passed() {
+        println!("PASS: all invariants held");
+        Ok(ExitCode::SUCCESS)
+    } else {
+        for violation in &report.violations {
+            eprintln!("FAIL: {violation}");
+        }
+        Ok(ExitCode::FAILURE)
+    }
+}
+
+/// The `osarch chaos --cluster` verdict printer.
+fn cluster_cli(config: &ClusterSoakConfig) -> Result<std::process::ExitCode, String> {
+    use std::process::ExitCode;
+    let report = match run_cluster(config) {
+        Ok(report) => report,
+        Err(err) => {
+            eprintln!("cluster soak failed to start: {err}");
+            return Ok(ExitCode::FAILURE);
+        }
+    };
+    println!(
+        "cluster soak: seed {} for {:.1}s ({} nodes, R={}, gossip {}ms)",
+        config.seed, config.secs, config.nodes, config.replicas, config.gossip_ms
+    );
+    println!(
+        "kill schedule (node/kill, seeded): victim node {} ({}) dies at t+1/3, \
+         respawns at t+2/3 with incarnation {}",
+        report.victim, report.addrs[report.victim], report.respawn_incarnation
+    );
+    println!(
+        "traffic: {} ok, {} failed, {} corrupt | sweeps healthy={} dead={} respawned={}",
+        report.oks,
+        report.failures,
+        report.corrupt,
+        report.sweeps[0],
+        report.sweeps[1],
+        report.sweeps[2]
+    );
+    println!(
+        "routing: primary={} failovers={} redirects_followed={}",
+        report.routed_primary, report.failovers, report.redirects_followed
+    );
+    println!(
+        "membership: converged_before_kill={} reconverged_after_respawn={}",
+        report.converged_before_kill, report.reconverged
+    );
     if report.passed() {
         println!("PASS: all invariants held");
         Ok(ExitCode::SUCCESS)

@@ -24,9 +24,9 @@ const SPAN_RING: usize = 256;
 /// Every serve-protocol op, in the registry order of
 /// [`osarch_core::names::op_names`]. The telemetry hub keys its per-op
 /// latency windows by index into this table.
-pub const OP_NAMES: [&str; 12] = [
+pub const OP_NAMES: [&str; 13] = [
     "ping", "measure", "table", "lint", "analyze", "trace", "counters", "stats", "spans",
-    "metrics", "health", "shutdown",
+    "metrics", "health", "cluster", "shutdown",
 ];
 
 /// The [`OP_NAMES`] index of an op label. Unknown labels (only possible
@@ -450,6 +450,7 @@ mod tests {
         let listed: Vec<&str> = osarch_core::names::op_names().split(", ").collect();
         assert_eq!(listed, OP_NAMES.to_vec());
         assert_eq!(op_slot("metrics"), 9);
+        assert_eq!(op_slot("cluster"), 11);
         assert_eq!(op_slot("nonsense"), 0, "unknown ops fold into slot 0");
     }
 

@@ -13,6 +13,12 @@
 //! the loadgen uses on `stats` replies: the emitter in `core/metrics`
 //! writes every key in a fixed order, so a JSON parser would buy
 //! nothing but a dependency.
+//!
+//! A failed scrape does not kill the dashboard: cluster soaks kill and
+//! respawn whole nodes, so the watch loop retries with exponential
+//! backoff (500 ms doubling to 8 s) and only gives up after the target
+//! has been unreachable for `--retry-secs` (default 120, `0` restores
+//! fail-fast). `--once` always fails fast — it exists for scripts.
 
 use std::io::{BufRead, BufReader, Write};
 use std::net::TcpStream;
@@ -242,18 +248,36 @@ fn fetch(addr: &str) -> std::io::Result<String> {
     Ok(reply)
 }
 
+/// First pause after a failed scrape; doubles up to [`BACKOFF_MAX`].
+const BACKOFF_START: Duration = Duration::from_millis(500);
+
+/// Ceiling on the reconnect pause between scrape attempts.
+const BACKOFF_MAX: Duration = Duration::from_secs(8);
+
 /// The `osarch top` front end: `top ADDR [--interval-ms N]
-/// [--iterations N] [--once]`. `Err` carries a usage error (exit 2 at
-/// the caller).
+/// [--iterations N] [--retry-secs N] [--once]`. `Err` carries a usage
+/// error (exit 2 at the caller).
 pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String> {
     use std::process::ExitCode;
-    let usage = format!("usage: {prog} top ADDR [--interval-ms N] [--iterations N] [--once]");
+    let usage = format!(
+        "usage: {prog} top ADDR [--interval-ms N] [--iterations N] [--retry-secs N] [--once]"
+    );
     let mut addr: Option<String> = None;
     let mut interval = Duration::from_millis(1000);
     let mut iterations: Option<u64> = None;
+    let mut retry_window = Duration::from_secs(120);
     let mut rest = args.iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
+            "--retry-secs" => {
+                let value = rest
+                    .next()
+                    .ok_or_else(|| format!("--retry-secs requires a value\n{usage}"))?;
+                let secs: u64 = value
+                    .parse()
+                    .map_err(|_| format!("--retry-secs expects seconds\n{usage}"))?;
+                retry_window = Duration::from_secs(secs);
+            }
             "--interval-ms" => {
                 let value = rest
                     .next()
@@ -287,14 +311,35 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
     let mut prev: Option<TopSnapshot> = None;
     let mut last_at = std::time::Instant::now();
     let mut frame = 0u64;
+    // Reconnect state: `down_since` marks the start of the current
+    // outage (None while healthy), `backoff` the next retry pause.
+    let mut down_since: Option<std::time::Instant> = None;
+    let mut backoff = BACKOFF_START;
     loop {
         let reply = match fetch(&addr) {
             Ok(reply) => reply,
             Err(err) => {
-                eprintln!("osarch top: cannot scrape {addr}: {err}");
-                return Ok(ExitCode::FAILURE);
+                let since = *down_since.get_or_insert_with(std::time::Instant::now);
+                if once || retry_window.is_zero() || since.elapsed() >= retry_window {
+                    eprintln!("osarch top: cannot scrape {addr}: {err}");
+                    return Ok(ExitCode::FAILURE);
+                }
+                eprintln!(
+                    "osarch top: {addr} unreachable ({err}); retrying in {:.1}s (giving up after {}s down)",
+                    backoff.as_secs_f64(),
+                    retry_window.as_secs()
+                );
+                std::thread::sleep(backoff);
+                backoff = (backoff * 2).min(BACKOFF_MAX);
+                continue;
             }
         };
+        if down_since.take().is_some() {
+            // The target restarted: its lifetime totals reset, so the
+            // previous snapshot would render a bogus throughput delta.
+            prev = None;
+            backoff = BACKOFF_START;
+        }
         if !reply.contains("\"ok\":true") {
             eprintln!(
                 "osarch top: {addr} rejected the metrics query: {}",
@@ -416,5 +461,77 @@ mod tests {
         assert!(cli(&[], "osarch").is_err());
         let args = vec!["127.0.0.1:9".to_string(), "--bogus".to_string()];
         assert!(cli(&args, "osarch").unwrap_err().contains("--bogus"));
+        let args = vec!["127.0.0.1:9".to_string(), "--retry-secs".to_string()];
+        assert!(cli(&args, "osarch").unwrap_err().contains("--retry-secs"));
+    }
+
+    fn args_of(parts: &[&str]) -> Vec<String> {
+        parts.iter().map(ToString::to_string).collect()
+    }
+
+    /// Reserve a loopback port and free it, so the address is dialable
+    /// in form but has no listener behind it.
+    fn dead_addr() -> String {
+        let listener = std::net::TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        let port = listener.local_addr().expect("local addr").port();
+        format!("127.0.0.1:{port}")
+    }
+
+    #[test]
+    fn cli_fails_fast_with_once_or_a_zero_retry_window() {
+        let failure = format!("{:?}", std::process::ExitCode::FAILURE);
+        let addr = dead_addr();
+        let code = cli(&args_of(&[&addr, "--once"]), "osarch").expect("not a usage error");
+        assert_eq!(format!("{code:?}"), failure);
+        let code = cli(&args_of(&[&addr, "--retry-secs", "0"]), "osarch").expect("parses");
+        assert_eq!(format!("{code:?}"), failure);
+    }
+
+    #[test]
+    fn cli_retries_through_an_outage_then_gives_up_at_the_window() {
+        let addr = dead_addr();
+        let started = std::time::Instant::now();
+        let code = cli(&args_of(&[&addr, "--retry-secs", "1"]), "osarch").expect("parses");
+        assert_eq!(
+            format!("{code:?}"),
+            format!("{:?}", std::process::ExitCode::FAILURE)
+        );
+        assert!(
+            started.elapsed() >= Duration::from_millis(900),
+            "gave up before the retry window elapsed: {:?}",
+            started.elapsed()
+        );
+    }
+
+    #[test]
+    fn cli_reconnects_when_the_target_comes_up_late() {
+        let addr = dead_addr();
+        let spawn_addr = addr.clone();
+        let spawner = std::thread::spawn(move || {
+            // Let the dashboard fail its first scrape(s) first.
+            std::thread::sleep(Duration::from_millis(700));
+            crate::server::Server::start(&crate::server::ServerConfig {
+                addr: spawn_addr,
+                workers: 1,
+                compute_threads: 1,
+                ..crate::server::ServerConfig::default()
+            })
+            .expect("late server starts")
+        });
+        let args = args_of(&[
+            &addr,
+            "--interval-ms",
+            "50",
+            "--iterations",
+            "2",
+            "--retry-secs",
+            "30",
+        ]);
+        let code = cli(&args, "osarch").expect("not a usage error");
+        assert_eq!(
+            format!("{code:?}"),
+            format!("{:?}", std::process::ExitCode::SUCCESS)
+        );
+        spawner.join().expect("server thread").stop();
     }
 }

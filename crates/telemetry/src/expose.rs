@@ -76,6 +76,31 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         totals.cache_hit_ratio()
     );
 
+    if let Some(cluster) = &snap.cluster {
+        let _ = writeln!(out, "# TYPE osarch_cluster_gauge gauge");
+        for (name, value) in [
+            ("peers_alive", cluster.peers_alive),
+            ("peers_total", cluster.peers_total),
+            ("incarnation", cluster.incarnation),
+        ] {
+            let _ = writeln!(out, "osarch_cluster_{name} {value}");
+        }
+        let _ = writeln!(
+            out,
+            "osarch_cluster_ownership {:.6}",
+            cluster.ownership_ppm as f64 / 1_000_000.0
+        );
+        let _ = writeln!(out, "# TYPE osarch_cluster_total counter");
+        for (name, value) in [
+            ("forwarded", cluster.forwarded),
+            ("proxied", cluster.proxied),
+            ("redirected", cluster.redirected),
+            ("gossip_rounds", cluster.gossip_rounds),
+        ] {
+            let _ = writeln!(out, "osarch_cluster_{name}_total {value}");
+        }
+    }
+
     let _ = writeln!(
         out,
         "# TYPE osarch_window_total counter\n\
@@ -156,7 +181,39 @@ mod tests {
         // The op with no records is omitted entirely.
         assert!(!text.contains("op=\"ping\""), "{text}");
         assert!(text.contains("osarch_window_requests_total 0"), "{text}");
+        // No cluster section on a standalone snapshot.
+        assert!(!text.contains("osarch_cluster_"), "{text}");
         // Every line is either a comment or `name{labels} value`.
+        for line in text.lines() {
+            assert!(
+                line.starts_with('#') || line.split_whitespace().count() == 2,
+                "malformed line: {line}"
+            );
+        }
+    }
+
+    #[test]
+    fn cluster_gauges_expose_when_present() {
+        let hub = TelemetryHub::new(1, &OPS, 64, 0);
+        let mut snap = hub.snapshot(1_000_000, Gauges::default(), Totals::default());
+        snap.cluster = Some(crate::ClusterGauges {
+            ownership_ppm: 333_333,
+            peers_alive: 2,
+            peers_total: 3,
+            incarnation: 4,
+            forwarded: 10,
+            proxied: 7,
+            redirected: 1,
+            gossip_rounds: 25,
+        });
+        let text = prometheus_text(&snap);
+        assert!(text.contains("osarch_cluster_peers_alive 2"), "{text}");
+        assert!(text.contains("osarch_cluster_ownership 0.333333"), "{text}");
+        assert!(text.contains("osarch_cluster_forwarded_total 10"), "{text}");
+        assert!(
+            text.contains("osarch_cluster_gossip_rounds_total 25"),
+            "{text}"
+        );
         for line in text.lines() {
             assert!(
                 line.starts_with('#') || line.split_whitespace().count() == 2,

@@ -112,6 +112,31 @@ impl Totals {
     }
 }
 
+/// Point-in-time cluster gauges a node exports when it runs in
+/// `--cluster` mode: its ring slice, its view of peer liveness, and the
+/// request-routing counters. Absent (`None` on the snapshot) for a
+/// standalone server, so the exposition stays byte-compatible.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClusterGauges {
+    /// Ring ownership fraction in parts-per-million (integer so the
+    /// JSON emitters stay number-format-free).
+    pub ownership_ppm: u64,
+    /// Peers (including self) currently believed alive.
+    pub peers_alive: u64,
+    /// Total nodes in the static ring.
+    pub peers_total: u64,
+    /// This node's own incarnation number.
+    pub incarnation: u64,
+    /// Requests relayed onward to an owning node.
+    pub forwarded: u64,
+    /// Requests served here on behalf of a relaying peer.
+    pub proxied: u64,
+    /// Requests answered with a `not_owner` redirect.
+    pub redirected: u64,
+    /// Anti-entropy exchanges completed.
+    pub gossip_rounds: u64,
+}
+
 /// One op's merged window histogram.
 #[derive(Debug, Clone)]
 pub struct OpWindow {
@@ -148,6 +173,10 @@ pub struct MetricsSnapshot {
     pub gauges: Gauges,
     /// Lifetime totals.
     pub totals: Totals,
+    /// Cluster gauges, present only in `--cluster` mode. The JSON and
+    /// Prometheus expositions add a section when set and emit exactly
+    /// the standalone document when `None`.
+    pub cluster: Option<ClusterGauges>,
 }
 
 /// The per-server telemetry hub: one windowed-metrics shard per event
@@ -303,6 +332,7 @@ impl TelemetryHub {
             chains_sampled: self.chains_sampled(),
             gauges,
             totals,
+            cluster: None,
         }
     }
 }

@@ -76,24 +76,33 @@ fn usage() -> ExitCode {
          \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
          \x20 serve [--addr A] [--workers N] [--shards N] [--queue N] [--deadline-ms N]\n\
          \x20       [--sample N] [--metrics-addr A]\n\
+         \x20       [--cluster --peers A,B,C [--replicas R] [--vnodes N]\n\
+         \x20        [--incarnation N] [--gossip-ms N] [--no-proxy]]\n\
          \x20                         run the event-driven measurement-query service\n\
          \x20                         (one poll loop per worker; --queue bounds open conns;\n\
          \x20                         --sample traces 1/N requests, --metrics-addr binds a\n\
-         \x20                         Prometheus/JSON scrape listener)\n\
+         \x20                         Prometheus/JSON scrape listener; --cluster joins a\n\
+         \x20                         consistent-hash ring over the --peers seed list)\n\
          \x20 loadgen [--addr A] [--conns N] [--pipeline N] [--secs S] [--skew] [--rate R]\n\
          \x20         [--workers N] [--shards N] [--seed N] [--faults P] [--sample N]\n\
-         \x20         [--out PATH]\n\
+         \x20         [--out PATH] [--force] [--cluster [--nodes N] [--replicas R]]\n\
          \x20                         drive a server (self-hosted without --addr) and\n\
          \x20                         write BENCH_serve.json; large --conns or --pipeline\n\
-         \x20                         engage the multiplexed pipelined driver\n\
+         \x20                         engage the multiplexed pipelined driver; --cluster\n\
+         \x20                         benches an N-node ring against a single-node\n\
+         \x20                         baseline and writes BENCH_cluster.json\n\
          \x20 chaos [--seed N] [--rate P] [--duration S] [--conns N] [--workers N]\n\
          \x20       [--sample N] [--metrics-addr A] [--metrics-out PATH] [--trace-out PATH]\n\
+         \x20       [--cluster [--nodes N] [--replicas R]]\n\
          \x20                         deterministic fault-injection soak: loadgen vs a\n\
          \x20                         chaos server, asserting resilience invariants\n\
-         \x20                         (telemetry on; exports validated metrics + trace)\n\
-         \x20 top ADDR [--interval-ms N] [--iterations N] [--once]\n\
+         \x20                         (telemetry on; exports validated metrics + trace);\n\
+         \x20                         --cluster soaks an N-node ring through a seeded\n\
+         \x20                         whole-node kill + respawn\n\
+         \x20 top ADDR [--interval-ms N] [--iterations N] [--retry-secs N] [--once]\n\
          \x20                         live dashboard over a running server's metrics op:\n\
-         \x20                         throughput, per-op tails, loop lag, cache counters\n\
+         \x20                         throughput, per-op tails, loop lag, cache counters;\n\
+         \x20                         reconnects with backoff across node restarts\n\
          \x20 archs                   list the modelled architectures"
     );
     ExitCode::from(2)
@@ -407,6 +416,8 @@ fn main() -> ExitCode {
         }
         Some("serve") => {
             let mut config = serve::ServerConfig::default();
+            let mut cluster = false;
+            let mut cluster_config = serve::ClusterConfig::default();
             let mut rest = args[1..].iter();
             while let Some(arg) = rest.next() {
                 let value = |flag: &str, value: Option<&String>| -> Result<String, ExitCode> {
@@ -454,11 +465,61 @@ fn main() -> ExitCode {
                         Ok(addr) => config.metrics_addr = Some(addr),
                         Err(code) => return code,
                     },
+                    "--cluster" => cluster = true,
+                    "--peers" => match value("--peers", rest.next()) {
+                        Ok(list) => {
+                            cluster_config.peers = list
+                                .split(',')
+                                .filter(|peer| !peer.is_empty())
+                                .map(str::to_string)
+                                .collect();
+                        }
+                        Err(code) => return code,
+                    },
+                    "--replicas" => match value("--replicas", rest.next())
+                        .and_then(|v| v.parse().map_err(|_| bad_flag("--replicas")))
+                    {
+                        Ok(replicas) => cluster_config.replicas = replicas,
+                        Err(code) => return code,
+                    },
+                    "--vnodes" => match value("--vnodes", rest.next())
+                        .and_then(|v| v.parse().map_err(|_| bad_flag("--vnodes")))
+                    {
+                        Ok(vnodes) => cluster_config.vnodes = vnodes,
+                        Err(code) => return code,
+                    },
+                    "--incarnation" => match value("--incarnation", rest.next())
+                        .and_then(|v| v.parse().map_err(|_| bad_flag("--incarnation")))
+                    {
+                        Ok(incarnation) => cluster_config.incarnation = incarnation,
+                        Err(code) => return code,
+                    },
+                    "--gossip-ms" => match value("--gossip-ms", rest.next())
+                        .and_then(|v| v.parse::<u64>().map_err(|_| bad_flag("--gossip-ms")))
+                    {
+                        Ok(ms) => {
+                            cluster_config.gossip_interval = std::time::Duration::from_millis(ms);
+                        }
+                        Err(code) => return code,
+                    },
+                    "--no-proxy" => cluster_config.proxy = false,
                     other => {
                         eprintln!("unexpected argument {other:?}");
                         return usage();
                     }
                 }
+            }
+            if cluster {
+                // The ring address must be dialable by peers; an
+                // ephemeral `:0` bind could never appear in a seed list.
+                if config.addr.ends_with(":0") {
+                    eprintln!(
+                        "--cluster requires an explicit --addr (the node's dialable ring address)"
+                    );
+                    return ExitCode::from(2);
+                }
+                cluster_config.self_addr = config.addr.clone();
+                config.cluster = Some(cluster_config);
             }
             let handle = match serve::Server::start(&config) {
                 Ok(handle) => handle,
@@ -474,6 +535,16 @@ fn main() -> ExitCode {
                 config.workers,
                 config.shards
             );
+            if let Some(cluster_config) = &config.cluster {
+                println!(
+                    "cluster mode: {} peers, R={}, {} vnodes, proxy={} \
+                     (query {{\"op\":\"cluster\"}} for ring + membership)",
+                    cluster_config.peers.len(),
+                    cluster_config.replicas,
+                    cluster_config.vnodes,
+                    cluster_config.proxy
+                );
+            }
             if let Some(scrape) = handle.metrics_addr() {
                 println!("metrics scrape listener on {scrape} (text; /json for the snapshot)");
             }
