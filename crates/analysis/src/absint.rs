@@ -435,6 +435,24 @@ impl AbsintAnalyzer {
         report
     }
 
+    /// Analyze every program the kernel generates for an explicit spec —
+    /// the proof pass behind live spec activation, where there is no
+    /// closed [`Arch`] to name.
+    #[must_use]
+    pub fn analyze_spec(&self, spec: &ArchSpec) -> AbsintReport {
+        let mut report = AbsintReport::empty();
+        let layout = KernelLayout::for_spec(spec);
+        for entry in program_catalog(spec, &layout) {
+            let analysis = self.check_program(spec, Some(entry.primitive), &entry.program);
+            report.findings.extend(analysis.findings);
+            report.artifacts.push(analysis.artifact);
+            report.programs_checked += 1;
+        }
+        report.architectures = 1;
+        report.finish();
+        report
+    }
+
     /// Analyze all architectures' programs — the CI entry point.
     #[must_use]
     pub fn analyze_all(&self) -> AbsintReport {

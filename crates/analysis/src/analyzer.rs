@@ -73,6 +73,26 @@ impl Analyzer {
         report
     }
 
+    /// Analyze every program the kernel generates for an explicit spec —
+    /// the entry point for runtime-loaded (`osarch-spec/1`) architectures,
+    /// where there is no closed [`Arch`] to name.
+    #[must_use]
+    pub fn analyze_spec(&self, spec: &ArchSpec) -> AnalysisReport {
+        let mut report = AnalysisReport::empty();
+        let layout = KernelLayout::for_spec(spec);
+        for entry in program_catalog(spec, &layout) {
+            report.diagnostics.extend(self.check_program(
+                spec,
+                Some(entry.primitive),
+                &entry.program,
+            ));
+            report.programs_checked += 1;
+        }
+        report.architectures = 1;
+        report.finish();
+        report
+    }
+
     /// Analyze all architectures' programs — the CI entry point.
     #[must_use]
     pub fn analyze_all(&self) -> AnalysisReport {

@@ -43,11 +43,19 @@ pub enum Failpoint {
     /// respawn it later with a bumped incarnation. Fires in the soak
     /// harness, between requests — neither side of one connection.
     NodeKill,
+    /// Server: panic while probing a candidate spec during `spec-activate`
+    /// (the spec "corrupts" mid-measurement); the registry must roll back
+    /// to last-good automatically.
+    CorruptSpec,
+    /// Server: kill the event loop that just committed a spec swap,
+    /// before it writes the admin reply (the client loses the reply; the
+    /// committed epoch must survive the respawn).
+    SwapLoopDeath,
 }
 
 impl Failpoint {
     /// Number of failpoints.
-    pub const COUNT: usize = 11;
+    pub const COUNT: usize = 13;
 
     /// Every failpoint, in stable schedule order.
     pub const ALL: [Failpoint; Failpoint::COUNT] = [
@@ -62,6 +70,8 @@ impl Failpoint {
         Failpoint::RequestSplit,
         Failpoint::RequestStall,
         Failpoint::NodeKill,
+        Failpoint::CorruptSpec,
+        Failpoint::SwapLoopDeath,
     ];
 
     /// Stable index into per-failpoint counter arrays.
@@ -79,6 +89,8 @@ impl Failpoint {
             Failpoint::RequestSplit => 8,
             Failpoint::RequestStall => 9,
             Failpoint::NodeKill => 10,
+            Failpoint::CorruptSpec => 11,
+            Failpoint::SwapLoopDeath => 12,
         }
     }
 
@@ -97,6 +109,8 @@ impl Failpoint {
             Failpoint::RequestSplit => "request/split",
             Failpoint::RequestStall => "request/stall",
             Failpoint::NodeKill => "node/kill",
+            Failpoint::CorruptSpec => "admin/corrupt-spec",
+            Failpoint::SwapLoopDeath => "swap/mid-swap-loop-death",
         }
     }
 
@@ -112,6 +126,8 @@ impl Failpoint {
                 | Failpoint::WritePartial
                 | Failpoint::WriteStall
                 | Failpoint::WorkerDeath
+                | Failpoint::CorruptSpec
+                | Failpoint::SwapLoopDeath
         )
     }
 }
@@ -143,8 +159,10 @@ mod tests {
             .iter()
             .filter(|fp| fp.is_server_side())
             .count();
-        assert_eq!(server_side, 6);
+        assert_eq!(server_side, 8);
         assert!(Failpoint::ComputePanic.is_server_side());
+        assert!(Failpoint::CorruptSpec.is_server_side());
+        assert!(Failpoint::SwapLoopDeath.is_server_side());
         assert!(!Failpoint::ConnReset.is_server_side());
         assert!(!Failpoint::NodeKill.is_server_side());
     }

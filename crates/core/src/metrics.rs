@@ -53,6 +53,12 @@ pub const CLUSTER_SCHEMA: &str = "osarch-cluster/1";
 /// (multi-node aggregate throughput vs the single-node baseline).
 pub const CLUSTER_BENCH_SCHEMA: &str = "osarch-cluster-bench/1";
 
+/// The schema tag every loadable architecture document must carry
+/// (`osarch-spec/1`): a flat JSON object deriving an [`ArchSpec`] from a
+/// built-in base plus scalar overrides. Re-exported from `osarch-cpu`,
+/// where the codec lives.
+pub use osarch_cpu::SPEC_SCHEMA;
+
 /// Escape a string for a JSON string literal (quotes not included).
 #[must_use]
 pub fn json_escape(s: &str) -> String {
@@ -166,6 +172,33 @@ pub fn measure_json(arch: Arch, primitive: Primitive) -> String {
         json_number(m.clock_mhz),
         stats_json(snake_name(primitive), m.stats(primitive), m.clock_mhz)
     )
+}
+
+/// One (loaded spec, primitive) measurement as a JSON object — the
+/// payload of a `measure` query naming a registry spec instead of a
+/// built-in. Same shape as [`measure_json`], with the registry name in
+/// the `arch` field. Runs a fresh simulation of the supplied spec (the
+/// shared session cache only prices the seven built-ins).
+#[must_use]
+pub fn measure_spec_json(name: &str, spec: &osarch_cpu::ArchSpec, primitive: Primitive) -> String {
+    let m = osarch_kernel::measure_with_spec(spec.clone());
+    format!(
+        "{{\"arch\":\"{}\",\"clock_mhz\":{},\"primitive\":{}}}",
+        json_escape(name),
+        json_number(m.clock_mhz),
+        stats_json(snake_name(primitive), m.stats(primitive), m.clock_mhz)
+    )
+}
+
+/// Validate an `osarch-spec/1` document: well-formed JSON plus the full
+/// codec pass (schema tag, name charset, base resolution, field types
+/// and ranges). Returns the parsed `(name, spec)` on success so callers
+/// never validate and parse separately.
+pub fn validate_spec_json(doc: &str) -> Result<(String, osarch_cpu::ArchSpec), String> {
+    if let Err(offset) = validate_json(doc) {
+        return Err(format!("invalid JSON at byte {offset}"));
+    }
+    osarch_cpu::ArchSpec::from_json(doc)
 }
 
 /// One `osarch-loadgen` run, ready to serialize as `BENCH_serve.json`.
@@ -450,17 +483,19 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
             "\"deadline_exceeded\":{},\"panics\":{},\"degraded\":{},",
             "\"worker_respawns\":{},\"faults_injected\":{},\"conns_opened\":{},",
             "\"cache_hits\":{},\"cache_misses\":{},\"cache_coalesced\":{},",
-            "\"cache_failed\":{},\"cache_degraded\":{}}},",
+            "\"cache_failed\":{},\"cache_degraded\":{},",
+            "\"swaps\":{},\"rollbacks\":{}}},",
             "\"gauges\":{{\"conns_open\":{},\"conn_budget\":{},\"workers\":{},",
             "\"workers_live\":{},\"compute_backlog\":{},",
             "\"oldest_write_backlog_ms\":{},\"cache_hit_ratio\":{},",
-            "\"shutting_down\":{}}},",
+            "\"registry_epoch\":{},\"shutting_down\":{}}},",
             "{}",
             "\"window\":{{{}}},",
             "\"ops\":[{}],",
             "\"loop_lag_us\":{},",
             "\"offload_queue_depth\":{},",
-            "\"arena_buffers\":{}}}\n"
+            "\"arena_buffers\":{},",
+            "\"swap_latency_us\":{}}}\n"
         ),
         METRICS_SCHEMA,
         snap.uptime_us,
@@ -484,6 +519,8 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
         totals.cache_coalesced,
         totals.cache_failed,
         totals.cache_degraded,
+        totals.swaps,
+        totals.rollbacks,
         gauges.conns_open,
         gauges.conn_budget,
         gauges.workers,
@@ -491,6 +528,7 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
         gauges.compute_backlog,
         gauges.oldest_write_backlog_ms,
         json_number(totals.cache_hit_ratio()),
+        gauges.registry_epoch,
         gauges.shutting_down,
         cluster,
         window.join(","),
@@ -498,6 +536,7 @@ pub fn metrics_snapshot_json(snap: &osarch_telemetry::MetricsSnapshot) -> String
         telemetry_hist_json(&snap.loop_lag_us),
         telemetry_hist_json(&snap.queue_depth),
         telemetry_hist_json(&snap.arena_buffers),
+        telemetry_hist_json(&snap.swap_latency_us),
     )
 }
 
@@ -532,6 +571,10 @@ pub const METRICS_REQUIRED_KEYS: &[&str] = &[
     "loop_lag_us",
     "offload_queue_depth",
     "arena_buffers",
+    "swap_latency_us",
+    "registry_epoch",
+    "swaps",
+    "rollbacks",
     "p50",
     "p99",
     "p999",

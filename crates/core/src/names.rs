@@ -78,7 +78,7 @@ pub fn report_names() -> String {
 /// shared between front ends.
 #[must_use]
 pub fn op_names() -> &'static str {
-    "ping, measure, table, lint, analyze, trace, counters, stats, spans, metrics, health, cluster, shutdown"
+    "ping, measure, table, lint, analyze, trace, counters, stats, spans, metrics, health, cluster, shutdown, admin, spec-fetch"
 }
 
 /// One-line error for an unknown serve-protocol op.

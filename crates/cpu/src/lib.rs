@@ -35,9 +35,11 @@
 mod arch;
 mod exec;
 mod microop;
+mod specjson;
 mod windows;
 
 pub use arch::{Arch, ArchSpec, MicrocodeCost, WindowConfig};
 pub use exec::{Cpu, ExecOutcome, ExecStats, PhaseStats};
 pub use microop::{MicroOp, Phase, Program, ProgramBuilder};
+pub use specjson::{SPEC_NAME_MAX, SPEC_SCHEMA};
 pub use windows::{WindowEngine, WindowEvent};

@@ -321,6 +321,29 @@ impl ShardedCache {
     pub fn lookups(&self) -> u64 {
         self.hits() + self.misses() + self.coalesced()
     }
+
+    /// Drop every entry (flight and last-good sidecar alike) whose key
+    /// does not start with `prefix` — the lazy old-epoch reaper run after
+    /// a registry swap. Safe against in-flight computations: a pending
+    /// flight's waiters hold the slot `Arc` directly and its leader
+    /// settles through the slot, never the map, so removal only hides
+    /// the key from *new* requests. A straggler that re-lands under an
+    /// old-epoch key is reaped by the next swap. Returns the number of
+    /// entries removed.
+    pub fn retain_prefix(&self, prefix: &str) -> usize {
+        let mut removed = 0;
+        for shard in &self.shards {
+            let mut flights = lock(&shard.flights);
+            let before = flights.len();
+            flights.retain(|key, _| key.starts_with(prefix));
+            removed += before - flights.len();
+            let mut last_good = lock(&shard.last_good);
+            let before = last_good.len();
+            last_good.retain(|key, _| key.starts_with(prefix));
+            removed += before - last_good.len();
+        }
+        removed
+    }
 }
 
 fn lock<T>(mutex: &Mutex<T>) -> std::sync::MutexGuard<'_, T> {
@@ -458,6 +481,17 @@ mod tests {
     }
 
     #[test]
+    fn retain_prefix_reaps_old_epoch_entries() {
+        let cache = ShardedCache::new(4);
+        let _ = cache.get_or_compute("e1-aaaa/k", || "old".to_string());
+        let _ = cache.get_or_compute("e2-bbbb/k", || "new".to_string());
+        let removed = cache.retain_prefix("e2-");
+        assert_eq!(removed, 2, "old epoch's flight and last_good entries");
+        assert_eq!(cache.try_get("e1-aaaa/k"), None, "old epoch reaped");
+        assert!(cache.try_get("e2-bbbb/k").is_some(), "new epoch kept");
+    }
+
+    #[test]
     fn shard_count_is_clamped() {
         assert_eq!(ShardedCache::new(0).shard_count(), 1);
         assert_eq!(ShardedCache::new(16).shard_count(), 16);
@@ -505,5 +539,51 @@ mod tests {
             other => panic!("expected Degraded, got {other:?}"),
         }
         assert_eq!(cache.degraded(), 1);
+    }
+
+    /// Regression: a degraded reply serves the value *its own epoch*
+    /// computed, never a neighbouring epoch's — the last-good sidecar is
+    /// keyed by the full epoch-prefixed cache key, so a live spec swap
+    /// can never leak one epoch's stale bytes into another's envelope.
+    #[test]
+    fn degraded_replies_carry_the_epoch_they_were_computed_at() {
+        let query = crate::protocol::Query::MeasureSpec {
+            name: "hot".to_string(),
+            primitive: osarch_kernel::Primitive::all()[0],
+        };
+        let mut doc_a = osarch_cpu::Arch::all()[0].spec();
+        doc_a.clock_mhz = 25.0;
+        let mut doc_b = doc_a.clone();
+        doc_b.clock_mhz = 40.0;
+        let before = crate::registry::SpecSnapshot::builtins()
+            .with_spec(&doc_a.to_json("hot"), 2)
+            .expect("valid doc");
+        let after = before
+            .with_spec(&doc_b.to_json("hot"), 3)
+            .expect("valid doc");
+
+        let cache = ShardedCache::new(4);
+        let key_a = query.cache_key(&before).expect("cacheable");
+        let key_b = query.cache_key(&after).expect("cacheable");
+        let good_a = cache.get_or_compute_resilient(&key_a, || query.compute(&before));
+        let good_b = cache.get_or_compute_resilient(&key_b, || query.compute(&after));
+        let (Fetched::Computed(good_a), Fetched::Computed(good_b)) = (good_a, good_b) else {
+            panic!("both epochs compute fresh");
+        };
+        assert_ne!(good_a, good_b, "the swap must change the payload");
+
+        // Invalidate both flights (the landed slots), keeping the
+        // last-good sidecars — then fail both recomputations. Each key
+        // must degrade to the bytes its own epoch computed.
+        for (key, expected) in [(&key_a, &good_a), (&key_b, &good_b)] {
+            lock(&cache.shard_for(key).flights).remove(key.as_str());
+            match cache.get_or_compute_resilient(key, || panic!("recompute down")) {
+                Fetched::Degraded(stale, _) => assert_eq!(
+                    &stale, expected,
+                    "degraded bytes must come from the key's own epoch"
+                ),
+                other => panic!("expected Degraded, got {other:?}"),
+            }
+        }
     }
 }

@@ -93,6 +93,7 @@ pub mod client;
 pub mod loadgen;
 pub mod protocol;
 pub mod queue;
+pub mod registry;
 pub mod server;
 pub mod soak;
 pub mod stats;
@@ -102,9 +103,11 @@ pub use cache::{Fetched, ShardedCache};
 pub use client::{ClientConfig, ClusterClient, ErrorClass, ResilientClient, RouteCounters};
 pub use loadgen::{run as run_loadgen, run_cluster_bench, ClusterLoadConfig, LoadgenConfig};
 pub use protocol::{Frame, FrameBuf, Query, Request, MAX_REQUEST_BYTES};
+pub use registry::{SpecRegistry, SpecSnapshot};
 pub use server::{ClusterConfig, Server, ServerConfig, ServerHandle};
 pub use soak::{
-    run as run_soak, run_cluster as run_cluster_soak, ClusterSoakConfig, ClusterSoakReport,
-    SoakConfig, SoakReport,
+    run as run_soak, run_cluster as run_cluster_soak, run_swap as run_swap_soak,
+    run_swap_cluster as run_swap_cluster_soak, ClusterSoakConfig, ClusterSoakReport, SoakConfig,
+    SoakReport, SwapClusterConfig, SwapClusterReport, SwapSoakConfig, SwapSoakReport,
 };
 pub use stats::{HealthGauges, ServeStats, OP_NAMES};

@@ -10,11 +10,19 @@
 //! with fields:
 //!
 //! * `op` — `ping`, `measure`, `table`, `lint`, `trace`, `counters`,
-//!   `stats`, `spans`, `metrics`, `health`, `cluster`, or `shutdown`
-//!   (required);
+//!   `stats`, `spans`, `metrics`, `health`, `cluster`, `shutdown`,
+//!   `admin`, or `spec-fetch` (required);
 //! * `arch` — an architecture name (required for `measure`/`trace`,
 //!   optional for `lint`/`counters`; the `mips-r2000`/`mips-r3000`
 //!   aliases are accepted, exactly as on the CLI);
+//! * `spec` — for `measure`, the name of a runtime-loaded registry spec
+//!   in place of `arch`; for `admin spec-load`, an `osarch-spec/1`
+//!   document as a JSON-escaped string;
+//! * `action`/`token`/`name` — `admin` fields: the sub-action
+//!   (`spec-load`, `spec-activate`, `spec-rollback`, `spec-list`), the
+//!   shared-secret token (constant-time compared against
+//!   `--admin-token`; every `admin` request is refused when the server
+//!   has no token configured), and the spec name to activate;
 //! * `primitive` — a primitive name (required for `measure`/`trace`);
 //! * `table` — a report-registry name (required for `table`);
 //! * `filter` — for `spans`, the export format: omitted for the span
@@ -48,6 +56,7 @@
 //! served table/lint/trace/counters document is byte-identical to the one
 //! the corresponding CLI subcommand prints.
 
+use crate::registry::SpecSnapshot;
 use osarch_core::{metrics, names, session};
 use osarch_cpu::Arch;
 use osarch_kernel::{trace_all, trace_primitive, Primitive};
@@ -72,6 +81,16 @@ pub enum Query {
     Measure {
         /// Architecture to price.
         arch: Arch,
+        /// Primitive to price.
+        primitive: Primitive,
+    },
+    /// One (registry spec, primitive) measurement: a `measure` request
+    /// naming a runtime-loaded spec (`"spec":"name"`) instead of a
+    /// built-in architecture. Existence is resolved against the
+    /// request's captured registry snapshot.
+    MeasureSpec {
+        /// Registry spec name.
+        name: String,
         /// Primitive to price.
         primitive: Primitive,
     },
@@ -126,16 +145,74 @@ pub enum Query {
     Cluster,
     /// Graceful shutdown control command.
     Shutdown,
+    /// Authenticated spec-registry administration (refused entirely when
+    /// the server was started without `--admin-token`).
+    Admin {
+        /// The sub-action to perform.
+        action: AdminAction,
+        /// The caller's token, compared in constant time.
+        token: String,
+        /// Spec name (`spec-activate`).
+        name: Option<String>,
+        /// An `osarch-spec/1` document as a JSON-escaped string
+        /// (`spec-load`).
+        spec: Option<String>,
+    },
+    /// Unauthenticated read-only registry export: the active epoch, its
+    /// digest, and every spec document — the pull side of cluster spec
+    /// convergence.
+    SpecFetch,
+}
+
+/// One `admin` sub-action.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AdminAction {
+    /// Stage an `osarch-spec/1` document (parse + validate only).
+    SpecLoad,
+    /// Run the full activation pipeline on a staged spec and swap it in.
+    SpecActivate,
+    /// Swap back to the last-good registry content (as a new epoch).
+    SpecRollback,
+    /// List the active epoch, digest, staged names, and loaded specs.
+    SpecList,
+}
+
+impl AdminAction {
+    /// The protocol spelling.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            AdminAction::SpecLoad => "spec-load",
+            AdminAction::SpecActivate => "spec-activate",
+            AdminAction::SpecRollback => "spec-rollback",
+            AdminAction::SpecList => "spec-list",
+        }
+    }
+
+    fn parse(name: &str) -> Option<AdminAction> {
+        match name {
+            "spec-load" => Some(AdminAction::SpecLoad),
+            "spec-activate" => Some(AdminAction::SpecActivate),
+            "spec-rollback" => Some(AdminAction::SpecRollback),
+            "spec-list" => Some(AdminAction::SpecList),
+            _ => None,
+        }
+    }
 }
 
 impl Query {
-    /// The canonical cache key, or `None` for control/introspection
-    /// queries that must never be cached.
+    /// The canonical epoch-free key, or `None` for control/introspection
+    /// queries that must never be cached. This is the key consistent-hash
+    /// **routing** uses: a key's ring owner must not move when a node
+    /// swaps specs, or a mid-swap cluster would split-route every key.
     #[must_use]
-    pub fn cache_key(&self) -> Option<String> {
+    pub fn routing_key(&self) -> Option<String> {
         match self {
             Query::Measure { arch, primitive } => {
                 Some(format!("measure/{arch}/{}", primitive.tag()))
+            }
+            Query::MeasureSpec { name, primitive } => {
+                Some(format!("measure/{name}/{}", primitive.tag()))
             }
             Query::Table { name } => Some(format!("table/{name}")),
             Query::Lint { arch } => Some(format!(
@@ -157,22 +234,44 @@ impl Query {
             | Query::Metrics
             | Query::Health { .. }
             | Query::Cluster
-            | Query::Shutdown => None,
+            | Query::Shutdown
+            | Query::Admin { .. }
+            | Query::SpecFetch => None,
         }
     }
 
+    /// The canonical cache key under one registry snapshot, or `None`
+    /// for queries that must never be cached. The snapshot's
+    /// `e{epoch}-{content hash}/` prefix scopes every cached payload
+    /// (and its `last_good` sidecar entry) to the spec set it was
+    /// computed against, so a swap can never surface a stale-spec reply
+    /// — old-epoch entries are reaped lazily after each commit.
+    #[must_use]
+    pub fn cache_key(&self, snapshot: &SpecSnapshot) -> Option<String> {
+        self.routing_key()
+            .map(|key| format!("{}{key}", snapshot.key_prefix()))
+    }
+
     /// Evaluate a cacheable query to its JSON payload. Pure: the payload
-    /// is a deterministic function of the key, priced through the shared
-    /// measurement session.
+    /// is a deterministic function of the key and the captured registry
+    /// snapshot, priced through the shared measurement session.
     ///
     /// # Panics
     ///
     /// Panics if called on a non-cacheable query (`ping`, `stats`,
-    /// `spans`, `shutdown`) — the server answers those directly.
+    /// `spans`, `shutdown`, `admin`, …) — the server answers those
+    /// directly. A [`Query::MeasureSpec`] naming a spec absent from the
+    /// snapshot panics too: existence is checked before offload.
     #[must_use]
-    pub fn compute(&self) -> String {
+    pub fn compute(&self, snapshot: &SpecSnapshot) -> String {
         match self {
             Query::Measure { arch, primitive } => metrics::measure_json(*arch, *primitive),
+            Query::MeasureSpec { name, primitive } => {
+                let spec = snapshot
+                    .spec(name)
+                    .expect("spec existence checked against the snapshot before offload");
+                metrics::measure_spec_json(name, spec, *primitive)
+            }
             Query::Table { name } => {
                 let spec = session::report_by_name(name).expect("table name validated at parse");
                 metrics::table_json(&(spec.build)())
@@ -219,7 +318,9 @@ impl Query {
             | Query::Metrics
             | Query::Health { .. }
             | Query::Cluster
-            | Query::Shutdown => {
+            | Query::Shutdown
+            | Query::Admin { .. }
+            | Query::SpecFetch => {
                 unreachable!("non-cacheable query answered by the server, not computed")
             }
         }
@@ -298,9 +399,25 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
     };
     let query = match op.as_str() {
         "ping" => Query::Ping,
-        "measure" => Query::Measure {
-            arch: arch(true)?.expect("required"),
-            primitive: primitive()?,
+        "measure" => match get_str("spec")? {
+            // A registry spec and a built-in are different namespaces; a
+            // request naming both is ambiguous by construction.
+            Some(name) => {
+                if get_str("arch")?.is_some() {
+                    return Err((
+                        "measure: give either \"arch\" or \"spec\", not both".to_string(),
+                        id,
+                    ));
+                }
+                Query::MeasureSpec {
+                    name,
+                    primitive: primitive()?,
+                }
+            }
+            None => Query::Measure {
+                arch: arch(true)?.expect("required"),
+                primitive: primitive()?,
+            },
         },
         "table" => {
             let name = get_str("table")?
@@ -334,6 +451,53 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
         },
         "cluster" => Query::Cluster,
         "shutdown" => Query::Shutdown,
+        "admin" => {
+            let action = get_str("action")?.ok_or_else(|| {
+                (
+                    "admin: missing required field \"action\"".to_string(),
+                    id.clone(),
+                )
+            })?;
+            let action = AdminAction::parse(&action).ok_or_else(|| {
+                (
+                    format!(
+                        "admin: unknown action {action:?}; valid actions: \
+                         spec-load, spec-activate, spec-rollback, spec-list"
+                    ),
+                    id.clone(),
+                )
+            })?;
+            let token = get_str("token")?.ok_or_else(|| {
+                (
+                    "admin: missing required field \"token\"".to_string(),
+                    id.clone(),
+                )
+            })?;
+            let name = get_str("name")?;
+            let spec = get_str("spec")?;
+            match action {
+                AdminAction::SpecLoad if spec.is_none() => {
+                    return Err((
+                        "admin spec-load: missing required field \"spec\"".to_string(),
+                        id,
+                    ))
+                }
+                AdminAction::SpecActivate if name.is_none() => {
+                    return Err((
+                        "admin spec-activate: missing required field \"name\"".to_string(),
+                        id,
+                    ))
+                }
+                _ => {}
+            }
+            Query::Admin {
+                action,
+                token,
+                name,
+                spec,
+            }
+        }
+        "spec-fetch" => Query::SpecFetch,
         other => return Err((names::unknown_op(other), id)),
     };
     let forwarded = get_str("fwd")?.as_deref() == Some("1");
@@ -345,11 +509,14 @@ pub fn parse_request(line: &str) -> Result<Request, (String, String)> {
 }
 
 /// A success envelope: the payload (already-valid JSON) under `result`.
+/// `epoch` is the registry epoch the request was served under — the
+/// snapshot captured at admission, which for cacheable queries is by
+/// construction the spec set the payload was computed against.
 #[must_use]
-pub fn ok_envelope(id: &str, cached: bool, micros: u64, payload: &str) -> String {
+pub fn ok_envelope(id: &str, cached: bool, epoch: u64, micros: u64, payload: &str) -> String {
     format!(
         "{{\"schema\":\"{}\",\"id\":{id},\"ok\":true,\"cached\":{cached},\
-         \"micros\":{micros},\"result\":{payload}}}",
+         \"epoch\":{epoch},\"micros\":{micros},\"result\":{payload}}}",
         metrics::SERVE_SCHEMA
     )
 }
@@ -357,12 +524,15 @@ pub fn ok_envelope(id: &str, cached: bool, micros: u64, payload: &str) -> String
 /// A degraded-success envelope: the stale last-good payload under
 /// `result`, explicitly flagged `"degraded":true` with the failure that
 /// forced the fallback. Degraded replies are always marked `cached` —
-/// the payload is by definition a previously landed value.
+/// the payload is by definition a previously landed value — and carry
+/// the epoch the stale payload was computed at (equal to the serving
+/// epoch: the `last_good` sidecar is keyed under the same epoch-scoped
+/// key as the cache proper, so it can never reach across a swap).
 #[must_use]
-pub fn degraded_envelope(id: &str, micros: u64, payload: &str, error: &str) -> String {
+pub fn degraded_envelope(id: &str, epoch: u64, micros: u64, payload: &str, error: &str) -> String {
     format!(
         "{{\"schema\":\"{}\",\"id\":{id},\"ok\":true,\"cached\":true,\
-         \"degraded\":true,\"degraded_reason\":\"{}\",\
+         \"degraded\":true,\"degraded_reason\":\"{}\",\"epoch\":{epoch},\
          \"micros\":{micros},\"result\":{payload}}}",
         metrics::SERVE_SCHEMA,
         metrics::json_escape(error)
@@ -723,8 +893,34 @@ mod tests {
 
     #[test]
     fn every_query_kind_parses() {
-        let cases: [(&str, Query); 15] = [
+        let cases: [(&str, Query); 19] = [
             ("{\"op\":\"ping\"}", Query::Ping),
+            (
+                "{\"op\":\"measure\",\"spec\":\"hot-1\",\"primitive\":\"trap\"}",
+                Query::MeasureSpec {
+                    name: "hot-1".to_string(),
+                    primitive: Primitive::Trap,
+                },
+            ),
+            (
+                "{\"op\":\"admin\",\"action\":\"spec-list\",\"token\":\"t\"}",
+                Query::Admin {
+                    action: AdminAction::SpecList,
+                    token: "t".to_string(),
+                    name: None,
+                    spec: None,
+                },
+            ),
+            (
+                "{\"op\":\"admin\",\"action\":\"spec-activate\",\"token\":\"t\",\"name\":\"hot-1\"}",
+                Query::Admin {
+                    action: AdminAction::SpecActivate,
+                    token: "t".to_string(),
+                    name: Some("hot-1".to_string()),
+                    spec: None,
+                },
+            ),
+            ("{\"op\":\"spec-fetch\"}", Query::SpecFetch),
             (
                 "{\"op\":\"measure\",\"arch\":\"mips-r3000\",\"primitive\":\"syscall\"}",
                 Query::Measure {
@@ -814,6 +1010,23 @@ mod tests {
             ("{\"op\":1}", "must be a string"),
             ("{\"op\":{\"nested\":1}}", "scalar"),
             ("{}", "missing required field \"op\""),
+            (
+                "{\"op\":\"measure\",\"arch\":\"R3000\",\"spec\":\"x\",\"primitive\":\"trap\"}",
+                "not both",
+            ),
+            ("{\"op\":\"admin\",\"action\":\"spec-list\"}", "\"token\""),
+            (
+                "{\"op\":\"admin\",\"action\":\"reboot\",\"token\":\"t\"}",
+                "valid actions",
+            ),
+            (
+                "{\"op\":\"admin\",\"action\":\"spec-load\",\"token\":\"t\"}",
+                "\"spec\"",
+            ),
+            (
+                "{\"op\":\"admin\",\"action\":\"spec-activate\",\"token\":\"t\"}",
+                "\"name\"",
+            ),
         ] {
             let (err, _) = parse_request(line).expect_err(line);
             assert!(err.contains(needle), "{line}: {err}");
@@ -830,16 +1043,18 @@ mod tests {
     #[test]
     fn envelopes_are_valid_json() {
         use osarch_core::metrics::validate_json;
-        let ok = ok_envelope("17", true, 42, "{\"x\":1}");
+        let ok = ok_envelope("17", true, 2, 42, "{\"x\":1}");
         assert_eq!(validate_json(&ok), Ok(()), "{ok}");
         assert!(ok.contains("\"cached\":true"));
+        assert!(ok.contains("\"epoch\":2"));
         let err = err_envelope("null", "boom \"quoted\"\nline");
         assert_eq!(validate_json(&err), Ok(()), "{err}");
         assert!(!err.contains('\n'));
-        let degraded = degraded_envelope("3", 17, "{\"x\":1}", "panicked: \"boom\"");
+        let degraded = degraded_envelope("3", 5, 17, "{\"x\":1}", "panicked: \"boom\"");
         assert_eq!(validate_json(&degraded), Ok(()), "{degraded}");
         assert!(degraded.contains("\"degraded\":true"));
         assert!(degraded.contains("\"cached\":true"));
+        assert!(degraded.contains("\"epoch\":5"));
         assert!(!degraded.contains('\n'));
         let redirect = not_owner_envelope(
             "9",
@@ -855,18 +1070,59 @@ mod tests {
 
     #[test]
     fn cache_keys_are_canonical_and_control_ops_uncached() {
+        let builtins = SpecSnapshot::builtins();
         let q = Query::Measure {
             arch: Arch::R3000,
             primitive: Primitive::Trap,
         };
-        assert_eq!(q.cache_key().as_deref(), Some("measure/R3000/trap"));
-        assert_eq!(Query::Stats.cache_key(), None);
-        assert_eq!(Query::Spans { chrome: true }.cache_key(), None);
-        assert_eq!(Query::Metrics.cache_key(), None);
-        assert_eq!(Query::Shutdown.cache_key(), None);
-        assert_eq!(Query::Ping.cache_key(), None);
-        assert_eq!(Query::Health { gossip: None }.cache_key(), None);
-        assert_eq!(Query::Cluster.cache_key(), None);
+        assert_eq!(q.routing_key().as_deref(), Some("measure/R3000/trap"));
+        assert_eq!(
+            q.cache_key(&builtins),
+            Some(format!("{}measure/R3000/trap", builtins.key_prefix()))
+        );
+        for q in [
+            Query::Stats,
+            Query::Spans { chrome: true },
+            Query::Metrics,
+            Query::Shutdown,
+            Query::Ping,
+            Query::Health { gossip: None },
+            Query::Cluster,
+            Query::SpecFetch,
+            Query::Admin {
+                action: AdminAction::SpecList,
+                token: "t".to_string(),
+                name: None,
+                spec: None,
+            },
+        ] {
+            assert_eq!(q.routing_key(), None, "{q:?}");
+            assert_eq!(q.cache_key(&builtins), None, "{q:?}");
+        }
+    }
+
+    #[test]
+    fn cache_keys_are_epoch_scoped_but_routing_keys_are_not() {
+        let builtins = SpecSnapshot::builtins();
+        let doc = osarch_cpu::Arch::Sparc.spec().to_json("hot-sparc");
+        let next = builtins
+            .with_spec(&doc, builtins.epoch() + 1)
+            .expect("valid doc");
+        let q = Query::Measure {
+            arch: Arch::R3000,
+            primitive: Primitive::Trap,
+        };
+        assert_ne!(q.cache_key(&builtins), q.cache_key(&next));
+        assert_eq!(q.routing_key(), Some("measure/R3000/trap".to_string()));
+        let qs = Query::MeasureSpec {
+            name: "hot-sparc".to_string(),
+            primitive: Primitive::Trap,
+        };
+        assert_eq!(qs.routing_key(), Some("measure/hot-sparc/trap".to_string()));
+        assert_eq!(
+            qs.cache_key(&next),
+            Some(format!("{}measure/hot-sparc/trap", next.key_prefix()))
+        );
     }
 
     #[test]
@@ -884,7 +1140,7 @@ mod tests {
                 arch: Some(Arch::R2000),
             },
         ] {
-            let payload = query.compute();
+            let payload = query.compute(&SpecSnapshot::builtins());
             assert_eq!(validate_json(&payload), Ok(()), "{query:?}");
             assert!(
                 !payload.contains('\n'),

@@ -52,8 +52,9 @@
 //! loopback connection. Loops flush completed replies and exit.
 
 use crate::cache::{Fetched, ShardedCache};
-use crate::protocol::{self, Frame, FrameBuf, Query};
+use crate::protocol::{self, AdminAction, Frame, FrameBuf, Query};
 use crate::queue::BoundedQueue;
+use crate::registry::{parse_spec_fetch, SpecRegistry, SpecSnapshot};
 use crate::stats::{op_slot, HealthGauges, ServeStats, OP_NAMES};
 use osarch_chaos::{ChaosController, Failpoint};
 use osarch_cluster::{Membership, Ring};
@@ -114,6 +115,10 @@ pub struct ServerConfig {
     pub chaos: Option<Arc<ChaosController>>,
     /// Multi-node cluster mode; `None` serves standalone (the default).
     pub cluster: Option<ClusterConfig>,
+    /// Shared secret for the `admin` op (live spec hot-swap). `None` —
+    /// the default — refuses every `admin` request outright: the control
+    /// plane simply does not exist on an unconfigured server.
+    pub admin_token: Option<String>,
 }
 
 /// Cluster-mode knobs: the static seed list, this node's identity on
@@ -180,6 +185,7 @@ impl Default for ServerConfig {
             metrics_addr: None,
             chaos: None,
             cluster: None,
+            admin_token: None,
         }
     }
 }
@@ -287,6 +293,11 @@ struct Job {
     op: &'static str,
     started: Instant,
     start_us: u64,
+    /// The registry snapshot captured at admission: the computation and
+    /// the reply's `epoch` field both resolve against it, so in-flight
+    /// work finishes on the spec version it started under even when the
+    /// registry swaps mid-flight.
+    snapshot: Arc<SpecSnapshot>,
     /// Sampled request's trace, marked at enqueue time — the pool closes
     /// the `queue` stage when it pops the job.
     trace: Option<Box<PendingTrace>>,
@@ -321,6 +332,9 @@ struct Completion {
     op: &'static str,
     started: Instant,
     start_us: u64,
+    /// The epoch the job's snapshot was captured at; the reply envelope
+    /// carries it.
+    epoch: u64,
     outcome: Outcome,
     trace: Option<Box<PendingTrace>>,
 }
@@ -380,6 +394,10 @@ struct Shared {
     jobs: BoundedQueue<Job>,
     loops: Vec<LoopShared>,
     cluster: Option<ClusterState>,
+    /// The versioned spec registry. Lives here — not in any loop — so a
+    /// committed epoch survives loop deaths and respawns.
+    registry: SpecRegistry,
+    admin_token: Option<String>,
 }
 
 /// Live cluster-mode state: the (immutable) ring, the (gossiped)
@@ -538,6 +556,7 @@ impl Shared {
             workers_live: self.stats.workers_live(),
             compute_backlog: self.jobs.len() as u64,
             oldest_write_backlog_ms: self.oldest_backlog_ms(),
+            registry_epoch: self.registry.snapshot().epoch(),
             shutting_down: self.shutdown.load(Ordering::SeqCst),
         };
         let totals = osarch_telemetry::Totals {
@@ -555,8 +574,11 @@ impl Shared {
             cache_coalesced: self.cache.coalesced(),
             cache_failed: self.cache.failed(),
             cache_degraded: self.cache.degraded(),
+            swaps: self.registry.swaps(),
+            rollbacks: self.registry.rollbacks(),
         };
         let mut snap = self.hub.snapshot(self.uptime_us(), gauges, totals);
+        snap.swap_latency_us = self.registry.swap_latency();
         if let Some(cluster) = &self.cluster {
             snap.cluster = Some(cluster.gauges());
         }
@@ -631,6 +653,8 @@ impl Server {
             jobs: BoundedQueue::new((conn_budget * 4).max(1024)),
             loops,
             cluster: config.cluster.as_ref().map(ClusterState::from_config),
+            registry: SpecRegistry::new(),
+            admin_token: config.admin_token.clone(),
         });
         let mut threads = Vec::with_capacity(workers + compute_threads + 2);
         for (index, wake_rx) in wake_rxs.into_iter().enumerate() {
@@ -797,6 +821,28 @@ impl ServerHandle {
             .map(|c| lock(&c.membership).digest())
     }
 
+    /// The spec registry's current `{epoch}:{hash}` digest — soaks
+    /// compare these across nodes to assert spec convergence.
+    #[must_use]
+    pub fn registry_digest(&self) -> String {
+        self.shared.registry.snapshot().digest()
+    }
+
+    /// The spec registry's current epoch (1 = the built-ins).
+    #[must_use]
+    pub fn registry_epoch(&self) -> u64 {
+        self.shared.registry.snapshot().epoch()
+    }
+
+    /// `(swaps, rollbacks)` committed by the spec registry so far.
+    #[must_use]
+    pub fn registry_swap_stats(&self) -> (u64, u64) {
+        (
+            self.shared.registry.swaps(),
+            self.shared.registry.rollbacks(),
+        )
+    }
+
     /// Begin a graceful shutdown (idempotent): stop accepting, wake and
     /// drain every loop, let the compute pool run dry.
     pub fn shutdown(&self) {
@@ -870,27 +916,37 @@ fn accept_loop(listener: &TcpListener, shared: &Shared) {
             continue;
         }
         shared.stats.record_conn_opened();
-        let mut item = Some((stream, Permit(Arc::clone(&shared.open_conns))));
-        for _ in 0..shared.loops.len() {
-            let index = next_loop % shared.loops.len();
-            next_loop = next_loop.wrapping_add(1);
-            match shared.loops[index]
-                .handoff
-                .try_push(item.take().expect("unplaced"))
-            {
-                Ok(()) => {
-                    shared.loops[index].waker.wake();
-                    break;
-                }
-                Err(returned) => item = Some(returned),
-            }
-        }
-        if let Some((stream, permit)) = item {
+        let item = (stream, Permit(Arc::clone(&shared.open_conns)));
+        if let Some((stream, permit)) = place_round_robin(&shared.loops, &mut next_loop, item) {
             // Every handoff is full (or closed): shed the connection.
             drop(permit);
             reject_busy(shared, stream);
         }
     }
+}
+
+/// Hand an accepted connection to the next event loop with capacity,
+/// round-robin. Ownership threads through `try_push` and back out of its
+/// `Err` — the item is moved, never parked in an `Option` — so "we still
+/// hold the connection" is a fact of the types: placement returns `None`,
+/// and the unplaced connection comes back as `Some` for shedding.
+fn place_round_robin(
+    loops: &[LoopShared],
+    next_loop: &mut usize,
+    mut item: (TcpStream, Permit),
+) -> Option<(TcpStream, Permit)> {
+    for _ in 0..loops.len() {
+        let index = *next_loop % loops.len();
+        *next_loop = next_loop.wrapping_add(1);
+        match loops[index].handoff.try_push(item) {
+            Ok(()) => {
+                loops[index].waker.wake();
+                return None;
+            }
+            Err(returned) => item = returned,
+        }
+    }
+    Some(item)
 }
 
 /// Backpressure: answer busy and hang up rather than queueing unbounded
@@ -1030,7 +1086,13 @@ fn pool_main(shared: &Shared) {
                 // forever.
                 let mut compute_span: Option<(u64, u64)> = None;
                 let fetched = std::panic::catch_unwind(AssertUnwindSafe(|| {
-                    compute_job(shared, &job.key, &job.query, &mut compute_span)
+                    compute_job(
+                        shared,
+                        &job.key,
+                        &job.query,
+                        &job.snapshot,
+                        &mut compute_span,
+                    )
                 }))
                 .unwrap_or_else(|_| {
                     Fetched::Failed("internal error: compute worker panicked".to_string())
@@ -1057,6 +1119,7 @@ fn pool_main(shared: &Shared) {
             op: job.op,
             started: job.started,
             start_us: job.start_us,
+            epoch: job.snapshot.epoch(),
             outcome,
             trace: job.trace,
         });
@@ -1072,6 +1135,7 @@ fn compute_job(
     shared: &Shared,
     key: &str,
     query: &Query,
+    snapshot: &SpecSnapshot,
     compute_span: &mut Option<(u64, u64)>,
 ) -> Fetched {
     shared.cache.get_or_compute_resilient(key, || {
@@ -1089,7 +1153,7 @@ fn compute_job(
             // Chaos: the single-flight leader dies mid-compute.
             panic!("chaos: injected computation panic");
         }
-        let payload = query.compute();
+        let payload = query.compute(snapshot);
         *compute_span = Some((
             compute_start,
             shared.uptime_us().saturating_sub(compute_start),
@@ -1171,6 +1235,55 @@ fn extract_gossip(reply: &str) -> Option<&str> {
     Some(&reply[start..end])
 }
 
+/// Pull the spec-registry digest (`{epoch}:{hash}`) out of a peer's
+/// `health` reply; same quote-scan, same no-escapes construction.
+fn extract_spec_digest(reply: &str) -> Option<&str> {
+    let start = reply.find("\"spec\":\"")? + "\"spec\":\"".len();
+    let end = reply[start..].find('"')? + start;
+    Some(&reply[start..end])
+}
+
+/// Cluster spec convergence, pull side: when a probed peer advertises a
+/// strictly newer registry epoch, fetch its spec set (`spec-fetch`) and
+/// adopt it at the *remote* epoch, so converged nodes share one digest.
+/// Every failure path is a silent no-op — the next gossip round retries.
+fn maybe_pull_specs(shared: &Shared, target: &str, remote_digest: &str) {
+    let Some(remote_epoch) = remote_digest
+        .split(':')
+        .next()
+        .and_then(|epoch| epoch.parse::<u64>().ok())
+    else {
+        return;
+    };
+    let local = shared.registry.snapshot();
+    if remote_epoch <= local.epoch() {
+        return;
+    }
+    let Ok(reply) = exchange_line(
+        target,
+        "{\"op\":\"spec-fetch\",\"id\":\"spec-pull\"}",
+        RELAY_CONNECT_TIMEOUT,
+        RELAY_READ_TIMEOUT_CAP,
+    ) else {
+        return;
+    };
+    // Parse from the result payload onward: the envelope carries its own
+    // top-level `epoch` field, which must not shadow the payload's.
+    let Some(at) = reply.find("\"result\":") else {
+        return;
+    };
+    let Ok((epoch, docs)) = parse_spec_fetch(&reply[at..]) else {
+        return;
+    };
+    let Ok(snapshot) = SpecSnapshot::from_docs(&docs, epoch) else {
+        return;
+    };
+    if shared.registry.adopt(snapshot) {
+        let active = shared.registry.snapshot();
+        shared.cache.retain_prefix(active.key_prefix());
+    }
+}
+
 /// The anti-entropy thread: round-robin the peer list, exchange
 /// membership digests over the ordinary `health` op, and fold direct
 /// probe evidence (success/failure) into the table. Every probe is a
@@ -1201,10 +1314,17 @@ fn gossip_loop(shared: &Shared) {
         );
         match exchange_line(target, &line, GOSSIP_TIMEOUT, GOSSIP_TIMEOUT) {
             Ok(reply) => {
-                let mut membership = lock(&cluster.membership);
-                membership.record_success(target);
-                if let Some(incoming) = extract_gossip(&reply) {
-                    membership.merge_digest(incoming);
+                {
+                    let mut membership = lock(&cluster.membership);
+                    membership.record_success(target);
+                    if let Some(incoming) = extract_gossip(&reply) {
+                        membership.merge_digest(incoming);
+                    }
+                }
+                // Membership lock released: the spec pull dials the peer
+                // again and must not hold it across the exchange.
+                if let Some(remote_digest) = extract_spec_digest(&reply) {
+                    maybe_pull_specs(shared, target, remote_digest);
                 }
             }
             Err(_) => {
@@ -1320,6 +1440,18 @@ fn event_loop(shared: &Shared, index: usize, wake_rx: &WakeRx, ltrace: &mut Loop
             };
             if event.readable {
                 on_readable(shared, index, &mut conn, ltrace);
+                if shared
+                    .registry
+                    .swap_loop_death
+                    .swap(false, Ordering::SeqCst)
+                {
+                    // Chaos: this loop just committed a spec swap; die
+                    // before the admin reply reaches the write buffer.
+                    // Deliberately *outside* dispatch's catch_unwind — a
+                    // real loop death, caught only by loop_main's respawn.
+                    // The committed epoch lives in Shared and survives.
+                    panic!("chaos: injected mid-swap loop death");
+                }
             }
             service_conn(shared, poller.as_mut(), &mut conn);
             park_or_retire(
@@ -1688,6 +1820,9 @@ fn op_name(query: &Query) -> &'static str {
         Query::Health { .. } => "health",
         Query::Cluster => "cluster",
         Query::Shutdown => "shutdown",
+        Query::MeasureSpec { .. } => "measure",
+        Query::Admin { .. } => "admin",
+        Query::SpecFetch => "spec-fetch",
     }
 }
 
@@ -1746,6 +1881,12 @@ fn handle_request(
         trace.op = op;
         trace.stage_from_mark("decode", shared.uptime_us());
     }
+    // Capture the registry snapshot for this request's whole lifetime:
+    // the cache key, the computation, and the reply's `epoch` all
+    // resolve against it, so a swap mid-request changes nothing for
+    // work already admitted.
+    let snapshot = shared.registry.snapshot();
+    let mut reply_epoch = snapshot.epoch();
     let (payload, cached) = match &request.query {
         Query::Ping => ("{\"pong\":true}".to_string(), false),
         Query::Stats => {
@@ -1801,9 +1942,12 @@ fn handle_request(
                     membership.digest()
                 };
                 payload.truncate(payload.len() - 1);
+                // The spec digest rides the same probe: a peer that sees
+                // a newer epoch here pulls the spec set via `spec-fetch`.
                 payload.push_str(&format!(
-                    ",\"gossip\":\"{}\"}}",
-                    osarch_core::metrics::json_escape(&digest)
+                    ",\"gossip\":\"{}\",\"spec\":\"{}\"}}",
+                    osarch_core::metrics::json_escape(&digest),
+                    snapshot.digest()
                 ));
             }
             (payload, false)
@@ -1827,10 +1971,34 @@ fn handle_request(
             initiate_shutdown(shared);
             ("{\"shutting_down\":true}".to_string(), false)
         }
+        Query::SpecFetch => (snapshot.fetch_payload(), false),
+        Query::Admin {
+            action,
+            token,
+            name,
+            spec,
+        } => match handle_admin(shared, *action, token, name.as_deref(), spec.as_deref()) {
+            Ok(payload) => {
+                // Admin replies report the post-action epoch: an
+                // activation's envelope carries the epoch it created.
+                reply_epoch = shared.registry.snapshot().epoch();
+                (payload, false)
+            }
+            Err(message) => {
+                shared.stats.record_error();
+                shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
+                pending.push_back(Ticket::Done {
+                    envelope: protocol::err_envelope(&id, &message),
+                    chaos: false,
+                    trace: None,
+                });
+                return;
+            }
+        },
         query => {
             // Data query. A query kind with no cache key would once have
             // panicked the worker here; now it is a clean error envelope.
-            let Some(key) = query.cache_key() else {
+            let Some(routing_key) = query.routing_key() else {
                 shared.stats.record_error();
                 shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
                 pending.push_back(Ticket::Done {
@@ -1843,6 +2011,34 @@ fn handle_request(
                 });
                 return;
             };
+            // A spec measurement must name a spec the captured snapshot
+            // actually holds — resolved here, before any offload, so the
+            // compute path can rely on existence.
+            if let Query::MeasureSpec { name, .. } = query {
+                if snapshot.spec(name).is_none() {
+                    shared.stats.record_error();
+                    shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
+                    let loaded: Vec<&str> =
+                        snapshot.entries().iter().map(|e| e.name.as_str()).collect();
+                    pending.push_back(Ticket::Done {
+                        envelope: protocol::err_envelope(
+                            &id,
+                            &format!(
+                                "unknown spec {name:?} at epoch {}; loaded specs: [{}]",
+                                snapshot.epoch(),
+                                loaded.join(", ")
+                            ),
+                        ),
+                        chaos: false,
+                        trace: None,
+                    });
+                    return;
+                }
+            }
+            // The epoch-free routing key places the request on the ring
+            // (ownership must not move on a swap); the snapshot-scoped
+            // cache key isolates cached replies per epoch.
+            let key = format!("{}{routing_key}", snapshot.key_prefix());
             // Cluster routing: a key this node does not replicate is
             // relayed to a replica (proxy mode) or answered with a
             // `not_owner` redirect. A forwarded request is never
@@ -1852,7 +2048,7 @@ fn handle_request(
             // any key.
             let mut relay: Option<Relay> = None;
             if let Some(cluster) = &shared.cluster {
-                let replicas = cluster.ring.replicas(&key, cluster.replicas);
+                let replicas = cluster.ring.replicas(&routing_key, cluster.replicas);
                 let mine = replicas.iter().any(|addr| *addr == cluster.self_addr);
                 if mine {
                     if request.forwarded {
@@ -1864,7 +2060,7 @@ fn handle_request(
                     shared.hub.bump(loop_index, COUNTER_ERRORS, 1, now_s);
                     let owner = replicas.first().copied().unwrap_or("");
                     pending.push_back(Ticket::Done {
-                        envelope: protocol::not_owner_envelope(&id, &key, owner, &replicas),
+                        envelope: protocol::not_owner_envelope(&id, &routing_key, owner, &replicas),
                         chaos: false,
                         trace: None,
                     });
@@ -1926,6 +2122,7 @@ fn handle_request(
                         op,
                         started,
                         start_us,
+                        snapshot: Arc::clone(&snapshot),
                         trace,
                         relay,
                     };
@@ -1953,8 +2150,193 @@ fn handle_request(
         }
     };
     pending.push_back(finish_now(
-        shared, loop_index, &id, op, &payload, cached, started, start_us, trace,
+        shared,
+        loop_index,
+        &id,
+        op,
+        &payload,
+        cached,
+        reply_epoch,
+        started,
+        start_us,
+        trace,
     ));
+}
+
+/// Constant-time token comparison: the byte-fold visits every byte of
+/// both strings regardless of where they first differ, so response
+/// timing leaks neither the match prefix length nor (beyond the
+/// unavoidable length class) the expected token.
+fn token_matches(expected: &str, got: &str) -> bool {
+    let mut diff = expected.len() ^ got.len();
+    for (a, b) in expected.bytes().zip(got.bytes()) {
+        diff |= usize::from(a ^ b);
+    }
+    diff == 0
+}
+
+/// Execute one authenticated `admin` action. Runs inline on the event
+/// loop — admin traffic is rare and must serialize naturally against
+/// the loop's own dispatch. Returns the reply payload or a one-line
+/// error (rendered as an error envelope by the caller).
+fn handle_admin(
+    shared: &Shared,
+    action: AdminAction,
+    token: &str,
+    name: Option<&str>,
+    spec: Option<&str>,
+) -> Result<String, String> {
+    let Some(expected) = &shared.admin_token else {
+        return Err("admin: disabled (server started without --admin-token)".to_string());
+    };
+    if !token_matches(expected, token) {
+        return Err("admin: invalid token".to_string());
+    }
+    let registry = &shared.registry;
+    match action {
+        AdminAction::SpecLoad => {
+            let doc = spec.unwrap_or_default();
+            let staged = registry.stage(doc).map_err(|e| format!("spec-load: {e}"))?;
+            Ok(format!(
+                "{{\"action\":\"spec-load\",\"staged\":\"{}\",\"epoch\":{}}}",
+                osarch_core::metrics::json_escape(&staged),
+                registry.snapshot().epoch()
+            ))
+        }
+        AdminAction::SpecActivate => activate_spec(shared, name.unwrap_or_default()),
+        AdminAction::SpecRollback => {
+            let swap_started = Instant::now();
+            let restored = registry.rollback(None);
+            shared.cache.retain_prefix(restored.key_prefix());
+            registry.record_swap_latency(swap_started.elapsed().as_micros() as u64);
+            Ok(format!(
+                "{{\"action\":\"spec-rollback\",\"epoch\":{},\"digest\":\"{}\"}}",
+                restored.epoch(),
+                restored.digest()
+            ))
+        }
+        AdminAction::SpecList => {
+            let snapshot = registry.snapshot();
+            let active: Vec<String> = snapshot
+                .entries()
+                .iter()
+                .map(|e| format!("\"{}\"", osarch_core::metrics::json_escape(&e.name)))
+                .collect();
+            let staged: Vec<String> = registry
+                .staged_names()
+                .iter()
+                .map(|n| format!("\"{}\"", osarch_core::metrics::json_escape(n)))
+                .collect();
+            Ok(format!(
+                concat!(
+                    "{{\"action\":\"spec-list\",\"epoch\":{},\"digest\":\"{}\",",
+                    "\"swaps\":{},\"rollbacks\":{},\"active\":[{}],\"staged\":[{}]}}"
+                ),
+                snapshot.epoch(),
+                snapshot.digest(),
+                registry.swaps(),
+                registry.rollbacks(),
+                active.join(","),
+                staged.join(",")
+            ))
+        }
+    }
+}
+
+/// The activation pipeline: staged doc → parse → lint gate → absint
+/// proof gate → epoch commit → measurement probe under panic
+/// containment. A probe failure (including an injected `CorruptSpec`
+/// fault) rolls the registry back to last-good automatically; the reply
+/// reports which way it went.
+fn activate_spec(shared: &Shared, name: &str) -> Result<String, String> {
+    let registry = &shared.registry;
+    let swap_started = Instant::now();
+    let doc = registry
+        .staged_doc(name)
+        .ok_or_else(|| format!("spec-activate: {name:?} is not staged (spec-load it first)"))?;
+    let (_, spec) =
+        osarch_cpu::ArchSpec::from_json(&doc).map_err(|e| format!("spec-activate: {e}"))?;
+    // Gate 1: the lint rules that run over every builtin must pass for
+    // the candidate too (warnings allowed, errors fatal).
+    let lint = osarch_core::Analyzer::new().analyze_spec(&spec);
+    if !lint.passes(false) {
+        return Err(format!(
+            "spec-activate: {name:?} fails lint ({} diagnostics)",
+            lint.diagnostics().len()
+        ));
+    }
+    // Gate 2: the abstract-interpretation verifier must produce a proof
+    // artifact with zero refuted obligations.
+    let absint = osarch_core::AbsintAnalyzer::new().analyze_spec(&spec);
+    let (_, refuted, _) = absint.verdict_counts();
+    if refuted > 0 {
+        return Err(format!(
+            "spec-activate: {name:?} refuted by the dataflow verifier ({refuted} obligations)"
+        ));
+    }
+    // Commit: the prior active becomes last-good; a lost race against a
+    // concurrent activation leaves the registry untouched.
+    let base = registry.snapshot();
+    let candidate = base
+        .with_spec(&doc, base.epoch() + 1)
+        .map_err(|e| format!("spec-activate: {e}"))?;
+    let committed = registry.commit(candidate).map_err(|active| {
+        format!("spec-activate: lost a concurrent activation race (active epoch {active}); retry")
+    })?;
+    shared.cache.retain_prefix(committed.key_prefix());
+    // Probe: measure every primitive of the candidate under panic
+    // containment. This is where a corrupt spec blows up — and where
+    // chaos pretends one did.
+    let probe = std::panic::catch_unwind(AssertUnwindSafe(|| {
+        if shared.inject(Failpoint::CorruptSpec) {
+            panic!("chaos: injected spec corruption during the activation probe");
+        }
+        let spec = committed
+            .spec(name)
+            .expect("the spec was committed under this name one line ago");
+        for primitive in osarch_kernel::Primitive::all() {
+            let _ = osarch_core::metrics::measure_spec_json(name, spec, primitive);
+        }
+    }));
+    let swap_us = swap_started.elapsed().as_micros() as u64;
+    registry.record_swap_latency(swap_us);
+    match probe {
+        Ok(()) => {
+            if shared.inject(Failpoint::SwapLoopDeath) {
+                // Chaos: arm the loop-death flag; the event loop checks
+                // it outside dispatch's catch_unwind and dies for real
+                // before this reply is written.
+                registry.swap_loop_death.store(true, Ordering::SeqCst);
+            }
+            Ok(format!(
+                concat!(
+                    "{{\"action\":\"spec-activate\",\"name\":\"{}\",\"activated\":true,",
+                    "\"rolled_back\":false,\"epoch\":{},\"digest\":\"{}\",\"swap_us\":{}}}"
+                ),
+                osarch_core::metrics::json_escape(name),
+                committed.epoch(),
+                committed.digest(),
+                swap_us
+            ))
+        }
+        Err(_) => {
+            // The candidate died mid-probe: automatic rollback to the
+            // last-good content at a fresh epoch, candidate unstaged.
+            shared.stats.record_panic();
+            let restored = registry.rollback(Some(name));
+            shared.cache.retain_prefix(restored.key_prefix());
+            Ok(format!(
+                concat!(
+                    "{{\"action\":\"spec-activate\",\"name\":\"{}\",\"activated\":false,",
+                    "\"rolled_back\":true,\"epoch\":{},\"digest\":\"{}\",\"swap_us\":{}}}"
+                ),
+                osarch_core::metrics::json_escape(name),
+                restored.epoch(),
+                restored.digest(),
+                swap_us
+            ))
+        }
+    }
 }
 
 /// Render an inline (non-offloaded) reply, deadline-checked and counted
@@ -1968,6 +2350,7 @@ fn finish_now(
     op: &'static str,
     payload: &str,
     cached: bool,
+    epoch: u64,
     started: Instant,
     start_us: u64,
     mut trace: Option<Box<PendingTrace>>,
@@ -2006,7 +2389,7 @@ fn finish_now(
         trace.mark(shared.uptime_us());
     }
     Ticket::Done {
-        envelope: protocol::ok_envelope(id, cached, service_us, payload),
+        envelope: protocol::ok_envelope(id, cached, epoch, service_us, payload),
         chaos: true,
         trace,
     }
@@ -2128,8 +2511,20 @@ fn render_completion(shared: &Shared, loop_index: usize, completion: Completion)
         now_s,
     );
     let envelope = match degraded {
-        Some(error) => protocol::degraded_envelope(&completion.id, service_us, payload, &error),
-        None => protocol::ok_envelope(&completion.id, cached, service_us, payload),
+        Some(error) => protocol::degraded_envelope(
+            &completion.id,
+            completion.epoch,
+            service_us,
+            payload,
+            &error,
+        ),
+        None => protocol::ok_envelope(
+            &completion.id,
+            cached,
+            completion.epoch,
+            service_us,
+            payload,
+        ),
     };
     if let Some(trace) = trace.as_mut() {
         // Response ready: everything from here to batching is `write`.

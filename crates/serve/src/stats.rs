@@ -24,9 +24,22 @@ const SPAN_RING: usize = 256;
 /// Every serve-protocol op, in the registry order of
 /// [`osarch_core::names::op_names`]. The telemetry hub keys its per-op
 /// latency windows by index into this table.
-pub const OP_NAMES: [&str; 13] = [
-    "ping", "measure", "table", "lint", "analyze", "trace", "counters", "stats", "spans",
-    "metrics", "health", "cluster", "shutdown",
+pub const OP_NAMES: [&str; 15] = [
+    "ping",
+    "measure",
+    "table",
+    "lint",
+    "analyze",
+    "trace",
+    "counters",
+    "stats",
+    "spans",
+    "metrics",
+    "health",
+    "cluster",
+    "shutdown",
+    "admin",
+    "spec-fetch",
 ];
 
 /// The [`OP_NAMES`] index of an op label. Unknown labels (only possible
@@ -451,6 +464,8 @@ mod tests {
         assert_eq!(listed, OP_NAMES.to_vec());
         assert_eq!(op_slot("metrics"), 9);
         assert_eq!(op_slot("cluster"), 11);
+        assert_eq!(op_slot("admin"), 13);
+        assert_eq!(op_slot("spec-fetch"), 14);
         assert_eq!(op_slot("nonsense"), 0, "unknown ops fold into slot 0");
     }
 

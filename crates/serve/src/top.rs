@@ -42,6 +42,12 @@ pub struct TopSnapshot {
     pub worker_respawns: u64,
     /// Lifetime injected faults.
     pub faults_injected: u64,
+    /// Lifetime spec swaps committed by the registry.
+    pub swaps: u64,
+    /// Lifetime automatic/explicit spec rollbacks.
+    pub rollbacks: u64,
+    /// Active spec-registry epoch (1 = the built-ins).
+    pub registry_epoch: u64,
     /// Cache hit ratio over the server lifetime (hits+coalesced / lookups).
     pub cache_hit_ratio: f64,
     /// Open connections right now.
@@ -150,6 +156,9 @@ pub fn parse_snapshot(doc: &str) -> TopSnapshot {
         degraded: num(totals, "degraded"),
         worker_respawns: num(totals, "worker_respawns"),
         faults_injected: num(totals, "faults_injected"),
+        swaps: num(totals, "swaps"),
+        rollbacks: num(totals, "rollbacks"),
+        registry_epoch: num(gauges, "registry_epoch"),
         cache_hit_ratio: float(gauges, "cache_hit_ratio"),
         conns_open: num(gauges, "conns_open"),
         conn_budget: num(gauges, "conn_budget"),
@@ -198,6 +207,10 @@ pub fn render(addr: &str, prev: Option<&TopSnapshot>, cur: &TopSnapshot, elapsed
         cur.workers,
         cur.worker_respawns,
         cur.faults_injected
+    ));
+    out.push_str(&format!(
+        "spec epoch {}   swaps {}   rollbacks {}\n",
+        cur.registry_epoch, cur.swaps, cur.rollbacks
     ));
     out.push_str(&format!(
         "loop lag p99 {} us   offload queue {}   write backlog {} ms   sampling {}\n",
@@ -348,6 +361,15 @@ pub fn cli(args: &[String], prog: &str) -> Result<std::process::ExitCode, String
             return Ok(ExitCode::FAILURE);
         }
         let cur = parse_snapshot(&reply);
+        if prev
+            .as_ref()
+            .is_some_and(|p| p.registry_epoch != cur.registry_epoch)
+        {
+            // A live spec swap landed between refreshes: the request mix
+            // changed epochs, so the throughput delta would compare
+            // incomparable windows — reset it, exactly as a restart does.
+            prev = None;
+        }
         let elapsed = last_at.elapsed().as_secs_f64();
         last_at = std::time::Instant::now();
         let screen = render(&addr, prev.as_ref(), &cur, elapsed);
@@ -389,6 +411,7 @@ mod tests {
                 workers_live: 2,
                 compute_backlog: 1,
                 oldest_write_backlog_ms: 12,
+                registry_epoch: 3,
                 shutting_down: false,
             },
             osarch_telemetry::Totals {
@@ -397,6 +420,8 @@ mod tests {
                 degraded: 2,
                 cache_hits: 60,
                 cache_misses: 40,
+                swaps: 2,
+                rollbacks: 1,
                 ..osarch_telemetry::Totals::default()
             },
         );
@@ -417,6 +442,9 @@ mod tests {
         assert_eq!(snap.workers_live, 2);
         assert_eq!(snap.compute_backlog, 1);
         assert_eq!(snap.oldest_write_backlog_ms, 12);
+        assert_eq!(snap.registry_epoch, 3);
+        assert_eq!(snap.swaps, 2);
+        assert_eq!(snap.rollbacks, 1);
         assert!(!snap.shutting_down);
         assert!((snap.cache_hit_ratio - 0.6).abs() < 1e-9);
         assert_eq!(snap.loop_lag_p99_us, 90);
@@ -432,7 +460,7 @@ mod tests {
     #[test]
     fn parse_scans_through_a_reply_envelope() {
         let payload = sample_doc();
-        let envelope = crate::protocol::ok_envelope("7", false, 120, payload.trim_end());
+        let envelope = crate::protocol::ok_envelope("7", false, 3, 120, payload.trim_end());
         let snap = parse_snapshot(&envelope);
         assert_eq!(snap.requests, 300);
         assert_eq!(snap.conn_budget, 1024);
@@ -449,6 +477,7 @@ mod tests {
         assert!(screen.contains("[ok]"));
         assert!(screen.contains("measure"));
         assert!(screen.contains("cache hit ratio 0.600"));
+        assert!(screen.contains("spec epoch 3   swaps 2   rollbacks 1"));
         assert!(!screen.contains('\x1b'), "render itself is ANSI-free");
         // A dead loop flips the state flag.
         cur.workers_live = 1;

@@ -8,7 +8,7 @@
 use osarch_core::{metrics, AbsintAnalyzer, MeasurementSession};
 use osarch_cpu::Arch;
 use osarch_kernel::Primitive;
-use osarch_serve::{Query, ShardedCache};
+use osarch_serve::{Query, ShardedCache, SpecSnapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Barrier;
 
@@ -111,6 +111,7 @@ fn analyze_queries_single_flight_with_byte_identical_replies() {
         .chain(std::iter::once(Query::Analyze { arch: None }))
         .collect();
     let cache = ShardedCache::new(8);
+    let snapshot = SpecSnapshot::builtins();
     let computations: Vec<AtomicU64> = queries.iter().map(|_| AtomicU64::new(0)).collect();
     let barrier = Barrier::new(THREADS);
 
@@ -118,6 +119,7 @@ fn analyze_queries_single_flight_with_byte_identical_replies() {
         for thread in 0..THREADS {
             let cache = &cache;
             let queries = &queries;
+            let snapshot = &snapshot;
             let computations = &computations;
             let barrier = &barrier;
             scope.spawn(move || {
@@ -126,10 +128,10 @@ fn analyze_queries_single_flight_with_byte_identical_replies() {
                     for step in 0..queries.len() {
                         let index = (thread + round + step) % queries.len();
                         let query = &queries[index];
-                        let key = query.cache_key().expect("analyze is cacheable");
+                        let key = query.cache_key(snapshot).expect("analyze is cacheable");
                         let (value, _) = cache.get_or_compute(&key, || {
                             computations[index].fetch_add(1, Ordering::SeqCst);
-                            query.compute()
+                            query.compute(snapshot)
                         });
                         assert!(value.starts_with("{\"schema\":\"osarch-absint/1\""));
                     }
@@ -143,10 +145,10 @@ fn analyze_queries_single_flight_with_byte_identical_replies() {
             computations[index].load(Ordering::SeqCst),
             1,
             "{:?} computed more than once",
-            query.cache_key()
+            query.cache_key(&snapshot)
         );
         // Every cached reply is byte-identical to the direct emitter.
-        let key = query.cache_key().expect("cacheable");
+        let key = query.cache_key(&snapshot).expect("cacheable");
         let (cached, was_cached) = cache.get_or_compute(&key, || unreachable!("{key} is cached"));
         assert!(was_cached);
         let analyzer = AbsintAnalyzer::new();

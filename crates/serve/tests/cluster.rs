@@ -91,13 +91,15 @@ fn sample_lines() -> Vec<String> {
     lines
 }
 
-/// The server-side cache key for a request line — the same parse +
-/// `cache_key` the event loop runs, so tests route exactly as it does.
+/// The server-side routing key for a request line — the same parse +
+/// `routing_key` the event loop runs, so tests route exactly as it does.
+/// (Routing is epoch-free on purpose: a live spec swap must not migrate
+/// keys around the ring.)
 fn key_of(line: &str) -> String {
     parse_request(line)
         .expect("line parses")
         .query
-        .cache_key()
+        .routing_key()
         .expect("data query has a key")
 }
 

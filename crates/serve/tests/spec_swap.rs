@@ -1,0 +1,203 @@
+//! Satellite: the versioned cache across live spec swaps.
+//!
+//! Three properties of the epoch-prefixed cache key:
+//!
+//! 1. keys never collide across epochs (proptest over epoch pairs and
+//!    the whole query space);
+//! 2. under a 12-thread hammer spanning a simulated swap, no reply ever
+//!    crosses epochs — every returned payload is byte-identical to its
+//!    own epoch's direct emitter;
+//! 3. a degraded (last-good) reply can only carry the value computed at
+//!    the *same* epoch: a fresh epoch with no history fails hard rather
+//!    than leaking the previous epoch's stale payload.
+
+use osarch_cpu::Arch;
+use osarch_kernel::Primitive;
+use osarch_serve::{Query, ShardedCache, SpecSnapshot};
+use proptest::prelude::*;
+use std::sync::Barrier;
+
+/// The whole cacheable query space, indexed densely so proptest can
+/// draw from it with a plain integer strategy.
+fn cacheable_queries() -> Vec<Query> {
+    let mut queries = Vec::new();
+    for arch in Arch::all() {
+        for primitive in Primitive::all() {
+            queries.push(Query::Measure { arch, primitive });
+            queries.push(Query::Trace { arch, primitive });
+        }
+        queries.push(Query::Analyze { arch: Some(arch) });
+        queries.push(Query::Lint { arch: Some(arch) });
+        queries.push(Query::Counters { arch: Some(arch) });
+    }
+    queries.push(Query::Analyze { arch: None });
+    queries.push(Query::Lint { arch: None });
+    queries.push(Query::Counters { arch: None });
+    for primitive in Primitive::all() {
+        queries.push(Query::MeasureSpec {
+            name: "hot".to_string(),
+            primitive,
+        });
+    }
+    queries
+}
+
+/// A swapped-in spec document distinct from every builtin.
+fn hot_doc(clock_mhz: f64) -> String {
+    let mut spec = Arch::all()[0].spec();
+    spec.clock_mhz = clock_mhz;
+    spec.to_json("hot")
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Across any two distinct epochs, no query's cache key collides —
+    /// with itself at the other epoch, or with *any other query at any
+    /// other epoch*. A collision would let a reply computed under one
+    /// spec registry answer a request captured under another.
+    #[test]
+    fn cache_keys_never_collide_across_epochs(
+        epoch_a in 1u64..10_000,
+        offset in 1u64..10_000,
+        query_index in 0usize..1_000,
+    ) {
+        let epoch_b = epoch_a + offset;
+        let queries = cacheable_queries();
+        let query = &queries[query_index % queries.len()];
+        let snap_a = SpecSnapshot::builtins().at_epoch(epoch_a);
+        let snap_b = SpecSnapshot::builtins().at_epoch(epoch_b);
+        let key_a = query.cache_key(&snap_a).expect("cacheable");
+        let key_b = query.cache_key(&snap_b).expect("cacheable");
+        prop_assert_ne!(&key_a, &key_b);
+        // Same epoch, same query: the key is deterministic.
+        prop_assert_eq!(&key_a, &query.cache_key(&snap_a).expect("cacheable"));
+        // Cross-product: this query's key at epoch A collides with no
+        // query's key at epoch B, not even a different query's.
+        for other in &queries {
+            let other_b = other.cache_key(&snap_b).expect("cacheable");
+            prop_assert_ne!(&key_a, &other_b);
+        }
+    }
+}
+
+#[test]
+fn twelve_threads_spanning_a_swap_never_cross_epochs() {
+    const THREADS: usize = 12;
+    const ROUNDS: usize = 10;
+    // Epoch 2 and epoch 3 disagree about the hot spec's content — the
+    // exact situation mid-swap, when requests captured under both
+    // snapshots are in flight against the same cache at once.
+    let before = SpecSnapshot::builtins()
+        .with_spec(&hot_doc(25.0), 2)
+        .expect("valid doc");
+    let after = before.with_spec(&hot_doc(40.0), 3).expect("valid doc");
+    let snapshots = [&before, &after];
+    let queries: Vec<Query> = Primitive::all()
+        .into_iter()
+        .map(|primitive| Query::MeasureSpec {
+            name: "hot".to_string(),
+            primitive,
+        })
+        .collect();
+    let cache = ShardedCache::new(8);
+    let barrier = Barrier::new(THREADS);
+
+    std::thread::scope(|scope| {
+        for thread in 0..THREADS {
+            let cache = &cache;
+            let queries = &queries;
+            let snapshots = &snapshots;
+            let barrier = &barrier;
+            scope.spawn(move || {
+                barrier.wait();
+                for round in 0..ROUNDS {
+                    for step in 0..queries.len() * 2 {
+                        // Interleave epochs: odd threads lead with the
+                        // new snapshot, even threads with the old.
+                        let snapshot = snapshots[(thread + step) % 2];
+                        let query = &queries[(round + step) % queries.len()];
+                        let key = query.cache_key(snapshot).expect("cacheable");
+                        let (value, _) = cache.get_or_compute(&key, || query.compute(snapshot));
+                        // The reply must be its own epoch's direct
+                        // emission — never the other epoch's, no matter
+                        // which thread computed the cached value.
+                        assert_eq!(
+                            &*value,
+                            query.compute(snapshot),
+                            "epoch {} reply crossed epochs under {key}",
+                            snapshot.epoch()
+                        );
+                    }
+                }
+            });
+        }
+    });
+
+    // The two epochs really do disagree, so the assertion above had
+    // teeth: same query, different epoch, different payload.
+    for query in &queries {
+        assert_ne!(
+            query.compute(&before),
+            query.compute(&after),
+            "the swapped spec must change the payload"
+        );
+    }
+    // One computation per (epoch, query) pair — the epoch prefix keeps
+    // the flights separate, the single-flight keeps each unique.
+    assert_eq!(cache.misses(), (queries.len() * 2) as u64);
+}
+
+#[test]
+fn a_fresh_epoch_never_inherits_the_previous_epochs_last_good() {
+    let cache = ShardedCache::new(4);
+    let snapshot = SpecSnapshot::builtins()
+        .with_spec(&hot_doc(25.0), 2)
+        .expect("valid doc");
+    let query = Query::MeasureSpec {
+        name: "hot".to_string(),
+        primitive: Primitive::all()[0],
+    };
+    let key = query.cache_key(&snapshot).expect("cacheable");
+
+    // Epoch 2 computes once, seeding its last-good sidecar entry.
+    let good = match cache.get_or_compute_resilient(&key, || query.compute(&snapshot)) {
+        osarch_serve::Fetched::Computed(payload) => payload,
+        other => panic!("expected a fresh computation, got {other:?}"),
+    };
+
+    // The spec swaps: epoch 3 carries *different* hot-spec content, and
+    // its first computation panics. The same logical query has a live
+    // last-good value one epoch over — an unversioned cache would serve
+    // it; the epoch-prefixed key must fail hard instead.
+    let swapped = snapshot.with_spec(&hot_doc(40.0), 3).expect("valid doc");
+    let swapped_key = query.cache_key(&swapped).expect("cacheable");
+    match cache.get_or_compute_resilient(&swapped_key, || panic!("injected")) {
+        osarch_serve::Fetched::Failed(error) => {
+            assert!(error.contains("injected"), "got: {error}");
+        }
+        other => panic!("a fresh epoch must not inherit stale values, got {other:?}"),
+    }
+
+    // Once epoch 3 lands its own value, both epochs serve their own
+    // bytes from then on.
+    let swapped_good =
+        match cache.get_or_compute_resilient(&swapped_key, || query.compute(&swapped)) {
+            osarch_serve::Fetched::Computed(payload) => payload,
+            other => panic!("expected a fresh computation, got {other:?}"),
+        };
+    assert_ne!(swapped_good, good, "the swap must change the payload");
+
+    // Reaping the old epoch after the swap drops epoch 2's entries but
+    // leaves epoch 3's intact.
+    let removed = cache.retain_prefix(swapped.key_prefix());
+    assert!(removed > 0, "epoch 2 left entries to reap");
+    match cache.get_or_compute_resilient(&swapped_key, || panic!("injected")) {
+        osarch_serve::Fetched::Cached(payload) => assert_eq!(payload, swapped_good),
+        other => panic!("epoch 3 must survive the reap, got {other:?}"),
+    }
+    match cache.get_or_compute_resilient(&key, || panic!("injected")) {
+        osarch_serve::Fetched::Failed(_) => {}
+        other => panic!("the reaped epoch must recompute from scratch, got {other:?}"),
+    }
+}

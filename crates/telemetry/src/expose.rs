@@ -51,6 +51,8 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         ("cache_coalesced", totals.cache_coalesced),
         ("cache_failed", totals.cache_failed),
         ("cache_degraded", totals.cache_degraded),
+        ("spec_swaps", totals.swaps),
+        ("spec_rollbacks", totals.rollbacks),
     ] {
         let _ = writeln!(out, "osarch_{name}_total {value}");
     }
@@ -64,6 +66,7 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
         ("workers_live", gauges.workers_live),
         ("compute_backlog", gauges.compute_backlog),
         ("oldest_write_backlog_ms", gauges.oldest_write_backlog_ms),
+        ("registry_epoch", gauges.registry_epoch),
         ("shutting_down", u64::from(gauges.shutting_down)),
         ("trace_sample_every", snap.sample_every),
         ("trace_chains_sampled", snap.chains_sampled),
@@ -134,6 +137,13 @@ pub fn prometheus_text(snap: &MetricsSnapshot) -> String {
     );
     let _ = writeln!(out, "# TYPE osarch_arena_buffers summary");
     summary(&mut out, "osarch_arena_buffers", "", &snap.arena_buffers);
+    let _ = writeln!(out, "# TYPE osarch_swap_latency_us summary");
+    summary(
+        &mut out,
+        "osarch_swap_latency_us",
+        "",
+        &snap.swap_latency_us,
+    );
     out
 }
 

@@ -61,6 +61,8 @@ pub struct Gauges {
     pub compute_backlog: u64,
     /// Age of the oldest unflushed write backlog, milliseconds.
     pub oldest_write_backlog_ms: u64,
+    /// Active spec-registry epoch (1 = the built-in architectures).
+    pub registry_epoch: u64,
     /// Whether shutdown has been initiated.
     pub shutting_down: bool,
 }
@@ -96,6 +98,10 @@ pub struct Totals {
     pub cache_failed: u64,
     /// Lookups degraded to a stale value.
     pub cache_degraded: u64,
+    /// Spec-registry swaps committed (activations and adoptions).
+    pub swaps: u64,
+    /// Spec-registry rollbacks (a candidate faulted while being probed).
+    pub rollbacks: u64,
 }
 
 impl Totals {
@@ -177,6 +183,11 @@ pub struct MetricsSnapshot {
     /// Prometheus expositions add a section when set and emit exactly
     /// the standalone document when `None`.
     pub cluster: Option<ClusterGauges>,
+    /// Spec hot-swap latency (microseconds per committed swap). Empty
+    /// from [`TelemetryHub::snapshot`]; the serving layer overwrites it
+    /// from the registry before exposing, the same way it fills
+    /// `cluster`.
+    pub swap_latency_us: Histogram,
 }
 
 /// The per-server telemetry hub: one windowed-metrics shard per event
@@ -333,6 +344,7 @@ impl TelemetryHub {
             gauges,
             totals,
             cluster: None,
+            swap_latency_us: Histogram::new(),
         }
     }
 }

@@ -75,14 +75,16 @@ fn usage() -> ExitCode {
          \x20                         cycle-level trace of one primitive: phase profile\n\
          \x20                         to stdout, Chrome-trace JSON to PATH, counters JSON\n\
          \x20 serve [--addr A] [--workers N] [--shards N] [--queue N] [--deadline-ms N]\n\
-         \x20       [--sample N] [--metrics-addr A]\n\
+         \x20       [--sample N] [--metrics-addr A] [--admin-token T]\n\
          \x20       [--cluster --peers A,B,C [--replicas R] [--vnodes N]\n\
          \x20        [--incarnation N] [--gossip-ms N] [--no-proxy]]\n\
          \x20                         run the event-driven measurement-query service\n\
          \x20                         (one poll loop per worker; --queue bounds open conns;\n\
          \x20                         --sample traces 1/N requests, --metrics-addr binds a\n\
-         \x20                         Prometheus/JSON scrape listener; --cluster joins a\n\
-         \x20                         consistent-hash ring over the --peers seed list)\n\
+         \x20                         Prometheus/JSON scrape listener; --admin-token enables\n\
+         \x20                         the live spec-swap admin op — without it the control\n\
+         \x20                         plane does not exist; --cluster joins a consistent-\n\
+         \x20                         hash ring over the --peers seed list)\n\
          \x20 loadgen [--addr A] [--conns N] [--pipeline N] [--secs S] [--skew] [--rate R]\n\
          \x20         [--workers N] [--shards N] [--seed N] [--faults P] [--sample N]\n\
          \x20         [--out PATH] [--force] [--cluster [--nodes N] [--replicas R]]\n\
@@ -94,11 +96,16 @@ fn usage() -> ExitCode {
          \x20 chaos [--seed N] [--rate P] [--duration S] [--conns N] [--workers N]\n\
          \x20       [--sample N] [--metrics-addr A] [--metrics-out PATH] [--trace-out PATH]\n\
          \x20       [--cluster [--nodes N] [--replicas R]]\n\
+         \x20       [--swap [--swaps N] [--transcript-out PATH]]\n\
          \x20                         deterministic fault-injection soak: loadgen vs a\n\
          \x20                         chaos server, asserting resilience invariants\n\
          \x20                         (telemetry on; exports validated metrics + trace);\n\
          \x20                         --cluster soaks an N-node ring through a seeded\n\
-         \x20                         whole-node kill + respawn\n\
+         \x20                         whole-node kill + respawn; --swap drives live spec\n\
+         \x20                         hot-swaps through the admin plane asserting zero\n\
+         \x20                         drops, byte-identical epochs and replayable\n\
+         \x20                         rollbacks (with --cluster: gossip convergence\n\
+         \x20                         through a mid-swap node kill)\n\
          \x20 top ADDR [--interval-ms N] [--iterations N] [--retry-secs N] [--once]\n\
          \x20                         live dashboard over a running server's metrics op:\n\
          \x20                         throughput, per-op tails, loop lag, cache counters;\n\
@@ -465,6 +472,14 @@ fn main() -> ExitCode {
                         Ok(addr) => config.metrics_addr = Some(addr),
                         Err(code) => return code,
                     },
+                    "--admin-token" => match value("--admin-token", rest.next()) {
+                        Ok(token) if token.is_empty() => {
+                            eprintln!("--admin-token must not be empty");
+                            return ExitCode::from(2);
+                        }
+                        Ok(token) => config.admin_token = Some(token),
+                        Err(code) => return code,
+                    },
                     "--cluster" => cluster = true,
                     "--peers" => match value("--peers", rest.next()) {
                         Ok(list) => {
@@ -543,6 +558,12 @@ fn main() -> ExitCode {
                     cluster_config.replicas,
                     cluster_config.vnodes,
                     cluster_config.proxy
+                );
+            }
+            if config.admin_token.is_some() {
+                println!(
+                    "admin plane enabled: spec-load / spec-activate / spec-rollback / spec-list \
+                     via {{\"op\":\"admin\",...}} with the configured token"
                 );
             }
             if let Some(scrape) = handle.metrics_addr() {
